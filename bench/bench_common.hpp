@@ -1,0 +1,193 @@
+// bench_common.hpp — shared harness for the experiment benches.
+//
+// Every bench binary regenerates one reconstructed table/figure (R-T*/R-F*,
+// see DESIGN.md / EXPERIMENTS.md). They share a standard dataset recipe and
+// a train-and-evaluate helper so rows are comparable across binaries.
+//
+// Scale note: models run at "bench" scale (32 px, 8 frames, dim 48) so the
+// full suite finishes in minutes on a laptop CPU. The *comparative shape* of
+// the numbers — which model wins, how trends move — is the reproduction
+// target, not absolute accuracy on real driving footage (see DESIGN.md §2).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baseline/cnn.hpp"
+#include "baseline/cnn3d.hpp"
+#include "baseline/majority.hpp"
+#include "core/extractor.hpp"
+#include "core/trainer.hpp"
+
+namespace tsdx::bench {
+
+// ---- standard configuration ---------------------------------------------------
+
+inline constexpr std::int64_t kImageSize = 32;
+inline constexpr std::int64_t kFrames = 8;
+inline constexpr std::size_t kDatasetSize = 320;
+inline constexpr std::uint64_t kDataSeed = 20240325;  // DATE'24 ASD day 1
+inline constexpr std::uint64_t kModelSeed = 7;
+
+inline sim::RenderConfig render_config(std::int64_t frames = kFrames,
+                                       std::int64_t image = kImageSize) {
+  sim::RenderConfig cfg;
+  cfg.height = cfg.width = image;
+  cfg.frames = frames;
+  return cfg;
+}
+
+inline core::ModelConfig model_config(core::AttentionKind kind,
+                                      std::int64_t frames = kFrames,
+                                      std::int64_t image = kImageSize,
+                                      std::int64_t patch = 8,
+                                      std::int64_t tubelet = 1) {
+  core::ModelConfig cfg;
+  cfg.frames = frames;
+  cfg.image_size = image;
+  cfg.patch_size = patch;
+  cfg.tubelet_frames = tubelet;
+  cfg.dim = 48;
+  cfg.depth = 4;
+  cfg.heads = 4;
+  cfg.mlp_ratio = 2;
+  cfg.attention = kind;
+  return cfg;
+}
+
+inline core::TrainConfig train_config(std::size_t epochs = 10) {
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 8;
+  tc.lr = 3e-3f;
+  tc.seed = 1;
+  return tc;
+}
+
+// ---- model factories ------------------------------------------------------------
+
+/// A model plus the Rng that must outlive it.
+struct BuiltModel {
+  std::string name;
+  std::shared_ptr<nn::Rng> rng;
+  std::shared_ptr<core::ScenarioModel> model;
+};
+
+inline BuiltModel make_video_transformer(const core::ModelConfig& cfg,
+                                         std::uint64_t seed = kModelSeed,
+                                         core::SlotMask mask = core::kAllSlots) {
+  BuiltModel built;
+  built.rng = std::make_shared<nn::Rng>(seed);
+  auto backbone = std::make_unique<core::VideoTransformer>(cfg, *built.rng);
+  built.name = backbone->name();
+  built.model = std::make_shared<core::ScenarioModel>(std::move(backbone),
+                                                      *built.rng, mask);
+  return built;
+}
+
+inline BuiltModel make_cnn_avg(std::int64_t image = kImageSize,
+                               std::int64_t dim = 48,
+                               std::uint64_t seed = kModelSeed) {
+  BuiltModel built;
+  built.rng = std::make_shared<nn::Rng>(seed);
+  auto backbone = std::make_unique<baseline::CnnAvgBackbone>(
+      sim::kNumChannels, image, dim, *built.rng);
+  built.name = backbone->name();
+  built.model =
+      std::make_shared<core::ScenarioModel>(std::move(backbone), *built.rng);
+  return built;
+}
+
+inline BuiltModel make_cnn_lstm(std::int64_t image = kImageSize,
+                                std::int64_t dim = 48,
+                                std::uint64_t seed = kModelSeed) {
+  BuiltModel built;
+  built.rng = std::make_shared<nn::Rng>(seed);
+  auto backbone = std::make_unique<baseline::CnnLstmBackbone>(
+      sim::kNumChannels, image, dim, *built.rng);
+  built.name = backbone->name();
+  built.model =
+      std::make_shared<core::ScenarioModel>(std::move(backbone), *built.rng);
+  return built;
+}
+
+inline BuiltModel make_cnn_gru(std::int64_t image = kImageSize,
+                               std::int64_t dim = 48,
+                               std::uint64_t seed = kModelSeed) {
+  BuiltModel built;
+  built.rng = std::make_shared<nn::Rng>(seed);
+  auto backbone = std::make_unique<baseline::CnnGruBackbone>(
+      sim::kNumChannels, image, dim, *built.rng);
+  built.name = backbone->name();
+  built.model =
+      std::make_shared<core::ScenarioModel>(std::move(backbone), *built.rng);
+  return built;
+}
+
+inline BuiltModel make_c3d(std::int64_t frames = kFrames,
+                           std::int64_t image = kImageSize,
+                           std::int64_t dim = 48,
+                           std::uint64_t seed = kModelSeed) {
+  BuiltModel built;
+  built.rng = std::make_shared<nn::Rng>(seed);
+  auto backbone = std::make_unique<baseline::C3dBackbone>(
+      sim::kNumChannels, frames, image, dim, *built.rng);
+  built.name = backbone->name();
+  built.model =
+      std::make_shared<core::ScenarioModel>(std::move(backbone), *built.rng);
+  return built;
+}
+
+// ---- train & evaluate ---------------------------------------------------------------
+
+struct EvalRow {
+  std::string name;
+  std::int64_t params = 0;
+  double train_seconds = 0.0;
+  data::SlotMetrics metrics;
+};
+
+inline EvalRow fit_and_evaluate(BuiltModel& built,
+                                const data::Dataset& train,
+                                const data::Dataset& val,
+                                const data::Dataset& test,
+                                const core::TrainConfig& tc) {
+  EvalRow row;
+  row.name = built.name;
+  row.params = built.model->num_parameters();
+  const core::TrainResult result =
+      core::Trainer(tc).fit(*built.model, train, val);
+  row.train_seconds = result.train_seconds;
+  built.model->set_training(false);
+  row.metrics = core::Trainer::evaluate(*built.model, test);
+  return row;
+}
+
+// ---- printing -------------------------------------------------------------------------
+
+inline double action_slots_accuracy(const data::SlotMetrics& m) {
+  return (m.slot_accuracy(sdl::Slot::kEgoAction) +
+          m.slot_accuracy(sdl::Slot::kActorAction)) /
+         2.0;
+}
+
+inline double env_slots_accuracy(const data::SlotMetrics& m) {
+  return (m.slot_accuracy(sdl::Slot::kRoadLayout) +
+          m.slot_accuracy(sdl::Slot::kTimeOfDay) +
+          m.slot_accuracy(sdl::Slot::kWeather) +
+          m.slot_accuracy(sdl::Slot::kTrafficDensity)) /
+         4.0;
+}
+
+inline void print_banner(const char* experiment, const char* title) {
+  std::printf("\n=== %s: %s ===\n", experiment, title);
+  std::printf("(dataset: %zu synthetic clips, %lld frames @ %lldx%lld px, "
+              "seed %llu)\n\n",
+              kDatasetSize, static_cast<long long>(kFrames),
+              static_cast<long long>(kImageSize),
+              static_cast<long long>(kImageSize),
+              static_cast<unsigned long long>(kDataSeed));
+}
+
+}  // namespace tsdx::bench

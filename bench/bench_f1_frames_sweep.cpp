@@ -1,0 +1,44 @@
+// R-F1 — Accuracy vs number of input frames (2, 4, 8, 16) for the video
+// transformer and both CNN baselines.
+//
+// Expected shape: action-slot accuracy rises with frame count and saturates;
+// CNN-Avg barely benefits (it cannot use order); appearance slots are flat.
+#include "bench_common.hpp"
+
+using namespace tsdx;
+using namespace tsdx::bench;
+
+int main() {
+  print_banner("R-F1", "accuracy vs temporal context (frame count)");
+
+  const core::TrainConfig tc = train_config(8);
+  const std::int64_t frame_counts[] = {2, 4, 8, 16};
+
+  std::printf("%-14s %7s  %7s %7s %6s %6s  %8s\n", "model", "frames",
+              "actions", "env", "meanAc", "meanF1", "train");
+
+  for (const std::int64_t frames : frame_counts) {
+    // Fresh dataset per frame count (same seed -> same scenarios, denser
+    // temporal sampling).
+    const data::Dataset ds = data::Dataset::synthesize(
+        render_config(frames), kDatasetSize, kDataSeed);
+    const auto splits = ds.split(0.7, 0.15);
+
+    auto report = [&](BuiltModel model) {
+      const EvalRow row =
+          fit_and_evaluate(model, splits.train, splits.val, splits.test, tc);
+      std::printf("%-14s %7lld  %7.3f %7.3f %6.3f %6.3f  %7.1fs\n",
+                  row.name.c_str(), static_cast<long long>(frames),
+                  action_slots_accuracy(row.metrics),
+                  env_slots_accuracy(row.metrics),
+                  row.metrics.mean_accuracy(), row.metrics.mean_macro_f1(),
+                  row.train_seconds);
+    };
+    report(make_video_transformer(
+        model_config(core::AttentionKind::kDividedST, frames)));
+    report(make_cnn_lstm());
+    report(make_cnn_avg());
+    std::printf("\n");
+  }
+  return 0;
+}

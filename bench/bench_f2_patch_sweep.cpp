@@ -1,0 +1,50 @@
+// R-F2 — Accuracy vs tubelet geometry: spatial patch size {4, 8, 16} and
+// temporal tubelet depth {1, 2} for the DividedST video transformer.
+//
+// Expected shape: patch 16 (only 4 tokens/frame) loses spatial detail and
+// actor slots suffer; patch 4 gives the most tokens and the best (or tied)
+// accuracy at the highest compute; temporal tubelets of 2 trade a little
+// accuracy for half the tokens.
+#include "bench_common.hpp"
+
+using namespace tsdx;
+using namespace tsdx::bench;
+
+int main() {
+  print_banner("R-F2", "accuracy vs tubelet geometry (patch / tubelet size)");
+
+  const data::Dataset ds =
+      data::Dataset::synthesize(render_config(), kDatasetSize, kDataSeed);
+  const auto splits = ds.split(0.7, 0.15);
+  const core::TrainConfig tc = train_config(8);
+
+  std::printf("%-7s %-8s %7s %9s  %7s %7s %6s %6s  %8s\n", "patch",
+              "tubelet", "tokens", "params", "actions", "actor", "meanAc",
+              "meanF1", "train");
+
+  const std::int64_t patches[] = {4, 8, 16};
+  const std::int64_t tubelets[] = {1, 2};
+  for (const std::int64_t patch : patches) {
+    for (const std::int64_t tubelet : tubelets) {
+      const core::ModelConfig cfg = model_config(
+          core::AttentionKind::kDividedST, kFrames, kImageSize, patch, tubelet);
+      BuiltModel model = make_video_transformer(cfg);
+      const EvalRow row =
+          fit_and_evaluate(model, splits.train, splits.val, splits.test, tc);
+      const auto& m = row.metrics;
+      const double actor =
+          (m.slot_accuracy(sdl::Slot::kActorType) +
+           m.slot_accuracy(sdl::Slot::kActorAction) +
+           m.slot_accuracy(sdl::Slot::kActorPosition)) /
+          3.0;
+      std::printf("%-7lld %-8lld %7lld %9lld  %7.3f %7.3f %6.3f %6.3f  %7.1fs\n",
+                  static_cast<long long>(patch),
+                  static_cast<long long>(tubelet),
+                  static_cast<long long>(cfg.total_tokens()),
+                  static_cast<long long>(row.params),
+                  action_slots_accuracy(m), actor, m.mean_accuracy(),
+                  m.mean_macro_f1(), row.train_seconds);
+    }
+  }
+  return 0;
+}

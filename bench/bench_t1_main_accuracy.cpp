@@ -1,0 +1,82 @@
+// R-T1 — Main result: per-slot extraction accuracy of the video transformer
+// vs CNN baselines vs the majority-class floor (the paper's headline table).
+//
+// Expected shape: vt_divided_st >= cnn_lstm >= cnn_avg >= majority on the
+// temporal (action) slots; all learned models well above majority overall.
+#include "bench_common.hpp"
+
+using namespace tsdx;
+using namespace tsdx::bench;
+
+namespace {
+
+void print_row(const EvalRow& row) {
+  const auto& m = row.metrics;
+  std::printf("%-14s %8lld", row.name.c_str(),
+              static_cast<long long>(row.params));
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    std::printf(" %6.3f", m.slot_accuracy(static_cast<sdl::Slot>(s)));
+  }
+  std::printf("  %6.3f %6.3f %6.3f  %7.1fs\n", m.mean_accuracy(),
+              m.mean_macro_f1(), m.exact_match(), row.train_seconds);
+}
+
+}  // namespace
+
+int main() {
+  print_banner("R-T1", "per-slot extraction accuracy, main comparison");
+
+  const data::Dataset ds =
+      data::Dataset::synthesize(render_config(), kDatasetSize, kDataSeed);
+  const auto splits = ds.split(0.7, 0.15);
+  const core::TrainConfig tc = train_config(12);
+
+  std::printf("%-14s %8s", "model", "params");
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    std::printf(" %6.6s", std::string(sdl::to_string(static_cast<sdl::Slot>(s)))
+                              .c_str());
+  }
+  std::printf("  %6s %6s %6s  %8s\n", "meanAc", "meanF1", "exact", "train");
+
+  // Majority floor.
+  {
+    baseline::MajorityPredictor majority;
+    majority.fit(splits.train);
+    EvalRow row;
+    row.name = "majority";
+    row.params = 0;
+    row.metrics = majority.evaluate(splits.test);
+    print_row(row);
+  }
+  // CNN-Avg.
+  {
+    BuiltModel model = make_cnn_avg();
+    print_row(fit_and_evaluate(model, splits.train, splits.val, splits.test, tc));
+  }
+  // CNN-LSTM.
+  {
+    BuiltModel model = make_cnn_lstm();
+    print_row(fit_and_evaluate(model, splits.train, splits.val, splits.test, tc));
+  }
+  // CNN-GRU.
+  {
+    BuiltModel model = make_cnn_gru();
+    print_row(fit_and_evaluate(model, splits.train, splits.val, splits.test, tc));
+  }
+  // C3D (3-D convolutions end to end).
+  {
+    BuiltModel model = make_c3d();
+    print_row(fit_and_evaluate(model, splits.train, splits.val, splits.test, tc));
+  }
+  // Video transformer (divided space-time attention, the paper's model).
+  {
+    BuiltModel model =
+        make_video_transformer(model_config(core::AttentionKind::kDividedST));
+    print_row(fit_and_evaluate(model, splits.train, splits.val, splits.test, tc));
+  }
+
+  std::printf("\nslot key: road=road_layout time=time_of_day wthr=weather "
+              "dens=traffic_density ego=ego_action atyp=actor_type "
+              "aact=actor_action apos=actor_position\n");
+  return 0;
+}

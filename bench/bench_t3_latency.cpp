@@ -1,0 +1,89 @@
+// R-T3 — Embedded-inference cost (DATE = resource-constrained platforms):
+// single-clip CPU latency and parameter count for every model family,
+// measured with google-benchmark.
+//
+// Expected shape: SpaceOnly < DividedST ~ FactorizedEncoder < Joint (token
+// count squared in the joint attention); CNN-Avg cheapest overall; CNN-LSTM
+// adds recurrent cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace tsdx;
+using namespace tsdx::bench;
+
+namespace {
+
+/// One random clip batch of size 1 at bench geometry.
+nn::Tensor make_clip(nn::Rng& rng) {
+  return nn::Tensor::rand_uniform(
+      {1, kFrames, sim::kNumChannels, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+}
+
+void run_inference(benchmark::State& state, BuiltModel built) {
+  built.model->set_training(false);
+  nn::Rng rng(99);
+  const nn::Tensor clip = make_clip(rng);
+  for (auto _ : state) {
+    const auto preds = built.model->predict(clip);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.counters["params"] =
+      static_cast<double>(built.model->num_parameters());
+  state.counters["clips_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_VtJoint(benchmark::State& state) {
+  run_inference(state,
+                make_video_transformer(model_config(core::AttentionKind::kJoint)));
+}
+void BM_VtDividedST(benchmark::State& state) {
+  run_inference(state, make_video_transformer(
+                           model_config(core::AttentionKind::kDividedST)));
+}
+void BM_VtFactorized(benchmark::State& state) {
+  run_inference(state, make_video_transformer(model_config(
+                           core::AttentionKind::kFactorizedEncoder)));
+}
+void BM_VtSpaceOnly(benchmark::State& state) {
+  run_inference(state, make_video_transformer(
+                           model_config(core::AttentionKind::kSpaceOnly)));
+}
+void BM_CnnAvg(benchmark::State& state) { run_inference(state, make_cnn_avg()); }
+void BM_CnnLstm(benchmark::State& state) {
+  run_inference(state, make_cnn_lstm());
+}
+void BM_CnnGru(benchmark::State& state) { run_inference(state, make_cnn_gru()); }
+void BM_C3d(benchmark::State& state) { run_inference(state, make_c3d()); }
+
+BENCHMARK(BM_VtJoint)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VtDividedST)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VtFactorized)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VtSpaceOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CnnAvg)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CnnLstm)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CnnGru)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_C3d)->Unit(benchmark::kMillisecond);
+
+/// Latency as a function of frame count for the paper's model (scaling row
+/// of the table).
+void BM_VtDividedFrames(benchmark::State& state) {
+  const std::int64_t frames = state.range(0);
+  BuiltModel built = make_video_transformer(
+      model_config(core::AttentionKind::kDividedST, frames));
+  built.model->set_training(false);
+  nn::Rng rng(100);
+  const nn::Tensor clip = nn::Tensor::rand_uniform(
+      {1, frames, sim::kNumChannels, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    const auto preds = built.model->predict(clip);
+    benchmark::DoNotOptimize(preds);
+  }
+}
+BENCHMARK(BM_VtDividedFrames)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

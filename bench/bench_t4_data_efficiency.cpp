@@ -1,0 +1,44 @@
+// R-T4 — Data efficiency: test macro-F1 as a function of training-set size
+// (12.5%, 25%, 50%, 100% of the training split), video transformer vs
+// CNN-LSTM.
+//
+// Expected shape: monotone improvement with data for both; the transformer
+// holds an edge at every budget (the token inductive bias suits the BEV
+// input), with the gap widest at the full budget.
+#include "bench_common.hpp"
+
+using namespace tsdx;
+using namespace tsdx::bench;
+
+int main() {
+  print_banner("R-T4", "accuracy vs training-set size");
+
+  const data::Dataset ds =
+      data::Dataset::synthesize(render_config(), kDatasetSize, kDataSeed);
+  const auto splits = ds.split(0.7, 0.15);
+  const core::TrainConfig tc = train_config(10);
+
+  std::printf("%-14s %8s %8s  %6s %6s %7s\n", "model", "train_n", "frac",
+              "meanAc", "meanF1", "actions");
+
+  const double fractions[] = {0.125, 0.25, 0.5, 1.0};
+  for (const double frac : fractions) {
+    const std::size_t n =
+        static_cast<std::size_t>(splits.train.size() * frac);
+    const data::Dataset subset = splits.train.take(n);
+
+    auto report = [&](BuiltModel model) {
+      const EvalRow row =
+          fit_and_evaluate(model, subset, splits.val, splits.test, tc);
+      std::printf("%-14s %8zu %7.0f%%  %6.3f %6.3f %7.3f\n", row.name.c_str(),
+                  n, frac * 100.0, row.metrics.mean_accuracy(),
+                  row.metrics.mean_macro_f1(),
+                  action_slots_accuracy(row.metrics));
+    };
+    report(make_video_transformer(
+        model_config(core::AttentionKind::kDividedST)));
+    report(make_cnn_lstm());
+    std::printf("\n");
+  }
+  return 0;
+}

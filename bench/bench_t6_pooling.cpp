@@ -1,0 +1,51 @@
+// R-T6 (extension) — Token-pooling ablation: unweighted mean vs learned
+// single-query attention pooling, for the divided space-time and space-only
+// encoders.
+//
+// Expected shape: attention pooling helps the slots that depend on one small
+// region (the salient-actor slots — the pool can lock onto the tracked
+// mask), at the cost of `dim` extra parameters.
+#include "bench_common.hpp"
+
+using namespace tsdx;
+using namespace tsdx::bench;
+
+int main() {
+  print_banner("R-T6", "token pooling: mean vs learned attention pool");
+
+  const data::Dataset ds =
+      data::Dataset::synthesize(render_config(), kDatasetSize, kDataSeed);
+  const auto splits = ds.split(0.7, 0.15);
+  const core::TrainConfig tc = train_config(12);
+
+  std::printf("%-16s %-10s %9s  %7s %7s %6s %6s  %8s\n", "attention",
+              "pooling", "params", "actor", "actions", "meanAc", "meanF1",
+              "train");
+
+  const core::AttentionKind kinds[] = {core::AttentionKind::kDividedST,
+                                       core::AttentionKind::kSpaceOnly};
+  const core::Pooling poolings[] = {core::Pooling::kMean,
+                                    core::Pooling::kAttention};
+  for (const auto kind : kinds) {
+    for (const auto pooling : poolings) {
+      core::ModelConfig cfg = model_config(kind);
+      cfg.pooling = pooling;
+      BuiltModel model = make_video_transformer(cfg);
+      const EvalRow row =
+          fit_and_evaluate(model, splits.train, splits.val, splits.test, tc);
+      const auto& m = row.metrics;
+      const double actor =
+          (m.slot_accuracy(sdl::Slot::kActorType) +
+           m.slot_accuracy(sdl::Slot::kActorAction) +
+           m.slot_accuracy(sdl::Slot::kActorPosition)) /
+          3.0;
+      std::printf("%-16s %-10s %9lld  %7.3f %7.3f %6.3f %6.3f  %7.1fs\n",
+                  core::to_string(kind).c_str(),
+                  core::to_string(pooling).c_str(),
+                  static_cast<long long>(row.params), actor,
+                  action_slots_accuracy(m), m.mean_accuracy(),
+                  m.mean_macro_f1(), row.train_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// R-T7 (extension) — Mirror-augmentation ablation: training with vs without
+// the label-aware horizontal mirror, at a small and the full data budget.
+//
+// Expected shape: augmentation helps most at the small budget (it doubles
+// effective data and balances the left/right action classes); at the full
+// budget the gain shrinks.
+#include "bench_common.hpp"
+#include "core/augment.hpp"
+
+using namespace tsdx;
+using namespace tsdx::bench;
+
+int main() {
+  print_banner("R-T7", "label-aware mirror augmentation ablation");
+
+  const data::Dataset ds =
+      data::Dataset::synthesize(render_config(), kDatasetSize, kDataSeed);
+  const auto splits = ds.split(0.7, 0.15);
+  const core::TrainConfig tc = train_config(10);
+
+  std::printf("%-10s %-8s %8s  %7s %6s %6s\n", "train", "mirror", "eff_n",
+              "actions", "meanAc", "meanF1");
+
+  const double fractions[] = {0.25, 1.0};
+  for (const double frac : fractions) {
+    const data::Dataset subset =
+        splits.train.take(static_cast<std::size_t>(splits.train.size() * frac));
+    for (const bool mirror : {false, true}) {
+      const data::Dataset train_set =
+          mirror ? core::augment_mirror(subset) : subset;
+      BuiltModel model = make_video_transformer(
+          model_config(core::AttentionKind::kDividedST));
+      const EvalRow row =
+          fit_and_evaluate(model, train_set, splits.val, splits.test, tc);
+      std::printf("%8.0f%% %-8s %8zu  %7.3f %6.3f %6.3f\n", frac * 100.0,
+                  mirror ? "yes" : "no", train_set.size(),
+                  action_slots_accuracy(row.metrics),
+                  row.metrics.mean_accuracy(), row.metrics.mean_macro_f1());
+    }
+  }
+  return 0;
+}

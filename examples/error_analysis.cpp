@@ -1,0 +1,110 @@
+// error_analysis — where does the extractor go wrong? Per-slot confusion
+// matrices, the most frequent confusions with class names, and a worst-case
+// gallery with slot-level diffs against ground truth.
+//
+// Run:  ./error_analysis [num_clips] [epochs]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/extractor.hpp"
+#include "sdl/diff.hpp"
+
+using namespace tsdx;
+
+int main(int argc, char** argv) {
+  const std::size_t num_clips =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 240;
+  const std::size_t epochs =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 10;
+
+  core::ModelConfig cfg = core::ModelConfig::tiny();
+  cfg.frames = 8;
+  sim::RenderConfig render;
+  render.height = render.width = cfg.image_size;
+  render.frames = cfg.frames;
+
+  const data::Dataset ds = data::Dataset::synthesize(render, num_clips, 61);
+  const auto splits = ds.split(0.7, 0.15);
+
+  std::printf("Training (%zu epochs)...\n", epochs);
+  core::ScenarioExtractor extractor(cfg, 62);
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 8;
+  tc.restore_best = true;
+  extractor.train(splits.train, splits.val, tc);
+  extractor.model().set_training(false);
+  extractor.set_constrained_decoding(true);
+
+  // Evaluate and remember per-example results.
+  data::SlotMetrics metrics;
+  struct Case {
+    std::size_t index;
+    std::size_t wrong_slots;
+    core::ExtractionResult result;
+  };
+  std::vector<Case> cases;
+  for (std::size_t i = 0; i < splits.test.size(); ++i) {
+    core::ExtractionResult result = extractor.extract(splits.test[i].video);
+    const sdl::SlotLabels pred = sdl::to_slot_labels(result.description);
+    metrics.add(splits.test[i].labels, pred);
+    const auto diffs =
+        sdl::diff_descriptions(splits.test[i].description, result.description);
+    cases.push_back(Case{i, diffs.size(), std::move(result)});
+  }
+
+  // --- per-slot summary with dominant confusion -------------------------------
+  std::printf("\nPer-slot accuracy and dominant confusion (test, n=%zu):\n",
+              splits.test.size());
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    const auto slot = static_cast<sdl::Slot>(s);
+    const data::ConfusionMatrix& cm = metrics.slot(slot);
+    // Find the largest off-diagonal count.
+    std::size_t bt = 0, bp = 0;
+    std::uint64_t best = 0;
+    for (std::size_t t = 0; t < cm.num_classes(); ++t) {
+      for (std::size_t p = 0; p < cm.num_classes(); ++p) {
+        if (t != p && cm.count(t, p) > best) {
+          best = cm.count(t, p);
+          bt = t;
+          bp = p;
+        }
+      }
+    }
+    std::printf("  %-16s acc %.3f  f1 %.3f",
+                std::string(sdl::to_string(slot)).c_str(), cm.accuracy(),
+                cm.macro_f1());
+    if (best > 0) {
+      std::printf("   worst: %s -> %s (%llu)",
+                  std::string(sdl::slot_class_name(slot, bt)).c_str(),
+                  std::string(sdl::slot_class_name(slot, bp)).c_str(),
+                  static_cast<unsigned long long>(best));
+    }
+    std::printf("\n");
+  }
+
+  // --- worst-case gallery -------------------------------------------------------
+  std::sort(cases.begin(), cases.end(), [](const Case& a, const Case& b) {
+    return a.wrong_slots > b.wrong_slots;
+  });
+  std::printf("\nThree worst extractions:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, cases.size()); ++i) {
+    const Case& c = cases[i];
+    const auto& example = splits.test[c.index];
+    std::printf("clip %zu (%zu/8 slots wrong, min conf %.2f)\n", c.index,
+                c.wrong_slots, c.result.min_confidence());
+    std::printf("  truth    : %s\n",
+                sdl::to_sentence(example.description).c_str());
+    std::printf("  extracted: %s\n",
+                sdl::to_sentence(c.result.description).c_str());
+    std::printf("  diff     : %s\n",
+                sdl::diff_to_string(sdl::diff_descriptions(
+                                        example.description,
+                                        c.result.description))
+                    .c_str());
+  }
+  std::printf("\nExact-match rate: %.3f, mean accuracy %.3f\n",
+              metrics.exact_match(), metrics.mean_accuracy());
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "baseline/cnn.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tsdx::baseline {
+
+namespace tt = tsdx::tensor;
+using nn::Tensor;
+
+FrameCnn::FrameCnn(std::int64_t in_channels, std::int64_t image_size,
+                   std::int64_t feature_dim, nn::Rng& rng)
+    : feature_dim_(feature_dim),
+      conv1_(in_channels, 8, /*kernel=*/3, /*stride=*/2, /*pad=*/1, rng),
+      conv2_(8, 16, 3, 2, 1, rng),
+      conv3_(16, 32, 3, 2, 1, rng),
+      proj_(32, feature_dim, rng) {
+  if (image_size % 8 != 0) {
+    throw std::invalid_argument("FrameCnn: image_size must be divisible by 8");
+  }
+  register_module("conv1", conv1_);
+  register_module("conv2", conv2_);
+  register_module("conv3", conv3_);
+  register_module("proj", proj_);
+}
+
+Tensor FrameCnn::forward(const Tensor& frames) const {
+  Tensor h = tt::relu(conv1_.forward(frames));
+  h = tt::relu(conv2_.forward(h));
+  h = tt::relu(conv3_.forward(h));  // [N, 32, H/8, W/8]
+  const std::int64_t n = h.dim(0);
+  const std::int64_t c = h.dim(1);
+  // Global average pool over the spatial plane.
+  Tensor pooled = tt::mean_dim(tt::reshape(h, {n, c, -1}), 2);  // [N, 32]
+  return proj_.forward(pooled);
+}
+
+Tensor encode_frames(const FrameCnn& cnn, const nn::Tensor& video) {
+  if (video.rank() != 5) {
+    throw std::invalid_argument("encode_frames: expected [B,T,C,H,W]");
+  }
+  const std::int64_t b = video.dim(0);
+  const std::int64_t t = video.dim(1);
+  const std::int64_t c = video.dim(2);
+  const std::int64_t h = video.dim(3);
+  const std::int64_t w = video.dim(4);
+  Tensor flat = tt::reshape(video, {b * t, c, h, w});
+  Tensor feats = cnn.forward(flat);  // [B*T, D]
+  return tt::reshape(feats, {b, t, cnn.feature_dim()});
+}
+
+CnnAvgBackbone::CnnAvgBackbone(std::int64_t channels, std::int64_t image_size,
+                               std::int64_t feature_dim, nn::Rng& rng)
+    : cnn_(channels, image_size, feature_dim, rng) {
+  register_module("cnn", cnn_);
+}
+
+Tensor CnnAvgBackbone::forward(const Tensor& video) const {
+  return tt::mean_dim(encode_frames(cnn_, video), 1);
+}
+
+CnnLstmBackbone::CnnLstmBackbone(std::int64_t channels, std::int64_t image_size,
+                                 std::int64_t feature_dim, nn::Rng& rng)
+    : cnn_(channels, image_size, feature_dim, rng),
+      lstm_(feature_dim, feature_dim, rng) {
+  register_module("cnn", cnn_);
+  register_module("lstm", lstm_);
+}
+
+Tensor CnnLstmBackbone::forward(const Tensor& video) const {
+  return lstm_.forward(encode_frames(cnn_, video));
+}
+
+}  // namespace tsdx::baseline

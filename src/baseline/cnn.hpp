@@ -1,0 +1,71 @@
+// cnn.hpp — convolutional clip encoders used as comparison baselines.
+//
+// Both reuse a shared per-frame CNN encoder; they differ only in how frame
+// features are aggregated over time:
+//   CnnAvgBackbone  — temporal average pooling (no temporal modeling at all)
+//   CnnLstmBackbone — an LSTM over the frame features (the classic pre-
+//                      transformer video architecture)
+#pragma once
+
+#include <memory>
+
+#include "core/backbone.hpp"
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+
+namespace tsdx::baseline {
+
+/// Three strided conv+ReLU stages, global average pool, linear projection.
+/// [N, C, H, W] -> [N, feature_dim].
+class FrameCnn : public nn::Module {
+ public:
+  FrameCnn(std::int64_t in_channels, std::int64_t image_size,
+           std::int64_t feature_dim, nn::Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& frames) const;
+
+  std::int64_t feature_dim() const { return feature_dim_; }
+
+ private:
+  std::int64_t feature_dim_;
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+  nn::Conv2d conv3_;
+  nn::Linear proj_;
+};
+
+/// Per-frame CNN + temporal average pooling.
+class CnnAvgBackbone : public core::Backbone {
+ public:
+  CnnAvgBackbone(std::int64_t channels, std::int64_t image_size,
+                 std::int64_t feature_dim, nn::Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& video) const override;
+  std::int64_t feature_dim() const override { return cnn_.feature_dim(); }
+  std::string name() const override { return "cnn_avg"; }
+
+ private:
+  FrameCnn cnn_;
+};
+
+/// Per-frame CNN + single-layer LSTM; clip feature = final hidden state.
+class CnnLstmBackbone : public core::Backbone {
+ public:
+  CnnLstmBackbone(std::int64_t channels, std::int64_t image_size,
+                  std::int64_t feature_dim, nn::Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& video) const override;
+  std::int64_t feature_dim() const override { return lstm_.hidden_dim(); }
+  std::string name() const override { return "cnn_lstm"; }
+
+ private:
+  FrameCnn cnn_;
+  nn::Lstm lstm_;
+};
+
+/// Shared helper: run a per-frame encoder over [B, T, C, H, W], returning
+/// frame features [B, T, D].
+nn::Tensor encode_frames(const FrameCnn& cnn, const nn::Tensor& video);
+
+}  // namespace tsdx::baseline

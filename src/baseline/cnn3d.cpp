@@ -1,0 +1,60 @@
+#include "baseline/cnn3d.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tsdx::baseline {
+
+namespace tt = tsdx::tensor;
+using nn::Tensor;
+
+C3dBackbone::C3dBackbone(std::int64_t channels, std::int64_t frames,
+                         std::int64_t image_size, std::int64_t feature_dim,
+                         nn::Rng& rng)
+    : feature_dim_(feature_dim),
+      conv1_(channels, 8, /*kt=*/3, /*ks=*/3, /*st=*/1, /*ss=*/2, /*pt=*/1,
+             /*ps=*/1, rng),
+      conv2_(8, 16, 3, 3, 2, 2, 1, 1, rng),
+      conv3_(16, 32, 3, 3, 2, 2, 1, 1, rng),
+      proj_(32, feature_dim, rng) {
+  if (image_size % 8 != 0) {
+    throw std::invalid_argument("C3dBackbone: image_size must be divisible by 8");
+  }
+  if (frames % 4 != 0) {
+    throw std::invalid_argument("C3dBackbone: frames must be divisible by 4");
+  }
+  register_module("conv1", conv1_);
+  register_module("conv2", conv2_);
+  register_module("conv3", conv3_);
+  register_module("proj", proj_);
+}
+
+Tensor C3dBackbone::forward(const Tensor& video) const {
+  if (video.rank() != 5) {
+    throw std::invalid_argument("C3dBackbone: expected [B,T,C,H,W]");
+  }
+  // Dataset layout [B,T,C,H,W] -> conv layout [B,C,T,H,W].
+  Tensor x = tt::permute(video, {0, 2, 1, 3, 4});
+  x = tt::relu(conv1_.forward(x));
+  x = tt::relu(conv2_.forward(x));
+  x = tt::relu(conv3_.forward(x));  // [B, 32, T/4, H/8, W/8]
+  const std::int64_t b = x.dim(0);
+  const std::int64_t c = x.dim(1);
+  Tensor pooled = tt::mean_dim(tt::reshape(x, {b, c, -1}), 2);  // [B, 32]
+  return proj_.forward(pooled);
+}
+
+CnnGruBackbone::CnnGruBackbone(std::int64_t channels, std::int64_t image_size,
+                               std::int64_t feature_dim, nn::Rng& rng)
+    : cnn_(channels, image_size, feature_dim, rng),
+      gru_(feature_dim, feature_dim, rng) {
+  register_module("cnn", cnn_);
+  register_module("gru", gru_);
+}
+
+Tensor CnnGruBackbone::forward(const Tensor& video) const {
+  return gru_.forward(encode_frames(cnn_, video));
+}
+
+}  // namespace tsdx::baseline

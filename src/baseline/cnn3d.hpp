@@ -1,0 +1,49 @@
+// cnn3d.hpp — additional conventional baselines:
+//  * C3dBackbone — a C3D-style 3-D convolutional clip encoder (space-time
+//    convolutions end to end), the classic pre-transformer video model;
+//  * CnnGruBackbone — per-frame CNN + GRU (lighter recurrent alternative to
+//    the CNN-LSTM).
+#pragma once
+
+#include "baseline/cnn.hpp"
+#include "nn/gru.hpp"
+
+namespace tsdx::baseline {
+
+/// Three 3x3x3 conv+ReLU stages with progressive space-time downsampling,
+/// global average pooling, and a linear projection to the feature dim.
+/// Input [B, T, C, H, W] (dataset layout); internally NCTHW.
+class C3dBackbone : public core::Backbone {
+ public:
+  /// `frames` must be divisible by 4 and `image_size` by 8.
+  C3dBackbone(std::int64_t channels, std::int64_t frames,
+              std::int64_t image_size, std::int64_t feature_dim, nn::Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& video) const override;
+  std::int64_t feature_dim() const override { return feature_dim_; }
+  std::string name() const override { return "c3d"; }
+
+ private:
+  std::int64_t feature_dim_;
+  nn::Conv3d conv1_;  ///< spatial stride 2
+  nn::Conv3d conv2_;  ///< space-time stride 2
+  nn::Conv3d conv3_;  ///< space-time stride 2
+  nn::Linear proj_;
+};
+
+/// Per-frame CNN + single-layer GRU; clip feature = final hidden state.
+class CnnGruBackbone : public core::Backbone {
+ public:
+  CnnGruBackbone(std::int64_t channels, std::int64_t image_size,
+                 std::int64_t feature_dim, nn::Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& video) const override;
+  std::int64_t feature_dim() const override { return gru_.hidden_dim(); }
+  std::string name() const override { return "cnn_gru"; }
+
+ private:
+  FrameCnn cnn_;
+  nn::Gru gru_;
+};
+
+}  // namespace tsdx::baseline

@@ -1,0 +1,26 @@
+#include "baseline/majority.hpp"
+
+#include <algorithm>
+
+namespace tsdx::baseline {
+
+void MajorityPredictor::fit(const data::Dataset& train) {
+  const auto hist = train.label_histogram();
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    const auto& counts = hist[s];
+    majority_[s] = static_cast<std::size_t>(
+        std::distance(counts.begin(),
+                      std::max_element(counts.begin(), counts.end())));
+  }
+}
+
+data::SlotMetrics MajorityPredictor::evaluate(
+    const data::Dataset& dataset) const {
+  data::SlotMetrics metrics;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    metrics.add(dataset[i].labels, majority_);
+  }
+  return metrics;
+}
+
+}  // namespace tsdx::baseline

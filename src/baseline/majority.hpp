@@ -1,0 +1,25 @@
+// majority.hpp — the no-learning floor: predict the per-slot majority class
+// of the training set for every clip.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "data/metrics.hpp"
+#include "sdl/description.hpp"
+
+namespace tsdx::baseline {
+
+class MajorityPredictor {
+ public:
+  /// Compute per-slot majority classes from a training dataset.
+  void fit(const data::Dataset& train);
+
+  sdl::SlotLabels predict() const { return majority_; }
+
+  /// Evaluate against a dataset's ground truth.
+  data::SlotMetrics evaluate(const data::Dataset& dataset) const;
+
+ private:
+  sdl::SlotLabels majority_{};
+};
+
+}  // namespace tsdx::baseline

@@ -1,0 +1,86 @@
+#include "core/augment.hpp"
+
+namespace tsdx::core {
+
+sdl::EgoAction mirror(sdl::EgoAction a) {
+  switch (a) {
+    case sdl::EgoAction::kTurnLeft:
+      return sdl::EgoAction::kTurnRight;
+    case sdl::EgoAction::kTurnRight:
+      return sdl::EgoAction::kTurnLeft;
+    case sdl::EgoAction::kLaneChangeLeft:
+      return sdl::EgoAction::kLaneChangeRight;
+    case sdl::EgoAction::kLaneChangeRight:
+      return sdl::EgoAction::kLaneChangeLeft;
+    default:
+      return a;
+  }
+}
+
+sdl::ActorAction mirror(sdl::ActorAction a) {
+  switch (a) {
+    case sdl::ActorAction::kTurnLeft:
+      return sdl::ActorAction::kTurnRight;
+    case sdl::ActorAction::kTurnRight:
+      return sdl::ActorAction::kTurnLeft;
+    default:
+      return a;
+  }
+}
+
+sdl::RelativePosition mirror(sdl::RelativePosition p) {
+  switch (p) {
+    case sdl::RelativePosition::kLeft:
+      return sdl::RelativePosition::kRight;
+    case sdl::RelativePosition::kRight:
+      return sdl::RelativePosition::kLeft;
+    default:
+      return p;
+  }
+}
+
+sdl::ScenarioDescription mirror_description(const sdl::ScenarioDescription& d) {
+  sdl::ScenarioDescription out = d;
+  out.ego_action = mirror(d.ego_action);
+  out.salient_actor.action = mirror(d.salient_actor.action);
+  out.salient_actor.position = mirror(d.salient_actor.position);
+  for (auto& actor : out.background_actors) {
+    actor.action = mirror(actor.action);
+    actor.position = mirror(actor.position);
+  }
+  return out;
+}
+
+sim::VideoClip mirror_clip(const sim::VideoClip& clip) {
+  sim::VideoClip out = clip;
+  const std::int64_t w = clip.width;
+  for (std::int64_t t = 0; t < clip.frames; ++t) {
+    for (std::int64_t c = 0; c < sim::kNumChannels; ++c) {
+      for (std::int64_t y = 0; y < clip.height; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          out.data[out.index(t, c, y, x)] = clip.at(t, c, y, w - 1 - x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+data::Example mirror_example(const data::Example& example) {
+  data::Example out;
+  out.video = mirror_clip(example.video);
+  out.description = mirror_description(example.description);
+  out.labels = sdl::to_slot_labels(out.description);
+  return out;
+}
+
+data::Dataset augment_mirror(const data::Dataset& dataset) {
+  data::Dataset out;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out.add(dataset[i]);
+    out.add(mirror_example(dataset[i]));
+  }
+  return out;
+}
+
+}  // namespace tsdx::core

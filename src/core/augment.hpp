@@ -1,0 +1,38 @@
+// augment.hpp — label-aware data augmentation.
+//
+// The only non-trivial augmentation for BEV driving video is the horizontal
+// mirror (x -> -x through the view center): it preserves physical
+// plausibility but *changes labels* — left/right turns, lane changes, and
+// relative positions all swap. This module applies the video flip and the
+// matching label remap together so augmented examples stay correct.
+//
+// Note: mirrored clips are slightly out of the simulator's distribution
+// (the mirrored T-junction arm points west, the mirrored ego drives in the
+// left-hand lane). Labels remain semantically valid, which is exactly what
+// makes the mirror a *useful* augmentation: it exposes the model to layouts
+// the sampler never generates while keeping supervision exact.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "sdl/description.hpp"
+
+namespace tsdx::core {
+
+/// Mirror the left/right-sensitive slots of a description.
+sdl::EgoAction mirror(sdl::EgoAction a);
+sdl::ActorAction mirror(sdl::ActorAction a);
+sdl::RelativePosition mirror(sdl::RelativePosition p);
+sdl::ScenarioDescription mirror_description(const sdl::ScenarioDescription& d);
+
+/// Flip a rendered clip about its vertical center line (reverses the W axis
+/// of every frame/channel).
+sim::VideoClip mirror_clip(const sim::VideoClip& clip);
+
+/// Mirror a full labeled example (video + description + labels).
+data::Example mirror_example(const data::Example& example);
+
+/// Dataset with a mirrored copy appended after each original
+/// (size doubles; order: e0, mirror(e0), e1, mirror(e1), ...).
+data::Dataset augment_mirror(const data::Dataset& dataset);
+
+}  // namespace tsdx::core

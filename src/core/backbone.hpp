@@ -1,0 +1,21 @@
+// backbone.hpp — the interface every clip encoder implements.
+//
+// A backbone maps a video batch [B, T, C, H, W] to clip features [B, D].
+// The video transformer (core) and the CNN baselines (baseline/) all
+// implement this, so heads, trainer, benches, and metrics are shared.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace tsdx::core {
+
+class Backbone : public nn::Module {
+ public:
+  /// [B, T, C, H, W] -> [B, feature_dim()].
+  virtual nn::Tensor forward(const nn::Tensor& video) const = 0;
+  virtual std::int64_t feature_dim() const = 0;
+  /// Short identifier for experiment tables ("vt_divided_st", "cnn_lstm", …).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tsdx::core

@@ -1,0 +1,156 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace tsdx::core {
+
+namespace tt = tsdx::tensor;
+
+namespace {
+
+/// Softmax probabilities of `logits[row]` at temperature `t`.
+std::vector<float> row_probs(const nn::Tensor& logits, std::int64_t row,
+                             float t) {
+  const std::int64_t c = logits.dim(1);
+  std::vector<float> p(static_cast<std::size_t>(c));
+  float mx = -1e30f;
+  for (std::int64_t i = 0; i < c; ++i) {
+    p[static_cast<std::size_t>(i)] = logits.at(row * c + i) / t;
+    mx = std::max(mx, p[static_cast<std::size_t>(i)]);
+  }
+  float sum = 0.0f;
+  for (auto& v : p) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+/// Collect (per-example logits, target) for one slot across a dataset.
+struct SlotLogits {
+  std::vector<nn::Tensor> logits;               ///< one [B, C] tensor per batch
+  std::vector<std::vector<std::int64_t>> targets;  ///< parallel targets
+};
+
+SlotLogits collect_logits(const ScenarioModel& model,
+                          const data::Dataset& dataset, sdl::Slot slot,
+                          std::size_t batch_size) {
+  tt::NoGradGuard no_grad;
+  SlotLogits out;
+  for (std::size_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, dataset.size() - start);
+    const data::Batch batch = dataset.make_batch(start, count);
+    auto logits = model.forward(batch.video);
+    out.logits.push_back(logits[static_cast<std::size_t>(slot)]);
+    out.targets.push_back(batch.labels[static_cast<std::size_t>(slot)]);
+  }
+  return out;
+}
+
+/// Mean negative log-likelihood at temperature `t`.
+double nll_at(const SlotLogits& data, float t) {
+  double nll = 0.0;
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < data.logits.size(); ++b) {
+    const std::int64_t rows = data.logits[b].dim(0);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const auto p = row_probs(data.logits[b], r, t);
+      const auto target =
+          static_cast<std::size_t>(data.targets[b][static_cast<std::size_t>(r)]);
+      nll -= std::log(std::max(p[target], 1e-12f));
+      ++n;
+    }
+  }
+  return n ? nll / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+double expected_calibration_error(const std::vector<float>& confidences,
+                                  const std::vector<bool>& correct,
+                                  std::size_t bins) {
+  if (confidences.size() != correct.size() || confidences.empty() || bins == 0) {
+    return 0.0;
+  }
+  std::vector<double> bin_conf(bins, 0.0), bin_acc(bins, 0.0);
+  std::vector<std::size_t> bin_n(bins, 0);
+  for (std::size_t i = 0; i < confidences.size(); ++i) {
+    std::size_t b = static_cast<std::size_t>(confidences[i] *
+                                             static_cast<float>(bins));
+    if (b >= bins) b = bins - 1;
+    bin_conf[b] += confidences[i];
+    bin_acc[b] += correct[i] ? 1.0 : 0.0;
+    ++bin_n[b];
+  }
+  double ece = 0.0;
+  const double n = static_cast<double>(confidences.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (bin_n[b] == 0) continue;
+    const double conf = bin_conf[b] / static_cast<double>(bin_n[b]);
+    const double acc = bin_acc[b] / static_cast<double>(bin_n[b]);
+    ece += (static_cast<double>(bin_n[b]) / n) * std::abs(conf - acc);
+  }
+  return ece;
+}
+
+TemperatureScaling TemperatureScaling::fit(const ScenarioModel& model,
+                                           const data::Dataset& val,
+                                           std::size_t batch_size) {
+  TemperatureScaling scaling;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    const auto slot = static_cast<sdl::Slot>(s);
+    const SlotLogits data = collect_logits(model, val, slot, batch_size);
+    float best_t = 1.0f;
+    double best_nll = nll_at(data, 1.0f);
+    for (float t = 0.25f; t <= 4.01f; t *= 1.1892071f) {  // 2^(1/4) steps
+      const double nll = nll_at(data, t);
+      if (nll < best_nll) {
+        best_nll = nll;
+        best_t = t;
+      }
+    }
+    scaling.temperature_[s] = best_t;
+  }
+  return scaling;
+}
+
+CalibrationReport TemperatureScaling::report(const ScenarioModel& model,
+                                             const data::Dataset& dataset,
+                                             sdl::Slot slot,
+                                             std::size_t batch_size) const {
+  const SlotLogits data = collect_logits(model, dataset, slot, batch_size);
+  const float t = temperature(slot);
+
+  std::vector<float> confidences;
+  std::vector<bool> correct;
+  for (std::size_t b = 0; b < data.logits.size(); ++b) {
+    const std::int64_t rows = data.logits[b].dim(0);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const auto p = row_probs(data.logits[b], r, t);
+      std::size_t arg = 0;
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        if (p[i] > p[arg]) arg = i;
+      }
+      confidences.push_back(p[arg]);
+      correct.push_back(static_cast<std::int64_t>(arg) ==
+                        data.targets[b][static_cast<std::size_t>(r)]);
+    }
+  }
+  CalibrationReport out;
+  out.ece = expected_calibration_error(confidences, correct);
+  double conf_sum = 0.0, acc_sum = 0.0;
+  for (std::size_t i = 0; i < confidences.size(); ++i) {
+    conf_sum += confidences[i];
+    acc_sum += correct[i] ? 1.0 : 0.0;
+  }
+  if (!confidences.empty()) {
+    out.mean_confidence = conf_sum / static_cast<double>(confidences.size());
+    out.accuracy = acc_sum / static_cast<double>(confidences.size());
+  }
+  return out;
+}
+
+}  // namespace tsdx::core

@@ -1,0 +1,58 @@
+// calibration.hpp — confidence calibration for extracted descriptions.
+//
+// Downstream consumers (scenario miners, safety monitors) act on the
+// extractor's per-slot confidence; an over-confident extractor silently
+// poisons them. This module measures calibration (expected calibration
+// error) and fits the standard post-hoc fix: per-slot temperature scaling
+// on a held-out validation split (Guo et al.'s recipe, one scalar per head).
+#pragma once
+
+#include <array>
+
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+
+namespace tsdx::core {
+
+/// Reliability statistics of one slot on one dataset.
+struct CalibrationReport {
+  double ece = 0.0;              ///< expected calibration error (15 bins)
+  double mean_confidence = 0.0;  ///< average argmax confidence
+  double accuracy = 0.0;         ///< argmax accuracy
+};
+
+/// Per-slot softmax temperatures (1.0 = untouched logits).
+class TemperatureScaling {
+ public:
+  TemperatureScaling() { temperature_.fill(1.0f); }
+
+  /// Fit each slot's temperature by grid search minimizing validation NLL.
+  /// Grid: 0.25 .. 4.0 in multiplicative steps — ample for linear heads.
+  static TemperatureScaling fit(const ScenarioModel& model,
+                                const data::Dataset& val,
+                                std::size_t batch_size = 16);
+
+  float temperature(sdl::Slot slot) const {
+    return temperature_[static_cast<std::size_t>(slot)];
+  }
+  void set_temperature(sdl::Slot slot, float t) {
+    temperature_[static_cast<std::size_t>(slot)] = t;
+  }
+
+  /// Reliability report of `model` on `dataset` for one slot, with this
+  /// scaling applied (identity scaling measures the raw model).
+  CalibrationReport report(const ScenarioModel& model,
+                           const data::Dataset& dataset, sdl::Slot slot,
+                           std::size_t batch_size = 16) const;
+
+ private:
+  std::array<float, sdl::kNumSlots> temperature_;
+};
+
+/// Expected calibration error of (confidence, correctness) pairs with
+/// `bins` equal-width confidence bins (standard ECE definition).
+double expected_calibration_error(const std::vector<float>& confidences,
+                                  const std::vector<bool>& correct,
+                                  std::size_t bins = 15);
+
+}  // namespace tsdx::core

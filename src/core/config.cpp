@@ -1,0 +1,78 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace tsdx::core {
+
+std::string to_string(AttentionKind kind) {
+  switch (kind) {
+    case AttentionKind::kJoint:
+      return "joint";
+    case AttentionKind::kDividedST:
+      return "divided_st";
+    case AttentionKind::kFactorizedEncoder:
+      return "factorized";
+    case AttentionKind::kSpaceOnly:
+      return "space_only";
+  }
+  return "?";
+}
+
+std::string to_string(PositionalKind kind) {
+  switch (kind) {
+    case PositionalKind::kLearned:
+      return "learned";
+    case PositionalKind::kSinusoidal:
+      return "sinusoidal";
+    case PositionalKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+std::string to_string(Pooling pooling) {
+  switch (pooling) {
+    case Pooling::kMean:
+      return "mean";
+    case Pooling::kAttention:
+      return "attn_pool";
+  }
+  return "?";
+}
+
+void ModelConfig::validate() const {
+  if (image_size % patch_size != 0) {
+    throw std::invalid_argument("ModelConfig: image_size % patch_size != 0");
+  }
+  if (frames % tubelet_frames != 0) {
+    throw std::invalid_argument("ModelConfig: frames % tubelet_frames != 0");
+  }
+  if (dim % heads != 0) {
+    throw std::invalid_argument("ModelConfig: dim % heads != 0");
+  }
+  if (depth < 1) throw std::invalid_argument("ModelConfig: depth < 1");
+}
+
+ModelConfig ModelConfig::tiny() {
+  ModelConfig c;
+  c.frames = 4;
+  c.image_size = 32;
+  c.patch_size = 8;
+  c.dim = 32;
+  c.depth = 2;
+  c.heads = 4;
+  return c;
+}
+
+ModelConfig ModelConfig::small() {
+  ModelConfig c;
+  c.frames = 8;
+  c.image_size = 64;
+  c.patch_size = 8;
+  c.dim = 48;
+  c.depth = 4;
+  c.heads = 4;
+  return c;
+}
+
+}  // namespace tsdx::core

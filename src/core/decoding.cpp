@@ -1,0 +1,106 @@
+#include "core/decoding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tsdx::core {
+
+namespace tt = tsdx::tensor;
+
+namespace {
+
+std::array<std::vector<float>, sdl::kNumSlots> log_probs(
+    const SlotProbabilities& probs) {
+  std::array<std::vector<float>, sdl::kNumSlots> out;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    if (probs[s].size() != sdl::kSlotCardinality[s]) {
+      throw std::invalid_argument("decode: wrong probability vector size");
+    }
+    out[s].reserve(probs[s].size());
+    for (float p : probs[s]) {
+      out[s].push_back(std::log(std::max(p, 1e-12f)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+sdl::SlotLabels decode_argmax(const SlotProbabilities& probs) {
+  sdl::SlotLabels labels{};
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    if (probs[s].size() != sdl::kSlotCardinality[s]) {
+      throw std::invalid_argument("decode: wrong probability vector size");
+    }
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < probs[s].size(); ++c) {
+      if (probs[s][c] > probs[s][best]) best = c;
+    }
+    labels[s] = best;
+  }
+  return labels;
+}
+
+sdl::SlotLabels decode_constrained(const SlotProbabilities& probs) {
+  // Fast path: if the argmax is already valid it is also the constrained
+  // optimum (it maximizes each term independently).
+  const sdl::SlotLabels greedy = decode_argmax(probs);
+  if (sdl::is_valid(sdl::from_slot_labels(greedy))) return greedy;
+
+  const auto lp = log_probs(probs);
+  const auto& valid = sdl::all_valid_label_combinations();
+  double best_score = -1e300;
+  sdl::SlotLabels best = valid.front();
+  for (const sdl::SlotLabels& labels : valid) {
+    double score = 0.0;
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      score += lp[s][labels[s]];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = labels;
+    }
+  }
+  return best;
+}
+
+std::vector<sdl::SlotLabels> decode_batch(const ScenarioModel& model,
+                                          const nn::Tensor& video,
+                                          bool constrained) {
+  tt::NoGradGuard no_grad;
+  const auto logits = model.forward(video);
+  const std::int64_t b = video.dim(0);
+
+  std::vector<sdl::SlotLabels> out;
+  out.reserve(static_cast<std::size_t>(b));
+  // Per-slot softmax once per batch.
+  std::array<nn::Tensor, sdl::kNumSlots> probs;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    probs[s] = tt::softmax_lastdim(logits[s]);
+  }
+  for (std::int64_t i = 0; i < b; ++i) {
+    SlotProbabilities row;
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      const std::int64_t c = probs[s].dim(1);
+      row[s].resize(static_cast<std::size_t>(c));
+      for (std::int64_t j = 0; j < c; ++j) {
+        row[s][static_cast<std::size_t>(j)] = probs[s].at(i * c + j);
+      }
+    }
+    out.push_back(constrained ? decode_constrained(row) : decode_argmax(row));
+  }
+  return out;
+}
+
+double validity_rate(const std::vector<sdl::SlotLabels>& predictions) {
+  if (predictions.empty()) return 1.0;
+  std::size_t valid = 0;
+  for (const auto& labels : predictions) {
+    if (sdl::is_valid(sdl::from_slot_labels(labels))) ++valid;
+  }
+  return static_cast<double>(valid) / static_cast<double>(predictions.size());
+}
+
+}  // namespace tsdx::core

@@ -1,0 +1,45 @@
+// decoding.hpp — semantically-constrained decoding of slot predictions.
+//
+// Independent per-slot argmax can emit descriptions the SDL grammar forbids
+// (e.g. "truck crossing", "turn on a straight road"). Constrained decoding
+// instead returns the *valid* label combination with maximum joint
+// likelihood under the per-slot softmax distributions:
+//
+//   argmax_{labels in ValidSet}  sum_s log p_s(labels[s])
+//
+// The valid set (~tens of thousands of tuples, enumerated once from
+// sdl::validate) is small enough for exact search — no beam approximation
+// is needed. Guaranteed-valid output is what downstream scenario databases
+// require.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/model.hpp"
+#include "sdl/coverage.hpp"
+
+namespace tsdx::core {
+
+/// Per-slot class probabilities for one example.
+using SlotProbabilities =
+    std::array<std::vector<float>, sdl::kNumSlots>;
+
+/// Exact maximum-likelihood valid assignment for one example.
+/// Each probs[s] must have size kSlotCardinality[s]; probabilities are
+/// clamped below at 1e-12 before taking logs.
+sdl::SlotLabels decode_constrained(const SlotProbabilities& probs);
+
+/// Unconstrained per-slot argmax (the baseline decoder), for comparison.
+sdl::SlotLabels decode_argmax(const SlotProbabilities& probs);
+
+/// Run a model on a batch and decode every example.
+/// `constrained` selects the decoder.
+std::vector<sdl::SlotLabels> decode_batch(const ScenarioModel& model,
+                                          const nn::Tensor& video,
+                                          bool constrained);
+
+/// Fraction of a prediction set that is semantically valid (diagnostic).
+double validity_rate(const std::vector<sdl::SlotLabels>& predictions);
+
+}  // namespace tsdx::core

@@ -1,0 +1,67 @@
+// model.hpp — backbone + per-slot classification heads = a full extraction
+// model with a multi-task loss.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/backbone.hpp"
+#include "data/dataset.hpp"
+#include "nn/layers.hpp"
+#include "sdl/description.hpp"
+
+namespace tsdx::core {
+
+/// One linear classifier per SDL slot, sharing the backbone feature.
+class SlotHeads : public nn::Module {
+ public:
+  SlotHeads(std::int64_t feature_dim, nn::Rng& rng);
+
+  /// [B, D] -> logits per slot, each [B, cardinality(slot)].
+  std::array<nn::Tensor, sdl::kNumSlots> forward(const nn::Tensor& features)
+      const;
+
+ private:
+  std::array<std::unique_ptr<nn::Linear>, sdl::kNumSlots> heads_;
+};
+
+/// Which slots participate in training/evaluation (all by default; the
+/// multi-task ablation R-T5 trains single-slot variants).
+using SlotMask = std::array<bool, sdl::kNumSlots>;
+inline constexpr SlotMask kAllSlots = {true, true, true, true,
+                                       true, true, true, true};
+
+class ScenarioModel : public nn::Module {
+ public:
+  /// Takes ownership of the backbone.
+  ScenarioModel(std::unique_ptr<Backbone> backbone, nn::Rng& rng,
+                SlotMask active = kAllSlots);
+
+  /// Per-slot logits for a video batch [B, T, C, H, W].
+  std::array<nn::Tensor, sdl::kNumSlots> forward(const nn::Tensor& video) const;
+
+  /// Mean cross-entropy over active slots (scalar).
+  nn::Tensor loss(const nn::Tensor& video,
+                  const std::array<std::vector<std::int64_t>, sdl::kNumSlots>&
+                      labels) const;
+
+  /// Argmax labels for a batch; inactive slots predict class 0.
+  std::vector<sdl::SlotLabels> predict(const nn::Tensor& video) const;
+
+  /// Per-example softmax confidence of the predicted class, per slot.
+  struct Prediction {
+    sdl::SlotLabels labels;
+    std::array<float, sdl::kNumSlots> confidence;
+  };
+  std::vector<Prediction> predict_with_confidence(const nn::Tensor& video) const;
+
+  const Backbone& backbone() const { return *backbone_; }
+  const SlotMask& active_slots() const { return active_; }
+
+ private:
+  std::unique_ptr<Backbone> backbone_;
+  SlotHeads heads_;
+  SlotMask active_;
+};
+
+}  // namespace tsdx::core

@@ -1,0 +1,118 @@
+#include "core/trainer.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "nn/optim.hpp"
+
+namespace tsdx::core {
+
+TrainResult Trainer::fit(ScenarioModel& model, const data::Dataset& train,
+                         const data::Dataset& val) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  nn::Rng shuffle_rng(config_.seed);
+  data::Batcher batcher(train, config_.batch_size);
+  nn::Adam opt(model.parameters(), config_.lr, 0.9f, 0.999f, 1e-8f,
+               config_.weight_decay);
+
+  const std::int64_t steps_per_epoch = static_cast<std::int64_t>(
+      (train.size() + config_.batch_size - 1) / config_.batch_size);
+  const std::int64_t total_steps =
+      steps_per_epoch * static_cast<std::int64_t>(config_.epochs);
+
+  TrainResult result;
+  std::int64_t step = 0;
+  double best_val = -1.0;
+  std::size_t epochs_since_best = 0;
+  std::vector<std::vector<float>> best_params;  // snapshot for restore_best
+  const auto params = model.parameters();
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    model.set_training(true);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (const auto& indices : batcher.epoch(shuffle_rng)) {
+      const data::Batch batch = batcher.gather(indices);
+      opt.set_lr(nn::cosine_warmup_lr(step, total_steps, config_.lr,
+                                      config_.warmup_steps));
+      model.zero_grad();
+      nn::Tensor loss = model.loss(batch.video, batch.labels);
+      loss.backward();
+      nn::clip_grad_norm(model.parameters(), config_.clip_norm);
+      opt.step();
+      loss_sum += loss.item();
+      ++batches;
+      ++step;
+    }
+
+    model.set_training(false);  // disable dropout for evaluation
+    EpochStats stats;
+    stats.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+    if (!val.empty()) {
+      const data::SlotMetrics m = evaluate(model, val, config_.batch_size);
+      stats.val_mean_accuracy = m.mean_accuracy();
+      stats.val_mean_macro_f1 = m.mean_macro_f1();
+    }
+    if (config_.verbose) {
+      std::printf("epoch %2zu  loss %.4f  val_acc %.3f  val_f1 %.3f\n",
+                  epoch + 1, stats.train_loss, stats.val_mean_accuracy,
+                  stats.val_mean_macro_f1);
+      std::fflush(stdout);
+    }
+    result.history.push_back(stats);
+
+    if (!val.empty()) {
+      if (stats.val_mean_accuracy > best_val) {
+        best_val = stats.val_mean_accuracy;
+        result.best_epoch = epoch;
+        epochs_since_best = 0;
+        if (config_.restore_best) {
+          best_params.clear();
+          for (const nn::Tensor& p : params) {
+            best_params.emplace_back(p.data().begin(), p.data().end());
+          }
+        }
+      } else {
+        ++epochs_since_best;
+        if (config_.patience > 0 && epochs_since_best >= config_.patience) {
+          result.stopped_early = true;
+          if (config_.verbose) {
+            std::printf("early stop at epoch %zu (best %zu)\n", epoch + 1,
+                        result.best_epoch + 1);
+          }
+          break;
+        }
+      }
+    }
+  }
+  if (config_.restore_best && !best_params.empty()) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      nn::Tensor p = params[i];
+      std::copy(best_params[i].begin(), best_params[i].end(),
+                p.mutable_data().begin());
+    }
+  }
+  result.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+data::SlotMetrics Trainer::evaluate(const ScenarioModel& model,
+                                    const data::Dataset& dataset,
+                                    std::size_t batch_size) {
+  // Caller is responsible for model.set_training(false); fit() does this
+  // before each validation pass. Gradients are disabled inside predict().
+  data::SlotMetrics metrics;
+  for (std::size_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, dataset.size() - start);
+    const data::Batch batch = dataset.make_batch(start, count);
+    const auto preds = model.predict(batch.video);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      metrics.add(dataset[start + i].labels, preds[i]);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace tsdx::core

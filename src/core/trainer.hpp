@@ -1,0 +1,65 @@
+// trainer.hpp — multi-task training loop and evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+#include "data/metrics.hpp"
+
+namespace tsdx::core {
+
+struct TrainConfig {
+  std::size_t epochs = 6;
+  std::size_t batch_size = 8;
+  float lr = 3e-3f;
+  std::int64_t warmup_steps = 20;
+  float weight_decay = 1e-4f;
+  float clip_norm = 5.0f;
+  std::uint64_t seed = 1;
+  bool verbose = false;  ///< print per-epoch progress to stdout
+  /// Early stopping on validation mean accuracy: stop after `patience`
+  /// epochs without improvement (0 disables). Requires a non-empty val set.
+  std::size_t patience = 0;
+  /// After training, restore the parameters of the best validation epoch
+  /// (only meaningful with a non-empty val set).
+  bool restore_best = false;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double val_mean_accuracy = 0.0;
+  double val_mean_macro_f1 = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double train_seconds = 0.0;
+  std::size_t best_epoch = 0;        ///< index of the best val epoch
+  bool stopped_early = false;
+
+  const EpochStats& last() const { return history.back(); }
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  /// AdamW + cosine/warmup schedule + grad clipping. `val` may be empty,
+  /// in which case val metrics are reported as 0.
+  TrainResult fit(ScenarioModel& model, const data::Dataset& train,
+                  const data::Dataset& val) const;
+
+  /// Full-dataset evaluation (argmax predictions vs ground truth).
+  static data::SlotMetrics evaluate(const ScenarioModel& model,
+                                    const data::Dataset& dataset,
+                                    std::size_t batch_size = 16);
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace tsdx::core

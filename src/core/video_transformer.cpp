@@ -1,0 +1,236 @@
+#include "core/video_transformer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tsdx::core {
+
+namespace tt = tsdx::tensor;
+using nn::Tensor;
+
+TubeletEmbedding::TubeletEmbedding(const ModelConfig& cfg, nn::Rng& rng)
+    : cfg_(cfg), proj_(cfg.tubelet_dim(), cfg.dim, rng) {
+  cfg_.validate();
+  register_module("proj", proj_);
+}
+
+Tensor TubeletEmbedding::forward(const Tensor& video) const {
+  if (video.rank() != 5) {
+    throw std::invalid_argument("TubeletEmbedding: expected [B,T,C,H,W]");
+  }
+  const std::int64_t b = video.dim(0);
+  const std::int64_t t = video.dim(1);
+  const std::int64_t c = video.dim(2);
+  const std::int64_t h = video.dim(3);
+  const std::int64_t w = video.dim(4);
+  if (t != cfg_.frames || c != cfg_.channels || h != cfg_.image_size ||
+      w != cfg_.image_size) {
+    throw std::invalid_argument("TubeletEmbedding: clip geometry mismatch");
+  }
+  const std::int64_t nt = cfg_.temporal_tokens();
+  const std::int64_t tub = cfg_.tubelet_frames;
+  const std::int64_t g = cfg_.image_size / cfg_.patch_size;  // grid side
+  const std::int64_t p = cfg_.patch_size;
+
+  // [B,T,C,H,W] = [B, nt, tub, C, g, p, g, p]
+  Tensor x = tt::reshape(video, {b, nt, tub, c, g, p, g, p});
+  // -> [B, nt, gh, gw, tub, C, ph, pw]
+  x = tt::permute(x, {0, 1, 4, 6, 2, 3, 5, 7});
+  // -> [B, N, tubelet_dim]
+  x = tt::reshape(x, {b, nt * g * g, cfg_.tubelet_dim()});
+  return proj_.forward(x);
+}
+
+namespace {
+
+/// Classic transformer sin/cos code for `position` in a `dim`-vector, scaled
+/// down to match the tubelet embedding magnitude.
+void write_sinusoid(float* out, std::int64_t dim, double position,
+                    float scale) {
+  for (std::int64_t i = 0; i < dim; i += 2) {
+    const double freq =
+        std::pow(10000.0, -static_cast<double>(i) / static_cast<double>(dim));
+    out[i] += scale * static_cast<float>(std::sin(position * freq));
+    if (i + 1 < dim) {
+      out[i + 1] += scale * static_cast<float>(std::cos(position * freq));
+    }
+  }
+}
+
+}  // namespace
+
+VideoTransformer::VideoTransformer(const ModelConfig& cfg, nn::Rng& rng)
+    : cfg_(cfg), embed_(cfg, rng) {
+  cfg_.validate();
+  if (cfg_.pooling == Pooling::kAttention) {
+    pool_query_ = register_parameter(
+        "pool_query", Tensor::randn({cfg_.dim, 1}, rng, 0.05f));
+  }
+  register_module("embed", embed_);
+  switch (cfg_.positional) {
+    case PositionalKind::kLearned:
+      pos_spatial_ = std::make_unique<nn::Embedding>(cfg_.tokens_per_frame(),
+                                                     cfg_.dim, rng);
+      pos_temporal_ = std::make_unique<nn::Embedding>(cfg_.temporal_tokens(),
+                                                      cfg_.dim, rng);
+      register_module("pos_spatial", *pos_spatial_);
+      register_module("pos_temporal", *pos_temporal_);
+      break;
+    case PositionalKind::kSinusoidal: {
+      const std::int64_t ns = cfg_.tokens_per_frame();
+      const std::int64_t nt = cfg_.temporal_tokens();
+      std::vector<float> table(static_cast<std::size_t>(nt * ns * cfg_.dim),
+                               0.0f);
+      for (std::int64_t n = 0; n < nt * ns; ++n) {
+        float* row = table.data() + n * cfg_.dim;
+        // Spatial code over the first half of each row's budget, temporal
+        // over positions offset by 0.5 so the two codes stay distinguishable.
+        write_sinusoid(row, cfg_.dim, static_cast<double>(n % ns), 0.02f);
+        write_sinusoid(row, cfg_.dim, static_cast<double>(n / ns) + 0.5,
+                       0.02f);
+      }
+      sinusoidal_pos_ =
+          Tensor::from_vector({nt * ns, cfg_.dim}, std::move(table));
+      break;
+    }
+    case PositionalKind::kNone:
+      break;
+  }
+
+  const std::int64_t mlp_hidden = cfg_.dim * cfg_.mlp_ratio;
+  switch (cfg_.attention) {
+    case AttentionKind::kJoint:
+    case AttentionKind::kSpaceOnly:
+      encoder_ = std::make_unique<nn::TransformerEncoder>(
+          cfg_.depth, cfg_.dim, cfg_.heads, mlp_hidden, cfg_.dropout, rng);
+      register_module("encoder", *encoder_);
+      break;
+    case AttentionKind::kFactorizedEncoder:
+      encoder_ = std::make_unique<nn::TransformerEncoder>(
+          cfg_.depth, cfg_.dim, cfg_.heads, mlp_hidden, cfg_.dropout, rng);
+      register_module("encoder", *encoder_);
+      // A shallow temporal encoder over per-frame features (ViViT model 2
+      // uses a small temporal transformer after the spatial one).
+      temporal_encoder_ = std::make_unique<nn::TransformerEncoder>(
+          /*depth=*/2, cfg_.dim, cfg_.heads, mlp_hidden, cfg_.dropout, rng);
+      register_module("temporal_encoder", *temporal_encoder_);
+      break;
+    case AttentionKind::kDividedST:
+      for (std::int64_t i = 0; i < cfg_.depth; ++i) {
+        divided_layers_.push_back(
+            std::make_unique<nn::TransformerEncoderLayer>(
+                cfg_.dim, cfg_.heads, mlp_hidden, cfg_.dropout, rng));
+        register_module("divided_layer" + std::to_string(i),
+                        *divided_layers_.back());
+      }
+      divided_norm_ = std::make_unique<nn::LayerNorm>(cfg_.dim);
+      register_module("divided_norm", *divided_norm_);
+      break;
+  }
+}
+
+Tensor VideoTransformer::tokenize(const Tensor& video) const {
+  Tensor tokens = embed_.forward(video);  // [B, N, D]
+  switch (cfg_.positional) {
+    case PositionalKind::kLearned: {
+      const std::int64_t ns = cfg_.tokens_per_frame();
+      const std::int64_t nt = cfg_.temporal_tokens();
+      // Token n covers spatial cell n % ns of temporal slice n / ns.
+      std::vector<std::int64_t> sidx(static_cast<std::size_t>(nt * ns));
+      std::vector<std::int64_t> tidx(sidx.size());
+      for (std::int64_t n = 0; n < nt * ns; ++n) {
+        sidx[static_cast<std::size_t>(n)] = n % ns;
+        tidx[static_cast<std::size_t>(n)] = n / ns;
+      }
+      const Tensor pos =
+          tt::add(pos_spatial_->forward(sidx), pos_temporal_->forward(tidx));
+      return tt::add(tokens, pos);  // [N, D] broadcast over batch
+    }
+    case PositionalKind::kSinusoidal:
+      return tt::add(tokens, sinusoidal_pos_);
+    case PositionalKind::kNone:
+      return tokens;
+  }
+  throw std::logic_error("VideoTransformer: unknown positional kind");
+}
+
+Tensor VideoTransformer::pool(const Tensor& tokens) const {
+  if (cfg_.pooling == Pooling::kMean) return tt::mean_dim(tokens, 1);
+  // Single-query attention pool: softmax(tokens . q) weighted token sum.
+  const std::int64_t b = tokens.dim(0);
+  const std::int64_t n = tokens.dim(1);
+  Tensor scores = tt::reshape(tt::matmul(tokens, pool_query_), {b, n});
+  Tensor weights = tt::reshape(tt::softmax_lastdim(scores), {b, n, 1});
+  return tt::reshape(tt::matmul(tt::transpose_last2(tokens), weights),
+                     {b, cfg_.dim});
+}
+
+Tensor VideoTransformer::forward_joint(const Tensor& tokens,
+                                       std::int64_t /*b*/) const {
+  return pool(encoder_->forward(tokens));
+}
+
+Tensor VideoTransformer::forward_space_only(const Tensor& tokens,
+                                            std::int64_t b) const {
+  const std::int64_t ns = cfg_.tokens_per_frame();
+  const std::int64_t nt = cfg_.temporal_tokens();
+  Tensor frames = tt::reshape(tokens, {b * nt, ns, cfg_.dim});
+  Tensor enc = encoder_->forward(frames);
+  Tensor frame_feat = tt::mean_dim(enc, 1);  // [B*nt, D]
+  return pool(tt::reshape(frame_feat, {b, nt, cfg_.dim}));
+}
+
+Tensor VideoTransformer::forward_factorized(const Tensor& tokens,
+                                            std::int64_t b) const {
+  const std::int64_t ns = cfg_.tokens_per_frame();
+  const std::int64_t nt = cfg_.temporal_tokens();
+  Tensor frames = tt::reshape(tokens, {b * nt, ns, cfg_.dim});
+  Tensor frame_feat = tt::mean_dim(encoder_->forward(frames), 1);
+  Tensor seq = tt::reshape(frame_feat, {b, nt, cfg_.dim});
+  return pool(temporal_encoder_->forward(seq));
+}
+
+Tensor VideoTransformer::forward_divided(const Tensor& tokens,
+                                         std::int64_t b) const {
+  const std::int64_t ns = cfg_.tokens_per_frame();
+  const std::int64_t nt = cfg_.temporal_tokens();
+  Tensor h = tokens;  // [B, N, D]
+  for (std::size_t i = 0; i < divided_layers_.size(); ++i) {
+    if (i % 2 == 0) {
+      // Spatial: attend within each temporal slice.
+      Tensor x = tt::reshape(h, {b * nt, ns, cfg_.dim});
+      x = divided_layers_[i]->forward(x);
+      h = tt::reshape(x, {b, nt * ns, cfg_.dim});
+    } else {
+      // Temporal: attend across time at each spatial site.
+      Tensor x = tt::reshape(h, {b, nt, ns, cfg_.dim});
+      x = tt::permute(x, {0, 2, 1, 3});  // [B, ns, nt, D]
+      x = tt::reshape(x, {b * ns, nt, cfg_.dim});
+      x = divided_layers_[i]->forward(x);
+      x = tt::reshape(x, {b, ns, nt, cfg_.dim});
+      x = tt::permute(x, {0, 2, 1, 3});
+      h = tt::reshape(x, {b, nt * ns, cfg_.dim});
+    }
+  }
+  return pool(divided_norm_->forward(h));
+}
+
+Tensor VideoTransformer::forward(const Tensor& video) const {
+  const std::int64_t b = video.dim(0);
+  const Tensor tokens = tokenize(video);
+  switch (cfg_.attention) {
+    case AttentionKind::kJoint:
+      return forward_joint(tokens, b);
+    case AttentionKind::kDividedST:
+      return forward_divided(tokens, b);
+    case AttentionKind::kFactorizedEncoder:
+      return forward_factorized(tokens, b);
+    case AttentionKind::kSpaceOnly:
+      return forward_space_only(tokens, b);
+  }
+  throw std::logic_error("VideoTransformer: unknown attention kind");
+}
+
+}  // namespace tsdx::core

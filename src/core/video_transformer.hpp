@@ -1,0 +1,76 @@
+// video_transformer.hpp — the paper's model: a transformer over space-time
+// tubelet tokens with a configurable attention factorization.
+//
+// Pipeline: clip [B,T,C,H,W] -> tubelet tokens [B,N,D] (+ learned spatial and
+// temporal positional embeddings) -> encoder (Joint / DividedST /
+// FactorizedEncoder / SpaceOnly) -> mean-pooled clip feature [B,D].
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/backbone.hpp"
+#include "core/config.hpp"
+#include "nn/attention.hpp"
+
+namespace tsdx::core {
+
+/// Cuts the clip into (tubelet_frames x patch x patch) tubelets and linearly
+/// projects each to the model dimension.
+class TubeletEmbedding : public nn::Module {
+ public:
+  TubeletEmbedding(const ModelConfig& cfg, nn::Rng& rng);
+
+  /// [B, T, C, H, W] -> [B, N, dim], token order is time-major
+  /// (token n = temporal index n / tokens_per_frame, spatial n % ...).
+  nn::Tensor forward(const nn::Tensor& video) const;
+
+ private:
+  ModelConfig cfg_;
+  nn::Linear proj_;
+};
+
+class VideoTransformer : public Backbone {
+ public:
+  VideoTransformer(const ModelConfig& cfg, nn::Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& video) const override;
+  std::int64_t feature_dim() const override { return cfg_.dim; }
+  std::string name() const override {
+    return "vt_" + core::to_string(cfg_.attention);
+  }
+
+  const ModelConfig& config() const { return cfg_; }
+
+ private:
+  /// Tokens with positional information, shape [B, N, D].
+  nn::Tensor tokenize(const nn::Tensor& video) const;
+
+  /// Reduce [B, N, D] -> [B, D] per cfg_.pooling (mean or learned
+  /// single-query attention pool).
+  nn::Tensor pool(const nn::Tensor& tokens) const;
+
+  nn::Tensor forward_joint(const nn::Tensor& tokens, std::int64_t b) const;
+  nn::Tensor forward_divided(const nn::Tensor& tokens, std::int64_t b) const;
+  nn::Tensor forward_factorized(const nn::Tensor& tokens, std::int64_t b) const;
+  nn::Tensor forward_space_only(const nn::Tensor& tokens, std::int64_t b) const;
+
+  ModelConfig cfg_;
+  TubeletEmbedding embed_;
+  // Learned positional tables; null unless cfg_.positional == kLearned.
+  std::unique_ptr<nn::Embedding> pos_spatial_;   ///< [tokens_per_frame, dim]
+  std::unique_ptr<nn::Embedding> pos_temporal_;  ///< [temporal_tokens, dim]
+  /// Fixed sin/cos table [N, dim]; populated for kSinusoidal.
+  nn::Tensor sinusoidal_pos_;
+
+  // Encoder variants — exactly one set is populated, per cfg_.attention.
+  std::unique_ptr<nn::TransformerEncoder> encoder_;           // joint / space / factorized-spatial
+  std::unique_ptr<nn::TransformerEncoder> temporal_encoder_;  // factorized only
+  std::vector<std::unique_ptr<nn::TransformerEncoderLayer>> divided_layers_;
+  std::unique_ptr<nn::LayerNorm> divided_norm_;
+
+  /// Learned pooling query [dim, 1]; only populated for Pooling::kAttention.
+  nn::Tensor pool_query_;
+};
+
+}  // namespace tsdx::core

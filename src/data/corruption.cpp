@@ -1,0 +1,68 @@
+#include "data/corruption.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tsdx::data {
+
+std::string corruption_name(Corruption kind) {
+  switch (kind) {
+    case Corruption::kSensorNoise:
+      return "sensor_noise";
+    case Corruption::kTrackerDropout:
+      return "tracker_dropout";
+    case Corruption::kFrameDrop:
+      return "frame_drop";
+  }
+  return "?";
+}
+
+sim::VideoClip corrupt_clip(const sim::VideoClip& clip, Corruption kind,
+                            double severity, tensor::Rng& rng) {
+  if (severity < 0.0 || severity > 1.0) {
+    throw std::invalid_argument("corrupt_clip: severity must be in [0, 1]");
+  }
+  sim::VideoClip out = clip;
+  if (severity == 0.0) return out;
+
+  const std::size_t plane =
+      static_cast<std::size_t>(clip.height * clip.width);
+  const std::size_t frame_size = static_cast<std::size_t>(sim::kNumChannels) *
+                                 plane;
+
+  switch (kind) {
+    case Corruption::kSensorNoise: {
+      const float sigma = static_cast<float>(0.3 * severity);
+      for (float& v : out.data) {
+        v = std::clamp(v + static_cast<float>(rng.normal()) * sigma, 0.0f,
+                       1.0f);
+      }
+      break;
+    }
+    case Corruption::kTrackerDropout: {
+      for (std::int64_t t = 0; t < clip.frames; ++t) {
+        if (!rng.bernoulli(severity)) continue;
+        float* salient =
+            out.data.data() + static_cast<std::size_t>(t) * frame_size +
+            3 * plane;  // channel 3 = tracked-object mask
+        std::fill_n(salient, plane, 0.0f);
+      }
+      break;
+    }
+    case Corruption::kFrameDrop: {
+      for (std::int64_t t = 1; t < clip.frames; ++t) {
+        if (!rng.bernoulli(severity)) continue;
+        // Repeat the previous (already possibly-stuck) frame.
+        std::copy_n(out.data.data() + static_cast<std::size_t>(t - 1) *
+                                          frame_size,
+                    frame_size,
+                    out.data.data() + static_cast<std::size_t>(t) *
+                                          frame_size);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsdx::data

@@ -1,0 +1,34 @@
+// corruption.hpp — input-corruption models for robustness evaluation.
+//
+// DATE's concern is deploying extractors on real, degraded sensor stacks.
+// These corruptions model the three dominant failure modes of the BEV input:
+//   * kSensorNoise   — additive Gaussian pixel noise (cheap sensors, rain)
+//   * kTrackerDropout — the salient/tracked-object channel goes blank
+//                        (upstream tracker lost the agent)
+//   * kFrameDrop     — random frames are stuck (transport drops; the last
+//                        good frame is repeated, as real pipelines do)
+// Severity in [0, 1] scales each corruption; 0 is identity.
+#pragma once
+
+#include "sim/render.hpp"
+#include "tensor/rng.hpp"
+
+namespace tsdx::data {
+
+enum class Corruption : std::uint8_t {
+  kSensorNoise = 0,
+  kTrackerDropout,
+  kFrameDrop,
+};
+
+std::string corruption_name(Corruption kind);
+
+/// Apply a corruption at `severity` to a copy of `clip`.
+///  * kSensorNoise: sigma = 0.3 * severity additive noise, clamped to [0,1]
+///  * kTrackerDropout: each frame's salient channel zeroed w.p. `severity`
+///  * kFrameDrop: each frame (except the first) replaced by its predecessor
+///    w.p. `severity`
+sim::VideoClip corrupt_clip(const sim::VideoClip& clip, Corruption kind,
+                            double severity, tensor::Rng& rng);
+
+}  // namespace tsdx::data

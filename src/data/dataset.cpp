@@ -1,0 +1,116 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tsdx::data {
+
+Dataset Dataset::synthesize(const sim::RenderConfig& config, std::size_t count,
+                            std::uint64_t seed) {
+  sim::ClipGenerator gen(config, seed);
+  Dataset ds;
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::LabeledClip clip = gen.generate();
+    Example ex;
+    ex.labels = sdl::to_slot_labels(clip.description);
+    ex.description = std::move(clip.description);
+    ex.video = std::move(clip.video);
+    ds.add(std::move(ex));
+  }
+  return ds;
+}
+
+Dataset::Splits Dataset::split(double train_frac, double val_frac) const {
+  if (train_frac < 0 || val_frac < 0 || train_frac + val_frac > 1.0) {
+    throw std::invalid_argument("Dataset::split: bad fractions");
+  }
+  const std::size_t n = examples_.size();
+  const std::size_t n_train = static_cast<std::size_t>(n * train_frac);
+  const std::size_t n_val = static_cast<std::size_t>(n * val_frac);
+  Splits s;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < n_train) {
+      s.train.add(examples_[i]);
+    } else if (i < n_train + n_val) {
+      s.val.add(examples_[i]);
+    } else {
+      s.test.add(examples_[i]);
+    }
+  }
+  return s;
+}
+
+Dataset Dataset::take(std::size_t count) const {
+  Dataset out;
+  for (std::size_t i = 0; i < std::min(count, examples_.size()); ++i) {
+    out.add(examples_[i]);
+  }
+  return out;
+}
+
+Batch Dataset::make_batch(std::size_t first, std::size_t count) const {
+  std::vector<std::size_t> idx(count);
+  std::iota(idx.begin(), idx.end(), first);
+  return Batcher(*this, count).gather(idx);
+}
+
+std::array<std::vector<std::size_t>, sdl::kNumSlots> Dataset::label_histogram()
+    const {
+  std::array<std::vector<std::size_t>, sdl::kNumSlots> hist;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    hist[s].assign(sdl::kSlotCardinality[s], 0);
+  }
+  for (const Example& ex : examples_) {
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      hist[s][ex.labels[s]]++;
+    }
+  }
+  return hist;
+}
+
+std::vector<std::vector<std::size_t>> Batcher::epoch(Rng& rng) const {
+  std::vector<std::size_t> order(dataset_->size());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher–Yates with our deterministic Rng.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng.uniform_index(i))]);
+  }
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < order.size(); start += batch_size_) {
+    const std::size_t end = std::min(start + batch_size_, order.size());
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                         order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+Batch Batcher::gather(const std::vector<std::size_t>& indices) const {
+  if (indices.empty()) throw std::invalid_argument("Batcher: empty batch");
+  const Example& first = (*dataset_)[indices[0]];
+  const std::int64_t t = first.video.frames;
+  const std::int64_t h = first.video.height;
+  const std::int64_t w = first.video.width;
+  const std::size_t per = first.video.data.size();
+  const std::int64_t b = static_cast<std::int64_t>(indices.size());
+
+  std::vector<float> stacked(per * indices.size());
+  Batch batch;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const Example& ex = (*dataset_)[indices[i]];
+    if (ex.video.data.size() != per) {
+      throw std::invalid_argument("Batcher: inhomogeneous clip sizes");
+    }
+    std::copy(ex.video.data.begin(), ex.video.data.end(),
+              stacked.begin() + static_cast<std::ptrdiff_t>(i * per));
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      batch.labels[s].push_back(static_cast<std::int64_t>(ex.labels[s]));
+    }
+  }
+  batch.video = Tensor::from_vector({b, t, sim::kNumChannels, h, w},
+                                    std::move(stacked));
+  return batch;
+}
+
+}  // namespace tsdx::data

@@ -1,0 +1,88 @@
+// dataset.hpp — labeled clip datasets, splits, and batching.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sdl/description.hpp"
+#include "sim/clipgen.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsdx::data {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+struct Example {
+  sim::VideoClip video;
+  sdl::ScenarioDescription description;
+  sdl::SlotLabels labels;  ///< derived from description at construction
+};
+
+/// One training batch: videos stacked to [B, T, C, H, W] plus per-slot
+/// integer targets (each vector has B entries).
+struct Batch {
+  Tensor video;
+  std::array<std::vector<std::int64_t>, sdl::kNumSlots> labels;
+
+  std::int64_t size() const { return video.numel() ? video.dim(0) : 0; }
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Generate `count` examples with the simulator. Deterministic in
+  /// (config, seed).
+  static Dataset synthesize(const sim::RenderConfig& config, std::size_t count,
+                            std::uint64_t seed);
+
+  void add(Example example) { examples_.push_back(std::move(example)); }
+  std::size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+  const Example& operator[](std::size_t i) const { return examples_.at(i); }
+
+  /// Deterministic contiguous split by fractions (e.g. 0.7/0.15/0.15).
+  /// The fractions must sum to <= 1; the test split absorbs the remainder.
+  struct Splits;
+  Splits split(double train_frac, double val_frac) const;
+
+  /// First `count` examples as a new dataset (data-efficiency sweeps).
+  Dataset take(std::size_t count) const;
+
+  /// Stack examples [first, first+count) into a batch.
+  Batch make_batch(std::size_t first, std::size_t count) const;
+
+  /// Per-slot class histograms (label balance diagnostics).
+  std::array<std::vector<std::size_t>, sdl::kNumSlots> label_histogram() const;
+
+ private:
+  std::vector<Example> examples_;
+};
+
+struct Dataset::Splits {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+
+/// Epoch iterator producing shuffled batches. Shuffling is deterministic in
+/// the Rng passed to each call of `epoch`.
+class Batcher {
+ public:
+  Batcher(const Dataset& dataset, std::size_t batch_size)
+      : dataset_(&dataset), batch_size_(batch_size) {}
+
+  /// Batch index lists for one epoch (last partial batch kept).
+  std::vector<std::vector<std::size_t>> epoch(Rng& rng) const;
+
+  /// Gather a batch from explicit indices.
+  Batch gather(const std::vector<std::size_t>& indices) const;
+
+ private:
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+};
+
+}  // namespace tsdx::data

@@ -1,0 +1,72 @@
+#include "data/export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sdl/serialization.hpp"
+
+namespace tsdx::data {
+
+std::string to_jsonl(const std::vector<DescriptionRecord>& records) {
+  std::string out;
+  for (const DescriptionRecord& r : records) {
+    sdl::Json j = sdl::to_json(r.description);
+    j.as_object().emplace("id", sdl::Json(r.id));
+    out += j.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<DescriptionRecord>> from_jsonl(
+    const std::string& text, std::string* error) {
+  std::vector<DescriptionRecord> records;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string parse_error;
+    auto j = sdl::Json::parse(line, &parse_error);
+    if (!j) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": " + parse_error;
+      }
+      return std::nullopt;
+    }
+    DescriptionRecord record;
+    if (const sdl::Json* id = j->find("id"); id && id->is_string()) {
+      record.id = id->as_string();
+    }
+    auto d = sdl::description_from_json(*j, &parse_error);
+    if (!d) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": " + parse_error;
+      }
+      return std::nullopt;
+    }
+    record.description = std::move(*d);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void write_jsonl_file(const std::vector<DescriptionRecord>& records,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("export: cannot open " + path);
+  out << to_jsonl(records);
+  if (!out) throw std::runtime_error("export: write failed for " + path);
+}
+
+std::optional<std::vector<DescriptionRecord>> read_jsonl_file(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("export: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_jsonl(buffer.str(), error);
+}
+
+}  // namespace tsdx::data

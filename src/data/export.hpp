@@ -1,0 +1,38 @@
+// export.hpp — JSONL interchange for scenario descriptions.
+//
+// One description per line, in the canonical sdl JSON wire format with an
+// optional "id" field — the format scenario-mining pipelines exchange.
+// (Video pixels are not exported; clips are regenerable from seeds.)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdl/description.hpp"
+
+namespace tsdx::data {
+
+struct DescriptionRecord {
+  std::string id;
+  sdl::ScenarioDescription description;
+
+  bool operator==(const DescriptionRecord&) const = default;
+};
+
+/// Serialize records to JSONL text (one compact JSON object per line).
+std::string to_jsonl(const std::vector<DescriptionRecord>& records);
+
+/// Parse JSONL text; returns nullopt with `error` (prefixed with the 1-based
+/// line number) on the first malformed line. Blank lines are skipped.
+std::optional<std::vector<DescriptionRecord>> from_jsonl(
+    const std::string& text, std::string* error = nullptr);
+
+/// File convenience wrappers. Throws std::runtime_error on I/O failure;
+/// parse failures are reported like from_jsonl.
+void write_jsonl_file(const std::vector<DescriptionRecord>& records,
+                      const std::string& path);
+std::optional<std::vector<DescriptionRecord>> read_jsonl_file(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace tsdx::data

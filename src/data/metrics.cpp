@@ -1,0 +1,157 @@
+#include "data/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tsdx::data {
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t pred) {
+  if (truth >= n_ || pred >= n_) {
+    throw std::out_of_range("ConfusionMatrix::add: class out of range");
+  }
+  ++counts_[truth * n_ + pred];
+}
+
+std::uint64_t ConfusionMatrix::total() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t c : counts_) t += c;
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (std::size_t i = 0; i < n_; ++i) correct += count(i, i);
+  return static_cast<double>(correct) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::uint64_t predicted = 0;
+  for (std::size_t i = 0; i < n_; ++i) predicted += count(i, cls);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::uint64_t actual = 0;
+  for (std::size_t i = 0; i < n_; ++i) actual += count(cls, i);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    std::uint64_t actual = 0;
+    for (std::size_t i = 0; i < n_; ++i) actual += count(c, i);
+    if (actual == 0) continue;  // class absent from ground truth
+    sum += f1(c);
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / static_cast<double>(present);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::string out = "truth\\pred";
+  char buf[32];
+  for (std::size_t c = 0; c < n_; ++c) {
+    std::snprintf(buf, sizeof(buf), "%8zu", c);
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t r = 0; r < n_; ++r) {
+    std::snprintf(buf, sizeof(buf), "%9zu ", r);
+    out += buf;
+    for (std::size_t c = 0; c < n_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%8llu",
+                    static_cast<unsigned long long>(count(r, c)));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+std::array<ConfusionMatrix, sdl::kNumSlots> make_matrices() {
+  return {ConfusionMatrix(sdl::kSlotCardinality[0]),
+          ConfusionMatrix(sdl::kSlotCardinality[1]),
+          ConfusionMatrix(sdl::kSlotCardinality[2]),
+          ConfusionMatrix(sdl::kSlotCardinality[3]),
+          ConfusionMatrix(sdl::kSlotCardinality[4]),
+          ConfusionMatrix(sdl::kSlotCardinality[5]),
+          ConfusionMatrix(sdl::kSlotCardinality[6]),
+          ConfusionMatrix(sdl::kSlotCardinality[7])};
+}
+}  // namespace
+
+SlotMetrics::SlotMetrics() : matrices_(make_matrices()) {}
+
+void SlotMetrics::add(const sdl::SlotLabels& truth, const sdl::SlotLabels& pred) {
+  bool all = true;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    matrices_[s].add(truth[s], pred[s]);
+    all = all && truth[s] == pred[s];
+  }
+  ++count_;
+  if (all) ++exact_;
+}
+
+double SlotMetrics::mean_accuracy() const {
+  double sum = 0.0;
+  for (const auto& m : matrices_) sum += m.accuracy();
+  return sum / static_cast<double>(sdl::kNumSlots);
+}
+
+double SlotMetrics::mean_macro_f1() const {
+  double sum = 0.0;
+  for (const auto& m : matrices_) sum += m.macro_f1();
+  return sum / static_cast<double>(sdl::kNumSlots);
+}
+
+double SlotMetrics::exact_match() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(exact_) / static_cast<double>(count_);
+}
+
+double precision_at_k(const std::vector<bool>& ranked_relevance,
+                      std::size_t k) {
+  if (k == 0) return 0.0;
+  const std::size_t n = std::min(k, ranked_relevance.size());
+  if (n == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) hits += ranked_relevance[i] ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double average_precision(const std::vector<bool>& ranked_relevance) {
+  std::size_t hits = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ranked_relevance.size(); ++i) {
+    if (ranked_relevance[i]) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return hits == 0 ? 0.0 : sum / static_cast<double>(hits);
+}
+
+double mean_average_precision(
+    const std::vector<std::vector<bool>>& ranked_relevances) {
+  if (ranked_relevances.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : ranked_relevances) sum += average_precision(r);
+  return sum / static_cast<double>(ranked_relevances.size());
+}
+
+}  // namespace tsdx::data

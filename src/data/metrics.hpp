@@ -1,0 +1,85 @@
+// metrics.hpp — classification and retrieval metrics for the evaluation
+// harness (accuracy, macro-F1, confusion matrices, precision@k, mAP).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdl/description.hpp"
+
+namespace tsdx::data {
+
+/// Square confusion matrix over `num_classes`; rows = ground truth,
+/// columns = prediction.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes)
+      : n_(num_classes), counts_(num_classes * num_classes, 0) {}
+
+  void add(std::size_t truth, std::size_t pred);
+
+  std::size_t num_classes() const { return n_; }
+  std::uint64_t count(std::size_t truth, std::size_t pred) const {
+    return counts_.at(truth * n_ + pred);
+  }
+  std::uint64_t total() const;
+
+  double accuracy() const;
+  /// Precision/recall/F1 of one class (0 when the class never appears).
+  double precision(std::size_t cls) const;
+  double recall(std::size_t cls) const;
+  double f1(std::size_t cls) const;
+  /// Unweighted mean F1 over classes that appear in the ground truth.
+  double macro_f1() const;
+
+  /// Fixed-width text rendering for reports.
+  std::string to_string() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// One confusion matrix per SDL slot plus convenience aggregates.
+class SlotMetrics {
+ public:
+  SlotMetrics();
+
+  void add(const sdl::SlotLabels& truth, const sdl::SlotLabels& pred);
+
+  const ConfusionMatrix& slot(sdl::Slot s) const {
+    return matrices_[static_cast<std::size_t>(s)];
+  }
+  double slot_accuracy(sdl::Slot s) const { return slot(s).accuracy(); }
+  double slot_macro_f1(sdl::Slot s) const { return slot(s).macro_f1(); }
+
+  /// Mean accuracy / macro-F1 over all 8 slots.
+  double mean_accuracy() const;
+  double mean_macro_f1() const;
+  /// Fraction of examples with every slot correct (exact description match).
+  double exact_match() const;
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::array<ConfusionMatrix, sdl::kNumSlots> matrices_;
+  std::uint64_t count_ = 0;
+  std::uint64_t exact_ = 0;
+};
+
+// ---- retrieval -----------------------------------------------------------------
+
+/// Precision@k: fraction of the top-k ranked items that are relevant.
+/// `ranked_relevance[i]` is the relevance of the i-th ranked item.
+double precision_at_k(const std::vector<bool>& ranked_relevance, std::size_t k);
+
+/// Average precision of a single ranked list (0 when nothing is relevant).
+double average_precision(const std::vector<bool>& ranked_relevance);
+
+/// Mean of average precisions over queries.
+double mean_average_precision(
+    const std::vector<std::vector<bool>>& ranked_relevances);
+
+}  // namespace tsdx::data

@@ -1,0 +1,100 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsdx::nn {
+
+namespace tt = tsdx::tensor;
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t dim, std::int64_t heads,
+                                       float dropout_p, Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      proj_(dim, dim, rng),
+      attn_drop_(dropout_p, rng),
+      proj_drop_(dropout_p, rng) {
+  if (dim % heads != 0) {
+    throw std::invalid_argument("MultiHeadAttention: dim % heads != 0");
+  }
+  register_module("wq", wq_);
+  register_module("wk", wk_);
+  register_module("wv", wv_);
+  register_module("proj", proj_);
+  register_module("attn_drop", attn_drop_);
+  register_module("proj_drop", proj_drop_);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) const {
+  if (x.rank() != 3 || x.shape()[2] != dim_) {
+    throw std::invalid_argument("MultiHeadAttention: expected [B, T, " +
+                                std::to_string(dim_) + "], got " +
+                                tt::to_string(x.shape()));
+  }
+  const std::int64_t b = x.dim(0);
+  const std::int64_t t = x.dim(1);
+
+  // [B, T, D] -> [B, H, T, Dh]
+  const auto split_heads = [&](const Tensor& y) {
+    return tt::permute(tt::reshape(y, {b, t, heads_, head_dim_}),
+                       {0, 2, 1, 3});
+  };
+  const Tensor q = split_heads(wq_.forward(x));
+  const Tensor k = split_heads(wk_.forward(x));
+  const Tensor v = split_heads(wv_.forward(x));
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  // [B, H, T, T]
+  Tensor scores =
+      tt::mul_scalar(tt::matmul(q, tt::transpose_last2(k)), scale);
+  Tensor attn = attn_drop_.forward(tt::softmax_lastdim(scores));
+  // [B, H, T, Dh] -> [B, T, D]
+  Tensor ctx = tt::reshape(tt::permute(tt::matmul(attn, v), {0, 2, 1, 3}),
+                           {b, t, dim_});
+  return proj_drop_.forward(proj_.forward(ctx));
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(std::int64_t dim,
+                                                 std::int64_t heads,
+                                                 std::int64_t mlp_hidden,
+                                                 float dropout_p, Rng& rng)
+    : norm1_(dim),
+      attn_(dim, heads, dropout_p, rng),
+      norm2_(dim),
+      mlp_(dim, mlp_hidden, dropout_p, rng) {
+  register_module("norm1", norm1_);
+  register_module("attn", attn_);
+  register_module("norm2", norm2_);
+  register_module("mlp", mlp_);
+}
+
+Tensor TransformerEncoderLayer::forward(const Tensor& x) const {
+  Tensor h = tt::add(x, attn_.forward(norm1_.forward(x)));
+  return tt::add(h, mlp_.forward(norm2_.forward(h)));
+}
+
+TransformerEncoder::TransformerEncoder(std::int64_t depth, std::int64_t dim,
+                                       std::int64_t heads,
+                                       std::int64_t mlp_hidden,
+                                       float dropout_p, Rng& rng)
+    : final_norm_(dim) {
+  layers_.reserve(static_cast<std::size_t>(depth));
+  for (std::int64_t i = 0; i < depth; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        dim, heads, mlp_hidden, dropout_p, rng));
+    register_module("layer" + std::to_string(i), *layers_.back());
+  }
+  register_module("final_norm", final_norm_);
+}
+
+Tensor TransformerEncoder::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->forward(h);
+  return final_norm_.forward(h);
+}
+
+}  // namespace tsdx::nn

@@ -1,0 +1,65 @@
+// attention.hpp — multi-head self-attention and the transformer encoder.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace tsdx::nn {
+
+/// Standard multi-head scaled dot-product self-attention over a token
+/// sequence x of shape [B, T, D]. D must be divisible by the head count.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(std::int64_t dim, std::int64_t heads, float dropout_p,
+                     Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t heads() const { return heads_; }
+
+ private:
+  std::int64_t dim_;
+  std::int64_t heads_;
+  std::int64_t head_dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear proj_;
+  Dropout attn_drop_;
+  Dropout proj_drop_;
+};
+
+/// Pre-LayerNorm transformer encoder block:
+///   x = x + MHA(LN(x));  x = x + MLP(LN(x))
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(std::int64_t dim, std::int64_t heads,
+                          std::int64_t mlp_hidden, float dropout_p, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  LayerNorm norm1_;
+  MultiHeadAttention attn_;
+  LayerNorm norm2_;
+  Mlp mlp_;
+};
+
+/// A stack of encoder layers followed by a final LayerNorm.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(std::int64_t depth, std::int64_t dim, std::int64_t heads,
+                     std::int64_t mlp_hidden, float dropout_p, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t depth() const { return static_cast<std::int64_t>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  LayerNorm final_norm_;
+};
+
+}  // namespace tsdx::nn

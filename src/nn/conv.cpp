@@ -1,0 +1,34 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+namespace tsdx::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng)
+    : out_channels_(out_channels), stride_(stride), pad_(pad) {
+  // He (Kaiming) normal: std = sqrt(2 / fan_in).
+  const float std =
+      std::sqrt(2.0f / static_cast<float>(in_channels * kernel * kernel));
+  weight_ = register_parameter(
+      "weight",
+      Tensor::randn({out_channels, in_channels, kernel, kernel}, rng, std));
+  bias_ = register_parameter("bias", Tensor::zeros({out_channels}));
+}
+
+Conv3d::Conv3d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel_t, std::int64_t kernel_s,
+               std::int64_t stride_t, std::int64_t stride_s, std::int64_t pad_t,
+               std::int64_t pad_s, Rng& rng)
+    : stride_t_(stride_t), stride_s_(stride_s), pad_t_(pad_t), pad_s_(pad_s) {
+  const float std = std::sqrt(
+      2.0f / static_cast<float>(in_channels * kernel_t * kernel_s * kernel_s));
+  weight_ = register_parameter(
+      "weight", Tensor::randn(
+                    {out_channels, in_channels, kernel_t, kernel_s, kernel_s},
+                    rng, std));
+  bias_ = register_parameter("bias", Tensor::zeros({out_channels}));
+}
+
+}  // namespace tsdx::nn

@@ -1,0 +1,67 @@
+// conv.hpp — convolutional layers for the CNN baselines (and the tubelet
+// embedding in the video transformer, which is a strided conv in disguise).
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/nn_ops.hpp"
+
+namespace tsdx::nn {
+
+/// 2-D convolution over NCHW input with He-normal init.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& x) const {
+    return tensor::conv2d(x, weight_, bias_, stride_, pad_);
+  }
+
+  std::int64_t out_channels() const { return out_channels_; }
+
+ private:
+  std::int64_t out_channels_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Tensor weight_;  ///< [out, in, k, k]
+  Tensor bias_;    ///< [out]
+};
+
+/// 3-D (space-time) convolution over NCTHW input with He-normal init.
+class Conv3d : public Module {
+ public:
+  Conv3d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel_t, std::int64_t kernel_s, std::int64_t stride_t,
+         std::int64_t stride_s, std::int64_t pad_t, std::int64_t pad_s,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x) const {
+    return tensor::conv3d(x, weight_, bias_, stride_t_, stride_s_, pad_t_,
+                          pad_s_);
+  }
+
+ private:
+  std::int64_t stride_t_;
+  std::int64_t stride_s_;
+  std::int64_t pad_t_;
+  std::int64_t pad_s_;
+  Tensor weight_;  ///< [out, in, kt, ks, ks]
+  Tensor bias_;    ///< [out]
+};
+
+/// Max pooling layer (stateless; kept as a Module for uniform composition).
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::int64_t k, std::int64_t stride = 0)
+      : k_(k), stride_(stride) {}
+
+  Tensor forward(const Tensor& x) const {
+    return tensor::max_pool2d(x, k_, stride_);
+  }
+
+ private:
+  std::int64_t k_;
+  std::int64_t stride_;
+};
+
+}  // namespace tsdx::nn

@@ -1,0 +1,45 @@
+#include "nn/gru.hpp"
+
+#include <stdexcept>
+
+namespace tsdx::nn {
+
+namespace tt = tsdx::tensor;
+
+Gru::Gru(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng)
+    : input_(input_dim),
+      hidden_(hidden_dim),
+      zr_gates_(input_dim + hidden_dim, 2 * hidden_dim, rng),
+      candidate_(input_dim + hidden_dim, hidden_dim, rng) {
+  register_module("zr_gates", zr_gates_);
+  register_module("candidate", candidate_);
+}
+
+Tensor Gru::step(const Tensor& xt, const Tensor& h) const {
+  const Tensor zr =
+      tt::sigmoid(zr_gates_.forward(tt::concat({xt, h}, /*dim=*/1)));
+  const Tensor z = tt::slice(zr, 1, 0, hidden_);
+  const Tensor r = tt::slice(zr, 1, hidden_, hidden_);
+  const Tensor n = tt::tanh(
+      candidate_.forward(tt::concat({xt, tt::mul(r, h)}, /*dim=*/1)));
+  // h' = (1 - z) * n + z * h
+  const Tensor one_minus_z = tt::add_scalar(tt::neg(z), 1.0f);
+  return tt::add(tt::mul(one_minus_z, n), tt::mul(z, h));
+}
+
+Tensor Gru::forward(const Tensor& x) const {
+  if (x.rank() != 3 || x.dim(2) != input_) {
+    throw std::invalid_argument("Gru: expected [B, T, " +
+                                std::to_string(input_) + "]");
+  }
+  const std::int64_t b = x.dim(0);
+  const std::int64_t t = x.dim(1);
+  Tensor h = Tensor::zeros({b, hidden_});
+  for (std::int64_t step_i = 0; step_i < t; ++step_i) {
+    const Tensor xt = tt::reshape(tt::slice(x, 1, step_i, 1), {b, input_});
+    h = step(xt, h);
+  }
+  return h;
+}
+
+}  // namespace tsdx::nn

@@ -1,0 +1,32 @@
+// gru.hpp — a single-layer GRU (the lighter recurrent baseline).
+//
+// Like the LSTM, the recurrence is composed from taped tensor ops, so BPTT
+// comes for free from the autograd engine.
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace tsdx::nn {
+
+/// Batch-first GRU: input [B, T, In] -> final hidden [B, H].
+/// Gates: z (update), r (reset), n (candidate), with the usual coupling
+///   h' = (1 - z) * n + z * h.
+class Gru : public Module {
+ public:
+  Gru(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng);
+
+  /// Final hidden state h_T, shape [B, H].
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  Tensor step(const Tensor& xt, const Tensor& h) const;
+
+  std::int64_t input_;
+  std::int64_t hidden_;
+  Linear zr_gates_;   ///< [In+H] -> [2H] (update + reset)
+  Linear candidate_;  ///< [In+H] -> [H]  (with reset-gated hidden)
+};
+
+}  // namespace tsdx::nn

@@ -1,0 +1,45 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace tsdx::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features), out_(out_features) {
+  // Xavier/Glorot uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+  const float a = std::sqrt(6.0f / static_cast<float>(in_ + out_));
+  weight_ = register_parameter(
+      "weight", Tensor::rand_uniform({in_, out_}, rng, -a, a));
+  bias_ = register_parameter("bias", Tensor::zeros({out_}));
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return tensor::add(tensor::matmul(x, weight_), bias_);
+}
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps) {
+  gamma_ = register_parameter("gamma", Tensor::ones({dim}));
+  beta_ = register_parameter("beta", Tensor::zeros({dim}));
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return tensor::layer_norm(x, gamma_, beta_, eps_);
+}
+
+Embedding::Embedding(std::int64_t vocab, std::int64_t dim, Rng& rng) {
+  table_ = register_parameter("table",
+                              Tensor::randn({vocab, dim}, rng, 0.02f));
+}
+
+Mlp::Mlp(std::int64_t dim, std::int64_t hidden, float dropout_p, Rng& rng)
+    : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng), drop_(dropout_p, rng) {
+  register_module("fc1", fc1_);
+  register_module("fc2", fc2_);
+  register_module("drop", drop_);
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  return fc2_.forward(drop_.forward(tensor::gelu(fc1_.forward(x))));
+}
+
+}  // namespace tsdx::nn

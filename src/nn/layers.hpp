@@ -1,0 +1,87 @@
+// layers.hpp — fundamental trainable layers.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/nn_ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace tsdx::nn {
+
+/// y = x W + b, applied over the last dim: [..., in] -> [..., out].
+class Linear : public Module {
+ public:
+  /// Xavier-uniform weight init, zero bias.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Tensor weight_;  ///< [in, out]
+  Tensor bias_;    ///< [out]
+};
+
+/// Layer normalization over the last dim with learned gamma/beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  float eps_;
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Inverted dropout; identity in eval mode or when p == 0.
+class Dropout : public Module {
+ public:
+  /// `rng` must outlive the module (the owning model holds it).
+  Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {}
+
+  Tensor forward(const Tensor& x) const {
+    if (!training() || p_ == 0.0f) return x;
+    return tensor::dropout(x, p_, *rng_);
+  }
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+/// A learned lookup table [vocab, dim]; also usable as a bank of learned
+/// positional embeddings (call `table()` and add it directly).
+class Embedding : public Module {
+ public:
+  Embedding(std::int64_t vocab, std::int64_t dim, Rng& rng);
+
+  /// Gather rows: indices (N) -> [N, dim].
+  Tensor forward(const std::vector<std::int64_t>& indices) const {
+    return tensor::embedding_lookup(table_, indices);
+  }
+
+  const Tensor& table() const { return table_; }
+
+ private:
+  Tensor table_;
+};
+
+/// Two-layer GELU MLP: Linear -> GELU -> Dropout -> Linear.
+class Mlp : public Module {
+ public:
+  Mlp(std::int64_t dim, std::int64_t hidden, float dropout_p, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  Dropout drop_;
+};
+
+}  // namespace tsdx::nn

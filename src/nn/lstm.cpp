@@ -1,0 +1,61 @@
+#include "nn/lstm.hpp"
+
+#include <stdexcept>
+
+namespace tsdx::nn {
+
+namespace tt = tsdx::tensor;
+
+Lstm::Lstm(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng)
+    : input_(input_dim),
+      hidden_(hidden_dim),
+      gates_(input_dim + hidden_dim, 4 * hidden_dim, rng) {
+  register_module("gates", gates_);
+}
+
+std::pair<Tensor, Tensor> Lstm::step(const Tensor& xt, const Tensor& h,
+                                     const Tensor& c) const {
+  const Tensor zcat = tt::concat({xt, h}, /*dim=*/1);  // [B, In+H]
+  const Tensor z = gates_.forward(zcat);               // [B, 4H]
+  const Tensor i = tt::sigmoid(tt::slice(z, 1, 0 * hidden_, hidden_));
+  const Tensor f = tt::sigmoid(tt::slice(z, 1, 1 * hidden_, hidden_));
+  const Tensor g = tt::tanh(tt::slice(z, 1, 2 * hidden_, hidden_));
+  const Tensor o = tt::sigmoid(tt::slice(z, 1, 3 * hidden_, hidden_));
+  const Tensor c_new = tt::add(tt::mul(f, c), tt::mul(i, g));
+  const Tensor h_new = tt::mul(o, tt::tanh(c_new));
+  return {h_new, c_new};
+}
+
+Tensor Lstm::forward(const Tensor& x) const {
+  if (x.rank() != 3 || x.dim(2) != input_) {
+    throw std::invalid_argument("Lstm: expected [B, T, " +
+                                std::to_string(input_) + "]");
+  }
+  const std::int64_t b = x.dim(0);
+  const std::int64_t t = x.dim(1);
+  Tensor h = Tensor::zeros({b, hidden_});
+  Tensor c = Tensor::zeros({b, hidden_});
+  for (std::int64_t step_i = 0; step_i < t; ++step_i) {
+    const Tensor xt =
+        tt::reshape(tt::slice(x, 1, step_i, 1), {b, input_});
+    std::tie(h, c) = step(xt, h, c);
+  }
+  return h;
+}
+
+Tensor Lstm::forward_sequence(const Tensor& x) const {
+  const std::int64_t b = x.dim(0);
+  const std::int64_t t = x.dim(1);
+  Tensor h = Tensor::zeros({b, hidden_});
+  Tensor c = Tensor::zeros({b, hidden_});
+  std::vector<Tensor> hs;
+  hs.reserve(static_cast<std::size_t>(t));
+  for (std::int64_t step_i = 0; step_i < t; ++step_i) {
+    const Tensor xt = tt::reshape(tt::slice(x, 1, step_i, 1), {b, input_});
+    std::tie(h, c) = step(xt, h, c);
+    hs.push_back(tt::reshape(h, {b, 1, hidden_}));
+  }
+  return tt::concat(hs, /*dim=*/1);
+}
+
+}  // namespace tsdx::nn

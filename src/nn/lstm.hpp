@@ -1,0 +1,36 @@
+// lstm.hpp — a single-layer LSTM for the CNN+LSTM baseline.
+//
+// The recurrence is composed from differentiable tensor ops, so gradients
+// flow through time via the autograd tape (no hand-written BPTT).
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace tsdx::nn {
+
+/// Batch-first LSTM: input [B, T, In] -> hidden states.
+/// Gate layout follows the usual i, f, g, o convention with a single fused
+/// [In+H, 4H] weight (input and previous hidden concatenated).
+class Lstm : public Module {
+ public:
+  Lstm(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng);
+
+  /// Returns the final hidden state h_T, shape [B, H].
+  Tensor forward(const Tensor& x) const;
+
+  /// Returns all hidden states stacked, shape [B, T, H].
+  Tensor forward_sequence(const Tensor& x) const;
+
+  std::int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  /// One step: (x_t [B,In], h [B,H], c [B,H]) -> (h', c').
+  std::pair<Tensor, Tensor> step(const Tensor& xt, const Tensor& h,
+                                 const Tensor& c) const;
+
+  std::int64_t input_;
+  std::int64_t hidden_;
+  Linear gates_;  ///< [In+H] -> [4H]
+};
+
+}  // namespace tsdx::nn

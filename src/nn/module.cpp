@@ -1,0 +1,66 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace tsdx::nn {
+
+Tensor Module::register_parameter(std::string name, Tensor value) {
+  if (!value.requires_grad()) {
+    // Parameters must always be grad-tracked, even if constructed under a
+    // NoGradGuard; rebuild the leaf explicitly.
+    value = tensor::make_tensor(value.shape(),
+                                std::vector<float>(value.data().begin(),
+                                                   value.data().end()),
+                                /*requires_grad=*/false);
+    value.node()->requires_grad = true;
+  }
+  params_.emplace_back(std::move(name), value);
+  return params_.back().second;
+}
+
+void Module::register_module(std::string name, Module& child) {
+  if (&child == this) throw std::logic_error("module cannot register itself");
+  children_.emplace_back(std::move(name), &child);
+}
+
+void Module::visit(
+    const std::string& prefix,
+    const std::function<void(const std::string&, const Tensor&)>& fn) const {
+  for (const auto& [name, t] : params_) {
+    fn(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->visit(prefix.empty() ? name : prefix + "." + name, fn);
+  }
+}
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  visit("", [&out](const std::string&, const Tensor& t) { out.push_back(t); });
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  visit("", [&out](const std::string& name, const Tensor& t) {
+    out.emplace_back(name, t);
+  });
+  return out;
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t n = 0;
+  for (const Tensor& t : parameters()) n += t.numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (Tensor t : parameters()) t.zero_grad();
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+}  // namespace tsdx::nn

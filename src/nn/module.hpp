@@ -1,0 +1,70 @@
+// module.hpp — parameter-owning building block for neural networks.
+//
+// A Module owns Tensors registered as parameters and references registered
+// submodules (which are plain value members of the derived class, registered
+// in its constructor). Modules are non-copyable/non-movable so the registered
+// child pointers can never dangle.
+//
+// Traversal gives each parameter a dotted path name ("encoder.0.attn.wq"),
+// which is the key used by checkpoint save/load (see serialize.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsdx::nn {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&&) = delete;
+  Module& operator=(Module&&) = delete;
+
+  /// All parameters of this module and its descendants, in registration order.
+  std::vector<Tensor> parameters() const;
+
+  /// Dotted-path name for every parameter, e.g. {"attn.wq", t}.
+  std::vector<std::pair<std::string, Tensor>> named_parameters() const;
+
+  /// Total scalar parameter count.
+  std::int64_t num_parameters() const;
+
+  /// Clear gradients of every parameter.
+  void zero_grad();
+
+  /// Switch train/eval behaviour (dropout) for this module and descendants.
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  /// Register and return a trainable parameter. Call once per parameter in
+  /// the derived constructor. The tensor is marked requires_grad.
+  Tensor register_parameter(std::string name, Tensor value);
+
+  /// Register a child module (a value member of the derived class).
+  void register_module(std::string name, Module& child);
+
+ private:
+  void visit(const std::string& prefix,
+             const std::function<void(const std::string&, const Tensor&)>& fn)
+      const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace tsdx::nn

@@ -1,0 +1,96 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace tsdx::nn {
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    velocity_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    const auto g = p.grad();
+    if (g.empty()) continue;  // never touched by backward
+    auto data = p.mutable_data();
+    auto& vel = velocity_[pi];
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      vel[i] = momentum_ * vel[i] + g[i];
+      data[i] -= lr_ * vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    const auto g = p.grad();
+    if (g.empty()) continue;
+    auto data = p.mutable_data();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      data[i] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                        weight_decay_ * data[i]);
+    }
+  }
+}
+
+float cosine_warmup_lr(std::int64_t step, std::int64_t total_steps,
+                       float base_lr, std::int64_t warmup_steps) {
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return base_lr * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps);
+  }
+  const float progress =
+      static_cast<float>(step - warmup_steps) /
+      static_cast<float>(std::max<std::int64_t>(1, total_steps - warmup_steps));
+  constexpr float kPi = 3.14159265358979323846f;
+  return 0.5f * base_lr * (1.0f + std::cos(kPi * std::min(progress, 1.0f)));
+}
+
+float clip_grad_norm(const std::vector<Tensor>& params, float max_norm) {
+  double sq = 0.0;
+  for (const Tensor& p : params) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Tensor& p : params) {
+      // grad() is const-view; scale through the node.
+      auto& gv = p.node()->grad;
+      for (float& g : gv) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace tsdx::nn

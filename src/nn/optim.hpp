@@ -1,0 +1,67 @@
+// optim.hpp — first-order optimizers and learning-rate schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace tsdx::nn {
+
+/// Base optimizer: owns handles to the parameters it updates (shared storage
+/// with the model). step() consumes gradients accumulated by backward();
+/// callers are responsible for zero_grad() between steps.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void step() = 0;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float lr_;
+};
+
+/// SGD with classical momentum: v = mu*v + g; p -= lr*v.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.9f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam / AdamW (decoupled weight decay when weight_decay > 0).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Cosine-decay schedule with linear warmup; returns the lr for `step`
+/// (0-indexed) out of `total_steps`.
+float cosine_warmup_lr(std::int64_t step, std::int64_t total_steps,
+                       float base_lr, std::int64_t warmup_steps);
+
+/// Global gradient-norm clipping; returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace tsdx::nn

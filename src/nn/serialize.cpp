@@ -1,0 +1,92 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace tsdx::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'S', 'D', 'X'};
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  const auto named = module.named_parameters();
+  write_pod(out, static_cast<std::uint64_t>(named.size()));
+  for (const auto& [name, t] : named) {
+    write_pod(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(out, static_cast<std::uint32_t>(t.rank()));
+    for (std::int64_t d : t.shape()) write_pod(out, d);
+    out.write(reinterpret_cast<const char*>(t.data().data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+
+  std::unordered_map<std::string, Tensor> by_name;
+  for (auto& [name, t] : module.named_parameters()) by_name.emplace(name, t);
+
+  const auto count = read_pod<std::uint64_t>(in);
+  std::size_t loaded = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(in);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(in);
+
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("checkpoint: unknown parameter '" + name + "'");
+    }
+    Tensor& t = it->second;
+    if (t.shape() != shape) {
+      throw std::runtime_error("checkpoint: shape mismatch for '" + name + "'");
+    }
+    in.read(reinterpret_cast<char*>(t.mutable_data().data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint: truncated data");
+    ++loaded;
+  }
+  if (loaded != by_name.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+}
+
+}  // namespace tsdx::nn

@@ -1,0 +1,24 @@
+// serialize.hpp — checkpoint save/load.
+//
+// Format (little-endian binary):
+//   magic "TSDX" | u32 version | u64 param_count |
+//   per param: u32 name_len | name bytes | u32 rank | i64 dims... | f32 data...
+//
+// Loading matches parameters by dotted path name and requires exact shape
+// agreement, so checkpoints are robust to registration-order changes but not
+// to architecture changes (by design — fail loudly).
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace tsdx::nn {
+
+void save_checkpoint(const Module& module, const std::string& path);
+
+/// Throws std::runtime_error on missing file, unknown parameter names,
+/// missing parameters, or shape mismatches.
+void load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace tsdx::nn

@@ -1,0 +1,133 @@
+#include "sdl/coverage.hpp"
+
+#include <mutex>
+
+namespace tsdx::sdl {
+
+namespace {
+
+/// Valid-pair lookup: valid_pairs[a][b][va * card_b + vb].
+using PairTable = std::vector<std::vector<std::vector<bool>>>;
+
+const PairTable& valid_pair_table() {
+  static const PairTable table = [] {
+    PairTable t(kNumSlots,
+                std::vector<std::vector<bool>>(kNumSlots));
+    for (std::size_t a = 0; a < kNumSlots; ++a) {
+      for (std::size_t b = 0; b < kNumSlots; ++b) {
+        t[a][b].assign(kSlotCardinality[a] * kSlotCardinality[b], false);
+      }
+    }
+    for (const SlotLabels& labels : all_valid_label_combinations()) {
+      for (std::size_t a = 0; a < kNumSlots; ++a) {
+        for (std::size_t b = 0; b < kNumSlots; ++b) {
+          t[a][b][labels[a] * kSlotCardinality[b] + labels[b]] = true;
+        }
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+const std::vector<SlotLabels>& all_valid_label_combinations() {
+  static const std::vector<SlotLabels> combos = [] {
+    std::vector<SlotLabels> out;
+    SlotLabels labels{};
+    // Mixed-radix enumeration over all 8 slots (~136k tuples, checked once).
+    while (true) {
+      if (is_valid(from_slot_labels(labels))) out.push_back(labels);
+      // increment
+      std::size_t i = kNumSlots;
+      while (i-- > 0) {
+        if (++labels[i] < kSlotCardinality[i]) break;
+        labels[i] = 0;
+        if (i == 0) return out;
+      }
+    }
+  }();
+  return combos;
+}
+
+CoverageAnalyzer::CoverageAnalyzer() {
+  for (std::size_t s = 0; s < kNumSlots; ++s) {
+    seen_[s].assign(kSlotCardinality[s], 0);
+  }
+  pair_seen_.assign(kNumSlots, std::vector<std::vector<bool>>(kNumSlots));
+  for (std::size_t a = 0; a < kNumSlots; ++a) {
+    for (std::size_t b = 0; b < kNumSlots; ++b) {
+      pair_seen_[a][b].assign(kSlotCardinality[a] * kSlotCardinality[b],
+                              false);
+    }
+  }
+}
+
+void CoverageAnalyzer::add(const ScenarioDescription& description) {
+  add(to_slot_labels(description));
+}
+
+void CoverageAnalyzer::add(const SlotLabels& labels) {
+  for (std::size_t s = 0; s < kNumSlots; ++s) {
+    seen_[s].at(labels[s])++;
+  }
+  for (std::size_t a = 0; a < kNumSlots; ++a) {
+    for (std::size_t b = 0; b < kNumSlots; ++b) {
+      pair_seen_[a][b][labels[a] * kSlotCardinality[b] + labels[b]] = true;
+    }
+  }
+  ++count_;
+}
+
+double CoverageAnalyzer::slot_value_coverage(Slot slot) const {
+  const auto& seen = seen_[static_cast<std::size_t>(slot)];
+  std::size_t covered = 0;
+  for (std::size_t c : seen) covered += c > 0 ? 1 : 0;
+  return static_cast<double>(covered) / static_cast<double>(seen.size());
+}
+
+double CoverageAnalyzer::overall_value_coverage() const {
+  double sum = 0.0;
+  for (std::size_t s = 0; s < kNumSlots; ++s) {
+    sum += slot_value_coverage(static_cast<Slot>(s));
+  }
+  return sum / static_cast<double>(kNumSlots);
+}
+
+double CoverageAnalyzer::pair_coverage(Slot a, Slot b) const {
+  const std::size_t ia = static_cast<std::size_t>(a);
+  const std::size_t ib = static_cast<std::size_t>(b);
+  const auto& valid = valid_pair_table()[ia][ib];
+  const auto& seen = pair_seen_[ia][ib];
+  std::size_t valid_n = 0, covered = 0;
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    if (!valid[i]) continue;
+    ++valid_n;
+    if (seen[i]) ++covered;
+  }
+  return valid_n == 0
+             ? 1.0
+             : static_cast<double>(covered) / static_cast<double>(valid_n);
+}
+
+std::vector<CoverageAnalyzer::MissingPair> CoverageAnalyzer::missing_pairs(
+    Slot a, Slot b) const {
+  const std::size_t ia = static_cast<std::size_t>(a);
+  const std::size_t ib = static_cast<std::size_t>(b);
+  const auto& valid = valid_pair_table()[ia][ib];
+  const auto& seen = pair_seen_[ia][ib];
+  std::vector<MissingPair> out;
+  for (std::size_t va = 0; va < kSlotCardinality[ia]; ++va) {
+    for (std::size_t vb = 0; vb < kSlotCardinality[ib]; ++vb) {
+      const std::size_t idx = va * kSlotCardinality[ib] + vb;
+      if (valid[idx] && !seen[idx]) {
+        out.push_back(MissingPair{std::string(slot_class_name(a, va)),
+                                  std::string(slot_class_name(b, vb))});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tsdx::sdl

@@ -1,0 +1,58 @@
+// coverage.hpp — scenario-coverage analysis over SDL descriptions.
+//
+// The operational question in AV validation: "which scenario combinations
+// has this dataset / drive log actually exercised?" This module measures
+// single-slot value coverage and pairwise combination coverage ("pedestrian
+// crossing" x "night") against the set of *semantically valid* combinations,
+// and lists what's missing — i.e. the test cases still to be mined or
+// synthesized.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sdl/description.hpp"
+
+namespace tsdx::sdl {
+
+/// Enumerate every semantically valid SlotLabels assignment (computed once,
+/// cached). A pair/tuple of slot values is "valid" iff it appears in at
+/// least one member of this set.
+const std::vector<SlotLabels>& all_valid_label_combinations();
+
+class CoverageAnalyzer {
+ public:
+  CoverageAnalyzer();
+
+  void add(const ScenarioDescription& description);
+  void add(const SlotLabels& labels);
+
+  std::size_t count() const { return count_; }
+  std::size_t seen_count(Slot slot, std::size_t cls) const {
+    return seen_[static_cast<std::size_t>(slot)].at(cls);
+  }
+
+  /// Fraction of `slot`'s values observed at least once.
+  double slot_value_coverage(Slot slot) const;
+  /// Mean of slot_value_coverage over all 8 slots.
+  double overall_value_coverage() const;
+
+  /// Fraction of *valid* (value_a, value_b) combinations observed.
+  double pair_coverage(Slot a, Slot b) const;
+
+  struct MissingPair {
+    std::string value_a;
+    std::string value_b;
+  };
+  /// Valid but never-observed combinations for a slot pair, in label order.
+  std::vector<MissingPair> missing_pairs(Slot a, Slot b) const;
+
+ private:
+  std::array<std::vector<std::size_t>, kNumSlots> seen_;
+  /// seen pair matrix per (a, b): pair_seen_[a][b][va * card_b + vb]
+  std::vector<std::vector<std::vector<bool>>> pair_seen_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tsdx::sdl

@@ -1,0 +1,259 @@
+#include "sdl/description.hpp"
+
+#include <stdexcept>
+
+namespace tsdx::sdl {
+
+SlotLabels to_slot_labels(const ScenarioDescription& d) {
+  return SlotLabels{
+      static_cast<std::size_t>(d.environment.road_layout),
+      static_cast<std::size_t>(d.environment.time_of_day),
+      static_cast<std::size_t>(d.environment.weather),
+      static_cast<std::size_t>(d.environment.density),
+      static_cast<std::size_t>(d.ego_action),
+      static_cast<std::size_t>(d.salient_actor.type),
+      static_cast<std::size_t>(d.salient_actor.action),
+      static_cast<std::size_t>(d.salient_actor.position),
+  };
+}
+
+ScenarioDescription from_slot_labels(const SlotLabels& labels) {
+  for (std::size_t i = 0; i < kNumSlots; ++i) {
+    if (labels[i] >= kSlotCardinality[i]) {
+      throw std::out_of_range("from_slot_labels: slot " + std::to_string(i) +
+                              " label " + std::to_string(labels[i]) +
+                              " out of range");
+    }
+  }
+  ScenarioDescription d;
+  d.environment.road_layout = static_cast<RoadLayout>(labels[0]);
+  d.environment.time_of_day = static_cast<TimeOfDay>(labels[1]);
+  d.environment.weather = static_cast<Weather>(labels[2]);
+  d.environment.density = static_cast<TrafficDensity>(labels[3]);
+  d.ego_action = static_cast<EgoAction>(labels[4]);
+  d.salient_actor.type = static_cast<ActorType>(labels[5]);
+  d.salient_actor.action = static_cast<ActorAction>(labels[6]);
+  d.salient_actor.position = static_cast<RelativePosition>(labels[7]);
+  return d;
+}
+
+namespace {
+
+void validate_actor(const ActorDescription& a, const RoadLayout layout,
+                    const char* which, std::vector<std::string>& out) {
+  const bool none_type = a.type == ActorType::kNone;
+  const bool none_action = a.action == ActorAction::kNone;
+  const bool none_pos = a.position == RelativePosition::kNone;
+  if (none_type != none_action || none_type != none_pos) {
+    out.push_back(std::string(which) +
+                  ": type/action/position must be all-none or all-set");
+    return;
+  }
+  if (none_type) return;
+
+  const bool is_vru =
+      a.type == ActorType::kPedestrian || a.type == ActorType::kCyclist;
+  if (a.action == ActorAction::kCross && !is_vru) {
+    out.push_back(std::string(which) + ": 'cross' requires pedestrian/cyclist");
+  }
+  if (a.type == ActorType::kPedestrian) {
+    const bool allowed = a.action == ActorAction::kCross ||
+                         a.action == ActorAction::kStop;
+    if (!allowed) {
+      out.push_back(std::string(which) +
+                    ": pedestrians may only 'cross' or 'stop'");
+    }
+  }
+  const bool is_turn = a.action == ActorAction::kTurnLeft ||
+                       a.action == ActorAction::kTurnRight;
+  const bool has_junction = layout == RoadLayout::kIntersection4 ||
+                            layout == RoadLayout::kTJunction;
+  if (is_turn && !has_junction) {
+    out.push_back(std::string(which) +
+                  ": turning requires an intersection or T-junction");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const ScenarioDescription& d) {
+  std::vector<std::string> out;
+  const RoadLayout layout = d.environment.road_layout;
+
+  const bool ego_turns = d.ego_action == EgoAction::kTurnLeft ||
+                         d.ego_action == EgoAction::kTurnRight;
+  const bool has_junction = layout == RoadLayout::kIntersection4 ||
+                            layout == RoadLayout::kTJunction;
+  if (ego_turns && !has_junction) {
+    out.push_back("ego: turning requires an intersection or T-junction");
+  }
+  validate_actor(d.salient_actor, layout, "salient_actor", out);
+  for (std::size_t i = 0; i < d.background_actors.size(); ++i) {
+    const auto& a = d.background_actors[i];
+    if (a.type == ActorType::kNone) {
+      out.push_back("background_actor[" + std::to_string(i) +
+                    "]: type must not be 'none'");
+      continue;
+    }
+    validate_actor(a, layout, "background_actor", out);
+  }
+  return out;
+}
+
+namespace {
+
+std::string layout_phrase(RoadLayout layout) {
+  switch (layout) {
+    case RoadLayout::kStraight:
+      return "on a straight road";
+    case RoadLayout::kCurve:
+      return "on a curved road";
+    case RoadLayout::kIntersection4:
+      return "at a 4-way intersection";
+    case RoadLayout::kTJunction:
+      return "at a T-junction";
+  }
+  return "";
+}
+
+std::string time_weather_phrase(TimeOfDay t, Weather w) {
+  std::string tw;
+  switch (w) {
+    case Weather::kClear:
+      tw = "a clear";
+      break;
+    case Weather::kRain:
+      tw = "a rainy";
+      break;
+    case Weather::kFog:
+      tw = "a foggy";
+      break;
+  }
+  switch (t) {
+    case TimeOfDay::kDay:
+      return tw + " day";
+    case TimeOfDay::kDusk:
+      return tw + " dusk";
+    case TimeOfDay::kNight:
+      return tw + " night";
+  }
+  return tw;
+}
+
+std::string ego_phrase(EgoAction a) {
+  switch (a) {
+    case EgoAction::kCruise:
+      return "the ego vehicle cruises";
+    case EgoAction::kStop:
+      return "the ego vehicle stops";
+    case EgoAction::kTurnLeft:
+      return "the ego vehicle turns left";
+    case EgoAction::kTurnRight:
+      return "the ego vehicle turns right";
+    case EgoAction::kLaneChangeLeft:
+      return "the ego vehicle changes lane to the left";
+    case EgoAction::kLaneChangeRight:
+      return "the ego vehicle changes lane to the right";
+  }
+  return "";
+}
+
+std::string actor_phrase(const ActorDescription& a) {
+  if (a.type == ActorType::kNone) return "";
+  std::string noun;
+  switch (a.type) {
+    case ActorType::kCar:
+      noun = "a car";
+      break;
+    case ActorType::kTruck:
+      noun = "a truck";
+      break;
+    case ActorType::kPedestrian:
+      noun = "a pedestrian";
+      break;
+    case ActorType::kCyclist:
+      noun = "a cyclist";
+      break;
+    case ActorType::kNone:
+      break;
+  }
+  std::string verb;
+  switch (a.action) {
+    case ActorAction::kCruise:
+      verb = "drives";
+      break;
+    case ActorAction::kStop:
+      verb = "is stopped";
+      break;
+    case ActorAction::kTurnLeft:
+      verb = "turns left";
+      break;
+    case ActorAction::kTurnRight:
+      verb = "turns right";
+      break;
+    case ActorAction::kCross:
+      verb = "crosses";
+      break;
+    case ActorAction::kParked:
+      verb = "is parked";
+      break;
+    case ActorAction::kNone:
+      break;
+  }
+  std::string where;
+  switch (a.position) {
+    case RelativePosition::kAhead:
+      where = "ahead";
+      break;
+    case RelativePosition::kBehind:
+      where = "behind";
+      break;
+    case RelativePosition::kLeft:
+      where = "to the left";
+      break;
+    case RelativePosition::kRight:
+      where = "to the right";
+      break;
+    case RelativePosition::kOncoming:
+      where = "oncoming";
+      break;
+    case RelativePosition::kNone:
+      break;
+  }
+  std::string phrase = noun + " " + verb;
+  if (!where.empty()) phrase += " " + where;
+  return phrase;
+}
+
+std::string density_phrase(TrafficDensity d) {
+  switch (d) {
+    case TrafficDensity::kSparse:
+      return "sparse traffic";
+    case TrafficDensity::kMedium:
+      return "moderate traffic";
+    case TrafficDensity::kDense:
+      return "dense traffic";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string to_sentence(const ScenarioDescription& d) {
+  std::string s = "At " + layout_phrase(d.environment.road_layout).substr(3);
+  // layout_phrase starts with "on "/"at "; normalize to "At a ..." style.
+  s = (d.environment.road_layout == RoadLayout::kStraight ||
+       d.environment.road_layout == RoadLayout::kCurve)
+          ? "On " + layout_phrase(d.environment.road_layout).substr(3)
+          : "At " + layout_phrase(d.environment.road_layout).substr(3);
+  s += " on " +
+       time_weather_phrase(d.environment.time_of_day, d.environment.weather);
+  s += " with " + density_phrase(d.environment.density);
+  s += ", " + ego_phrase(d.ego_action);
+  const std::string actor = actor_phrase(d.salient_actor);
+  if (!actor.empty()) s += " while " + actor;
+  s += ".";
+  return s;
+}
+
+}  // namespace tsdx::sdl

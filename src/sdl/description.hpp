@@ -1,0 +1,71 @@
+// description.hpp — structured traffic scenario descriptions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdl/taxonomy.hpp"
+
+namespace tsdx::sdl {
+
+/// One non-ego traffic participant.
+struct ActorDescription {
+  ActorType type = ActorType::kNone;
+  ActorAction action = ActorAction::kNone;
+  RelativePosition position = RelativePosition::kNone;
+
+  bool operator==(const ActorDescription&) const = default;
+};
+
+/// Static scene context.
+struct EnvironmentDescription {
+  RoadLayout road_layout = RoadLayout::kStraight;
+  TimeOfDay time_of_day = TimeOfDay::kDay;
+  Weather weather = Weather::kClear;
+  TrafficDensity density = TrafficDensity::kSparse;
+
+  bool operator==(const EnvironmentDescription&) const = default;
+};
+
+/// Full description of a clip: environment, ego manoeuvre, the salient
+/// actor (the one the extraction model is trained to report) and any number
+/// of background actors (kept for simulation/ground-truth purposes).
+struct ScenarioDescription {
+  EnvironmentDescription environment;
+  EgoAction ego_action = EgoAction::kCruise;
+  ActorDescription salient_actor;  ///< all-kNone when the scene has none
+  std::vector<ActorDescription> background_actors;
+
+  bool operator==(const ScenarioDescription&) const = default;
+};
+
+/// Class index of each of the 8 SDL slots, in Slot order. This is the label
+/// vector the extraction model is trained against.
+using SlotLabels = std::array<std::size_t, kNumSlots>;
+
+SlotLabels to_slot_labels(const ScenarioDescription& d);
+
+/// Inverse of to_slot_labels (background actors cannot be recovered and are
+/// left empty). Throws std::out_of_range on labels outside a slot's range.
+ScenarioDescription from_slot_labels(const SlotLabels& labels);
+
+/// Semantic validity rules of the SDL. A description violating these can
+/// never be produced by the simulator and should never be accepted from an
+/// external source:
+///  * pedestrians never cruise/turn/lane-keep — only cross, stop, or none;
+///  * `cross` is only valid for pedestrians and cyclists;
+///  * a kNone actor type requires kNone action and position (and vice versa);
+///  * turn actions (ego or actor) require an intersection/T-junction layout.
+/// Returns an empty vector when valid, else one message per violation.
+std::vector<std::string> validate(const ScenarioDescription& d);
+
+inline bool is_valid(const ScenarioDescription& d) { return validate(d).empty(); }
+
+/// Render a single-sentence natural-language summary, e.g.
+/// "At a 4-way intersection on a clear day with sparse traffic, the ego
+///  vehicle turns left while a pedestrian crosses ahead."
+std::string to_sentence(const ScenarioDescription& d);
+
+}  // namespace tsdx::sdl

@@ -1,0 +1,34 @@
+#include "sdl/diff.hpp"
+
+namespace tsdx::sdl {
+
+std::vector<SlotDifference> diff_descriptions(const ScenarioDescription& a,
+                                              const ScenarioDescription& b) {
+  const SlotLabels la = to_slot_labels(a);
+  const SlotLabels lb = to_slot_labels(b);
+  std::vector<SlotDifference> out;
+  for (std::size_t s = 0; s < kNumSlots; ++s) {
+    if (la[s] == lb[s]) continue;
+    const auto slot = static_cast<Slot>(s);
+    out.push_back(SlotDifference{slot,
+                                 std::string(slot_class_name(slot, la[s])),
+                                 std::string(slot_class_name(slot, lb[s]))});
+  }
+  return out;
+}
+
+std::size_t matching_slots(const ScenarioDescription& a,
+                           const ScenarioDescription& b) {
+  return kNumSlots - diff_descriptions(a, b).size();
+}
+
+std::string diff_to_string(const std::vector<SlotDifference>& diffs) {
+  std::string out;
+  for (const SlotDifference& d : diffs) {
+    if (!out.empty()) out += "; ";
+    out += std::string(to_string(d.slot)) + ": " + d.value_a + "->" + d.value_b;
+  }
+  return out;
+}
+
+}  // namespace tsdx::sdl

@@ -1,0 +1,34 @@
+// diff.hpp — slot-level comparison of two scenario descriptions.
+//
+// Used for error analysis (ground truth vs extracted) and for explaining
+// retrieval rankings: which slots agree, which differ, and a one-line
+// human-readable report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdl/description.hpp"
+
+namespace tsdx::sdl {
+
+struct SlotDifference {
+  Slot slot;
+  std::string value_a;
+  std::string value_b;
+};
+
+/// All slots on which `a` and `b` disagree (empty = identical slot labels;
+/// background actors are not compared).
+std::vector<SlotDifference> diff_descriptions(const ScenarioDescription& a,
+                                              const ScenarioDescription& b);
+
+/// Number of agreeing slots (0..kNumSlots).
+std::size_t matching_slots(const ScenarioDescription& a,
+                           const ScenarioDescription& b);
+
+/// "ego_action: turn_left->cruise; weather: rain->fog" (empty string when
+/// identical).
+std::string diff_to_string(const std::vector<SlotDifference>& diffs);
+
+}  // namespace tsdx::sdl

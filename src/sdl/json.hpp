@@ -1,0 +1,78 @@
+// json.hpp — a minimal JSON value, writer, and recursive-descent parser.
+//
+// Deliberately small: exactly what SDL serialization and experiment reports
+// need — objects, arrays, strings, doubles, bools, null; UTF-8 passthrough;
+// \uXXXX escapes accepted on input for the BMP. No comments, no trailing
+// commas (strict RFC 8259 subset).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tsdx::sdl {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// std::map keeps key order deterministic, which keeps golden-file tests and
+/// checkpoint diffs stable.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors throw std::bad_variant_access on kind mismatch.
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+  JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+  /// Pretty serialization with 2-space indents.
+  std::string dump_pretty() const;
+
+  /// Strict parse; returns nullopt with `error` (if given) set to a
+  /// position-annotated message on malformed input.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+  bool operator==(const Json&) const = default;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
+      value_;
+};
+
+}  // namespace tsdx::sdl

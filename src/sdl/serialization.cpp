@@ -1,0 +1,138 @@
+#include "sdl/serialization.hpp"
+
+namespace tsdx::sdl {
+
+Json to_json(const ActorDescription& a) {
+  JsonObject o;
+  o.emplace("type", Json(to_string(a.type)));
+  o.emplace("action", Json(to_string(a.action)));
+  o.emplace("position", Json(to_string(a.position)));
+  return Json(std::move(o));
+}
+
+Json to_json(const EnvironmentDescription& e) {
+  JsonObject o;
+  o.emplace("road_layout", Json(to_string(e.road_layout)));
+  o.emplace("time_of_day", Json(to_string(e.time_of_day)));
+  o.emplace("weather", Json(to_string(e.weather)));
+  o.emplace("traffic_density", Json(to_string(e.density)));
+  return Json(std::move(o));
+}
+
+Json to_json(const ScenarioDescription& d) {
+  JsonObject o;
+  o.emplace("environment", to_json(d.environment));
+  o.emplace("ego_action", Json(to_string(d.ego_action)));
+  o.emplace("salient_actor", to_json(d.salient_actor));
+  JsonArray bg;
+  for (const auto& a : d.background_actors) bg.push_back(to_json(a));
+  o.emplace("background_actors", Json(std::move(bg)));
+  return Json(std::move(o));
+}
+
+namespace {
+
+bool set_error(std::string* error, const std::string& msg) {
+  if (error && error->empty()) *error = msg;
+  return false;
+}
+
+const std::string* get_string_field(const Json& j, const std::string& key,
+                                    std::string* error) {
+  const Json* f = j.find(key);
+  if (!f || !f->is_string()) {
+    set_error(error, "missing or non-string field '" + key + "'");
+    return nullptr;
+  }
+  return &f->as_string();
+}
+
+bool parse_actor(const Json& j, ActorDescription& out, std::string* error) {
+  if (!j.is_object()) return set_error(error, "actor must be an object");
+  const std::string* type = get_string_field(j, "type", error);
+  const std::string* action = get_string_field(j, "action", error);
+  const std::string* position = get_string_field(j, "position", error);
+  if (!type || !action || !position) return false;
+  const auto t = parse_actor_type(*type);
+  const auto a = parse_actor_action(*action);
+  const auto p = parse_relative_position(*position);
+  if (!t) return set_error(error, "unknown actor type '" + *type + "'");
+  if (!a) return set_error(error, "unknown actor action '" + *action + "'");
+  if (!p) return set_error(error, "unknown position '" + *position + "'");
+  out = ActorDescription{*t, *a, *p};
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScenarioDescription> description_from_json(const Json& j,
+                                                         std::string* error) {
+  if (!j.is_object()) {
+    set_error(error, "description must be an object");
+    return std::nullopt;
+  }
+  ScenarioDescription d;
+
+  const Json* env = j.find("environment");
+  if (!env || !env->is_object()) {
+    set_error(error, "missing 'environment' object");
+    return std::nullopt;
+  }
+  const std::string* road = get_string_field(*env, "road_layout", error);
+  const std::string* tod = get_string_field(*env, "time_of_day", error);
+  const std::string* weather = get_string_field(*env, "weather", error);
+  const std::string* density = get_string_field(*env, "traffic_density", error);
+  if (!road || !tod || !weather || !density) return std::nullopt;
+  const auto r = parse_road_layout(*road);
+  const auto t = parse_time_of_day(*tod);
+  const auto w = parse_weather(*weather);
+  const auto dn = parse_traffic_density(*density);
+  if (!r || !t || !w || !dn) {
+    set_error(error, "unknown environment token");
+    return std::nullopt;
+  }
+  d.environment = EnvironmentDescription{*r, *t, *w, *dn};
+
+  const std::string* ego = get_string_field(j, "ego_action", error);
+  if (!ego) return std::nullopt;
+  const auto e = parse_ego_action(*ego);
+  if (!e) {
+    set_error(error, "unknown ego action '" + *ego + "'");
+    return std::nullopt;
+  }
+  d.ego_action = *e;
+
+  const Json* salient = j.find("salient_actor");
+  if (!salient) {
+    set_error(error, "missing 'salient_actor'");
+    return std::nullopt;
+  }
+  if (!parse_actor(*salient, d.salient_actor, error)) return std::nullopt;
+
+  if (const Json* bg = j.find("background_actors")) {
+    if (!bg->is_array()) {
+      set_error(error, "'background_actors' must be an array");
+      return std::nullopt;
+    }
+    for (const Json& item : bg->as_array()) {
+      ActorDescription a;
+      if (!parse_actor(item, a, error)) return std::nullopt;
+      d.background_actors.push_back(a);
+    }
+  }
+  return d;
+}
+
+std::string to_json_string(const ScenarioDescription& d, bool pretty) {
+  const Json j = to_json(d);
+  return pretty ? j.dump_pretty() : j.dump();
+}
+
+std::optional<ScenarioDescription> description_from_string(
+    std::string_view text, std::string* error) {
+  auto j = Json::parse(text, error);
+  if (!j) return std::nullopt;
+  return description_from_json(*j, error);
+}
+
+}  // namespace tsdx::sdl

@@ -1,0 +1,37 @@
+// serialization.hpp — ScenarioDescription <-> JSON.
+//
+// Canonical wire format:
+// {
+//   "environment": {"road_layout": "intersection4", "time_of_day": "day",
+//                    "weather": "clear", "traffic_density": "sparse"},
+//   "ego_action": "turn_left",
+//   "salient_actor": {"type": "pedestrian", "action": "cross",
+//                      "position": "ahead"},
+//   "background_actors": [ {...}, ... ]
+// }
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sdl/description.hpp"
+#include "sdl/json.hpp"
+
+namespace tsdx::sdl {
+
+Json to_json(const ActorDescription& a);
+Json to_json(const EnvironmentDescription& e);
+Json to_json(const ScenarioDescription& d);
+
+/// Parse from a Json value; returns nullopt with `error` set on unknown
+/// tokens or missing fields. Does NOT run semantic validation — callers
+/// decide whether to accept semantically invalid descriptions.
+std::optional<ScenarioDescription> description_from_json(
+    const Json& j, std::string* error = nullptr);
+
+/// Convenience: serialize to a JSON string / parse from a JSON string.
+std::string to_json_string(const ScenarioDescription& d, bool pretty = false);
+std::optional<ScenarioDescription> description_from_string(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace tsdx::sdl

@@ -1,0 +1,57 @@
+#include "sdl/spec.hpp"
+
+#include "sdl/coverage.hpp"
+
+namespace tsdx::sdl {
+
+std::size_t PartialScenarioSpec::constraint_count() const {
+  std::size_t n = 0;
+  n += road_layout.has_value();
+  n += time_of_day.has_value();
+  n += weather.has_value();
+  n += density.has_value();
+  n += ego_action.has_value();
+  n += actor_type.has_value();
+  n += actor_action.has_value();
+  n += actor_position.has_value();
+  return n;
+}
+
+bool matches(const PartialScenarioSpec& spec, const SlotLabels& labels) {
+  const auto check = [&labels](const auto& opt, Slot slot) {
+    return !opt.has_value() ||
+           labels[static_cast<std::size_t>(slot)] ==
+               static_cast<std::size_t>(*opt);
+  };
+  return check(spec.road_layout, Slot::kRoadLayout) &&
+         check(spec.time_of_day, Slot::kTimeOfDay) &&
+         check(spec.weather, Slot::kWeather) &&
+         check(spec.density, Slot::kTrafficDensity) &&
+         check(spec.ego_action, Slot::kEgoAction) &&
+         check(spec.actor_type, Slot::kActorType) &&
+         check(spec.actor_action, Slot::kActorAction) &&
+         check(spec.actor_position, Slot::kActorPosition);
+}
+
+bool matches(const PartialScenarioSpec& spec, const ScenarioDescription& d) {
+  return matches(spec, to_slot_labels(d));
+}
+
+std::vector<SlotLabels> valid_completions(const PartialScenarioSpec& spec) {
+  std::vector<SlotLabels> out;
+  for (const SlotLabels& labels : all_valid_label_combinations()) {
+    if (matches(spec, labels)) out.push_back(labels);
+  }
+  return out;
+}
+
+std::optional<ScenarioDescription> sample_matching(
+    const PartialScenarioSpec& spec, tensor::Rng& rng) {
+  const std::vector<SlotLabels> candidates = valid_completions(spec);
+  if (candidates.empty()) return std::nullopt;
+  const SlotLabels& pick =
+      candidates[static_cast<std::size_t>(rng.uniform_index(candidates.size()))];
+  return from_slot_labels(pick);
+}
+
+}  // namespace tsdx::sdl

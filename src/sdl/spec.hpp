@@ -1,0 +1,45 @@
+// spec.hpp — partial scenario specifications and valid-completion sampling.
+//
+// Validation engineers think in partial constraints ("a pedestrian crossing
+// at night — anywhere, any weather"). A PartialScenarioSpec leaves any slot
+// open; `matches` filters descriptions against it, and `sample_matching`
+// draws a *semantically valid* completion uniformly from the valid label
+// combinations — the scenario-synthesis primitive used to close the coverage
+// gaps that sdl::CoverageAnalyzer reports.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sdl/description.hpp"
+#include "tensor/rng.hpp"
+
+namespace tsdx::sdl {
+
+struct PartialScenarioSpec {
+  std::optional<RoadLayout> road_layout;
+  std::optional<TimeOfDay> time_of_day;
+  std::optional<Weather> weather;
+  std::optional<TrafficDensity> density;
+  std::optional<EgoAction> ego_action;
+  std::optional<ActorType> actor_type;
+  std::optional<ActorAction> actor_action;
+  std::optional<RelativePosition> actor_position;
+
+  /// Constrained slot count (0 = matches everything).
+  std::size_t constraint_count() const;
+};
+
+/// Does `d` satisfy every constrained slot of `spec`?
+bool matches(const PartialScenarioSpec& spec, const ScenarioDescription& d);
+bool matches(const PartialScenarioSpec& spec, const SlotLabels& labels);
+
+/// All semantically valid label combinations satisfying `spec`
+/// (empty when the spec is unsatisfiable, e.g. a crossing truck).
+std::vector<SlotLabels> valid_completions(const PartialScenarioSpec& spec);
+
+/// Uniformly sample one valid completion; nullopt when unsatisfiable.
+std::optional<ScenarioDescription> sample_matching(
+    const PartialScenarioSpec& spec, tensor::Rng& rng);
+
+}  // namespace tsdx::sdl

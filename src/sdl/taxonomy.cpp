@@ -1,0 +1,114 @@
+#include "sdl/taxonomy.hpp"
+
+namespace tsdx::sdl {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumRoadLayouts> kRoadNames = {
+    "straight", "curve", "intersection4", "t_junction"};
+constexpr std::array<std::string_view, kNumTimesOfDay> kTimeNames = {
+    "day", "dusk", "night"};
+constexpr std::array<std::string_view, kNumWeathers> kWeatherNames = {
+    "clear", "rain", "fog"};
+constexpr std::array<std::string_view, kNumTrafficDensities> kDensityNames = {
+    "sparse", "medium", "dense"};
+constexpr std::array<std::string_view, kNumEgoActions> kEgoNames = {
+    "cruise", "stop", "turn_left", "turn_right", "lane_change_left",
+    "lane_change_right"};
+constexpr std::array<std::string_view, kNumActorTypes> kActorTypeNames = {
+    "none", "car", "truck", "pedestrian", "cyclist"};
+constexpr std::array<std::string_view, kNumActorActions> kActorActionNames = {
+    "none", "cruise", "stop", "turn_left", "turn_right", "cross", "parked"};
+constexpr std::array<std::string_view, kNumRelativePositions> kPositionNames = {
+    "none", "ahead", "behind", "left", "right", "oncoming"};
+constexpr std::array<std::string_view, kNumSlots> kSlotNames = {
+    "road_layout",  "time_of_day", "weather",      "traffic_density",
+    "ego_action",   "actor_type",  "actor_action", "actor_position"};
+
+template <class E, std::size_t N>
+std::optional<E> parse_enum(const std::array<std::string_view, N>& names,
+                            std::string_view s) {
+  for (std::size_t i = 0; i < N; ++i) {
+    if (names[i] == s) return static_cast<E>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view to_string(RoadLayout v) {
+  return kRoadNames[static_cast<std::size_t>(v)];
+}
+std::string_view to_string(TimeOfDay v) {
+  return kTimeNames[static_cast<std::size_t>(v)];
+}
+std::string_view to_string(Weather v) {
+  return kWeatherNames[static_cast<std::size_t>(v)];
+}
+std::string_view to_string(TrafficDensity v) {
+  return kDensityNames[static_cast<std::size_t>(v)];
+}
+std::string_view to_string(EgoAction v) {
+  return kEgoNames[static_cast<std::size_t>(v)];
+}
+std::string_view to_string(ActorType v) {
+  return kActorTypeNames[static_cast<std::size_t>(v)];
+}
+std::string_view to_string(ActorAction v) {
+  return kActorActionNames[static_cast<std::size_t>(v)];
+}
+std::string_view to_string(RelativePosition v) {
+  return kPositionNames[static_cast<std::size_t>(v)];
+}
+std::string_view to_string(Slot slot) {
+  return kSlotNames[static_cast<std::size_t>(slot)];
+}
+
+std::optional<RoadLayout> parse_road_layout(std::string_view s) {
+  return parse_enum<RoadLayout>(kRoadNames, s);
+}
+std::optional<TimeOfDay> parse_time_of_day(std::string_view s) {
+  return parse_enum<TimeOfDay>(kTimeNames, s);
+}
+std::optional<Weather> parse_weather(std::string_view s) {
+  return parse_enum<Weather>(kWeatherNames, s);
+}
+std::optional<TrafficDensity> parse_traffic_density(std::string_view s) {
+  return parse_enum<TrafficDensity>(kDensityNames, s);
+}
+std::optional<EgoAction> parse_ego_action(std::string_view s) {
+  return parse_enum<EgoAction>(kEgoNames, s);
+}
+std::optional<ActorType> parse_actor_type(std::string_view s) {
+  return parse_enum<ActorType>(kActorTypeNames, s);
+}
+std::optional<ActorAction> parse_actor_action(std::string_view s) {
+  return parse_enum<ActorAction>(kActorActionNames, s);
+}
+std::optional<RelativePosition> parse_relative_position(std::string_view s) {
+  return parse_enum<RelativePosition>(kPositionNames, s);
+}
+
+std::string_view slot_class_name(Slot slot, std::size_t cls) {
+  switch (slot) {
+    case Slot::kRoadLayout:
+      return kRoadNames.at(cls);
+    case Slot::kTimeOfDay:
+      return kTimeNames.at(cls);
+    case Slot::kWeather:
+      return kWeatherNames.at(cls);
+    case Slot::kTrafficDensity:
+      return kDensityNames.at(cls);
+    case Slot::kEgoAction:
+      return kEgoNames.at(cls);
+    case Slot::kActorType:
+      return kActorTypeNames.at(cls);
+    case Slot::kActorAction:
+      return kActorActionNames.at(cls);
+    case Slot::kActorPosition:
+      return kPositionNames.at(cls);
+  }
+  return "?";
+}
+
+}  // namespace tsdx::sdl

@@ -1,0 +1,133 @@
+// taxonomy.hpp — the controlled vocabulary of the Scenario Description
+// Language (SDL).
+//
+// The SDL describes a short driving clip with eight categorical slots:
+// four environment slots, the ego manoeuvre, and (type, action, relative
+// position) of the most salient non-ego actor. Slot values are closed
+// enumerations so descriptions are machine-comparable, embeddable, and
+// directly usable as classification targets for the extraction model.
+//
+// The "kNone" values exist because a clip may legitimately contain no
+// salient actor; they are valid labels, not error markers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tsdx::sdl {
+
+// ---- environment -----------------------------------------------------------
+
+enum class RoadLayout : std::uint8_t {
+  kStraight = 0,
+  kCurve,
+  kIntersection4,  ///< 4-way intersection
+  kTJunction,
+};
+inline constexpr std::size_t kNumRoadLayouts = 4;
+
+enum class TimeOfDay : std::uint8_t { kDay = 0, kDusk, kNight };
+inline constexpr std::size_t kNumTimesOfDay = 3;
+
+enum class Weather : std::uint8_t { kClear = 0, kRain, kFog };
+inline constexpr std::size_t kNumWeathers = 3;
+
+enum class TrafficDensity : std::uint8_t { kSparse = 0, kMedium, kDense };
+inline constexpr std::size_t kNumTrafficDensities = 3;
+
+// ---- ego --------------------------------------------------------------------
+
+enum class EgoAction : std::uint8_t {
+  kCruise = 0,
+  kStop,
+  kTurnLeft,
+  kTurnRight,
+  kLaneChangeLeft,
+  kLaneChangeRight,
+};
+inline constexpr std::size_t kNumEgoActions = 6;
+
+// ---- salient actor ------------------------------------------------------------
+
+enum class ActorType : std::uint8_t {
+  kNone = 0,  ///< clip contains no salient non-ego actor
+  kCar,
+  kTruck,
+  kPedestrian,
+  kCyclist,
+};
+inline constexpr std::size_t kNumActorTypes = 5;
+
+enum class ActorAction : std::uint8_t {
+  kNone = 0,
+  kCruise,
+  kStop,
+  kTurnLeft,
+  kTurnRight,
+  kCross,   ///< crossing the ego lane (pedestrian/cyclist)
+  kParked,
+};
+inline constexpr std::size_t kNumActorActions = 7;
+
+enum class RelativePosition : std::uint8_t {
+  kNone = 0,
+  kAhead,
+  kBehind,
+  kLeft,
+  kRight,
+  kOncoming,
+};
+inline constexpr std::size_t kNumRelativePositions = 6;
+
+// ---- names & parsing -----------------------------------------------------------
+// to_string returns a stable lowercase token (used in JSON); parse_* accept
+// exactly those tokens and return nullopt otherwise.
+
+std::string_view to_string(RoadLayout v);
+std::string_view to_string(TimeOfDay v);
+std::string_view to_string(Weather v);
+std::string_view to_string(TrafficDensity v);
+std::string_view to_string(EgoAction v);
+std::string_view to_string(ActorType v);
+std::string_view to_string(ActorAction v);
+std::string_view to_string(RelativePosition v);
+
+std::optional<RoadLayout> parse_road_layout(std::string_view s);
+std::optional<TimeOfDay> parse_time_of_day(std::string_view s);
+std::optional<Weather> parse_weather(std::string_view s);
+std::optional<TrafficDensity> parse_traffic_density(std::string_view s);
+std::optional<EgoAction> parse_ego_action(std::string_view s);
+std::optional<ActorType> parse_actor_type(std::string_view s);
+std::optional<ActorAction> parse_actor_action(std::string_view s);
+std::optional<RelativePosition> parse_relative_position(std::string_view s);
+
+// ---- slot metadata ----------------------------------------------------------------
+// The extraction model and the metrics code iterate over slots generically.
+
+enum class Slot : std::uint8_t {
+  kRoadLayout = 0,
+  kTimeOfDay,
+  kWeather,
+  kTrafficDensity,
+  kEgoAction,
+  kActorType,
+  kActorAction,
+  kActorPosition,
+};
+inline constexpr std::size_t kNumSlots = 8;
+
+/// Number of classes of each slot, indexed by Slot.
+inline constexpr std::array<std::size_t, kNumSlots> kSlotCardinality = {
+    kNumRoadLayouts,   kNumTimesOfDay,  kNumWeathers,
+    kNumTrafficDensities, kNumEgoActions, kNumActorTypes,
+    kNumActorActions,  kNumRelativePositions,
+};
+
+std::string_view to_string(Slot slot);
+
+/// Human-readable name of class `cls` within `slot` (for reports).
+std::string_view slot_class_name(Slot slot, std::size_t cls);
+
+}  // namespace tsdx::sdl

@@ -1,0 +1,28 @@
+#include "sim/clipgen.hpp"
+
+namespace tsdx::sim {
+
+LabeledClip ClipGenerator::generate() {
+  // Split per-clip streams so a change in render noise consumption can never
+  // perturb the scenario sequence (and vice versa).
+  Rng scenario_rng = rng_.split();
+  Rng noise_rng = rng_.split();
+  World world = sample_world(scenario_rng);
+  LabeledClip clip;
+  clip.description = world.description;
+  clip.video = render_clip(world, config_, noise_rng);
+  return clip;
+}
+
+LabeledClip ClipGenerator::generate_for(
+    const sdl::ScenarioDescription& description) {
+  Rng jitter_rng = rng_.split();
+  Rng noise_rng = rng_.split();
+  World world = build_world(description, jitter_rng);
+  LabeledClip clip;
+  clip.description = world.description;
+  clip.video = render_clip(world, config_, noise_rng);
+  return clip;
+}
+
+}  // namespace tsdx::sim

@@ -1,0 +1,37 @@
+// clipgen.hpp — the dataset-facing entry point of the simulator:
+// one call = one labeled clip.
+#pragma once
+
+#include "sim/render.hpp"
+#include "sim/world.hpp"
+
+namespace tsdx::sim {
+
+/// A labeled example: rendered video plus exact ground-truth description.
+struct LabeledClip {
+  VideoClip video;
+  sdl::ScenarioDescription description;
+};
+
+/// Deterministic clip generator. Two generators constructed with the same
+/// config and seed produce identical sequences of labeled clips.
+class ClipGenerator {
+ public:
+  ClipGenerator(RenderConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  /// Sample a fresh scenario and render it.
+  LabeledClip generate();
+
+  /// Render a clip for a *given* description (used by retrieval experiments
+  /// that need multiple clips of the same scenario).
+  LabeledClip generate_for(const sdl::ScenarioDescription& description);
+
+  const RenderConfig& config() const { return config_; }
+
+ private:
+  RenderConfig config_;
+  Rng rng_;
+};
+
+}  // namespace tsdx::sim

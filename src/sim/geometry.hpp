@@ -1,0 +1,69 @@
+// geometry.hpp — 2-D geometry primitives for the traffic world.
+//
+// Conventions: world coordinates in meters, +y is "north" (the ego vehicle's
+// initial driving direction), heading is the angle from the +x axis in
+// radians (so the initial ego heading is pi/2).
+#pragma once
+
+#include <cmath>
+
+namespace tsdx::sim {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+
+  /// Rotate counter-clockwise by `angle` radians.
+  Vec2 rotated(double angle) const {
+    const double c = std::cos(angle), s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+/// Unit vector at angle `heading` from +x.
+inline Vec2 unit(double heading) {
+  return {std::cos(heading), std::sin(heading)};
+}
+
+/// Left-hand normal of `heading` (i.e. heading + 90 degrees).
+inline Vec2 left_normal(double heading) { return unit(heading + kPi / 2.0); }
+
+struct Pose {
+  Vec2 pos;
+  double heading = kPi / 2.0;  ///< radians from +x; pi/2 = driving north
+};
+
+/// Smoothstep easing on [0, 1]: 3u^2 - 2u^3, clamped.
+inline double smoothstep(double u) {
+  if (u <= 0.0) return 0.0;
+  if (u >= 1.0) return 1.0;
+  return u * u * (3.0 - 2.0 * u);
+}
+
+/// Is point `p` inside the oriented rectangle centered at `pose.pos`, with
+/// `length` along the heading and `width` across it?
+inline bool in_oriented_rect(const Vec2& p, const Pose& pose, double length,
+                             double width) {
+  const Vec2 d = p - pose.pos;
+  const Vec2 fwd = unit(pose.heading);
+  const Vec2 left = left_normal(pose.heading);
+  return std::abs(d.dot(fwd)) <= length / 2.0 &&
+         std::abs(d.dot(left)) <= width / 2.0;
+}
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_angle(double a) {
+  while (a > kPi) a -= 2.0 * kPi;
+  while (a <= -kPi) a += 2.0 * kPi;
+  return a;
+}
+
+}  // namespace tsdx::sim

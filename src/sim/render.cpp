@@ -1,0 +1,160 @@
+#include "sim/render.hpp"
+
+#include <algorithm>
+
+namespace tsdx::sim {
+
+namespace {
+
+float time_brightness(sdl::TimeOfDay t) {
+  switch (t) {
+    case sdl::TimeOfDay::kDay:
+      return 1.0f;
+    case sdl::TimeOfDay::kDusk:
+      return 0.65f;
+    case sdl::TimeOfDay::kNight:
+      return 0.35f;
+  }
+  return 1.0f;
+}
+
+float vehicle_intensity(sdl::ActorType t) {
+  switch (t) {
+    case sdl::ActorType::kCar:
+      return 0.7f;
+    case sdl::ActorType::kTruck:
+      return 1.0f;
+    case sdl::ActorType::kCyclist:
+      return 0.6f;
+    case sdl::ActorType::kPedestrian:
+      return 0.9f;
+    case sdl::ActorType::kNone:
+      break;
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+void render_frame(const World& world, const RenderConfig& cfg, double t,
+                  Rng& noise_rng, float* out) {
+  const std::int64_t h = cfg.height;
+  const std::int64_t w = cfg.width;
+  const double m_per_px = cfg.view_size / static_cast<double>(h);
+
+  const Pose ego = world.ego.at(t);
+  // View basis: for kNorthUp the camera axes are world-fixed (turns show as
+  // ego-rectangle rotation); for kEgoAligned the view rotates with the ego
+  // (turns show as world rotation, like a stabilized dashcam BEV).
+  const bool ego_aligned = cfg.camera == CameraFrame::kEgoAligned;
+  const Vec2 fwd = ego_aligned ? unit(ego.heading) : Vec2{0.0, 1.0};
+  const Vec2 right = ego_aligned ? unit(ego.heading - kPi / 2.0)
+                                 : Vec2{1.0, 0.0};
+  const Vec2 cam = ego.pos + fwd * cfg.look_ahead;
+
+  const auto& env = world.description.environment;
+  const float road_level = 0.55f * time_brightness(env.time_of_day);
+  const bool fog = env.weather == sdl::Weather::kFog;
+  const bool rain = env.weather == sdl::Weather::kRain;
+  const float noise_sigma = fog ? 0.10f : (rain ? 0.04f : 0.02f);
+
+  // Actor poses at this instant (ego handled separately).
+  std::vector<std::pair<const Agent*, Pose>> poses;
+  poses.reserve(world.actors.size());
+  for (const Agent& a : world.actors) poses.emplace_back(&a, a.trajectory.at(t));
+
+  for (std::int64_t py = 0; py < h; ++py) {
+    for (std::int64_t px = 0; px < w; ++px) {
+      // Pixel row 0 is the top of the image (most-forward view point).
+      const double vx = (static_cast<double>(px) - w / 2.0 + 0.5) * m_per_px;
+      const double vy = (h / 2.0 - static_cast<double>(py) - 0.5) * m_per_px;
+      const Vec2 p = cam + right * vx + fwd * vy;
+
+      float road = 0.0f;
+      if (is_on_road(env.road_layout, p)) {
+        road = road_level;
+        // Lane marking: faint bright line along the main-road center.
+        if (std::abs(p.x) < 0.25) road = std::min(1.0f, road + 0.2f);
+      }
+      // Sensor/weather noise on the surface channel.
+      road += static_cast<float>(noise_rng.normal()) * noise_sigma;
+      if (rain && noise_rng.bernoulli(0.01)) road = 0.85f;
+      if (fog) road = 0.5f * road + 0.18f;  // washed-out contrast
+
+      float veh = 0.0f;
+      float vru = 0.0f;
+      float salient = 0.0f;
+      // Ego vehicle: brightest rectangle.
+      const Footprint ego_fp = footprint(sdl::ActorType::kCar);
+      if (in_oriented_rect(p, ego, ego_fp.length, ego_fp.width)) {
+        veh = std::max(veh, 1.0f);
+      }
+      for (const auto& [agent, pose] : poses) {
+        const Footprint fp = footprint(agent->type);
+        const bool is_vru = agent->type == sdl::ActorType::kPedestrian ||
+                            agent->type == sdl::ActorType::kCyclist;
+        if (in_oriented_rect(p, pose, fp.length, fp.width)) {
+          const float level = vehicle_intensity(agent->type) *
+                              (0.8f + 0.2f * time_brightness(env.time_of_day));
+          if (is_vru) {
+            vru = std::max(vru, level);
+          } else {
+            veh = std::max(veh, level);
+          }
+          if (agent->is_salient) salient = 1.0f;
+        }
+      }
+      // Mild noise on the object channels too (detector imperfection).
+      veh += static_cast<float>(noise_rng.normal()) * (noise_sigma * 0.5f);
+      vru += static_cast<float>(noise_rng.normal()) * (noise_sigma * 0.5f);
+
+      const std::size_t base = static_cast<std::size_t>(py * w + px);
+      const std::size_t plane = static_cast<std::size_t>(h * w);
+      out[base] = std::clamp(road, 0.0f, 1.0f);
+      out[plane + base] = std::clamp(veh, 0.0f, 1.0f);
+      out[2 * plane + base] = std::clamp(vru, 0.0f, 1.0f);
+      out[3 * plane + base] = salient;  // tracker mask: crisp, noise-free
+    }
+  }
+}
+
+VideoClip render_clip(const World& world, const RenderConfig& cfg,
+                      Rng& noise_rng) {
+  VideoClip clip;
+  clip.frames = cfg.frames;
+  clip.height = cfg.height;
+  clip.width = cfg.width;
+  clip.data.resize(static_cast<std::size_t>(cfg.frames * kNumChannels *
+                                            cfg.height * cfg.width));
+  const double dt = cfg.frames > 1
+                        ? world.duration / static_cast<double>(cfg.frames - 1)
+                        : 0.0;
+  for (std::int64_t f = 0; f < cfg.frames; ++f) {
+    float* frame = clip.data.data() +
+                   static_cast<std::size_t>(f * kNumChannels * cfg.height *
+                                            cfg.width);
+    render_frame(world, cfg, dt * static_cast<double>(f), noise_rng, frame);
+  }
+  return clip;
+}
+
+std::string ascii_frame(const VideoClip& clip, std::int64_t frame) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>((clip.width + 1) * clip.height));
+  for (std::int64_t y = 0; y < clip.height; ++y) {
+    for (std::int64_t x = 0; x < clip.width; ++x) {
+      const float road = clip.at(frame, 0, y, x);
+      const float veh = clip.at(frame, 1, y, x);
+      const float vru = clip.at(frame, 2, y, x);
+      char c = ' ';
+      if (road > 0.15f) c = '.';
+      if (vru > 0.3f) c = 'o';
+      if (veh > 0.3f) c = '#';
+      out += c;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tsdx::sim

@@ -1,0 +1,82 @@
+// render.hpp — rasterizer: World -> video tensor.
+//
+// The camera is an ego-centered, north-up bird's-eye view (the standard
+// HD-map-style input used by AV perception stacks; it substitutes for the
+// paper's dashcam footage while preserving the learning problem — appearance
+// carries the environment slots, motion across frames carries the action
+// slots).
+//
+// Channels:
+//   0: drivable surface, modulated by time-of-day brightness and weather
+//      noise (fog lowers contrast, rain adds speckle)
+//   1: vehicles (ego + cars/trucks) as oriented rectangles; ego is brightest
+//   2: vulnerable road users (pedestrians/cyclists) as blobs
+//   3: tracked-object mask covering the *salient* actor only. Upstream AV
+//      stacks hand the description extractor detector/tracker output in
+//      which the primary agent is marked; this channel plays that role and
+//      keeps "which actor is the subject" out of the extraction problem,
+//      exactly as a detection-conditioned pipeline would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace tsdx::sim {
+
+/// Camera reference frame.
+enum class CameraFrame : std::uint8_t {
+  kNorthUp = 0,  ///< HD-map style: axes fixed to the world, ego rotates
+  kEgoAligned,   ///< dashcam-BEV style: ego always points up, world rotates
+};
+
+struct RenderConfig {
+  std::int64_t height = 64;
+  std::int64_t width = 64;
+  double view_size = 36.0;  ///< meters covered by the view (square)
+  /// Forward bias: the camera center sits this many meters ahead of the ego
+  /// (along +y for kNorthUp, along the ego heading for kEgoAligned) so more
+  /// of the upcoming scene is visible.
+  double look_ahead = 6.0;
+  std::int64_t frames = 8;  ///< frames per clip, uniform over the duration
+  CameraFrame camera = CameraFrame::kNorthUp;
+};
+
+inline constexpr std::int64_t kNumChannels = 4;
+
+/// A rendered clip: row-major [frames, channels, height, width] in [0, 1].
+struct VideoClip {
+  std::int64_t frames = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::vector<float> data;
+
+  std::size_t index(std::int64_t t, std::int64_t c, std::int64_t y,
+                    std::int64_t x) const {
+    return static_cast<std::size_t>(
+        ((t * kNumChannels + c) * height + y) * width + x);
+  }
+  float at(std::int64_t t, std::int64_t c, std::int64_t y,
+           std::int64_t x) const {
+    return data[index(t, c, y, x)];
+  }
+};
+
+/// Render one frame at time `t` into `out` (size channels*H*W). `noise_rng`
+/// drives weather/sensor noise and should be a per-clip stream so clips are
+/// reproducible.
+void render_frame(const World& world, const RenderConfig& cfg, double t,
+                  Rng& noise_rng, float* out);
+
+/// Render the full clip; frame i is at time i * duration/(frames-1)
+/// (a single-frame clip renders t = 0).
+VideoClip render_clip(const World& world, const RenderConfig& cfg,
+                      Rng& noise_rng);
+
+/// ASCII-art visualization of one frame (for examples and debugging):
+/// '#': vehicle, 'o': VRU, '.': road, ' ': off-road.
+std::string ascii_frame(const VideoClip& clip, std::int64_t frame);
+
+}  // namespace tsdx::sim

@@ -1,0 +1,26 @@
+#include "sim/road.hpp"
+
+namespace tsdx::sim {
+
+bool is_on_road(sdl::RoadLayout layout, const Vec2& p) {
+  switch (layout) {
+    case sdl::RoadLayout::kStraight:
+      return std::abs(p.x) <= kRoadHalfWidth;
+    case sdl::RoadLayout::kCurve: {
+      // South of the origin the road is still straight (the ego approach);
+      // north of it the centerline bends around curve_center().
+      if (p.y <= 0.0) return std::abs(p.x) <= kRoadHalfWidth;
+      const double r = (p - curve_center()).norm();
+      return std::abs(r - kCurveRadius) <= kRoadHalfWidth;
+    }
+    case sdl::RoadLayout::kIntersection4:
+      return std::abs(p.x) <= kRoadHalfWidth || std::abs(p.y) <= kRoadHalfWidth;
+    case sdl::RoadLayout::kTJunction:
+      // Main south-north road plus an east arm.
+      return std::abs(p.x) <= kRoadHalfWidth ||
+             (std::abs(p.y) <= kRoadHalfWidth && p.x >= 0.0);
+  }
+  return false;
+}
+
+}  // namespace tsdx::sim

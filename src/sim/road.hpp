@@ -1,0 +1,38 @@
+// road.hpp — road-network geometry for each SDL road layout.
+//
+// All layouts are centered on the world origin, which the ego vehicle
+// approaches from the south (negative y). Roads are two-lane (one per
+// direction), lane width kLaneWidth; the right-hand ("ego") lane of the
+// main road is centered at x = +kLaneWidth/2, the oncoming lane at
+// x = -kLaneWidth/2.
+#pragma once
+
+#include "sdl/taxonomy.hpp"
+#include "sim/geometry.hpp"
+
+namespace tsdx::sim {
+
+inline constexpr double kLaneWidth = 3.5;            ///< meters
+inline constexpr double kRoadHalfWidth = kLaneWidth;  ///< two lanes total
+inline constexpr double kCurveRadius = 18.0;  ///< centerline radius of kCurve
+inline constexpr double kStopLineY = -5.0;    ///< stop line south of origin
+
+/// Center x of the ego-direction lane on the main (south-north) road.
+inline constexpr double kEgoLaneX = kLaneWidth / 2.0;
+/// Center x of the oncoming lane on the main road.
+inline constexpr double kOncomingLaneX = -kLaneWidth / 2.0;
+
+/// Center of the arc the kCurve layout bends around (curving to the right,
+/// i.e. toward +x, as the ego drives north).
+inline Vec2 curve_center() { return Vec2{kCurveRadius, 0.0}; }
+
+/// Is `p` on drivable surface for `layout`?
+bool is_on_road(sdl::RoadLayout layout, const Vec2& p);
+
+/// Does the layout contain a junction the ego can turn at?
+inline bool has_junction(sdl::RoadLayout layout) {
+  return layout == sdl::RoadLayout::kIntersection4 ||
+         layout == sdl::RoadLayout::kTJunction;
+}
+
+}  // namespace tsdx::sim

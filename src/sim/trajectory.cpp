@@ -1,0 +1,98 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+
+namespace tsdx::sim {
+
+Trajectory Trajectory::stationary(Pose pose) {
+  return Trajectory([pose](double) { return pose; });
+}
+
+Trajectory Trajectory::straight(Pose start, double speed) {
+  return Trajectory([start, speed](double t) {
+    Pose p = start;
+    p.pos = start.pos + unit(start.heading) * (speed * t);
+    return p;
+  });
+}
+
+Trajectory Trajectory::decelerate_to_stop(Pose start, double speed,
+                                          double stop_time) {
+  // Constant deceleration a = v/stop_time; distance covered s(t) = vt - at²/2.
+  return Trajectory([start, speed, stop_time](double t) {
+    const double tc = std::clamp(t, 0.0, stop_time);
+    const double a = stop_time > 0.0 ? speed / stop_time : 0.0;
+    const double s = speed * tc - 0.5 * a * tc * tc;
+    Pose p = start;
+    p.pos = start.pos + unit(start.heading) * s;
+    return p;
+  });
+}
+
+Trajectory Trajectory::lane_change(Pose start, double speed, double lateral,
+                                   double t0, double t1) {
+  return Trajectory([start, speed, lateral, t0, t1](double t) {
+    const double along = speed * t;
+    const double u = (t1 > t0) ? (t - t0) / (t1 - t0) : 1.0;
+    const double off = lateral * smoothstep(u);
+    Pose p = start;
+    p.pos = start.pos + unit(start.heading) * along +
+            left_normal(start.heading) * off;
+    // Heading nudges toward the manoeuvre direction mid-change (visible yaw).
+    const double mid = 4.0 * smoothstep(u) * (1.0 - smoothstep(u));
+    p.heading = start.heading + 0.15 * mid * (lateral > 0 ? 1.0 : -1.0);
+    return p;
+  });
+}
+
+Trajectory Trajectory::turn(Pose start, double speed, double radius,
+                            double approach_dist, double arc_angle) {
+  return Trajectory([start, speed, radius, approach_dist, arc_angle](double t) {
+    const double s = speed * t;  // distance along the path
+    const double arc_len = radius * std::abs(arc_angle);
+
+    if (s <= approach_dist) {
+      Pose p = start;
+      p.pos = start.pos + unit(start.heading) * s;
+      return p;
+    }
+    // Pose at the start of the arc.
+    const Vec2 arc_entry = start.pos + unit(start.heading) * approach_dist;
+    const double side = arc_angle >= 0.0 ? 1.0 : -1.0;  // left or right turn
+    const Vec2 center = arc_entry + left_normal(start.heading) * (side * radius);
+
+    if (s <= approach_dist + arc_len) {
+      const double frac = (s - approach_dist) / arc_len;  // 0..1 along the arc
+      const double dheading = arc_angle * frac;
+      // Vector from center to entry, rotated by the heading change.
+      const Vec2 radial = (arc_entry - center).rotated(dheading);
+      Pose p;
+      p.pos = center + radial;
+      p.heading = start.heading + dheading;
+      return p;
+    }
+    // Exit straight.
+    const double rest = s - approach_dist - arc_len;
+    const double exit_heading = start.heading + arc_angle;
+    const Vec2 radial_end = (arc_entry - center).rotated(arc_angle);
+    Pose p;
+    p.pos = center + radial_end + unit(exit_heading) * rest;
+    p.heading = exit_heading;
+    return p;
+  });
+}
+
+Trajectory Trajectory::arc(Vec2 center, double radius, double start_angle,
+                           double speed) {
+  return Trajectory([center, radius, start_angle, speed](double t) {
+    const double omega = radius > 0.0 ? speed / radius : 0.0;
+    const double angle = start_angle + omega * t;
+    Pose p;
+    p.pos = center + unit(angle) * radius;
+    // Tangent direction for counter-clockwise travel.
+    p.heading = angle + kPi / 2.0 * (speed >= 0.0 ? 1.0 : -1.0);
+    return p;
+  });
+}
+
+}  // namespace tsdx::sim

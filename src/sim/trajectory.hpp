@@ -1,0 +1,58 @@
+// trajectory.hpp — parametric, closed-form motion profiles.
+//
+// Every agent's motion is a pure function of time, which makes clips exactly
+// reproducible, keeps behaviours trivially composable, and removes any need
+// for numeric integration. The factory functions below cover the SDL action
+// vocabulary; each returns a value-type Trajectory.
+#pragma once
+
+#include <functional>
+
+#include "sim/geometry.hpp"
+
+namespace tsdx::sim {
+
+class Trajectory {
+ public:
+  /// Default: parked at the origin facing north.
+  Trajectory() : fn_([](double) { return Pose{}; }) {}
+
+  Pose at(double t) const { return fn_(t); }
+
+  // ---- factories -----------------------------------------------------------
+
+  /// Never moves.
+  static Trajectory stationary(Pose pose);
+
+  /// Constant speed along the start heading.
+  static Trajectory straight(Pose start, double speed);
+
+  /// Constant deceleration from `speed` to rest, stopping exactly at
+  /// `stop_time` seconds; stays put afterwards.
+  static Trajectory decelerate_to_stop(Pose start, double speed,
+                                       double stop_time);
+
+  /// Drive along the heading while easing a lateral offset of `lateral`
+  /// meters (positive = to the left of travel) between t0 and t1.
+  static Trajectory lane_change(Pose start, double speed, double lateral,
+                                double t0, double t1);
+
+  /// Straight for `approach_dist` meters, then a circular arc of signed
+  /// `arc_angle` (positive = left turn) with radius `radius`, then straight
+  /// again — the standard junction turn. Speed is constant along the path.
+  static Trajectory turn(Pose start, double speed, double radius,
+                         double approach_dist, double arc_angle);
+
+  /// Full-circle arc around `center` starting at `start_angle` (position
+  /// angle on the circle), angular velocity derived from speed/radius;
+  /// positive speed drives counter-clockwise. Used for driving along the
+  /// curved road layout.
+  static Trajectory arc(Vec2 center, double radius, double start_angle,
+                        double speed);
+
+ private:
+  explicit Trajectory(std::function<Pose(double)> fn) : fn_(std::move(fn)) {}
+  std::function<Pose(double)> fn_;
+};
+
+}  // namespace tsdx::sim

@@ -1,0 +1,359 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tsdx::sim {
+
+namespace sdl = tsdx::sdl;
+using sdl::ActorAction;
+using sdl::ActorType;
+using sdl::EgoAction;
+using sdl::RelativePosition;
+using sdl::RoadLayout;
+
+Footprint footprint(ActorType type) {
+  switch (type) {
+    case ActorType::kCar:
+      return {4.4, 1.8};
+    case ActorType::kTruck:
+      return {7.5, 2.5};
+    case ActorType::kPedestrian:
+      return {0.7, 0.7};
+    case ActorType::kCyclist:
+      return {1.8, 0.8};
+    case ActorType::kNone:
+      break;
+  }
+  return {0.0, 0.0};
+}
+
+namespace {
+
+template <class T>
+T pick(Rng& rng, const std::vector<T>& options) {
+  return options[static_cast<std::size_t>(rng.uniform_index(options.size()))];
+}
+
+double nominal_speed(ActorType type, Rng& rng) {
+  double base = 0.0;
+  switch (type) {
+    case ActorType::kCar:
+      base = 6.5;
+      break;
+    case ActorType::kTruck:
+      base = 5.5;
+      break;
+    case ActorType::kPedestrian:
+      base = 1.4;
+      break;
+    case ActorType::kCyclist:
+      base = 3.5;
+      break;
+    case ActorType::kNone:
+      break;
+  }
+  return base * rng.uniform(0.9, 1.1);
+}
+
+}  // namespace
+
+sdl::ScenarioDescription sample_description(Rng& rng, double p_no_actor) {
+  sdl::ScenarioDescription d;
+  d.environment.road_layout =
+      static_cast<RoadLayout>(rng.uniform_index(sdl::kNumRoadLayouts));
+  d.environment.time_of_day =
+      static_cast<sdl::TimeOfDay>(rng.uniform_index(sdl::kNumTimesOfDay));
+  d.environment.weather =
+      static_cast<sdl::Weather>(rng.uniform_index(sdl::kNumWeathers));
+  d.environment.density = static_cast<sdl::TrafficDensity>(
+      rng.uniform_index(sdl::kNumTrafficDensities));
+
+  const RoadLayout layout = d.environment.road_layout;
+  std::vector<EgoAction> ego_actions = {EgoAction::kCruise, EgoAction::kStop};
+  if (layout == RoadLayout::kStraight) {
+    ego_actions.push_back(EgoAction::kLaneChangeLeft);
+    ego_actions.push_back(EgoAction::kLaneChangeRight);
+  }
+  if (has_junction(layout)) {
+    ego_actions.push_back(EgoAction::kTurnLeft);
+    ego_actions.push_back(EgoAction::kTurnRight);
+  }
+  d.ego_action = pick(rng, ego_actions);
+
+  if (!rng.bernoulli(p_no_actor)) {
+    ActorType type = static_cast<ActorType>(
+        1 + rng.uniform_index(sdl::kNumActorTypes - 1));  // skip kNone
+
+    std::vector<ActorAction> actions;
+    switch (type) {
+      case ActorType::kPedestrian:
+        actions = {ActorAction::kCross, ActorAction::kStop};
+        break;
+      case ActorType::kCyclist:
+        actions = {ActorAction::kCross, ActorAction::kCruise,
+                   ActorAction::kStop};
+        break;
+      default:
+        actions = {ActorAction::kCruise, ActorAction::kCruise,
+                   ActorAction::kStop, ActorAction::kParked};
+        if (has_junction(layout)) {
+          actions.push_back(ActorAction::kTurnLeft);
+          actions.push_back(ActorAction::kTurnRight);
+        }
+    }
+    const ActorAction action = pick(rng, actions);
+
+    std::vector<RelativePosition> positions;
+    const bool is_vehicle =
+        type == ActorType::kCar || type == ActorType::kTruck;
+    switch (action) {
+      case ActorAction::kCross:
+        positions = {RelativePosition::kAhead};
+        break;
+      case ActorAction::kParked:
+        positions = {RelativePosition::kLeft, RelativePosition::kRight};
+        break;
+      case ActorAction::kStop:
+        positions = is_vehicle || type == ActorType::kCyclist
+                        ? std::vector<RelativePosition>{RelativePosition::kAhead,
+                                                        RelativePosition::kBehind}
+                        : std::vector<RelativePosition>{RelativePosition::kLeft,
+                                                        RelativePosition::kRight};
+        break;
+      case ActorAction::kTurnLeft:
+      case ActorAction::kTurnRight:
+        positions = {RelativePosition::kAhead, RelativePosition::kOncoming};
+        break;
+      case ActorAction::kCruise:
+        positions = is_vehicle
+                        ? std::vector<RelativePosition>{RelativePosition::kAhead,
+                                                        RelativePosition::kBehind,
+                                                        RelativePosition::kOncoming}
+                        : std::vector<RelativePosition>{RelativePosition::kAhead,
+                                                        RelativePosition::kRight};
+        break;
+      case ActorAction::kNone:
+        break;
+    }
+    d.salient_actor = sdl::ActorDescription{type, action, pick(rng, positions)};
+  }
+
+  // Background actor count by density (the ego and salient actor do not
+  // count toward density).
+  std::size_t bg = 0;
+  switch (d.environment.density) {
+    case sdl::TrafficDensity::kSparse:
+      bg = 0;
+      break;
+    case sdl::TrafficDensity::kMedium:
+      bg = 2;
+      break;
+    case sdl::TrafficDensity::kDense:
+      bg = 4;
+      break;
+  }
+  for (std::size_t i = 0; i < bg; ++i) {
+    const ActorType type =
+        rng.bernoulli(0.25) ? ActorType::kTruck : ActorType::kCar;
+    const bool parked = rng.bernoulli(0.4);
+    sdl::ActorDescription a;
+    a.type = type;
+    a.action = parked ? ActorAction::kParked : ActorAction::kCruise;
+    a.position = parked ? (rng.bernoulli(0.5) ? RelativePosition::kLeft
+                                              : RelativePosition::kRight)
+                        : (rng.bernoulli(0.5) ? RelativePosition::kOncoming
+                                              : RelativePosition::kAhead);
+    d.background_actors.push_back(a);
+  }
+  return d;
+}
+
+namespace {
+
+/// Ego-lane arc radius on the curved layout (lane sits inside the centerline).
+double curve_lane_radius() { return kCurveRadius - kEgoLaneX; }
+
+Trajectory make_ego_trajectory(const sdl::ScenarioDescription& d, Rng& rng,
+                               double ego_y0) {
+  const double speed = kEgoSpeed * rng.uniform(0.9, 1.1);
+  const Pose start{{kEgoLaneX, ego_y0}, kPi / 2.0};
+  const RoadLayout layout = d.environment.road_layout;
+
+  switch (d.ego_action) {
+    case EgoAction::kCruise: {
+      if (layout == RoadLayout::kCurve) {
+        const double approach = -ego_y0;
+        const double radius = curve_lane_radius();
+        const double arc_angle =
+            -(speed * kClipDuration - approach) / radius;  // right-hand bend
+        return Trajectory::turn(start, speed, radius, approach, arc_angle);
+      }
+      return Trajectory::straight(start, speed);
+    }
+    case EgoAction::kStop: {
+      // Stop just before the stop line / obstruction.
+      const double stop_time = rng.uniform(2.0, 2.8);
+      return Trajectory::decelerate_to_stop(start, speed, stop_time);
+    }
+    case EgoAction::kTurnLeft: {
+      const double approach = -ego_y0 - 6.0;  // arc begins near the junction
+      return Trajectory::turn(start, speed, 6.0, approach, kPi / 2.0);
+    }
+    case EgoAction::kTurnRight: {
+      const double approach = -ego_y0 - 6.0;
+      return Trajectory::turn(start, speed, 4.0, approach, -kPi / 2.0);
+    }
+    case EgoAction::kLaneChangeLeft:
+      return Trajectory::lane_change(start, speed, kLaneWidth,
+                                     rng.uniform(0.8, 1.2),
+                                     rng.uniform(2.4, 2.9));
+    case EgoAction::kLaneChangeRight:
+      return Trajectory::lane_change(start, speed, -kLaneWidth,
+                                     rng.uniform(0.8, 1.2),
+                                     rng.uniform(2.4, 2.9));
+  }
+  return Trajectory::straight(start, speed);
+}
+
+Trajectory make_salient_trajectory(const sdl::ActorDescription& a, Rng& rng,
+                                   double ego_y0) {
+  const double speed = nominal_speed(a.type, rng);
+  const double side_x = kRoadHalfWidth + 1.2;
+
+  switch (a.action) {
+    case ActorAction::kCross: {
+      // Walk/ride across the road, ahead of the ego, right-to-left.
+      const bool from_right = rng.bernoulli(0.5);
+      const double x0 = from_right ? side_x + 0.5 : -side_x - 0.5;
+      const double heading = from_right ? kPi : 0.0;  // toward -x / +x
+      const double y = ego_y0 + rng.uniform(12.0, 18.0);
+      return Trajectory::straight(Pose{{x0, y}, heading}, speed);
+    }
+    case ActorAction::kParked: {
+      const double x = a.position == RelativePosition::kLeft ? -side_x : side_x;
+      const double y = ego_y0 + rng.uniform(6.0, 16.0);
+      return Trajectory::stationary(Pose{{x, y}, kPi / 2.0});
+    }
+    case ActorAction::kStop: {
+      if (a.position == RelativePosition::kLeft ||
+          a.position == RelativePosition::kRight) {
+        // VRU waiting at the roadside.
+        const double x =
+            a.position == RelativePosition::kLeft ? -side_x : side_x;
+        const double y = ego_y0 + rng.uniform(8.0, 14.0);
+        return Trajectory::stationary(Pose{{x, y}, kPi});
+      }
+      const double y = a.position == RelativePosition::kBehind
+                           ? ego_y0 - rng.uniform(7.0, 10.0)
+                           : ego_y0 + rng.uniform(9.0, 13.0);
+      return Trajectory::decelerate_to_stop(Pose{{kEgoLaneX, y}, kPi / 2.0},
+                                            speed, rng.uniform(1.2, 2.0));
+    }
+    case ActorAction::kTurnLeft:
+    case ActorAction::kTurnRight: {
+      const double sign = a.action == ActorAction::kTurnLeft ? 1.0 : -1.0;
+      if (a.position == RelativePosition::kOncoming) {
+        const Pose start{{kOncomingLaneX, ego_y0 + 26.0}, -kPi / 2.0};
+        const double approach = (ego_y0 + 26.0) - 6.0;
+        return Trajectory::turn(start, speed, 5.0, approach,
+                                sign * kPi / 2.0);
+      }
+      const Pose start{{kEgoLaneX, ego_y0 + 8.0}, kPi / 2.0};
+      const double approach = -(ego_y0 + 8.0) - 5.0;
+      return Trajectory::turn(start, speed, 5.0, std::max(2.0, approach),
+                              sign * kPi / 2.0);
+    }
+    case ActorAction::kCruise: {
+      switch (a.position) {
+        case RelativePosition::kAhead: {
+          const double x = a.type == ActorType::kCyclist
+                               ? kRoadHalfWidth - 0.6
+                               : kEgoLaneX;
+          return Trajectory::straight(
+              Pose{{x, ego_y0 + rng.uniform(8.0, 12.0)}, kPi / 2.0}, speed);
+        }
+        case RelativePosition::kBehind:
+          return Trajectory::straight(
+              Pose{{kEgoLaneX, ego_y0 - rng.uniform(7.0, 10.0)}, kPi / 2.0},
+              speed * 1.2);
+        case RelativePosition::kOncoming:
+          return Trajectory::straight(
+              Pose{{kOncomingLaneX, ego_y0 + rng.uniform(22.0, 30.0)},
+                   -kPi / 2.0},
+              speed);
+        case RelativePosition::kRight:
+          return Trajectory::straight(
+              Pose{{kRoadHalfWidth - 0.6, ego_y0 + rng.uniform(6.0, 10.0)},
+                   kPi / 2.0},
+              speed);
+        case RelativePosition::kLeft:
+          return Trajectory::straight(
+              Pose{{-kRoadHalfWidth + 0.6, ego_y0 + rng.uniform(6.0, 10.0)},
+                   kPi / 2.0},
+              speed);
+        case RelativePosition::kNone:
+          break;
+      }
+      break;
+    }
+    case ActorAction::kNone:
+      break;
+  }
+  return Trajectory::stationary(Pose{{side_x, ego_y0 + 10.0}, kPi / 2.0});
+}
+
+Trajectory make_background_trajectory(const sdl::ActorDescription& a,
+                                      Rng& rng, double ego_y0,
+                                      std::size_t slot) {
+  const double side_x = kRoadHalfWidth + 1.1;
+  // Staggered longitudinal slots keep background agents from stacking.
+  const double y = ego_y0 + 4.0 + 7.0 * static_cast<double>(slot) +
+                   rng.uniform(-1.5, 1.5);
+  if (a.action == ActorAction::kParked) {
+    const double x = a.position == RelativePosition::kLeft ? -side_x : side_x;
+    return Trajectory::stationary(Pose{{x, y}, kPi / 2.0});
+  }
+  if (a.position == RelativePosition::kOncoming) {
+    return Trajectory::straight(
+        Pose{{kOncomingLaneX, y + 18.0}, -kPi / 2.0},
+        nominal_speed(a.type, rng));
+  }
+  return Trajectory::straight(Pose{{kEgoLaneX, y + 14.0}, kPi / 2.0},
+                              nominal_speed(a.type, rng) * 0.9);
+}
+
+}  // namespace
+
+World build_world(const sdl::ScenarioDescription& description, Rng& rng) {
+  World world;
+  world.description = description;
+  world.duration = kClipDuration;
+
+  const double ego_y0 = -14.0 + rng.uniform(-1.0, 1.0);
+  world.ego = make_ego_trajectory(description, rng, ego_y0);
+
+  if (description.salient_actor.type != ActorType::kNone) {
+    Agent agent;
+    agent.type = description.salient_actor.type;
+    agent.is_salient = true;
+    agent.trajectory =
+        make_salient_trajectory(description.salient_actor, rng, ego_y0);
+    world.actors.push_back(std::move(agent));
+  }
+  std::size_t slot = 0;
+  for (const sdl::ActorDescription& a : description.background_actors) {
+    Agent agent;
+    agent.type = a.type;
+    agent.is_salient = false;
+    agent.trajectory = make_background_trajectory(a, rng, ego_y0, slot++);
+    world.actors.push_back(std::move(agent));
+  }
+  return world;
+}
+
+World sample_world(Rng& rng, double p_no_actor) {
+  return build_world(sample_description(rng, p_no_actor), rng);
+}
+
+}  // namespace tsdx::sim

@@ -1,0 +1,59 @@
+// world.hpp — concrete scenario instances and the scenario sampler.
+//
+// A World is a fully-determined episode: the environment, one trajectory per
+// agent, and the ground-truth ScenarioDescription it realizes. The sampler
+// draws a *semantically valid* description (it respects sdl::validate by
+// construction) and instantiates trajectories with bounded random jitter so
+// that two clips with the same description still differ in appearance.
+#pragma once
+
+#include <vector>
+
+#include "sdl/description.hpp"
+#include "sim/road.hpp"
+#include "sim/trajectory.hpp"
+#include "tensor/rng.hpp"
+
+namespace tsdx::sim {
+
+using tensor::Rng;
+
+/// Episode length in seconds; frames are sampled uniformly inside it.
+inline constexpr double kClipDuration = 4.0;
+/// Nominal ego cruising speed (m/s).
+inline constexpr double kEgoSpeed = 8.0;
+
+struct Agent {
+  sdl::ActorType type = sdl::ActorType::kCar;
+  Trajectory trajectory;
+  bool is_salient = false;
+};
+
+struct World {
+  sdl::ScenarioDescription description;
+  Trajectory ego;
+  std::vector<Agent> actors;
+  double duration = kClipDuration;
+};
+
+/// Footprint (length, width in meters) used for rendering and overlap checks.
+struct Footprint {
+  double length;
+  double width;
+};
+Footprint footprint(sdl::ActorType type);
+
+/// Draw a semantically valid ScenarioDescription. `p_no_actor` is the
+/// probability that the scene has no salient actor.
+sdl::ScenarioDescription sample_description(Rng& rng,
+                                            double p_no_actor = 0.15);
+
+/// Instantiate trajectories for a description. Jitter (start offsets, speed
+/// scale) is drawn from `rng`; the returned world's `description` echoes the
+/// input (background actors may be adjusted to what was actually placed).
+World build_world(const sdl::ScenarioDescription& description, Rng& rng);
+
+/// sample_description + build_world in one call.
+World sample_world(Rng& rng, double p_no_actor = 0.15);
+
+}  // namespace tsdx::sim

@@ -1,0 +1,56 @@
+#include "tensor/gradcheck.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsdx::tensor {
+
+GradCheckResult grad_check(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps, double tol) {
+  for (const Tensor& t : inputs) {
+    if (!t.requires_grad()) {
+      throw std::invalid_argument("grad_check: all inputs need requires_grad");
+    }
+  }
+
+  // Analytic pass.
+  for (Tensor& t : inputs) t.zero_grad();
+  Tensor loss = fn(inputs);
+  if (loss.numel() != 1) {
+    throw std::invalid_argument("grad_check: fn must return a scalar");
+  }
+  loss.backward();
+
+  GradCheckResult result;
+  for (std::size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    const auto analytic = t.grad();
+    auto data = t.mutable_data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float orig = data[i];
+      data[i] = orig + static_cast<float>(eps);
+      const double fp = fn(inputs).item();
+      data[i] = orig - static_cast<float>(eps);
+      const double fm = fn(inputs).item();
+      data[i] = orig;
+
+      const double numeric = (fp - fm) / (2.0 * eps);
+      const double a = analytic.empty() ? 0.0 : analytic[i];
+      const double abs_err = std::abs(a - numeric);
+      const double denom = std::max({1.0, std::abs(a), std::abs(numeric)});
+      const double rel_err = abs_err / denom;
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      if (rel_err > result.max_rel_err) {
+        result.max_rel_err = rel_err;
+        result.detail = "input " + std::to_string(ti) + " elem " +
+                        std::to_string(i) + ": analytic=" + std::to_string(a) +
+                        " numeric=" + std::to_string(numeric);
+      }
+      if (rel_err > tol) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace tsdx::tensor

@@ -1,0 +1,30 @@
+// gradcheck.hpp — numerical gradient verification.
+//
+// Central-difference check used throughout tests/: every fused backward pass
+// in this library is validated against finite differences on random inputs.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace tsdx::tensor {
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string detail;  ///< description of the worst mismatch, for gtest output
+};
+
+/// Compare analytic gradients of `fn(inputs) -> scalar` against central
+/// differences, perturbing every element of every input.
+///
+/// Inputs must have requires_grad=true. Tolerance is on the hybrid error
+/// |a - n| / max(1, |a|, |n|), appropriate for float32 forward math.
+GradCheckResult grad_check(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps = 1e-3, double tol = 2e-2);
+
+}  // namespace tsdx::tensor

@@ -1,0 +1,474 @@
+#include "tensor/nn_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsdx::tensor {
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  if (x.rank() == 0) throw std::invalid_argument("layer_norm: scalar input");
+  const std::int64_t d = x.shape().back();
+  if (gamma.shape() != Shape{d} || beta.shape() != Shape{d}) {
+    throw std::invalid_argument("layer_norm: gamma/beta must be [" +
+                                std::to_string(d) + "]");
+  }
+  const std::int64_t rows = x.numel() / d;
+  std::vector<float> out(static_cast<std::size_t>(x.numel()));
+  // Saved for backward: normalized values and 1/std per row.
+  auto xhat = std::make_shared<std::vector<float>>(out.size());
+  auto inv_std = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(rows));
+
+  const auto xv = x.data();
+  const auto gv = gamma.data();
+  const auto bv = beta.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = xv.data() + r * d;
+    float mean = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) mean += xr[i];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const float c = xr[i] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<std::size_t>(r)] = istd;
+    float* xh = xhat->data() + r * d;
+    float* yr = out.data() + r * d;
+    for (std::int64_t i = 0; i < d; ++i) {
+      xh[i] = (xr[i] - mean) * istd;
+      yr[i] = xh[i] * gv[i] + bv[i];
+    }
+  }
+
+  NodePtr xn = x.node();
+  NodePtr gn = gamma.node();
+  NodePtr bn = beta.node();
+  return make_op_result(
+      x.shape(), std::move(out), {xn, gn, bn},
+      [xn, gn, bn, xhat, inv_std, rows, d](Node& self) {
+        const auto& g = self.grad;
+        const auto& gv2 = gn->data;
+        if (bn->requires_grad) {
+          auto& gb = bn->ensure_grad();
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const float* gr = g.data() + r * d;
+            for (std::int64_t i = 0; i < d; ++i) gb[i] += gr[i];
+          }
+        }
+        if (gn->requires_grad) {
+          auto& gg = gn->ensure_grad();
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const float* gr = g.data() + r * d;
+            const float* xh = xhat->data() + r * d;
+            for (std::int64_t i = 0; i < d; ++i) gg[i] += gr[i] * xh[i];
+          }
+        }
+        if (xn->requires_grad) {
+          auto& gx = xn->ensure_grad();
+          // dx = istd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const float* gr = g.data() + r * d;
+            const float* xh = xhat->data() + r * d;
+            const float istd = (*inv_std)[static_cast<std::size_t>(r)];
+            float m1 = 0.0f, m2 = 0.0f;
+            for (std::int64_t i = 0; i < d; ++i) {
+              const float dxh = gr[i] * gv2[i];
+              m1 += dxh;
+              m2 += dxh * xh[i];
+            }
+            m1 /= static_cast<float>(d);
+            m2 /= static_cast<float>(d);
+            float* dst = gx.data() + r * d;
+            for (std::int64_t i = 0; i < d; ++i) {
+              const float dxh = gr[i] * gv2[i];
+              dst[i] += istd * (dxh - m1 - xh[i] * m2);
+            }
+          }
+        }
+      });
+}
+
+Tensor cross_entropy_logits(const Tensor& logits,
+                            const std::vector<std::int64_t>& targets) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("cross_entropy: logits must be [B, C], got " +
+                                to_string(logits.shape()));
+  }
+  const std::int64_t b = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  if (static_cast<std::int64_t>(targets.size()) != b) {
+    throw std::invalid_argument("cross_entropy: batch/target size mismatch");
+  }
+  // Forward: mean of -log softmax at the target index; save the softmax for
+  // backward.
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(b * c));
+  const auto lv = logits.data();
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < b; ++r) {
+    const std::int64_t t = targets[static_cast<std::size_t>(r)];
+    if (t < 0 || t >= c) throw std::invalid_argument("cross_entropy: bad target");
+    const float* x = lv.data() + r * c;
+    float mx = x[0];
+    for (std::int64_t i = 1; i < c; ++i) mx = std::max(mx, x[i]);
+    float sum = 0.0f;
+    float* p = probs->data() + r * c;
+    for (std::int64_t i = 0; i < c; ++i) {
+      p[i] = std::exp(x[i] - mx);
+      sum += p[i];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t i = 0; i < c; ++i) p[i] *= inv;
+    loss -= std::log(std::max(p[t], 1e-12f));
+  }
+  loss /= static_cast<double>(b);
+
+  NodePtr ln = logits.node();
+  auto tgt = std::make_shared<std::vector<std::int64_t>>(targets);
+  return make_op_result(
+      Shape{}, {static_cast<float>(loss)}, {ln},
+      [ln, probs, tgt, b, c](Node& self) {
+        if (!ln->requires_grad) return;
+        auto& gl = ln->ensure_grad();
+        const float scale = self.grad[0] / static_cast<float>(b);
+        for (std::int64_t r = 0; r < b; ++r) {
+          const float* p = probs->data() + r * c;
+          float* dst = gl.data() + r * c;
+          const std::int64_t t = (*tgt)[static_cast<std::size_t>(r)];
+          for (std::int64_t i = 0; i < c; ++i) {
+            dst[i] += scale * (p[i] - (i == t ? 1.0f : 0.0f));
+          }
+        }
+      });
+}
+
+Tensor embedding_lookup(const Tensor& weight,
+                        const std::vector<std::int64_t>& indices) {
+  if (weight.rank() != 2) {
+    throw std::invalid_argument("embedding: weight must be [V, D]");
+  }
+  const std::int64_t v = weight.dim(0);
+  const std::int64_t d = weight.dim(1);
+  const std::int64_t n = static_cast<std::int64_t>(indices.size());
+  std::vector<float> out(static_cast<std::size_t>(n * d));
+  const auto wv = weight.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t idx = indices[static_cast<std::size_t>(i)];
+    if (idx < 0 || idx >= v) throw std::invalid_argument("embedding: bad index");
+    std::copy_n(wv.data() + idx * d, d, out.data() + i * d);
+  }
+  NodePtr wn = weight.node();
+  auto idxs = std::make_shared<std::vector<std::int64_t>>(indices);
+  return make_op_result(Shape{n, d}, std::move(out), {wn},
+                        [wn, idxs, d](Node& self) {
+                          if (!wn->requires_grad) return;
+                          auto& gw = wn->ensure_grad();
+                          const auto& g = self.grad;
+                          for (std::size_t i = 0; i < idxs->size(); ++i) {
+                            const std::int64_t idx = (*idxs)[i];
+                            const float* src =
+                                g.data() + static_cast<std::int64_t>(i) * d;
+                            float* dst = gw.data() + idx * d;
+                            for (std::int64_t j = 0; j < d; ++j) dst[j] += src[j];
+                          }
+                        });
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              std::int64_t stride, std::int64_t pad) {
+  if (input.rank() != 4 || weight.rank() != 4) {
+    throw std::invalid_argument("conv2d: input [B,C,H,W], weight [O,C,KH,KW]");
+  }
+  const std::int64_t b = input.dim(0), cin = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t cout = weight.dim(0), kh = weight.dim(2),
+                     kw = weight.dim(3);
+  if (weight.dim(1) != cin) {
+    throw std::invalid_argument("conv2d: channel mismatch");
+  }
+  if (bias.shape() != Shape{cout}) {
+    throw std::invalid_argument("conv2d: bias must be [Cout]");
+  }
+  if (stride < 1) throw std::invalid_argument("conv2d: stride must be >= 1");
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("conv2d: empty output");
+
+  std::vector<float> out(static_cast<std::size_t>(b * cout * oh * ow));
+  const float* in = input.data().data();
+  const float* wt = weight.data().data();
+  const float* bs = bias.data().data();
+
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t oc = 0; oc < cout; ++oc) {
+      float* outp = out.data() + ((n * cout + oc) * oh) * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float acc = bs[oc];
+          for (std::int64_t ic = 0; ic < cin; ++ic) {
+            const float* inc = in + ((n * cin + ic) * h) * w;
+            const float* wtc = wt + ((oc * cin + ic) * kh) * kw;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = y * stride + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = x * stride + kx - pad;
+                if (ix < 0 || ix >= w) continue;
+                acc += inc[iy * w + ix] * wtc[ky * kw + kx];
+              }
+            }
+          }
+          outp[y * ow + x] = acc;
+        }
+      }
+    }
+  }
+
+  NodePtr in_n = input.node();
+  NodePtr wt_n = weight.node();
+  NodePtr bs_n = bias.node();
+  return make_op_result(
+      Shape{b, cout, oh, ow}, std::move(out), {in_n, wt_n, bs_n},
+      [in_n, wt_n, bs_n, b, cin, h, w, cout, kh, kw, oh, ow, stride,
+       pad](Node& self) {
+        const float* g = self.grad.data();
+        const float* in2 = in_n->data.data();
+        const float* wt2 = wt_n->data.data();
+        float* gin = in_n->requires_grad ? in_n->ensure_grad().data() : nullptr;
+        float* gwt = wt_n->requires_grad ? wt_n->ensure_grad().data() : nullptr;
+        float* gbs = bs_n->requires_grad ? bs_n->ensure_grad().data() : nullptr;
+
+        for (std::int64_t n = 0; n < b; ++n) {
+          for (std::int64_t oc = 0; oc < cout; ++oc) {
+            const float* gout = g + ((n * cout + oc) * oh) * ow;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              for (std::int64_t x = 0; x < ow; ++x) {
+                const float gv = gout[y * ow + x];
+                if (gv == 0.0f) continue;
+                if (gbs) gbs[oc] += gv;
+                for (std::int64_t ic = 0; ic < cin; ++ic) {
+                  const float* inc = in2 + ((n * cin + ic) * h) * w;
+                  const float* wtc = wt2 + ((oc * cin + ic) * kh) * kw;
+                  float* ginc =
+                      gin ? gin + ((n * cin + ic) * h) * w : nullptr;
+                  float* gwtc =
+                      gwt ? gwt + ((oc * cin + ic) * kh) * kw : nullptr;
+                  for (std::int64_t ky = 0; ky < kh; ++ky) {
+                    const std::int64_t iy = y * stride + ky - pad;
+                    if (iy < 0 || iy >= h) continue;
+                    for (std::int64_t kx = 0; kx < kw; ++kx) {
+                      const std::int64_t ix = x * stride + kx - pad;
+                      if (ix < 0 || ix >= w) continue;
+                      if (gwtc) gwtc[ky * kw + kx] += gv * inc[iy * w + ix];
+                      if (ginc) ginc[iy * w + ix] += gv * wtc[ky * kw + kx];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              std::int64_t stride_t, std::int64_t stride_s, std::int64_t pad_t,
+              std::int64_t pad_s) {
+  if (input.rank() != 5 || weight.rank() != 5) {
+    throw std::invalid_argument(
+        "conv3d: input [B,C,T,H,W], weight [O,C,KT,KH,KW]");
+  }
+  const std::int64_t b = input.dim(0), cin = input.dim(1), t = input.dim(2),
+                     h = input.dim(3), w = input.dim(4);
+  const std::int64_t cout = weight.dim(0), kt = weight.dim(2),
+                     kh = weight.dim(3), kw = weight.dim(4);
+  if (weight.dim(1) != cin) throw std::invalid_argument("conv3d: channel mismatch");
+  if (bias.shape() != Shape{cout}) {
+    throw std::invalid_argument("conv3d: bias must be [Cout]");
+  }
+  if (stride_t < 1 || stride_s < 1) {
+    throw std::invalid_argument("conv3d: strides must be >= 1");
+  }
+  const std::int64_t ot = (t + 2 * pad_t - kt) / stride_t + 1;
+  const std::int64_t oh = (h + 2 * pad_s - kh) / stride_s + 1;
+  const std::int64_t ow = (w + 2 * pad_s - kw) / stride_s + 1;
+  if (ot <= 0 || oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("conv3d: empty output");
+  }
+
+  std::vector<float> out(static_cast<std::size_t>(b * cout * ot * oh * ow));
+  const float* in = input.data().data();
+  const float* wt = weight.data().data();
+  const float* bs = bias.data().data();
+
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t oc = 0; oc < cout; ++oc) {
+      float* outp = out.data() + (((n * cout + oc) * ot) * oh) * ow;
+      for (std::int64_t z = 0; z < ot; ++z) {
+        for (std::int64_t y = 0; y < oh; ++y) {
+          for (std::int64_t x = 0; x < ow; ++x) {
+            float acc = bs[oc];
+            for (std::int64_t ic = 0; ic < cin; ++ic) {
+              const float* inc = in + (((n * cin + ic) * t) * h) * w;
+              const float* wtc = wt + (((oc * cin + ic) * kt) * kh) * kw;
+              for (std::int64_t kz = 0; kz < kt; ++kz) {
+                const std::int64_t iz = z * stride_t + kz - pad_t;
+                if (iz < 0 || iz >= t) continue;
+                for (std::int64_t ky = 0; ky < kh; ++ky) {
+                  const std::int64_t iy = y * stride_s + ky - pad_s;
+                  if (iy < 0 || iy >= h) continue;
+                  for (std::int64_t kx = 0; kx < kw; ++kx) {
+                    const std::int64_t ix = x * stride_s + kx - pad_s;
+                    if (ix < 0 || ix >= w) continue;
+                    acc += inc[(iz * h + iy) * w + ix] *
+                           wtc[(kz * kh + ky) * kw + kx];
+                  }
+                }
+              }
+            }
+            outp[(z * oh + y) * ow + x] = acc;
+          }
+        }
+      }
+    }
+  }
+
+  NodePtr in_n = input.node();
+  NodePtr wt_n = weight.node();
+  NodePtr bs_n = bias.node();
+  return make_op_result(
+      Shape{b, cout, ot, oh, ow}, std::move(out), {in_n, wt_n, bs_n},
+      [in_n, wt_n, bs_n, b, cin, t, h, w, cout, kt, kh, kw, ot, oh, ow,
+       stride_t, stride_s, pad_t, pad_s](Node& self) {
+        const float* g = self.grad.data();
+        const float* in2 = in_n->data.data();
+        const float* wt2 = wt_n->data.data();
+        float* gin = in_n->requires_grad ? in_n->ensure_grad().data() : nullptr;
+        float* gwt = wt_n->requires_grad ? wt_n->ensure_grad().data() : nullptr;
+        float* gbs = bs_n->requires_grad ? bs_n->ensure_grad().data() : nullptr;
+
+        for (std::int64_t n = 0; n < b; ++n) {
+          for (std::int64_t oc = 0; oc < cout; ++oc) {
+            const float* gout = g + (((n * cout + oc) * ot) * oh) * ow;
+            for (std::int64_t z = 0; z < ot; ++z) {
+              for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t x = 0; x < ow; ++x) {
+                  const float gv = gout[(z * oh + y) * ow + x];
+                  if (gv == 0.0f) continue;
+                  if (gbs) gbs[oc] += gv;
+                  for (std::int64_t ic = 0; ic < cin; ++ic) {
+                    const float* inc = in2 + (((n * cin + ic) * t) * h) * w;
+                    const float* wtc =
+                        wt2 + (((oc * cin + ic) * kt) * kh) * kw;
+                    float* ginc =
+                        gin ? gin + (((n * cin + ic) * t) * h) * w : nullptr;
+                    float* gwtc =
+                        gwt ? gwt + (((oc * cin + ic) * kt) * kh) * kw
+                            : nullptr;
+                    for (std::int64_t kz = 0; kz < kt; ++kz) {
+                      const std::int64_t iz = z * stride_t + kz - pad_t;
+                      if (iz < 0 || iz >= t) continue;
+                      for (std::int64_t ky = 0; ky < kh; ++ky) {
+                        const std::int64_t iy = y * stride_s + ky - pad_s;
+                        if (iy < 0 || iy >= h) continue;
+                        for (std::int64_t kx = 0; kx < kw; ++kx) {
+                          const std::int64_t ix = x * stride_s + kx - pad_s;
+                          if (ix < 0 || ix >= w) continue;
+                          const std::int64_t in_idx = (iz * h + iy) * w + ix;
+                          const std::int64_t wt_idx =
+                              (kz * kh + ky) * kw + kx;
+                          if (gwtc) gwtc[wt_idx] += gv * inc[in_idx];
+                          if (ginc) ginc[in_idx] += gv * wtc[wt_idx];
+                        }
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor max_pool2d(const Tensor& input, std::int64_t k, std::int64_t stride) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("max_pool2d: input must be [B,C,H,W]");
+  }
+  if (stride == 0) stride = k;
+  const std::int64_t b = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = (h - k) / stride + 1;
+  const std::int64_t ow = (w - k) / stride + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("max_pool2d: empty output");
+
+  std::vector<float> out(static_cast<std::size_t>(b * c * oh * ow));
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(out.size());
+  const float* in = input.data().data();
+  std::size_t oi = 0;
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + ((n * c + ch) * h) * w;
+      const std::int64_t plane_off = ((n * c + ch) * h) * w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x, ++oi) {
+          float best = plane[(y * stride) * w + (x * stride)];
+          std::int64_t besti = plane_off + (y * stride) * w + (x * stride);
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t iy = y * stride + ky;
+              const std::int64_t ix = x * stride + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                besti = plane_off + iy * w + ix;
+              }
+            }
+          }
+          out[oi] = best;
+          (*argmax)[oi] = besti;
+        }
+      }
+    }
+  }
+  NodePtr in_n = input.node();
+  return make_op_result(Shape{b, c, oh, ow}, std::move(out), {in_n},
+                        [in_n, argmax](Node& self) {
+                          if (!in_n->requires_grad) return;
+                          auto& gi = in_n->ensure_grad();
+                          const auto& g = self.grad;
+                          for (std::size_t i = 0; i < g.size(); ++i) {
+                            gi[static_cast<std::size_t>((*argmax)[i])] += g[i];
+                          }
+                        });
+}
+
+Tensor dropout(const Tensor& x, float p, Rng& rng) {
+  if (p < 0.0f || p >= 1.0f) throw std::invalid_argument("dropout: p in [0,1)");
+  if (p == 0.0f) return x;
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(x.numel()));
+  for (auto& m : *mask) m = rng.bernoulli(p) ? 0.0f : scale;
+
+  std::vector<float> out(mask->size());
+  const auto xv = x.data();
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = xv[i] * (*mask)[i];
+
+  NodePtr xn = x.node();
+  return make_op_result(x.shape(), std::move(out), {xn},
+                        [xn, mask](Node& self) {
+                          if (!xn->requires_grad) return;
+                          auto& gx = xn->ensure_grad();
+                          const auto& g = self.grad;
+                          for (std::size_t i = 0; i < g.size(); ++i) {
+                            gx[i] += g[i] * (*mask)[i];
+                          }
+                        });
+}
+
+}  // namespace tsdx::tensor

@@ -1,0 +1,52 @@
+// nn_ops.hpp — fused neural-network operations with hand-written backward
+// passes. These are ops whose composed form would be slow or numerically
+// fragile (layernorm, cross-entropy) or that need non-tensor inputs
+// (embedding indices, pooling windows, dropout masks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tsdx::tensor {
+
+/// Layer normalization over the last dim:
+///   y = (x - mean) / sqrt(var + eps) * gamma + beta
+/// gamma/beta have shape [D] where D is x's last extent.
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps = 1e-5f);
+
+/// Mean softmax cross-entropy over a batch of logits.
+///   logits: [B, C], targets: B class indices in [0, C).
+/// Returns a scalar. Gradient is the numerically stable (softmax - onehot)/B.
+Tensor cross_entropy_logits(const Tensor& logits,
+                            const std::vector<std::int64_t>& targets);
+
+/// Row-gather from an embedding table: weight [V, D], indices (N) -> [N, D].
+/// Backward scatters into the gathered rows.
+Tensor embedding_lookup(const Tensor& weight,
+                        const std::vector<std::int64_t>& indices);
+
+/// 2-D convolution, NCHW layout.
+///   input  [B, Cin, H, W], weight [Cout, Cin, KH, KW], bias [Cout].
+/// Output spatial size: (H + 2*pad - KH)/stride + 1 (exact division not
+/// required; trailing pixels are dropped, as in PyTorch).
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              std::int64_t stride = 1, std::int64_t pad = 0);
+
+/// 2-D max pooling, NCHW, square window `k`, stride defaults to `k`.
+Tensor max_pool2d(const Tensor& input, std::int64_t k, std::int64_t stride = 0);
+
+/// 3-D convolution over space-time volumes, NCTHW layout.
+///   input [B, Cin, T, H, W], weight [Cout, Cin, KT, KH, KW], bias [Cout].
+/// Separate temporal/spatial stride and padding (kernel may be asymmetric).
+Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              std::int64_t stride_t = 1, std::int64_t stride_s = 1,
+              std::int64_t pad_t = 0, std::int64_t pad_s = 0);
+
+/// Inverted dropout: zero with probability p, scale survivors by 1/(1-p).
+/// Identity when p == 0. Deterministic given `rng` state.
+Tensor dropout(const Tensor& x, float p, Rng& rng);
+
+}  // namespace tsdx::tensor

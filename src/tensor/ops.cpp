@@ -1,0 +1,778 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsdx::tensor {
+
+namespace {
+
+[[noreturn]] void shape_error(const char* op, const Shape& a, const Shape& b) {
+  throw std::invalid_argument(std::string(op) + ": incompatible shapes " +
+                              to_string(a) + " and " + to_string(b));
+}
+
+/// Layout of a broadcasting binary op: which operand (if any) is the
+/// suffix-broadcast "small" one.
+enum class Bcast { kSame, kBSmall, kASmall };
+
+Bcast classify(const char* op, const Shape& a, const Shape& b) {
+  if (same_shape(a, b)) return Bcast::kSame;
+  if (is_suffix_of(b, a)) return Bcast::kBSmall;
+  if (is_suffix_of(a, b)) return Bcast::kASmall;
+  shape_error(op, a, b);
+}
+
+/// Generic broadcasting binary op.
+/// fwd(x, y) -> value; dfdx(x, y) and dfdy(x, y) -> partial derivatives.
+template <class F, class Dx, class Dy>
+Tensor binary_op(const char* name, const Tensor& a, const Tensor& b, F fwd,
+                 Dx dfdx, Dy dfdy) {
+  const Bcast mode = classify(name, a.shape(), b.shape());
+  const Tensor& big = (mode == Bcast::kASmall) ? b : a;
+  const Tensor& small = (mode == Bcast::kASmall) ? a : b;
+  const std::size_t n = static_cast<std::size_t>(big.numel());
+  const std::size_t m = static_cast<std::size_t>(small.numel());
+
+  std::vector<float> out(n);
+  const auto av = a.data();
+  const auto bv = b.data();
+  if (mode == Bcast::kSame) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fwd(av[i], bv[i]);
+  } else if (mode == Bcast::kBSmall) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fwd(av[i], bv[i % m]);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fwd(av[i % m], bv[i]);
+  }
+
+  NodePtr an = a.node();
+  NodePtr bn = b.node();
+  return make_op_result(
+      big.shape(), std::move(out), {an, bn},
+      [an, bn, mode, m, dfdx, dfdy](Node& self) {
+        const auto& g = self.grad;
+        const auto& ax = an->data;
+        const auto& bx = bn->data;
+        const std::size_t n2 = g.size();
+        if (an->requires_grad) {
+          auto& ga = an->ensure_grad();
+          for (std::size_t i = 0; i < n2; ++i) {
+            const std::size_t ia = (mode == Bcast::kASmall) ? i % m : i;
+            const std::size_t ib = (mode == Bcast::kBSmall) ? i % m : i;
+            ga[ia] += g[i] * dfdx(ax[ia], bx[ib]);
+          }
+        }
+        if (bn->requires_grad) {
+          auto& gb = bn->ensure_grad();
+          for (std::size_t i = 0; i < n2; ++i) {
+            const std::size_t ia = (mode == Bcast::kASmall) ? i % m : i;
+            const std::size_t ib = (mode == Bcast::kBSmall) ? i % m : i;
+            gb[ib] += g[i] * dfdy(ax[ia], bx[ib]);
+          }
+        }
+      });
+}
+
+/// Generic elementwise unary op. dfdx receives (x, y) so ops like tanh can
+/// reuse the forward value.
+template <class F, class Dx>
+Tensor unary_op(const Tensor& a, F fwd, Dx dfdx) {
+  const std::size_t n = static_cast<std::size_t>(a.numel());
+  std::vector<float> out(n);
+  const auto av = a.data();
+  for (std::size_t i = 0; i < n; ++i) out[i] = fwd(av[i]);
+
+  NodePtr an = a.node();
+  // Capture the forward output for backward closures that want y.
+  auto saved = std::make_shared<std::vector<float>>(out);
+  return make_op_result(a.shape(), std::move(out), {an},
+                        [an, saved, dfdx](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          const auto& g = self.grad;
+                          const auto& x = an->data;
+                          for (std::size_t i = 0; i < g.size(); ++i) {
+                            ga[i] += g[i] * dfdx(x[i], (*saved)[i]);
+                          }
+                        });
+}
+
+}  // namespace
+
+// ---- elementwise binary -----------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      "add", a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      "sub", a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      "mul", a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      "div", a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+// ---- scalar -----------------------------------------------------------------
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+// ---- unary --------------------------------------------------------------------
+
+Tensor neg(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return -x; }, [](float, float) { return -1.0f; });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor log(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor gelu(const Tensor& a) {
+  // 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return unary_op(
+      a,
+      [](float x) {
+        const float u = kC * (x + kA * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(u));
+      },
+      [](float x, float) {
+        const float u = kC * (x + kA * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * kA * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+Tensor tanh(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor abs(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::abs(x); },
+      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
+  return unary_op(
+      a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
+      [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; });
+}
+
+Tensor pow(const Tensor& a, float exponent) {
+  return unary_op(
+      a, [exponent](float x) { return std::pow(x, exponent); },
+      [exponent](float x, float) {
+        return exponent * std::pow(x, exponent - 1.0f);
+      });
+}
+
+// ---- matmul ---------------------------------------------------------------------
+
+namespace {
+
+/// C[M,N] += A[M,K] @ B[K,N]   (row-major, cache-friendly ikj order)
+void mm_nn_acc(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const Shape& as = a.shape();
+  const Shape& bs = b.shape();
+  if (as.size() < 2 || bs.size() < 2) shape_error("matmul", as, bs);
+  const std::int64_t m = as[as.size() - 2];
+  const std::int64_t k = as[as.size() - 1];
+  const std::int64_t k2 = bs[bs.size() - 2];
+  const std::int64_t n = bs[bs.size() - 1];
+  if (k != k2) shape_error("matmul", as, bs);
+
+  const bool shared_rhs = bs.size() == 2;
+  if (!shared_rhs) {
+    // batch dims must match exactly
+    if (as.size() != bs.size()) shape_error("matmul", as, bs);
+    for (std::size_t i = 0; i + 2 < as.size(); ++i) {
+      if (as[i] != bs[i]) shape_error("matmul", as, bs);
+    }
+  }
+  std::int64_t batch = 1;
+  for (std::size_t i = 0; i + 2 < as.size(); ++i) batch *= as[i];
+
+  Shape out_shape(as.begin(), as.end() - 2);
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+
+  std::vector<float> out(static_cast<std::size_t>(batch * m * n), 0.0f);
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    const float* abatch = ap + bi * m * k;
+    const float* bbatch = shared_rhs ? bp : bp + bi * k * n;
+    mm_nn_acc(abatch, bbatch, out.data() + bi * m * n, m, k, n);
+  }
+
+  NodePtr an = a.node();
+  NodePtr bn = b.node();
+  return make_op_result(
+      std::move(out_shape), std::move(out), {an, bn},
+      [an, bn, batch, m, k, n, shared_rhs](Node& self) {
+        const float* g = self.grad.data();
+        const float* ax = an->data.data();
+        const float* bx = bn->data.data();
+        if (an->requires_grad) {
+          float* ga = an->ensure_grad().data();
+          // dA[i,p] += sum_j G[i,j] * B[p,j]
+          for (std::int64_t bi = 0; bi < batch; ++bi) {
+            const float* gb = g + bi * m * n;
+            const float* bb = shared_rhs ? bx : bx + bi * k * n;
+            float* gab = ga + bi * m * k;
+            for (std::int64_t i = 0; i < m; ++i) {
+              for (std::int64_t p = 0; p < k; ++p) {
+                float acc = 0.0f;
+                const float* grow = gb + i * n;
+                const float* brow = bb + p * n;
+                for (std::int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                gab[i * k + p] += acc;
+              }
+            }
+          }
+        }
+        if (bn->requires_grad) {
+          float* gbm = bn->ensure_grad().data();
+          // dB[p,j] += sum_i A[i,p] * G[i,j]   (accumulated over batch when shared)
+          for (std::int64_t bi = 0; bi < batch; ++bi) {
+            const float* gb = g + bi * m * n;
+            const float* ab = ax + bi * m * k;
+            float* gbb = shared_rhs ? gbm : gbm + bi * k * n;
+            for (std::int64_t i = 0; i < m; ++i) {
+              for (std::int64_t p = 0; p < k; ++p) {
+                const float aip = ab[i * k + p];
+                if (aip == 0.0f) continue;
+                const float* grow = gb + i * n;
+                float* gbrow = gbb + p * n;
+                for (std::int64_t j = 0; j < n; ++j) gbrow[j] += aip * grow[j];
+              }
+            }
+          }
+        }
+      });
+}
+
+// ---- reductions -------------------------------------------------------------------
+
+Tensor sum_all(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  NodePtr an = a.node();
+  return make_op_result(Shape{}, {static_cast<float>(acc)}, {an},
+                        [an](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          const float g = self.grad[0];
+                          for (auto& v : ga) v += g;
+                        });
+}
+
+Tensor mean_all(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return mul_scalar(sum_all(a), inv);
+}
+
+namespace {
+
+void reduce_extents(const Shape& s, std::size_t dim, std::int64_t& outer,
+                    std::int64_t& d, std::int64_t& inner) {
+  outer = 1;
+  inner = 1;
+  for (std::size_t i = 0; i < dim; ++i) outer *= s[i];
+  d = s[dim];
+  for (std::size_t i = dim + 1; i < s.size(); ++i) inner *= s[i];
+}
+
+}  // namespace
+
+Tensor sum_dim(const Tensor& a, std::size_t dim) {
+  if (dim >= a.rank()) {
+    throw std::invalid_argument("sum_dim: dim out of range for " +
+                                to_string(a.shape()));
+  }
+  std::int64_t outer, d, inner;
+  reduce_extents(a.shape(), dim, outer, d, inner);
+  Shape out_shape;
+  for (std::size_t i = 0; i < a.rank(); ++i) {
+    if (i != dim) out_shape.push_back(a.shape()[i]);
+  }
+  std::vector<float> out(static_cast<std::size_t>(outer * inner), 0.0f);
+  const auto av = a.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float* src = av.data() + (o * d + j) * inner;
+      float* dst = out.data() + o * inner;
+      for (std::int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  NodePtr an = a.node();
+  return make_op_result(std::move(out_shape), std::move(out), {an},
+                        [an, outer, d, inner](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          const auto& g = self.grad;
+                          for (std::int64_t o = 0; o < outer; ++o) {
+                            for (std::int64_t j = 0; j < d; ++j) {
+                              float* dst = ga.data() + (o * d + j) * inner;
+                              const float* src = g.data() + o * inner;
+                              for (std::int64_t i = 0; i < inner; ++i)
+                                dst[i] += src[i];
+                            }
+                          }
+                        });
+}
+
+Tensor mean_dim(const Tensor& a, std::size_t dim) {
+  const float inv = 1.0f / static_cast<float>(a.shape()[dim]);
+  return mul_scalar(sum_dim(a, dim), inv);
+}
+
+Tensor max_dim(const Tensor& a, std::size_t dim) {
+  if (dim >= a.rank()) {
+    throw std::invalid_argument("max_dim: dim out of range for " +
+                                to_string(a.shape()));
+  }
+  std::int64_t outer, d, inner;
+  reduce_extents(a.shape(), dim, outer, d, inner);
+  Shape out_shape;
+  for (std::size_t i = 0; i < a.rank(); ++i) {
+    if (i != dim) out_shape.push_back(a.shape()[i]);
+  }
+  std::vector<float> out(static_cast<std::size_t>(outer * inner));
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(out.size());
+  const auto av = a.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t i = 0; i < inner; ++i) {
+      std::int64_t best = (o * d) * inner + i;
+      float best_v = av[static_cast<std::size_t>(best)];
+      for (std::int64_t j = 1; j < d; ++j) {
+        const std::int64_t idx = (o * d + j) * inner + i;
+        if (av[static_cast<std::size_t>(idx)] > best_v) {
+          best = idx;
+          best_v = av[static_cast<std::size_t>(idx)];
+        }
+      }
+      out[static_cast<std::size_t>(o * inner + i)] = best_v;
+      (*argmax)[static_cast<std::size_t>(o * inner + i)] = best;
+    }
+  }
+  NodePtr an = a.node();
+  return make_op_result(std::move(out_shape), std::move(out), {an},
+                        [an, argmax](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          const auto& g = self.grad;
+                          for (std::size_t i = 0; i < g.size(); ++i) {
+                            ga[static_cast<std::size_t>((*argmax)[i])] += g[i];
+                          }
+                        });
+}
+
+// ---- shape ---------------------------------------------------------------------------
+
+Tensor reshape(const Tensor& a, Shape new_shape) {
+  // Resolve a single -1 extent.
+  std::int64_t known = 1;
+  int infer = -1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      if (infer != -1) throw std::invalid_argument("reshape: multiple -1 dims");
+      infer = static_cast<int>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer >= 0) {
+    if (known == 0 || a.numel() % known != 0) {
+      throw std::invalid_argument("reshape: cannot infer dim for " +
+                                  to_string(a.shape()) + " -> " +
+                                  to_string(new_shape));
+    }
+    new_shape[static_cast<std::size_t>(infer)] = a.numel() / known;
+  }
+  if (numel(new_shape) != a.numel()) {
+    throw std::invalid_argument("reshape: numel mismatch " +
+                                to_string(a.shape()) + " -> " +
+                                to_string(new_shape));
+  }
+  NodePtr an = a.node();
+  std::vector<float> out(a.data().begin(), a.data().end());
+  return make_op_result(std::move(new_shape), std::move(out), {an},
+                        [an](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          for (std::size_t i = 0; i < ga.size(); ++i)
+                            ga[i] += self.grad[i];
+                        });
+}
+
+Tensor permute(const Tensor& a, const std::vector<std::size_t>& perm) {
+  const std::size_t r = a.rank();
+  if (perm.size() != r) throw std::invalid_argument("permute: rank mismatch");
+  std::vector<bool> seen(r, false);
+  for (std::size_t p : perm) {
+    if (p >= r || seen[p]) throw std::invalid_argument("permute: invalid perm");
+    seen[p] = true;
+  }
+  Shape out_shape(r);
+  for (std::size_t i = 0; i < r; ++i) out_shape[i] = a.shape()[perm[i]];
+
+  const Shape in_strides = row_major_strides(a.shape());
+  // stride (in the input) of each output axis
+  std::vector<std::int64_t> gather(r);
+  for (std::size_t i = 0; i < r; ++i) gather[i] = in_strides[perm[i]];
+
+  const std::size_t n = static_cast<std::size_t>(a.numel());
+  std::vector<float> out(n);
+  const auto av = a.data();
+  // Map output flat index -> input flat index via mixed-radix decode.
+  std::vector<std::int64_t> counter(r, 0);
+  std::int64_t src = 0;
+  for (std::size_t oi = 0; oi < n; ++oi) {
+    out[oi] = av[static_cast<std::size_t>(src)];
+    // increment mixed-radix counter (last axis fastest)
+    for (std::size_t ax = r; ax-- > 0;) {
+      ++counter[ax];
+      src += gather[ax];
+      if (counter[ax] < out_shape[ax]) break;
+      src -= gather[ax] * out_shape[ax];
+      counter[ax] = 0;
+    }
+  }
+
+  NodePtr an = a.node();
+  Shape out_shape_copy = out_shape;
+  return make_op_result(
+      std::move(out_shape), std::move(out), {an},
+      [an, gather, out_shape_copy, r](Node& self) {
+        if (!an->requires_grad) return;
+        auto& ga = an->ensure_grad();
+        const auto& g = self.grad;
+        std::vector<std::int64_t> counter(r, 0);
+        std::int64_t src = 0;
+        for (std::size_t oi = 0; oi < g.size(); ++oi) {
+          ga[static_cast<std::size_t>(src)] += g[oi];
+          for (std::size_t ax = r; ax-- > 0;) {
+            ++counter[ax];
+            src += gather[ax];
+            if (counter[ax] < out_shape_copy[ax]) break;
+            src -= gather[ax] * out_shape_copy[ax];
+            counter[ax] = 0;
+          }
+        }
+      });
+}
+
+Tensor transpose_last2(const Tensor& a) {
+  std::vector<std::size_t> perm(a.rank());
+  for (std::size_t i = 0; i < a.rank(); ++i) perm[i] = i;
+  std::swap(perm[a.rank() - 1], perm[a.rank() - 2]);
+  return permute(a, perm);
+}
+
+Tensor concat(const std::vector<Tensor>& parts, std::size_t dim) {
+  if (parts.empty()) throw std::invalid_argument("concat: no parts");
+  const Shape& ref = parts[0].shape();
+  if (dim >= ref.size()) throw std::invalid_argument("concat: dim out of range");
+  std::int64_t total = 0;
+  for (const Tensor& p : parts) {
+    if (p.rank() != ref.size()) shape_error("concat", ref, p.shape());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (i != dim && p.shape()[i] != ref[i]) shape_error("concat", ref, p.shape());
+    }
+    total += p.shape()[dim];
+  }
+  Shape out_shape = ref;
+  out_shape[dim] = total;
+
+  std::int64_t outer = 1, inner = 1;
+  for (std::size_t i = 0; i < dim; ++i) outer *= ref[i];
+  for (std::size_t i = dim + 1; i < ref.size(); ++i) inner *= ref[i];
+
+  std::vector<float> out(static_cast<std::size_t>(numel(out_shape)));
+  std::vector<std::int64_t> offsets;  // start extent of each part along dim
+  {
+    std::int64_t off = 0;
+    for (const Tensor& p : parts) {
+      offsets.push_back(off);
+      const std::int64_t d = p.shape()[dim];
+      const auto pv = p.data();
+      for (std::int64_t o = 0; o < outer; ++o) {
+        std::copy_n(pv.data() + o * d * inner, d * inner,
+                    out.data() + (o * total + off) * inner);
+      }
+      off += d;
+    }
+  }
+
+  std::vector<NodePtr> parents;
+  std::vector<std::int64_t> dims;
+  for (const Tensor& p : parts) {
+    parents.push_back(p.node());
+    dims.push_back(p.shape()[dim]);
+  }
+  auto parents_copy = parents;
+  return make_op_result(
+      std::move(out_shape), std::move(out), std::move(parents),
+      [parents_copy, dims, offsets, outer, inner, total](Node& self) {
+        const auto& g = self.grad;
+        for (std::size_t pi = 0; pi < parents_copy.size(); ++pi) {
+          const NodePtr& p = parents_copy[pi];
+          if (!p->requires_grad) continue;
+          auto& gp = p->ensure_grad();
+          const std::int64_t d = dims[pi];
+          for (std::int64_t o = 0; o < outer; ++o) {
+            const float* src = g.data() + (o * total + offsets[pi]) * inner;
+            float* dst = gp.data() + o * d * inner;
+            for (std::int64_t i = 0; i < d * inner; ++i) dst[i] += src[i];
+          }
+        }
+      });
+}
+
+Tensor slice(const Tensor& a, std::size_t dim, std::int64_t start,
+             std::int64_t len) {
+  if (dim >= a.rank()) throw std::invalid_argument("slice: dim out of range");
+  const std::int64_t d = a.shape()[dim];
+  if (start < 0 || len < 0 || start + len > d) {
+    throw std::invalid_argument("slice: range [" + std::to_string(start) + ", " +
+                                std::to_string(start + len) + ") exceeds dim " +
+                                std::to_string(d));
+  }
+  std::int64_t outer = 1, inner = 1;
+  for (std::size_t i = 0; i < dim; ++i) outer *= a.shape()[i];
+  for (std::size_t i = dim + 1; i < a.rank(); ++i) inner *= a.shape()[i];
+
+  Shape out_shape = a.shape();
+  out_shape[dim] = len;
+  std::vector<float> out(static_cast<std::size_t>(outer * len * inner));
+  const auto av = a.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    std::copy_n(av.data() + (o * d + start) * inner, len * inner,
+                out.data() + o * len * inner);
+  }
+  NodePtr an = a.node();
+  return make_op_result(std::move(out_shape), std::move(out), {an},
+                        [an, outer, inner, d, start, len](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          const auto& g = self.grad;
+                          for (std::int64_t o = 0; o < outer; ++o) {
+                            const float* src = g.data() + o * len * inner;
+                            float* dst = ga.data() + (o * d + start) * inner;
+                            for (std::int64_t i = 0; i < len * inner; ++i)
+                              dst[i] += src[i];
+                          }
+                        });
+}
+
+Tensor stack(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("stack: no parts");
+  const Shape& ref = parts[0].shape();
+  std::vector<Tensor> reshaped;
+  reshaped.reserve(parts.size());
+  for (const Tensor& p : parts) {
+    if (p.shape() != ref) shape_error("stack", ref, p.shape());
+    Shape unsqueezed = ref;
+    unsqueezed.insert(unsqueezed.begin(), 1);
+    reshaped.push_back(reshape(p, unsqueezed));
+  }
+  return concat(reshaped, 0);
+}
+
+Tensor flip(const Tensor& a, std::size_t dim) {
+  if (dim >= a.rank()) throw std::invalid_argument("flip: dim out of range");
+  std::int64_t outer, d, inner;
+  reduce_extents(a.shape(), dim, outer, d, inner);
+  std::vector<float> out(static_cast<std::size_t>(a.numel()));
+  const auto av = a.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float* src = av.data() + (o * d + j) * inner;
+      float* dst = out.data() + (o * d + (d - 1 - j)) * inner;
+      std::copy_n(src, inner, dst);
+    }
+  }
+  NodePtr an = a.node();
+  return make_op_result(a.shape(), std::move(out), {an},
+                        [an, outer, d, inner](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          const auto& g = self.grad;
+                          for (std::int64_t o = 0; o < outer; ++o) {
+                            for (std::int64_t j = 0; j < d; ++j) {
+                              const float* src =
+                                  g.data() + (o * d + (d - 1 - j)) * inner;
+                              float* dst = ga.data() + (o * d + j) * inner;
+                              for (std::int64_t i = 0; i < inner; ++i)
+                                dst[i] += src[i];
+                            }
+                          }
+                        });
+}
+
+// ---- softmax family ---------------------------------------------------------------
+
+Tensor softmax_lastdim(const Tensor& a) {
+  if (a.rank() == 0) throw std::invalid_argument("softmax: scalar input");
+  const std::int64_t d = a.shape().back();
+  const std::int64_t rows = a.numel() / d;
+  std::vector<float> out(static_cast<std::size_t>(a.numel()));
+  const auto av = a.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = av.data() + r * d;
+    float* y = out.data() + r * d;
+    float mx = x[0];
+    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
+    float sum = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) {
+      y[i] = std::exp(x[i] - mx);
+      sum += y[i];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t i = 0; i < d; ++i) y[i] *= inv;
+  }
+  NodePtr an = a.node();
+  auto saved = std::make_shared<std::vector<float>>(out);
+  return make_op_result(a.shape(), std::move(out), {an},
+                        [an, saved, rows, d](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          const auto& g = self.grad;
+                          // dx = y * (g - sum_j g_j y_j)
+                          for (std::int64_t r = 0; r < rows; ++r) {
+                            const float* y = saved->data() + r * d;
+                            const float* gr = g.data() + r * d;
+                            float dot = 0.0f;
+                            for (std::int64_t i = 0; i < d; ++i)
+                              dot += gr[i] * y[i];
+                            float* dst = ga.data() + r * d;
+                            for (std::int64_t i = 0; i < d; ++i)
+                              dst[i] += y[i] * (gr[i] - dot);
+                          }
+                        });
+}
+
+Tensor log_softmax_lastdim(const Tensor& a) {
+  if (a.rank() == 0) throw std::invalid_argument("log_softmax: scalar input");
+  const std::int64_t d = a.shape().back();
+  const std::int64_t rows = a.numel() / d;
+  std::vector<float> out(static_cast<std::size_t>(a.numel()));
+  const auto av = a.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = av.data() + r * d;
+    float* y = out.data() + r * d;
+    float mx = x[0];
+    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
+    float sum = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) sum += std::exp(x[i] - mx);
+    const float lse = mx + std::log(sum);
+    for (std::int64_t i = 0; i < d; ++i) y[i] = x[i] - lse;
+  }
+  NodePtr an = a.node();
+  auto saved = std::make_shared<std::vector<float>>(out);
+  return make_op_result(a.shape(), std::move(out), {an},
+                        [an, saved, rows, d](Node& self) {
+                          if (!an->requires_grad) return;
+                          auto& ga = an->ensure_grad();
+                          const auto& g = self.grad;
+                          // dx = g - exp(y) * sum_j g_j
+                          for (std::int64_t r = 0; r < rows; ++r) {
+                            const float* y = saved->data() + r * d;
+                            const float* gr = g.data() + r * d;
+                            float gsum = 0.0f;
+                            for (std::int64_t i = 0; i < d; ++i) gsum += gr[i];
+                            float* dst = ga.data() + r * d;
+                            for (std::int64_t i = 0; i < d; ++i)
+                              dst[i] += gr[i] - std::exp(y[i]) * gsum;
+                          }
+                        });
+}
+
+std::vector<std::int64_t> argmax_lastdim(const Tensor& a) {
+  const std::int64_t d = a.shape().back();
+  const std::int64_t rows = a.numel() / d;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  const auto av = a.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = av.data() + r * d;
+    std::int64_t best = 0;
+    for (std::int64_t i = 1; i < d; ++i) {
+      if (x[i] > x[best]) best = i;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace tsdx::tensor

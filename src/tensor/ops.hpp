@@ -1,0 +1,92 @@
+// ops.hpp — differentiable operations on Tensor.
+//
+// Broadcasting rule (deliberately minimal): a binary op accepts operands of
+// identical shape, or one operand whose shape is a *suffix* of the other's
+// (e.g. bias [D] against activations [B, T, D]). The gradient of the smaller
+// operand is the sum over the broadcast leading dimensions. This covers every
+// pattern used by the models in this repo while keeping backward passes easy
+// to verify by numerical grad-check.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tsdx::tensor {
+
+// ---- elementwise binary (broadcasting as documented above) -----------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return div(a, b); }
+
+// ---- scalar ----------------------------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// ---- unary ------------------------------------------------------------------
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor relu(const Tensor& a);
+/// tanh-approximation GELU (the form used by ViT/BERT implementations).
+Tensor gelu(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+
+Tensor abs(const Tensor& a);
+/// Elementwise clamp to [lo, hi]; gradient is 1 inside the interval, 0 outside.
+Tensor clamp(const Tensor& a, float lo, float hi);
+/// Elementwise power with constant exponent (a must be > 0 for non-integer p).
+Tensor pow(const Tensor& a, float exponent);
+
+// ---- matmul ------------------------------------------------------------------
+/// Batched matrix product.
+///   a: [*batch, M, K]   b: [K, N]            -> [*batch, M, N]   (shared rhs)
+///   a: [*batch, M, K]   b: [*batch, K, N]    -> [*batch, M, N]
+/// Plain [M,K] x [K,N] is the zero-batch case.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// ---- reductions ---------------------------------------------------------------
+Tensor sum_all(const Tensor& a);   ///< -> scalar
+Tensor mean_all(const Tensor& a);  ///< -> scalar
+/// Reduce a single axis (removing it), e.g. mean over tokens: [B,T,D] -> [B,D].
+Tensor sum_dim(const Tensor& a, std::size_t dim);
+Tensor mean_dim(const Tensor& a, std::size_t dim);
+/// Max over a single axis (removing it); gradient flows to the argmax only.
+Tensor max_dim(const Tensor& a, std::size_t dim);
+
+// ---- shape ---------------------------------------------------------------------
+/// Contiguous copy with a new shape; numel must match. -1 in at most one slot
+/// infers that extent.
+Tensor reshape(const Tensor& a, Shape new_shape);
+/// General axis permutation: out[i0,..] = in[perm applied]. perm is a
+/// permutation of 0..rank-1; out dim d has extent in.shape[perm[d]].
+Tensor permute(const Tensor& a, const std::vector<std::size_t>& perm);
+/// Swap the last two axes (matrix transpose, batched).
+Tensor transpose_last2(const Tensor& a);
+/// Concatenate along `dim`; all other extents must match.
+Tensor concat(const std::vector<Tensor>& parts, std::size_t dim);
+/// Take `len` extents starting at `start` along `dim`.
+Tensor slice(const Tensor& a, std::size_t dim, std::int64_t start,
+             std::int64_t len);
+/// Stack equal-shaped tensors along a new leading axis: k x [s...] -> [k, s...].
+Tensor stack(const std::vector<Tensor>& parts);
+/// Reverse the order of elements along `dim` (e.g. horizontal image flip).
+Tensor flip(const Tensor& a, std::size_t dim);
+
+// ---- softmax family (last dim) -------------------------------------------------
+Tensor softmax_lastdim(const Tensor& a);
+Tensor log_softmax_lastdim(const Tensor& a);
+
+// ---- non-differentiable utilities ----------------------------------------------
+/// Index of the max element along the last dim; shape [prefix...] flattened.
+std::vector<std::int64_t> argmax_lastdim(const Tensor& a);
+
+}  // namespace tsdx::tensor

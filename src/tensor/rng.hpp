@@ -1,0 +1,69 @@
+// rng.hpp — deterministic pseudo-random number generation.
+//
+// All randomness in tsdx (weight init, data sampling, dropout, scenario
+// generation) flows through an explicitly seeded Rng passed by reference;
+// there is no global generator, so every experiment is reproducible from
+// its seed alone.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace tsdx::tensor {
+
+/// SplitMix64-based generator: tiny state, excellent statistical quality for
+/// simulation/initialization purposes, and trivially portable (no libc rand).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64 step).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (for parallel-safe substreams).
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  std::uint64_t state_;
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace tsdx::tensor

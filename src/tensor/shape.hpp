@@ -1,0 +1,61 @@
+// shape.hpp — shape & stride helpers for dense row-major tensors.
+//
+// A Shape is a small vector of extents. All tsdx tensors are contiguous
+// row-major; strides are always derived, never stored.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace tsdx::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements described by a shape. The empty shape is a scalar (1).
+inline std::int64_t numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    assert(d >= 0 && "negative extent");
+    n *= d;
+  }
+  return n;
+}
+
+/// Row-major strides for a shape (in elements, not bytes).
+inline Shape row_major_strides(const Shape& shape) {
+  Shape strides(shape.size());
+  std::int64_t acc = 1;
+  for (std::size_t i = shape.size(); i-- > 0;) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+/// "[2, 3, 4]" — for error messages and debugging.
+inline std::string to_string(const Shape& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+inline bool same_shape(const Shape& a, const Shape& b) { return a == b; }
+
+/// True when `small` equals the trailing dims of `big` (suffix broadcast),
+/// e.g. a bias of shape [D] against activations of shape [B, T, D].
+inline bool is_suffix_of(const Shape& small, const Shape& big) {
+  if (small.size() > big.size()) return false;
+  const std::size_t off = big.size() - small.size();
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    if (small[i] != big[off + i]) return false;
+  }
+  return true;
+}
+
+}  // namespace tsdx::tensor

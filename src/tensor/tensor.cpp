@@ -1,0 +1,164 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tsdx::tensor {
+
+namespace {
+thread_local bool g_no_grad = false;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(g_no_grad) { g_no_grad = true; }
+NoGradGuard::~NoGradGuard() { g_no_grad = previous_; }
+bool NoGradGuard::active() { return g_no_grad; }
+
+Tensor make_tensor(Shape shape, std::vector<float> data, bool requires_grad) {
+  assert(static_cast<std::int64_t>(data.size()) == numel(shape));
+  auto node = std::make_shared<Node>();
+  node->shape = std::move(shape);
+  node->data = std::move(data);
+  node->requires_grad = requires_grad && !NoGradGuard::active();
+  return Tensor(std::move(node));
+}
+
+bool tape_active(const std::vector<NodePtr>& parents) {
+  if (NoGradGuard::active()) return false;
+  return std::any_of(parents.begin(), parents.end(),
+                     [](const NodePtr& p) { return p && p->requires_grad; });
+}
+
+Tensor make_op_result(Shape shape, std::vector<float> data,
+                      std::vector<NodePtr> parents,
+                      std::function<void(Node&)> bw) {
+  const bool record = tape_active(parents);
+  Tensor out = make_tensor(std::move(shape), std::move(data), record);
+  if (record) {
+    out.node()->parents = std::move(parents);
+    out.node()->backward = std::move(bw);
+  }
+  return out;
+}
+
+// ---- construction ----------------------------------------------------------
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  const auto n = static_cast<std::size_t>(::tsdx::tensor::numel(shape));
+  return make_tensor(std::move(shape), std::vector<float>(n, 0.0f), requires_grad);
+}
+
+Tensor Tensor::ones(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  const auto n = static_cast<std::size_t>(::tsdx::tensor::numel(shape));
+  return make_tensor(std::move(shape), std::vector<float>(n, value), requires_grad);
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return make_tensor(Shape{}, std::vector<float>{value}, requires_grad);
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values,
+                           bool requires_grad) {
+  if (static_cast<std::int64_t>(values.size()) != ::tsdx::tensor::numel(shape)) {
+    throw std::invalid_argument("from_vector: " + std::to_string(values.size()) +
+                                " values for shape " + to_string(shape));
+  }
+  return make_tensor(std::move(shape), std::move(values), requires_grad);
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  const auto n = static_cast<std::size_t>(::tsdx::tensor::numel(shape));
+  std::vector<float> values(n);
+  for (auto& v : values) v = static_cast<float>(rng.normal()) * stddev;
+  return make_tensor(std::move(shape), std::move(values), requires_grad);
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi,
+                            bool requires_grad) {
+  const auto n = static_cast<std::size_t>(::tsdx::tensor::numel(shape));
+  std::vector<float> values(n);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(lo, hi));
+  return make_tensor(std::move(shape), std::move(values), requires_grad);
+}
+
+// ---- autograd engine -------------------------------------------------------
+
+namespace {
+
+/// Iterative post-order DFS over parent edges; returns nodes in topological
+/// order (parents before children), restricted to the subgraph that requires
+/// gradients.
+std::vector<Node*> topo_order(Node* root) {
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent && parent->requires_grad && !visited.contains(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // parents precede children
+}
+
+}  // namespace
+
+void Tensor::backward() const {
+  if (numel() != 1) {
+    throw std::logic_error(
+        "backward() without seed requires a scalar; got shape " +
+        to_string(shape()));
+  }
+  const float one = 1.0f;
+  backward(std::span<const float>(&one, 1));
+}
+
+void Tensor::backward(std::span<const float> seed) const {
+  if (!node_->requires_grad) {
+    throw std::logic_error("backward() on a tensor outside the tape");
+  }
+  if (static_cast<std::int64_t>(seed.size()) != numel()) {
+    throw std::invalid_argument("backward seed size mismatch");
+  }
+  std::vector<Node*> order = topo_order(node_.get());
+  // Reset intermediate (non-leaf) gradients so repeated backward() calls on
+  // the same graph don't double-count; leaf gradients accumulate, matching
+  // the usual gradient-accumulation contract.
+  for (Node* n : order) {
+    if (n->backward) n->grad.assign(n->data.size(), 0.0f);
+  }
+  auto& g = node_->ensure_grad();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] += seed[i];
+  // Children come after their parents in `order`; walk it from the back so
+  // each node's grad is complete before its closure fires.
+  for (std::size_t i = order.size(); i-- > 0;) {
+    Node* n = order[i];
+    if (n->backward) {
+      n->ensure_grad();
+      n->backward(*n);
+    }
+  }
+}
+
+Tensor Tensor::detach() const {
+  return make_tensor(node_->shape, node_->data, /*requires_grad=*/false);
+}
+
+}  // namespace tsdx::tensor

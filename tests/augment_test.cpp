@@ -1,0 +1,132 @@
+// augment_test.cpp — mirror augmentation: label remaps, video flips, and the
+// consistency property that a mirrored clip renders the mirrored scene.
+#include <gtest/gtest.h>
+
+#include "core/augment.hpp"
+#include "sim/clipgen.hpp"
+
+namespace core = tsdx::core;
+namespace data = tsdx::data;
+namespace sdl = tsdx::sdl;
+namespace sim = tsdx::sim;
+
+TEST(MirrorTest, EgoActionRemap) {
+  EXPECT_EQ(core::mirror(sdl::EgoAction::kTurnLeft), sdl::EgoAction::kTurnRight);
+  EXPECT_EQ(core::mirror(sdl::EgoAction::kTurnRight), sdl::EgoAction::kTurnLeft);
+  EXPECT_EQ(core::mirror(sdl::EgoAction::kLaneChangeLeft),
+            sdl::EgoAction::kLaneChangeRight);
+  EXPECT_EQ(core::mirror(sdl::EgoAction::kLaneChangeRight),
+            sdl::EgoAction::kLaneChangeLeft);
+  EXPECT_EQ(core::mirror(sdl::EgoAction::kCruise), sdl::EgoAction::kCruise);
+  EXPECT_EQ(core::mirror(sdl::EgoAction::kStop), sdl::EgoAction::kStop);
+}
+
+TEST(MirrorTest, ActorActionAndPositionRemap) {
+  EXPECT_EQ(core::mirror(sdl::ActorAction::kTurnLeft),
+            sdl::ActorAction::kTurnRight);
+  EXPECT_EQ(core::mirror(sdl::ActorAction::kCross), sdl::ActorAction::kCross);
+  EXPECT_EQ(core::mirror(sdl::RelativePosition::kLeft),
+            sdl::RelativePosition::kRight);
+  EXPECT_EQ(core::mirror(sdl::RelativePosition::kRight),
+            sdl::RelativePosition::kLeft);
+  EXPECT_EQ(core::mirror(sdl::RelativePosition::kAhead),
+            sdl::RelativePosition::kAhead);
+  EXPECT_EQ(core::mirror(sdl::RelativePosition::kOncoming),
+            sdl::RelativePosition::kOncoming);
+}
+
+TEST(MirrorTest, DescriptionMirrorIsInvolution) {
+  tsdx::tensor::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const sdl::ScenarioDescription d = sim::sample_description(rng);
+    const sdl::ScenarioDescription twice =
+        core::mirror_description(core::mirror_description(d));
+    EXPECT_EQ(twice, d);
+  }
+}
+
+TEST(MirrorTest, MirroredDescriptionStaysValid) {
+  tsdx::tensor::Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    const sdl::ScenarioDescription d = sim::sample_description(rng);
+    const auto errors = sdl::validate(core::mirror_description(d));
+    EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  }
+}
+
+TEST(MirrorTest, ClipFlipReversesColumns) {
+  sim::VideoClip clip;
+  clip.frames = 1;
+  clip.height = 1;
+  clip.width = 4;
+  clip.data.resize(static_cast<std::size_t>(sim::kNumChannels * 4));
+  for (std::size_t i = 0; i < clip.data.size(); ++i) {
+    clip.data[i] = static_cast<float>(i);
+  }
+  const sim::VideoClip flipped = core::mirror_clip(clip);
+  for (std::int64_t c = 0; c < sim::kNumChannels; ++c) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      EXPECT_EQ(flipped.at(0, c, 0, x), clip.at(0, c, 0, 3 - x));
+    }
+  }
+  // Involution on the pixels too.
+  EXPECT_EQ(core::mirror_clip(flipped).data, clip.data);
+}
+
+TEST(MirrorTest, ExampleLabelsMatchMirroredDescription) {
+  sim::RenderConfig cfg;
+  cfg.height = cfg.width = 16;
+  cfg.frames = 2;
+  const data::Dataset ds = data::Dataset::synthesize(cfg, 10, 5);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const data::Example m = core::mirror_example(ds[i]);
+    EXPECT_EQ(m.labels, sdl::to_slot_labels(m.description));
+    EXPECT_EQ(m.video.data.size(), ds[i].video.data.size());
+  }
+}
+
+TEST(MirrorTest, AugmentDoublesAndInterleaves) {
+  sim::RenderConfig cfg;
+  cfg.height = cfg.width = 16;
+  cfg.frames = 2;
+  const data::Dataset ds = data::Dataset::synthesize(cfg, 5, 6);
+  const data::Dataset aug = core::augment_mirror(ds);
+  ASSERT_EQ(aug.size(), 10u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(aug[2 * i].description, ds[i].description);
+    EXPECT_EQ(aug[2 * i + 1].description,
+              core::mirror_description(ds[i].description));
+  }
+}
+
+TEST(MirrorTest, RenderedMirrorMatchesMirroredWorld) {
+  // Rendering a left-turn scenario and flipping the video should look like
+  // the vehicles channel of a right-turn render (same jitter seed): the
+  // geometry construction is exactly x-symmetric for the turn trajectories.
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kIntersection4;
+  d.ego_action = sdl::EgoAction::kCruise;
+  d.salient_actor = {};
+  sim::RenderConfig cfg;
+  cfg.height = cfg.width = 32;
+  cfg.frames = 4;
+
+  tsdx::tensor::Rng jitter1(7), noise1(8);
+  const sim::World w = sim::build_world(d, jitter1);
+  const sim::VideoClip clip = sim::render_clip(w, cfg, noise1);
+  const sim::VideoClip flipped = core::mirror_clip(clip);
+
+  // The 4-way intersection road mask is x-symmetric: flipping must keep the
+  // road channel statistics identical (up to noise, which we exclude by
+  // comparing sorted pixel values).
+  std::vector<float> a, b;
+  for (std::int64_t y = 0; y < 32; ++y) {
+    for (std::int64_t x = 0; x < 32; ++x) {
+      a.push_back(clip.at(0, 0, y, x));
+      b.push_back(flipped.at(0, 0, y, x));
+    }
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}

@@ -1,0 +1,147 @@
+// baseline_test.cpp — CNN baselines and the majority-class floor.
+#include <gtest/gtest.h>
+
+#include "baseline/cnn.hpp"
+#include "baseline/majority.hpp"
+#include "core/model.hpp"
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+namespace baseline = tsdx::baseline;
+namespace core = tsdx::core;
+namespace data = tsdx::data;
+namespace nn = tsdx::nn;
+namespace sdl = tsdx::sdl;
+namespace sim = tsdx::sim;
+namespace tt = tsdx::tensor;
+using tt::Shape;
+using tt::Tensor;
+
+namespace {
+
+sim::RenderConfig tiny_render() {
+  sim::RenderConfig cfg;
+  cfg.height = cfg.width = 16;
+  cfg.frames = 4;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FrameCnnTest, ShapeAndGeometryValidation) {
+  tt::Rng rng(1);
+  baseline::FrameCnn cnn(3, 16, 12, rng);
+  EXPECT_EQ(cnn.forward(Tensor::zeros({5, 3, 16, 16})).shape(),
+            (Shape{5, 12}));
+  EXPECT_THROW(baseline::FrameCnn(3, 20, 12, rng), std::invalid_argument);
+}
+
+TEST(EncodeFramesTest, VideoToFrameFeatures) {
+  tt::Rng rng(2);
+  baseline::FrameCnn cnn(3, 16, 8, rng);
+  const Tensor video = Tensor::zeros({2, 4, 3, 16, 16});
+  EXPECT_EQ(baseline::encode_frames(cnn, video).shape(), (Shape{2, 4, 8}));
+  EXPECT_THROW(baseline::encode_frames(cnn, Tensor::zeros({2, 3, 16, 16})),
+               std::invalid_argument);
+}
+
+TEST(CnnBackbonesTest, ForwardShapesAndNames) {
+  tt::Rng rng(3);
+  baseline::CnnAvgBackbone avg(3, 16, 10, rng);
+  baseline::CnnLstmBackbone lstm(3, 16, 10, rng);
+  const Tensor video = Tensor::zeros({2, 4, 3, 16, 16});
+  EXPECT_EQ(avg.forward(video).shape(), (Shape{2, 10}));
+  EXPECT_EQ(lstm.forward(video).shape(), (Shape{2, 10}));
+  EXPECT_EQ(avg.name(), "cnn_avg");
+  EXPECT_EQ(lstm.name(), "cnn_lstm");
+  EXPECT_EQ(avg.feature_dim(), 10);
+  EXPECT_EQ(lstm.feature_dim(), 10);
+}
+
+TEST(CnnBackbonesTest, AvgIsInvariantToFrameOrderLstmIsNot) {
+  tt::Rng rng(4);
+  baseline::CnnAvgBackbone avg(3, 16, 8, rng);
+  baseline::CnnLstmBackbone lstm(3, 16, 8, rng);
+
+  Tensor video = Tensor::rand_uniform({1, 4, 3, 16, 16}, rng, 0.0f, 1.0f);
+  // Reverse the frames.
+  std::vector<float> rev(video.data().begin(), video.data().end());
+  const std::size_t frame = 3 * 16 * 16;
+  for (int f = 0; f < 2; ++f) {
+    for (std::size_t i = 0; i < frame; ++i) {
+      std::swap(rev[f * frame + i], rev[(3 - f) * frame + i]);
+    }
+  }
+  const Tensor reversed = Tensor::from_vector({1, 4, 3, 16, 16}, rev);
+
+  const Tensor a1 = avg.forward(video);
+  const Tensor a2 = avg.forward(reversed);
+  double avg_diff = 0, lstm_diff = 0;
+  for (std::int64_t i = 0; i < a1.numel(); ++i) {
+    avg_diff += std::abs(a1.at(i) - a2.at(i));
+  }
+  const Tensor l1 = lstm.forward(video);
+  const Tensor l2 = lstm.forward(reversed);
+  for (std::int64_t i = 0; i < l1.numel(); ++i) {
+    lstm_diff += std::abs(l1.at(i) - l2.at(i));
+  }
+  EXPECT_LT(avg_diff, 1e-4);   // average pooling cannot see order
+  EXPECT_GT(lstm_diff, 1e-4);  // the LSTM can
+}
+
+TEST(CnnBackbonesTest, OverfitsTinyBatch) {
+  tt::Rng rng(5);
+  auto backbone = std::make_unique<baseline::CnnAvgBackbone>(sim::kNumChannels, 16, 12, rng);
+  core::ScenarioModel model(std::move(backbone), rng);
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 4, 6);
+  const data::Batch batch = ds.make_batch(0, 4);
+  nn::Adam opt(model.parameters(), 3e-3f);
+  float first = 0, last = 0;
+  for (int i = 0; i < 30; ++i) {
+    model.zero_grad();
+    Tensor loss = model.loss(batch.video, batch.labels);
+    loss.backward();
+    opt.step();
+    if (i == 0) first = loss.item();
+    last = loss.item();
+  }
+  EXPECT_LT(last, first * 0.7f);
+}
+
+TEST(MajorityTest, PredictsMostFrequentClassPerSlot) {
+  data::Dataset ds;
+  auto make_example = [](sdl::EgoAction ego) {
+    data::Example ex;
+    ex.description.ego_action = ego;
+    ex.labels = sdl::to_slot_labels(ex.description);
+    ex.video.frames = 1;
+    ex.video.height = ex.video.width = 2;
+    ex.video.data.assign(1 * sim::kNumChannels * 2 * 2, 0.0f);
+    return ex;
+  };
+  ds.add(make_example(sdl::EgoAction::kStop));
+  ds.add(make_example(sdl::EgoAction::kStop));
+  ds.add(make_example(sdl::EgoAction::kCruise));
+
+  baseline::MajorityPredictor majority;
+  majority.fit(ds);
+  EXPECT_EQ(majority.predict()[static_cast<std::size_t>(sdl::Slot::kEgoAction)],
+            static_cast<std::size_t>(sdl::EgoAction::kStop));
+
+  const data::SlotMetrics m = majority.evaluate(ds);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_NEAR(m.slot_accuracy(sdl::Slot::kEgoAction), 2.0 / 3.0, 1e-12);
+  // Slots that are constant in the data are predicted perfectly.
+  EXPECT_DOUBLE_EQ(m.slot_accuracy(sdl::Slot::kWeather), 1.0);
+}
+
+TEST(MajorityTest, OnRealDatasetBeatsNothing) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 40, 7);
+  baseline::MajorityPredictor majority;
+  majority.fit(ds);
+  const data::SlotMetrics m = majority.evaluate(ds);
+  // Majority accuracy is at least 1/max_cardinality on every slot.
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    EXPECT_GT(m.slot_accuracy(static_cast<sdl::Slot>(s)), 0.1);
+  }
+}

@@ -1,0 +1,182 @@
+// calibration_test.cpp — ECE computation and temperature scaling, plus the
+// attention-pooling model variant (both post-first-release extensions).
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "core/extractor.hpp"
+#include "core/trainer.hpp"
+
+namespace core = tsdx::core;
+namespace data = tsdx::data;
+namespace sdl = tsdx::sdl;
+namespace sim = tsdx::sim;
+namespace tt = tsdx::tensor;
+
+// ---- ECE -------------------------------------------------------------------------
+
+TEST(EceTest, PerfectlyCalibratedIsZero) {
+  // Confidence 1.0 and always correct.
+  const std::vector<float> conf(50, 1.0f);
+  const std::vector<bool> correct(50, true);
+  EXPECT_NEAR(core::expected_calibration_error(conf, correct), 0.0, 1e-9);
+}
+
+TEST(EceTest, OverconfidenceMeasured) {
+  // Claims 0.95 confidence but only 50% correct -> ECE ~ 0.45.
+  std::vector<float> conf(100, 0.95f);
+  std::vector<bool> correct(100, false);
+  for (std::size_t i = 0; i < 50; ++i) correct[i] = true;
+  EXPECT_NEAR(core::expected_calibration_error(conf, correct), 0.45, 1e-6);
+}
+
+TEST(EceTest, BinningGroupsByConfidence) {
+  // Two groups: (0.9 conf, 90% acc) and (0.6 conf, 60% acc) -> ECE 0.
+  std::vector<float> conf;
+  std::vector<bool> correct;
+  for (int i = 0; i < 100; ++i) {
+    conf.push_back(0.9f);
+    correct.push_back(i < 90);
+  }
+  for (int i = 0; i < 100; ++i) {
+    conf.push_back(0.6f);
+    correct.push_back(i < 60);
+  }
+  EXPECT_NEAR(core::expected_calibration_error(conf, correct), 0.0, 1e-6);
+}
+
+TEST(EceTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(core::expected_calibration_error({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(core::expected_calibration_error({0.5f}, {true, false}),
+                   0.0);  // size mismatch -> 0
+}
+
+// ---- temperature scaling ---------------------------------------------------------
+
+namespace {
+
+struct CalibFixture {
+  data::Dataset train, val, test;
+  std::unique_ptr<core::ScenarioExtractor> extractor;
+
+  CalibFixture() {
+    core::ModelConfig cfg = core::ModelConfig::tiny();
+    sim::RenderConfig render;
+    render.height = render.width = cfg.image_size;
+    render.frames = cfg.frames;
+    const data::Dataset ds = data::Dataset::synthesize(render, 120, 31);
+    auto splits = ds.split(0.6, 0.2);
+    train = std::move(splits.train);
+    val = std::move(splits.val);
+    test = std::move(splits.test);
+    extractor = std::make_unique<core::ScenarioExtractor>(cfg, 32);
+    core::TrainConfig tc;
+    tc.epochs = 10;
+    tc.batch_size = 8;
+    extractor->train(train, val, tc);
+    extractor->model().set_training(false);
+  }
+};
+
+CalibFixture& fixture() {
+  static CalibFixture f;
+  return f;
+}
+
+}  // namespace
+
+TEST(TemperatureTest, DefaultIsIdentity) {
+  core::TemperatureScaling scaling;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    EXPECT_FLOAT_EQ(scaling.temperature(static_cast<sdl::Slot>(s)), 1.0f);
+  }
+}
+
+TEST(TemperatureTest, FitProducesPositiveTemperatures) {
+  auto& f = fixture();
+  const auto scaling =
+      core::TemperatureScaling::fit(f.extractor->model(), f.val);
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    const float t = scaling.temperature(static_cast<sdl::Slot>(s));
+    EXPECT_GT(t, 0.2f);
+    EXPECT_LT(t, 4.1f);
+  }
+}
+
+TEST(TemperatureTest, ScalingDoesNotChangeAccuracy) {
+  // Temperature scaling is monotone per row: argmax (accuracy) is invariant.
+  auto& f = fixture();
+  const auto scaling =
+      core::TemperatureScaling::fit(f.extractor->model(), f.val);
+  core::TemperatureScaling identity;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    const auto slot = static_cast<sdl::Slot>(s);
+    const auto raw = identity.report(f.extractor->model(), f.test, slot);
+    const auto scaled = scaling.report(f.extractor->model(), f.test, slot);
+    EXPECT_NEAR(raw.accuracy, scaled.accuracy, 1e-9);
+  }
+}
+
+TEST(TemperatureTest, ScalingImprovesMeanEce) {
+  auto& f = fixture();
+  const auto scaling =
+      core::TemperatureScaling::fit(f.extractor->model(), f.val);
+  core::TemperatureScaling identity;
+  double raw_sum = 0, scaled_sum = 0;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    const auto slot = static_cast<sdl::Slot>(s);
+    raw_sum += identity.report(f.extractor->model(), f.test, slot).ece;
+    scaled_sum += scaling.report(f.extractor->model(), f.test, slot).ece;
+  }
+  // Fit on val, measured on test: allow slack, but the mean should not
+  // degrade materially.
+  EXPECT_LE(scaled_sum, raw_sum + 0.02 * sdl::kNumSlots);
+}
+
+// ---- attention pooling variant ------------------------------------------------------
+
+TEST(AttentionPoolingTest, ForwardShapeAndExtraParameter) {
+  tt::Rng rng(41);
+  core::ModelConfig cfg = core::ModelConfig::tiny();
+  cfg.pooling = core::Pooling::kAttention;
+  core::VideoTransformer attn_pool(cfg, rng);
+  tt::Rng rng2(41);
+  core::ModelConfig mean_cfg = core::ModelConfig::tiny();
+  core::VideoTransformer mean_pool(mean_cfg, rng2);
+
+  EXPECT_EQ(attn_pool.num_parameters(),
+            mean_pool.num_parameters() + cfg.dim);
+
+  tt::Rng data_rng(42);
+  const auto clip = tt::Tensor::rand_uniform(
+      {2, cfg.frames, cfg.channels, cfg.image_size, cfg.image_size}, data_rng,
+      0.0f, 1.0f);
+  EXPECT_EQ(attn_pool.forward(clip).shape(), (tt::Shape{2, cfg.dim}));
+}
+
+TEST(AttentionPoolingTest, GradFlowsThroughPoolQuery) {
+  tt::Rng rng(43);
+  core::ModelConfig cfg = core::ModelConfig::tiny();
+  cfg.pooling = core::Pooling::kAttention;
+  core::VideoTransformer model(cfg, rng);
+  tt::Rng data_rng(44);
+  const auto clip = tt::Tensor::rand_uniform(
+      {1, cfg.frames, cfg.channels, cfg.image_size, cfg.image_size}, data_rng,
+      0.0f, 1.0f);
+  tt::sum_all(model.forward(clip)).backward();
+  // Find the pool_query parameter by name and verify non-zero grad.
+  bool found = false;
+  for (const auto& [name, p] : model.named_parameters()) {
+    if (name == "pool_query") {
+      found = true;
+      bool any = false;
+      for (float g : p.grad()) any |= g != 0.0f;
+      EXPECT_TRUE(any);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AttentionPoolingTest, PoolingNameForReports) {
+  EXPECT_EQ(core::to_string(core::Pooling::kMean), "mean");
+  EXPECT_EQ(core::to_string(core::Pooling::kAttention), "attn_pool");
+}

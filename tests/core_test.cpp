@@ -1,0 +1,473 @@
+// core_test.cpp — model configuration, tokenization, all four attention
+// factorizations, slot heads, multi-task loss, prediction plumbing, the
+// trainer, checkpointing of full models, and the extractor API.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/cnn.hpp"
+#include "core/extractor.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "core/video_transformer.hpp"
+#include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace core = tsdx::core;
+namespace data = tsdx::data;
+namespace nn = tsdx::nn;
+namespace sdl = tsdx::sdl;
+namespace sim = tsdx::sim;
+namespace tt = tsdx::tensor;
+using tt::Shape;
+using tt::Tensor;
+
+namespace {
+
+core::ModelConfig micro_config(core::AttentionKind kind) {
+  core::ModelConfig cfg;
+  cfg.frames = 4;
+  cfg.image_size = 16;
+  cfg.patch_size = 8;
+  cfg.tubelet_frames = 2;
+  cfg.dim = 16;
+  cfg.depth = 2;
+  cfg.heads = 2;
+  cfg.attention = kind;
+  return cfg;
+}
+
+Tensor random_clip_batch(const core::ModelConfig& cfg, std::int64_t b,
+                         tt::Rng& rng) {
+  return Tensor::rand_uniform(
+      {b, cfg.frames, cfg.channels, cfg.image_size, cfg.image_size}, rng, 0.0f,
+      1.0f);
+}
+
+sim::RenderConfig render_for(const core::ModelConfig& cfg) {
+  sim::RenderConfig r;
+  r.height = r.width = cfg.image_size;
+  r.frames = cfg.frames;
+  return r;
+}
+
+}  // namespace
+
+// ---- config --------------------------------------------------------------------
+
+TEST(ConfigTest, DerivedQuantities) {
+  core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  EXPECT_EQ(cfg.tokens_per_frame(), 4);   // (16/8)^2
+  EXPECT_EQ(cfg.temporal_tokens(), 2);    // 4/2
+  EXPECT_EQ(cfg.total_tokens(), 8);
+  EXPECT_EQ(cfg.tubelet_dim(), 2 * 4 * 8 * 8);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigTest, ValidationCatchesBadGeometry) {
+  core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  cfg.patch_size = 7;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = micro_config(core::AttentionKind::kJoint);
+  cfg.tubelet_frames = 3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = micro_config(core::AttentionKind::kJoint);
+  cfg.heads = 5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConfigTest, AttentionKindNames) {
+  EXPECT_EQ(core::to_string(core::AttentionKind::kJoint), "joint");
+  EXPECT_EQ(core::to_string(core::AttentionKind::kDividedST), "divided_st");
+  EXPECT_EQ(core::to_string(core::AttentionKind::kFactorizedEncoder),
+            "factorized");
+  EXPECT_EQ(core::to_string(core::AttentionKind::kSpaceOnly), "space_only");
+}
+
+// ---- tubelet embedding -----------------------------------------------------------
+
+TEST(TubeletTest, OutputShape) {
+  tt::Rng rng(1);
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  core::TubeletEmbedding embed(cfg, rng);
+  const Tensor tokens = embed.forward(random_clip_batch(cfg, 2, rng));
+  EXPECT_EQ(tokens.shape(), (Shape{2, cfg.total_tokens(), cfg.dim}));
+}
+
+TEST(TubeletTest, TokensAreSpatiallyLocal) {
+  // Zero the clip except one patch; only the matching token may be non-bias.
+  tt::Rng rng(2);
+  core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  cfg.tubelet_frames = 1;
+  core::TubeletEmbedding embed(cfg, rng);
+
+  std::vector<float> clip(static_cast<std::size_t>(
+      cfg.frames * cfg.channels * cfg.image_size * cfg.image_size));
+  // Light up pixel (frame 0, channel 0, y=0, x=8..15) -> grid cell (0, 1),
+  // i.e. spatial token 1 of temporal slice 0.
+  for (int x = 8; x < 16; ++x) clip[static_cast<std::size_t>(x)] = 1.0f;
+  const Tensor tokens = embed.forward(
+      Tensor::from_vector({1, cfg.frames, cfg.channels, 16, 16}, clip));
+
+  const Tensor zeros = embed.forward(
+      Tensor::zeros({1, cfg.frames, cfg.channels, 16, 16}));
+  // All tokens except index 1 must equal the all-zero-input token (the bias).
+  for (std::int64_t n = 0; n < cfg.total_tokens(); ++n) {
+    for (std::int64_t d = 0; d < cfg.dim; ++d) {
+      const float got = tokens.at(n * cfg.dim + d);
+      const float bias = zeros.at(n * cfg.dim + d);
+      if (n == 1) continue;
+      EXPECT_NEAR(got, bias, 1e-6f) << "token " << n << " dim " << d;
+    }
+  }
+  // Token 1 must differ from bias in at least one dim.
+  float diff = 0.0f;
+  for (std::int64_t d = 0; d < cfg.dim; ++d) {
+    diff += std::abs(tokens.at(1 * cfg.dim + d) - zeros.at(1 * cfg.dim + d));
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(TubeletTest, GeometryMismatchThrows) {
+  tt::Rng rng(3);
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  core::TubeletEmbedding embed(cfg, rng);
+  EXPECT_THROW(embed.forward(Tensor::zeros({1, 4, 3, 32, 32})),
+               std::invalid_argument);
+  EXPECT_THROW(embed.forward(Tensor::zeros({4, 3, 16, 16})),
+               std::invalid_argument);
+}
+
+// ---- video transformer variants -----------------------------------------------------
+
+class AttentionVariant
+    : public ::testing::TestWithParam<core::AttentionKind> {};
+
+TEST_P(AttentionVariant, ForwardShapeAndFiniteness) {
+  tt::Rng rng(4);
+  const core::ModelConfig cfg = micro_config(GetParam());
+  core::VideoTransformer model(cfg, rng);
+  const Tensor features = model.forward(random_clip_batch(cfg, 3, rng));
+  EXPECT_EQ(features.shape(), (Shape{3, cfg.dim}));
+  for (float v : features.data()) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_EQ(model.feature_dim(), cfg.dim);
+}
+
+TEST_P(AttentionVariant, GradientsFlowToAllParameters) {
+  tt::Rng rng(5);
+  const core::ModelConfig cfg = micro_config(GetParam());
+  core::VideoTransformer model(cfg, rng);
+  tt::sum_all(model.forward(random_clip_batch(cfg, 1, rng))).backward();
+  std::size_t touched = 0;
+  for (const Tensor& p : model.parameters()) {
+    bool any = false;
+    for (float g : p.grad()) any |= g != 0.0f;
+    touched += any ? 1 : 0;
+  }
+  // Every parameter tensor should receive gradient (mean pooling + residual
+  // paths reach everything).
+  EXPECT_EQ(touched, model.parameters().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AttentionVariant,
+    ::testing::Values(core::AttentionKind::kJoint,
+                      core::AttentionKind::kDividedST,
+                      core::AttentionKind::kFactorizedEncoder,
+                      core::AttentionKind::kSpaceOnly),
+    [](const ::testing::TestParamInfo<core::AttentionKind>& info) {
+      return core::to_string(info.param);
+    });
+
+TEST(VideoTransformerTest, NamesEncodeAttentionKind) {
+  tt::Rng rng(6);
+  core::VideoTransformer m(micro_config(core::AttentionKind::kDividedST), rng);
+  EXPECT_EQ(m.name(), "vt_divided_st");
+}
+
+TEST(VideoTransformerTest, JointHasNoExtraTemporalParams) {
+  tt::Rng rng(7);
+  core::VideoTransformer joint(micro_config(core::AttentionKind::kJoint), rng);
+  core::VideoTransformer fact(
+      micro_config(core::AttentionKind::kFactorizedEncoder), rng);
+  EXPECT_GT(fact.num_parameters(), joint.num_parameters());
+}
+
+// ---- slot heads & model ----------------------------------------------------------------
+
+TEST(SlotHeadsTest, LogitShapes) {
+  tt::Rng rng(8);
+  core::SlotHeads heads(16, rng);
+  const auto logits = heads.forward(Tensor::zeros({5, 16}));
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    EXPECT_EQ(logits[s].shape(),
+              (Shape{5, static_cast<std::int64_t>(sdl::kSlotCardinality[s])}));
+  }
+}
+
+TEST(ScenarioModelTest, LossIsFiniteAndDecreasesWhenOverfitting) {
+  tt::Rng rng(9);
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kDividedST);
+  auto backbone = std::make_unique<core::VideoTransformer>(cfg, rng);
+  core::ScenarioModel model(std::move(backbone), rng);
+
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 4, 10);
+  const data::Batch batch = ds.make_batch(0, 4);
+
+  nn::Adam opt(model.parameters(), 3e-3f);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    model.zero_grad();
+    Tensor loss = model.loss(batch.video, batch.labels);
+    loss.backward();
+    opt.step();
+    if (step == 0) first = loss.item();
+    last = loss.item();
+  }
+  EXPECT_TRUE(std::isfinite(first));
+  EXPECT_LT(last, first * 0.6f) << "model failed to overfit 4 examples";
+}
+
+TEST(ScenarioModelTest, SlotMaskRestrictsLossAndPredictions) {
+  tt::Rng rng(10);
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kSpaceOnly);
+  core::SlotMask only_ego{};
+  only_ego[static_cast<std::size_t>(sdl::Slot::kEgoAction)] = true;
+  auto backbone = std::make_unique<core::VideoTransformer>(cfg, rng);
+  core::ScenarioModel model(std::move(backbone), rng, only_ego);
+
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 2, 11);
+  const data::Batch batch = ds.make_batch(0, 2);
+  EXPECT_NO_THROW(model.loss(batch.video, batch.labels));
+  const auto preds = model.predict(batch.video);
+  for (const auto& p : preds) {
+    EXPECT_EQ(p[static_cast<std::size_t>(sdl::Slot::kRoadLayout)], 0u);
+  }
+  // All-false mask is a logic error.
+  auto backbone2 = std::make_unique<core::VideoTransformer>(cfg, rng);
+  core::ScenarioModel empty_model(std::move(backbone2), rng, core::SlotMask{});
+  EXPECT_THROW(empty_model.loss(batch.video, batch.labels), std::logic_error);
+}
+
+TEST(ScenarioModelTest, PredictionConfidencesAreProbabilities) {
+  tt::Rng rng(11);
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  auto backbone = std::make_unique<core::VideoTransformer>(cfg, rng);
+  core::ScenarioModel model(std::move(backbone), rng);
+  const auto preds =
+      model.predict_with_confidence(random_clip_batch(cfg, 2, rng));
+  ASSERT_EQ(preds.size(), 2u);
+  for (const auto& p : preds) {
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      EXPECT_GT(p.confidence[s], 0.0f);
+      EXPECT_LE(p.confidence[s], 1.0f);
+      // argmax confidence must be at least uniform probability
+      EXPECT_GE(p.confidence[s],
+                1.0f / static_cast<float>(sdl::kSlotCardinality[s]) - 1e-5f);
+      EXPECT_LT(p.labels[s], sdl::kSlotCardinality[s]);
+    }
+  }
+}
+
+// ---- trainer ---------------------------------------------------------------------------------
+
+TEST(TrainerTest, FitReducesLossAndReportsHistory) {
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kDividedST);
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 24, 12);
+  const auto splits = ds.split(0.75, 0.25);
+
+  core::ScenarioExtractor extractor(cfg, 13);
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 4;
+  const core::TrainResult result =
+      extractor.train(splits.train, splits.val, tc);
+  ASSERT_EQ(result.history.size(), 3u);
+  EXPECT_LT(result.last().train_loss, result.history.front().train_loss);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_GT(result.last().val_mean_accuracy, 0.0);
+}
+
+TEST(TrainerTest, EvaluateCountsMatchDataset) {
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kSpaceOnly);
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 10, 14);
+  core::ScenarioExtractor extractor(cfg, 15);
+  const data::SlotMetrics m =
+      core::Trainer::evaluate(extractor.model(), ds, 4);
+  EXPECT_EQ(m.count(), 10u);
+}
+
+// ---- extractor API -----------------------------------------------------------------------------
+
+TEST(ExtractorTest, ExtractReturnsValidatedDescription) {
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  sim::ClipGenerator gen(render_for(cfg), 16);
+  core::ScenarioExtractor extractor(cfg, 17);
+  const sim::LabeledClip clip = gen.generate();
+  const core::ExtractionResult result = extractor.extract(clip.video);
+  // Labels land in range by construction.
+  const sdl::SlotLabels labels = sdl::to_slot_labels(result.description);
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    EXPECT_LT(labels[s], sdl::kSlotCardinality[s]);
+  }
+  EXPECT_GT(result.min_confidence(), 0.0f);
+}
+
+TEST(ExtractorTest, BatchExtractionMatchesSingle) {
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kDividedST);
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 3, 18);
+  core::ScenarioExtractor extractor(cfg, 19);
+  extractor.model().set_training(false);
+  const auto batch_results = extractor.extract_batch(ds.make_batch(0, 3));
+  ASSERT_EQ(batch_results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto single = extractor.extract(ds[i].video);
+    EXPECT_EQ(single.description, batch_results[i].description);
+  }
+}
+
+TEST(ExtractorTest, CheckpointRoundTripPreservesPredictions) {
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 2, 20);
+
+  core::ScenarioExtractor a(cfg, 21);
+  core::ScenarioExtractor b(cfg, 22);  // different init
+  a.model().set_training(false);
+  b.model().set_training(false);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsdx_model.ckpt").string();
+  nn::save_checkpoint(a.model(), path);
+  nn::load_checkpoint(b.model(), path);
+
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(a.extract(ds[i].video).description,
+              b.extract(ds[i].video).description);
+  }
+  std::filesystem::remove(path);
+}
+
+// ---- positional-embedding variants ---------------------------------------------------
+
+TEST(PositionalTest, ParameterCountsByKind) {
+  const core::ModelConfig base = micro_config(core::AttentionKind::kJoint);
+  tt::Rng r1(50), r2(50), r3(50);
+  core::ModelConfig learned = base;
+  core::ModelConfig sinus = base;
+  sinus.positional = core::PositionalKind::kSinusoidal;
+  core::ModelConfig none = base;
+  none.positional = core::PositionalKind::kNone;
+
+  core::VideoTransformer m_learned(learned, r1);
+  core::VideoTransformer m_sinus(sinus, r2);
+  core::VideoTransformer m_none(none, r3);
+
+  const std::int64_t pos_params =
+      (base.tokens_per_frame() + base.temporal_tokens()) * base.dim;
+  EXPECT_EQ(m_learned.num_parameters(), m_none.num_parameters() + pos_params);
+  EXPECT_EQ(m_sinus.num_parameters(), m_none.num_parameters());
+}
+
+TEST(PositionalTest, AllKindsForwardFinite) {
+  const core::PositionalKind kinds[] = {core::PositionalKind::kLearned,
+                                        core::PositionalKind::kSinusoidal,
+                                        core::PositionalKind::kNone};
+  for (const auto kind : kinds) {
+    tt::Rng rng(60);
+    core::ModelConfig cfg = micro_config(core::AttentionKind::kDividedST);
+    cfg.positional = kind;
+    core::VideoTransformer model(cfg, rng);
+    tt::Rng data_rng(61);
+    const Tensor out = model.forward(random_clip_batch(cfg, 2, data_rng));
+    EXPECT_EQ(out.shape(), (Shape{2, cfg.dim}));
+    for (float v : out.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(PositionalTest, NoneIsTokenPermutationInsensitiveJoint) {
+  // Without positional info and with joint attention + mean pooling, the
+  // encoder is permutation-invariant over tokens: permuting the *input
+  // patches* must not change the pooled feature.
+  tt::Rng rng(62);
+  core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  cfg.positional = core::PositionalKind::kNone;
+  cfg.tubelet_frames = 1;
+  core::VideoTransformer model(cfg, rng);
+
+  tt::Rng data_rng(63);
+  Tensor clip = random_clip_batch(cfg, 1, data_rng);
+  const Tensor f1 = model.forward(clip);
+
+  // Swap the two temporal halves of the clip (a token permutation).
+  std::vector<float> swapped(clip.data().begin(), clip.data().end());
+  const std::size_t half = swapped.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    std::swap(swapped[i], swapped[half + i]);
+  }
+  const Tensor f2 = model.forward(Tensor::from_vector(clip.shape(), swapped));
+  for (std::int64_t i = 0; i < f1.numel(); ++i) {
+    EXPECT_NEAR(f1.at(i), f2.at(i), 1e-4f);
+  }
+}
+
+TEST(PositionalTest, ToStringNames) {
+  EXPECT_EQ(core::to_string(core::PositionalKind::kLearned), "learned");
+  EXPECT_EQ(core::to_string(core::PositionalKind::kSinusoidal), "sinusoidal");
+  EXPECT_EQ(core::to_string(core::PositionalKind::kNone), "none");
+}
+
+// ---- early stopping / best restore -----------------------------------------------------------
+
+TEST(TrainerTest, EarlyStoppingRespectsPatience) {
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kSpaceOnly);
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 16, 70);
+  const auto splits = ds.split(0.5, 0.5);
+  core::ScenarioExtractor extractor(cfg, 71);
+  core::TrainConfig tc;
+  tc.epochs = 30;
+  tc.batch_size = 4;
+  tc.patience = 2;
+  const core::TrainResult result =
+      extractor.train(splits.train, splits.val, tc);
+  // With patience 2 on an 8-example val set the run must stop early.
+  EXPECT_LT(result.history.size(), 30u);
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.best_epoch, result.history.size());
+}
+
+TEST(TrainerTest, RestoreBestRevertsToBestValEpoch) {
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kSpaceOnly);
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 20, 72);
+  const auto splits = ds.split(0.6, 0.4);
+  core::ScenarioExtractor extractor(cfg, 73);
+  core::TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 4;
+  tc.restore_best = true;
+  const core::TrainResult result =
+      extractor.train(splits.train, splits.val, tc);
+  extractor.model().set_training(false);
+  const data::SlotMetrics m =
+      core::Trainer::evaluate(extractor.model(), splits.val, 4);
+  // Restored parameters must reproduce the best epoch's val accuracy.
+  EXPECT_NEAR(m.mean_accuracy(),
+              result.history[result.best_epoch].val_mean_accuracy, 1e-9);
+}
+
+// ---- constrained extraction ------------------------------------------------------------------
+
+TEST(ExtractorTest, ConstrainedModeGuaranteesValidity) {
+  const core::ModelConfig cfg = micro_config(core::AttentionKind::kJoint);
+  const data::Dataset ds = data::Dataset::synthesize(render_for(cfg), 12, 74);
+  core::ScenarioExtractor extractor(cfg, 75);  // untrained: noisy outputs
+  extractor.model().set_training(false);
+  extractor.set_constrained_decoding(true);
+  EXPECT_TRUE(extractor.constrained_decoding());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto result = extractor.extract(ds[i].video);
+    EXPECT_TRUE(result.warnings.empty())
+        << "constrained extraction produced invalid description";
+    EXPECT_GT(result.min_confidence(), 0.0f);
+  }
+}

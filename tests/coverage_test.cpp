@@ -1,0 +1,193 @@
+// coverage_test.cpp — scenario-coverage analysis: the valid-combination
+// enumeration, value/pair coverage accounting, and missing-pair reporting.
+#include <gtest/gtest.h>
+
+#include "sdl/coverage.hpp"
+#include "sdl/spec.hpp"
+#include <set>
+#include "sim/world.hpp"
+
+namespace sdl = tsdx::sdl;
+namespace sim = tsdx::sim;
+
+TEST(ValidCombinationsTest, EnumerationIsNonTrivialAndValid) {
+  const auto& combos = sdl::all_valid_label_combinations();
+  // A meaningful fraction of the 136k raw tuples must survive, and far from
+  // all of them (the SDL has real constraints).
+  std::size_t raw = 1;
+  for (std::size_t c : sdl::kSlotCardinality) raw *= c;
+  EXPECT_GT(combos.size(), raw / 100);
+  EXPECT_LT(combos.size(), raw);
+  for (std::size_t i = 0; i < combos.size(); i += 997) {  // sample
+    EXPECT_TRUE(sdl::is_valid(sdl::from_slot_labels(combos[i])));
+  }
+}
+
+TEST(ValidCombinationsTest, KnownInvalidTupleExcluded) {
+  // straight road + ego turn_left is invalid and must not appear.
+  for (const auto& labels : sdl::all_valid_label_combinations()) {
+    const bool straight =
+        labels[0] == static_cast<std::size_t>(sdl::RoadLayout::kStraight);
+    const bool turns =
+        labels[4] == static_cast<std::size_t>(sdl::EgoAction::kTurnLeft) ||
+        labels[4] == static_cast<std::size_t>(sdl::EgoAction::kTurnRight);
+    EXPECT_FALSE(straight && turns);
+  }
+}
+
+TEST(CoverageTest, EmptyAnalyzer) {
+  sdl::CoverageAnalyzer cov;
+  EXPECT_EQ(cov.count(), 0u);
+  EXPECT_DOUBLE_EQ(cov.slot_value_coverage(sdl::Slot::kWeather), 0.0);
+  EXPECT_DOUBLE_EQ(cov.overall_value_coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(cov.pair_coverage(sdl::Slot::kRoadLayout,
+                                     sdl::Slot::kEgoAction),
+                   0.0);
+}
+
+TEST(CoverageTest, SingleDescriptionCountsOnce) {
+  sdl::CoverageAnalyzer cov;
+  sdl::ScenarioDescription d;
+  d.environment.weather = sdl::Weather::kRain;
+  cov.add(d);
+  EXPECT_EQ(cov.count(), 1u);
+  EXPECT_EQ(cov.seen_count(sdl::Slot::kWeather,
+                           static_cast<std::size_t>(sdl::Weather::kRain)),
+            1u);
+  EXPECT_NEAR(cov.slot_value_coverage(sdl::Slot::kWeather), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CoverageTest, PairCoverageAgainstValidCombosOnly) {
+  sdl::CoverageAnalyzer cov;
+  // Observe one valid (road, ego) pair.
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kIntersection4;
+  d.ego_action = sdl::EgoAction::kTurnLeft;
+  cov.add(d);
+  const double pc =
+      cov.pair_coverage(sdl::Slot::kRoadLayout, sdl::Slot::kEgoAction);
+  EXPECT_GT(pc, 0.0);
+  EXPECT_LT(pc, 1.0);
+
+  // The never-valid (straight, turn_left) combo must not be in missing list
+  // (it's invalid, not missing), while valid unseen combos must be.
+  const auto missing =
+      cov.missing_pairs(sdl::Slot::kRoadLayout, sdl::Slot::kEgoAction);
+  bool has_invalid = false;
+  bool has_valid_unseen = false;
+  for (const auto& mp : missing) {
+    if (mp.value_a == "straight" && mp.value_b == "turn_left") {
+      has_invalid = true;
+    }
+    if (mp.value_a == "t_junction" && mp.value_b == "turn_right") {
+      has_valid_unseen = true;
+    }
+  }
+  EXPECT_FALSE(has_invalid);
+  EXPECT_TRUE(has_valid_unseen);
+}
+
+TEST(CoverageTest, LargeSampleApproachesFullValueCoverage) {
+  sdl::CoverageAnalyzer cov;
+  tsdx::tensor::Rng rng(11);
+  for (int i = 0; i < 600; ++i) cov.add(sim::sample_description(rng));
+  EXPECT_EQ(cov.count(), 600u);
+  // Every slot value the sampler can produce should have appeared.
+  EXPECT_GT(cov.overall_value_coverage(), 0.95);
+  // Pair coverage grows but includes rare combos; just check sane range.
+  const double pc =
+      cov.pair_coverage(sdl::Slot::kEgoAction, sdl::Slot::kActorAction);
+  EXPECT_GT(pc, 0.3);
+  EXPECT_LE(pc, 1.0);
+}
+
+TEST(CoverageTest, MissingPairsShrinkWithMoreData) {
+  tsdx::tensor::Rng rng(12);
+  sdl::CoverageAnalyzer small, big;
+  for (int i = 0; i < 10; ++i) small.add(sim::sample_description(rng));
+  tsdx::tensor::Rng rng2(12);
+  for (int i = 0; i < 300; ++i) big.add(sim::sample_description(rng2));
+  EXPECT_GE(small.missing_pairs(sdl::Slot::kRoadLayout, sdl::Slot::kEgoAction)
+                .size(),
+            big.missing_pairs(sdl::Slot::kRoadLayout, sdl::Slot::kEgoAction)
+                .size());
+}
+
+// ---- partial specs & completion sampling ------------------------------------------------
+
+TEST(SpecTest, EmptySpecMatchesEverything) {
+  sdl::PartialScenarioSpec spec;
+  EXPECT_EQ(spec.constraint_count(), 0u);
+  EXPECT_TRUE(sdl::matches(spec, sdl::ScenarioDescription{}));
+  EXPECT_EQ(sdl::valid_completions(spec).size(),
+            sdl::all_valid_label_combinations().size());
+}
+
+TEST(SpecTest, ConstrainedSlotsFilter) {
+  sdl::PartialScenarioSpec spec;
+  spec.ego_action = sdl::EgoAction::kTurnLeft;
+  spec.actor_type = sdl::ActorType::kPedestrian;
+  EXPECT_EQ(spec.constraint_count(), 2u);
+
+  sdl::ScenarioDescription yes;
+  yes.environment.road_layout = sdl::RoadLayout::kIntersection4;
+  yes.ego_action = sdl::EgoAction::kTurnLeft;
+  yes.salient_actor = {sdl::ActorType::kPedestrian, sdl::ActorAction::kCross,
+                       sdl::RelativePosition::kAhead};
+  EXPECT_TRUE(sdl::matches(spec, yes));
+
+  sdl::ScenarioDescription no = yes;
+  no.ego_action = sdl::EgoAction::kCruise;
+  EXPECT_FALSE(sdl::matches(spec, no));
+}
+
+TEST(SpecTest, CompletionsRespectGrammar) {
+  // Ego turn constrains the layout to junctions in every completion.
+  sdl::PartialScenarioSpec spec;
+  spec.ego_action = sdl::EgoAction::kTurnRight;
+  const auto completions = sdl::valid_completions(spec);
+  ASSERT_FALSE(completions.empty());
+  for (std::size_t i = 0; i < completions.size(); i += 101) {
+    const auto d = sdl::from_slot_labels(completions[i]);
+    EXPECT_TRUE(sdl::is_valid(d));
+    EXPECT_TRUE(d.environment.road_layout == sdl::RoadLayout::kIntersection4 ||
+                d.environment.road_layout == sdl::RoadLayout::kTJunction);
+  }
+}
+
+TEST(SpecTest, UnsatisfiableSpecYieldsNothing) {
+  sdl::PartialScenarioSpec spec;
+  spec.actor_type = sdl::ActorType::kTruck;
+  spec.actor_action = sdl::ActorAction::kCross;  // trucks cannot cross
+  EXPECT_TRUE(sdl::valid_completions(spec).empty());
+  tsdx::tensor::Rng rng(1);
+  EXPECT_FALSE(sdl::sample_matching(spec, rng).has_value());
+}
+
+TEST(SpecTest, SampleMatchingIsValidAndMatches) {
+  sdl::PartialScenarioSpec spec;
+  spec.time_of_day = sdl::TimeOfDay::kNight;
+  spec.actor_action = sdl::ActorAction::kCross;
+  tsdx::tensor::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const auto d = sdl::sample_matching(spec, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(sdl::is_valid(*d));
+    EXPECT_TRUE(sdl::matches(spec, *d));
+    EXPECT_EQ(d->environment.time_of_day, sdl::TimeOfDay::kNight);
+  }
+}
+
+TEST(SpecTest, SamplingCoversMultipleCompletions) {
+  sdl::PartialScenarioSpec spec;
+  spec.ego_action = sdl::EgoAction::kStop;
+  spec.actor_type = sdl::ActorType::kNone;
+  tsdx::tensor::Rng rng(3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 40; ++i) {
+    const auto d = sdl::sample_matching(spec, rng);
+    ASSERT_TRUE(d.has_value());
+    seen.insert(sdl::to_sentence(*d));
+  }
+  EXPECT_GT(seen.size(), 5u);  // uniform sampling over many completions
+}

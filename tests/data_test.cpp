@@ -1,0 +1,319 @@
+// data_test.cpp — dataset synthesis/splits/batching and the metrics suite.
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "data/corruption.hpp"
+#include "data/export.hpp"
+#include "data/metrics.hpp"
+#include "sim/world.hpp"
+#include <algorithm>
+#include <filesystem>
+
+namespace data = tsdx::data;
+namespace sdl = tsdx::sdl;
+namespace sim = tsdx::sim;
+
+namespace {
+
+sim::RenderConfig tiny_render() {
+  sim::RenderConfig cfg;
+  cfg.height = cfg.width = 16;
+  cfg.frames = 2;
+  return cfg;
+}
+
+}  // namespace
+
+// ---- dataset ---------------------------------------------------------------------
+
+TEST(DatasetTest, SynthesizeDeterministic) {
+  const data::Dataset a = data::Dataset::synthesize(tiny_render(), 6, 42);
+  const data::Dataset b = data::Dataset::synthesize(tiny_render(), 6, 42);
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].description, b[i].description);
+    EXPECT_EQ(a[i].video.data, b[i].video.data);
+    EXPECT_EQ(a[i].labels, sdl::to_slot_labels(a[i].description));
+  }
+}
+
+TEST(DatasetTest, SplitFractions) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 20, 1);
+  const auto splits = ds.split(0.5, 0.25);
+  EXPECT_EQ(splits.train.size(), 10u);
+  EXPECT_EQ(splits.val.size(), 5u);
+  EXPECT_EQ(splits.test.size(), 5u);
+  EXPECT_THROW(ds.split(0.8, 0.3), std::invalid_argument);
+}
+
+TEST(DatasetTest, TakePrefix) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 10, 2);
+  EXPECT_EQ(ds.take(4).size(), 4u);
+  EXPECT_EQ(ds.take(100).size(), 10u);
+  EXPECT_EQ(ds.take(4)[0].description, ds[0].description);
+}
+
+TEST(DatasetTest, LabelHistogramSums) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 30, 3);
+  const auto hist = ds.label_histogram();
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    std::size_t total = 0;
+    for (std::size_t c : hist[s]) total += c;
+    EXPECT_EQ(total, 30u);
+  }
+}
+
+TEST(BatcherTest, BatchStackingLayout) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 4, 4);
+  const data::Batch batch = ds.make_batch(1, 2);
+  EXPECT_EQ(batch.size(), 2);
+  EXPECT_EQ(batch.video.shape(),
+            (tsdx::tensor::Shape{2, 2, sim::kNumChannels, 16, 16}));
+  // Batch row i must byte-match example video i+1.
+  const auto bd = batch.video.data();
+  const auto& v1 = ds[1].video.data;
+  const auto& v2 = ds[2].video.data;
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    EXPECT_EQ(bd[i], v1[i]);
+    EXPECT_EQ(bd[v1.size() + i], v2[i]);
+  }
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    EXPECT_EQ(batch.labels[s][0], static_cast<std::int64_t>(ds[1].labels[s]));
+    EXPECT_EQ(batch.labels[s][1], static_cast<std::int64_t>(ds[2].labels[s]));
+  }
+}
+
+TEST(BatcherTest, EpochCoversEveryExampleOnce) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 10, 5);
+  data::Batcher batcher(ds, 3);
+  tsdx::tensor::Rng rng(9);
+  const auto batches = batcher.epoch(rng);
+  EXPECT_EQ(batches.size(), 4u);  // 3+3+3+1
+  std::vector<bool> seen(10, false);
+  for (const auto& batch : batches) {
+    for (std::size_t idx : batch) {
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(BatcherTest, ShuffleIsDeterministicInRng) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 10, 6);
+  data::Batcher batcher(ds, 4);
+  tsdx::tensor::Rng r1(7), r2(7), r3(8);
+  EXPECT_EQ(batcher.epoch(r1), batcher.epoch(r2));
+  EXPECT_NE(batcher.epoch(r1), batcher.epoch(r3));
+}
+
+TEST(BatcherTest, EmptyBatchThrows) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 2, 7);
+  data::Batcher batcher(ds, 2);
+  EXPECT_THROW(batcher.gather({}), std::invalid_argument);
+}
+
+// ---- confusion matrix / classification metrics ----------------------------------------
+
+TEST(ConfusionTest, AccuracyAndCounts) {
+  data::ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(0, 0);
+  m.add(1, 1);
+  m.add(1, 2);
+  m.add(2, 0);
+  EXPECT_EQ(m.total(), 5u);
+  EXPECT_EQ(m.count(1, 2), 1u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 3.0 / 5.0);
+  EXPECT_THROW(m.add(3, 0), std::out_of_range);
+}
+
+TEST(ConfusionTest, PrecisionRecallF1HandChecked) {
+  data::ConfusionMatrix m(2);
+  // class 1: tp=2 fp=1 fn=1
+  m.add(1, 1);
+  m.add(1, 1);
+  m.add(1, 0);  // fn
+  m.add(0, 1);  // fp
+  m.add(0, 0);
+  EXPECT_DOUBLE_EQ(m.precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall(1), 2.0 / 3.0);
+  EXPECT_NEAR(m.f1(1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionTest, MacroF1IgnoresAbsentClasses) {
+  data::ConfusionMatrix m(3);
+  // class 2 never appears in ground truth
+  m.add(0, 0);
+  m.add(1, 1);
+  EXPECT_DOUBLE_EQ(m.macro_f1(), 1.0);
+}
+
+TEST(ConfusionTest, DegenerateEmptyMatrix) {
+  data::ConfusionMatrix m(4);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.precision(0), 0.0);
+}
+
+TEST(SlotMetricsTest, PerSlotAndExactMatch) {
+  data::SlotMetrics metrics;
+  sdl::SlotLabels truth = {0, 1, 2, 0, 3, 1, 2, 0};
+  metrics.add(truth, truth);  // exact
+  sdl::SlotLabels wrong = truth;
+  wrong[0] = 1;  // one slot wrong
+  metrics.add(truth, wrong);
+  EXPECT_EQ(metrics.count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.exact_match(), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.slot_accuracy(sdl::Slot::kRoadLayout), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.slot_accuracy(sdl::Slot::kEgoAction), 1.0);
+  EXPECT_NEAR(metrics.mean_accuracy(), (0.5 + 7.0) / 8.0, 1e-12);
+}
+
+// ---- retrieval metrics -----------------------------------------------------------------
+
+TEST(RetrievalTest, PrecisionAtK) {
+  const std::vector<bool> rel = {true, false, true, true, false};
+  EXPECT_DOUBLE_EQ(data::precision_at_k(rel, 1), 1.0);
+  EXPECT_DOUBLE_EQ(data::precision_at_k(rel, 2), 0.5);
+  EXPECT_DOUBLE_EQ(data::precision_at_k(rel, 4), 0.75);
+  EXPECT_DOUBLE_EQ(data::precision_at_k(rel, 0), 0.0);
+  // k beyond the list length: count hits in the list, divide by k.
+  EXPECT_DOUBLE_EQ(data::precision_at_k(rel, 10), 0.3);
+}
+
+TEST(RetrievalTest, AveragePrecisionHandChecked) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(data::average_precision({true, false, true}), 5.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(data::average_precision({false, false}), 0.0);
+  EXPECT_DOUBLE_EQ(data::average_precision({}), 0.0);
+  EXPECT_DOUBLE_EQ(data::average_precision({true, true}), 1.0);
+}
+
+TEST(RetrievalTest, MeanAveragePrecision) {
+  const std::vector<std::vector<bool>> lists = {{true}, {false, true}};
+  EXPECT_NEAR(data::mean_average_precision(lists), (1.0 + 0.5) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(data::mean_average_precision({}), 0.0);
+}
+
+// ---- JSONL export ------------------------------------------------------------------------
+
+TEST(ExportTest, JsonlRoundTrip) {
+  tsdx::tensor::Rng rng(21);
+  std::vector<data::DescriptionRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back({"clip_" + std::to_string(i),
+                       tsdx::sim::sample_description(rng)});
+  }
+  const std::string text = data::to_jsonl(records);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+  std::string error;
+  const auto back = data::from_jsonl(text, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, records);
+}
+
+TEST(ExportTest, BlankLinesSkippedAndErrorsReported) {
+  const auto ok = data::from_jsonl("\n   \n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->empty());
+
+  std::string error;
+  EXPECT_FALSE(data::from_jsonl("{not json}\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  // Valid JSON but not a description.
+  error.clear();
+  EXPECT_FALSE(data::from_jsonl("{\"id\":\"x\"}\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(ExportTest, FileRoundTrip) {
+  tsdx::tensor::Rng rng(22);
+  std::vector<data::DescriptionRecord> records = {
+      {"a", tsdx::sim::sample_description(rng)},
+      {"b", tsdx::sim::sample_description(rng)}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsdx_export.jsonl").string();
+  data::write_jsonl_file(records, path);
+  const auto back = data::read_jsonl_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, records);
+  std::filesystem::remove(path);
+  EXPECT_THROW(data::read_jsonl_file("/nonexistent/x.jsonl"),
+               std::runtime_error);
+}
+
+// ---- corruption models --------------------------------------------------------------
+
+TEST(CorruptionTest, ZeroSeverityIsIdentity) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 1, 30);
+  tsdx::tensor::Rng rng(1);
+  for (auto kind : {data::Corruption::kSensorNoise,
+                    data::Corruption::kTrackerDropout,
+                    data::Corruption::kFrameDrop}) {
+    const auto out = data::corrupt_clip(ds[0].video, kind, 0.0, rng);
+    EXPECT_EQ(out.data, ds[0].video.data) << data::corruption_name(kind);
+  }
+}
+
+TEST(CorruptionTest, SeverityRangeChecked) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 1, 31);
+  tsdx::tensor::Rng rng(2);
+  EXPECT_THROW(
+      data::corrupt_clip(ds[0].video, data::Corruption::kSensorNoise, 1.5, rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      data::corrupt_clip(ds[0].video, data::Corruption::kSensorNoise, -0.1,
+                         rng),
+      std::invalid_argument);
+}
+
+TEST(CorruptionTest, SensorNoisePerturbsButStaysInRange) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 1, 32);
+  tsdx::tensor::Rng rng(3);
+  const auto out = data::corrupt_clip(ds[0].video,
+                                      data::Corruption::kSensorNoise, 0.5, rng);
+  double diff = 0;
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    EXPECT_GE(out.data[i], 0.0f);
+    EXPECT_LE(out.data[i], 1.0f);
+    diff += std::abs(out.data[i] - ds[0].video.data[i]);
+  }
+  EXPECT_GT(diff / out.data.size(), 0.01);
+}
+
+TEST(CorruptionTest, TrackerDropoutZeroesSalientChannelOnly) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 4, 33);
+  tsdx::tensor::Rng rng(4);
+  // severity 1.0: every frame's salient channel must be zero; the other
+  // channels untouched.
+  const auto& clip = ds[0].video;
+  const auto out =
+      data::corrupt_clip(clip, data::Corruption::kTrackerDropout, 1.0, rng);
+  for (std::int64_t t = 0; t < clip.frames; ++t) {
+    for (std::int64_t y = 0; y < clip.height; ++y) {
+      for (std::int64_t x = 0; x < clip.width; ++x) {
+        EXPECT_EQ(out.at(t, 3, y, x), 0.0f);
+        EXPECT_EQ(out.at(t, 0, y, x), clip.at(t, 0, y, x));
+        EXPECT_EQ(out.at(t, 1, y, x), clip.at(t, 1, y, x));
+      }
+    }
+  }
+}
+
+TEST(CorruptionTest, FrameDropAtFullSeverityFreezesFirstFrame) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 1, 34);
+  tsdx::tensor::Rng rng(5);
+  const auto& clip = ds[0].video;
+  const auto out =
+      data::corrupt_clip(clip, data::Corruption::kFrameDrop, 1.0, rng);
+  const std::size_t frame =
+      static_cast<std::size_t>(sim::kNumChannels * clip.height * clip.width);
+  for (std::int64_t t = 1; t < clip.frames; ++t) {
+    for (std::size_t i = 0; i < frame; ++i) {
+      EXPECT_EQ(out.data[static_cast<std::size_t>(t) * frame + i],
+                out.data[i]);
+    }
+  }
+}

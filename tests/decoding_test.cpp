@@ -1,0 +1,233 @@
+// decoding_test.cpp — constrained decoding: validity guarantees, optimality
+// on crafted distributions, the argmax fast path, plus conv3d/GRU/C3D units
+// that back the extended baselines.
+#include <gtest/gtest.h>
+
+#include "baseline/cnn3d.hpp"
+#include "core/decoding.hpp"
+#include "nn/gru.hpp"
+#include "tensor/gradcheck.hpp"
+#include "tensor/nn_ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace baseline = tsdx::baseline;
+namespace core = tsdx::core;
+namespace sdl = tsdx::sdl;
+namespace tt = tsdx::tensor;
+using tt::Shape;
+using tt::Tensor;
+
+namespace {
+
+/// Uniform probabilities, then boost `labels` slots to dominate.
+core::SlotProbabilities probs_for(const sdl::SlotLabels& labels,
+                                  float boost = 5.0f) {
+  core::SlotProbabilities probs;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    probs[s].assign(sdl::kSlotCardinality[s], 1.0f);
+    probs[s][labels[s]] = boost;
+    float sum = 0.0f;
+    for (float p : probs[s]) sum += p;
+    for (float& p : probs[s]) p /= sum;
+  }
+  return probs;
+}
+
+}  // namespace
+
+TEST(DecodingTest, ArgmaxPicksPeaks) {
+  sdl::SlotLabels want{1, 2, 0, 1, 3, 2, 4, 5};
+  EXPECT_EQ(core::decode_argmax(probs_for(want)), want);
+}
+
+TEST(DecodingTest, ConstrainedEqualsArgmaxWhenValid) {
+  // A valid combination: the fast path must return it unchanged.
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kIntersection4;
+  d.ego_action = sdl::EgoAction::kTurnLeft;
+  d.salient_actor = {sdl::ActorType::kPedestrian, sdl::ActorAction::kCross,
+                     sdl::RelativePosition::kAhead};
+  const sdl::SlotLabels labels = sdl::to_slot_labels(d);
+  const auto probs = probs_for(labels);
+  EXPECT_EQ(core::decode_constrained(probs), core::decode_argmax(probs));
+}
+
+TEST(DecodingTest, ConstrainedRepairsInvalidArgmax) {
+  // Argmax wants "truck crossing" (invalid); the second-best actor type is
+  // pedestrian, which makes it valid — constrained decoding must find it.
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kStraight;
+  d.ego_action = sdl::EgoAction::kCruise;
+  d.salient_actor = {sdl::ActorType::kTruck, sdl::ActorAction::kCross,
+                     sdl::RelativePosition::kAhead};
+  auto probs = probs_for(sdl::to_slot_labels(d), 5.0f);
+  // Give pedestrian a strong second place in the actor-type slot.
+  probs[static_cast<std::size_t>(sdl::Slot::kActorType)]
+       [static_cast<std::size_t>(sdl::ActorType::kPedestrian)] = 0.3f;
+
+  const sdl::SlotLabels greedy = core::decode_argmax(probs);
+  EXPECT_FALSE(sdl::is_valid(sdl::from_slot_labels(greedy)));
+
+  const sdl::SlotLabels repaired = core::decode_constrained(probs);
+  EXPECT_TRUE(sdl::is_valid(sdl::from_slot_labels(repaired)));
+  EXPECT_EQ(repaired[static_cast<std::size_t>(sdl::Slot::kActorType)],
+            static_cast<std::size_t>(sdl::ActorType::kPedestrian));
+  // The rest of the slots stay at their argmax.
+  EXPECT_EQ(repaired[static_cast<std::size_t>(sdl::Slot::kActorAction)],
+            static_cast<std::size_t>(sdl::ActorAction::kCross));
+}
+
+TEST(DecodingTest, ConstrainedAlwaysValidOnRandomDistributions) {
+  tt::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    core::SlotProbabilities probs;
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      probs[s].resize(sdl::kSlotCardinality[s]);
+      float sum = 0.0f;
+      for (float& p : probs[s]) {
+        p = static_cast<float>(rng.uniform(0.01, 1.0));
+        sum += p;
+      }
+      for (float& p : probs[s]) p /= sum;
+    }
+    const sdl::SlotLabels labels = core::decode_constrained(probs);
+    EXPECT_TRUE(sdl::is_valid(sdl::from_slot_labels(labels)));
+  }
+}
+
+TEST(DecodingTest, WrongProbabilitySizeThrows) {
+  core::SlotProbabilities probs = probs_for(sdl::SlotLabels{});
+  probs[0].pop_back();
+  EXPECT_THROW(core::decode_argmax(probs), std::invalid_argument);
+  EXPECT_THROW(core::decode_constrained(probs), std::invalid_argument);
+}
+
+TEST(DecodingTest, ValidityRate) {
+  sdl::ScenarioDescription valid_d;
+  sdl::ScenarioDescription invalid_d;
+  invalid_d.salient_actor = {sdl::ActorType::kTruck, sdl::ActorAction::kCross,
+                             sdl::RelativePosition::kAhead};
+  EXPECT_DOUBLE_EQ(core::validity_rate({}), 1.0);
+  EXPECT_DOUBLE_EQ(core::validity_rate({sdl::to_slot_labels(valid_d),
+                                        sdl::to_slot_labels(invalid_d)}),
+                   0.5);
+}
+
+// ---- conv3d -------------------------------------------------------------------
+
+TEST(Conv3dTest, IdentityKernel) {
+  Tensor x = Tensor::from_vector({1, 1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor w = Tensor::ones({1, 1, 1, 1, 1});
+  Tensor b = Tensor::zeros({1});
+  const Tensor y = tt::conv3d(x, w, b);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2, 2}));
+  EXPECT_EQ(std::vector<float>(y.data().begin(), y.data().end()),
+            std::vector<float>(x.data().begin(), x.data().end()));
+}
+
+TEST(Conv3dTest, OutputGeometryWithStridesAndPadding) {
+  Tensor x = Tensor::ones({2, 3, 4, 8, 8});
+  tt::Rng rng(1);
+  Tensor w = Tensor::randn({5, 3, 3, 3, 3}, rng);
+  Tensor b = Tensor::zeros({5});
+  const Tensor y = tt::conv3d(x, w, b, /*stride_t=*/2, /*stride_s=*/2,
+                              /*pad_t=*/1, /*pad_s=*/1);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 2, 4, 4}));
+}
+
+TEST(Conv3dTest, ShapeValidation) {
+  Tensor x = Tensor::zeros({1, 2, 4, 8, 8});
+  Tensor w = Tensor::zeros({3, 3, 3, 3, 3});  // channel mismatch
+  Tensor b = Tensor::zeros({3});
+  EXPECT_THROW(tt::conv3d(x, w, b), std::invalid_argument);
+  EXPECT_THROW(tt::conv3d(Tensor::zeros({2, 4, 8, 8}), w, b),
+               std::invalid_argument);
+}
+
+TEST(Conv3dTest, GradCheck) {
+  tt::Rng rng(2);
+  std::vector<Tensor> inputs = {
+      Tensor::randn({1, 2, 3, 4, 4}, rng, 1.0f, true),
+      Tensor::randn({2, 2, 2, 3, 3}, rng, 1.0f, true),
+      Tensor::randn({2}, rng, 1.0f, true),
+  };
+  const auto fn = [](const std::vector<Tensor>& in) {
+    return tt::sum_all(
+        tt::mul_scalar(tt::conv3d(in[0], in[1], in[2], 1, 2, 1, 1), 0.5f));
+  };
+  const auto result = tt::grad_check(fn, inputs);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// ---- GRU ------------------------------------------------------------------------
+
+TEST(GruTest, ShapesAndValidation) {
+  tt::Rng rng(3);
+  tsdx::nn::Gru gru(3, 5, rng);
+  EXPECT_EQ(gru.forward(Tensor::zeros({2, 4, 3})).shape(), (Shape{2, 5}));
+  EXPECT_EQ(gru.hidden_dim(), 5);
+  EXPECT_THROW(gru.forward(Tensor::zeros({2, 4, 4})), std::invalid_argument);
+}
+
+TEST(GruTest, StateBoundedByTanh) {
+  tt::Rng rng(4);
+  tsdx::nn::Gru gru(2, 3, rng);
+  const Tensor h = gru.forward(Tensor::ones({1, 20, 2}));
+  for (float v : h.data()) EXPECT_LT(std::abs(v), 1.0f);
+}
+
+TEST(GruTest, GradCheckThroughTime) {
+  tt::Rng rng(5);
+  tsdx::nn::Gru gru(2, 3, rng);
+  Tensor x = Tensor::randn({1, 3, 2}, rng, 1.0f, true);
+  std::vector<Tensor> inputs = {x};
+  for (const Tensor& p : gru.parameters()) inputs.push_back(p);
+  const auto fn = [&gru](const std::vector<Tensor>& in) {
+    return tt::sum_all(gru.forward(in[0]));
+  };
+  const auto result = tt::grad_check(fn, inputs, 1e-2, 5e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// ---- C3D / CNN-GRU baselines --------------------------------------------------------
+
+TEST(C3dTest, ForwardShapeAndName) {
+  tt::Rng rng(6);
+  baseline::C3dBackbone c3d(4, 8, 16, 12, rng);
+  EXPECT_EQ(c3d.forward(Tensor::zeros({2, 8, 4, 16, 16})).shape(),
+            (Shape{2, 12}));
+  EXPECT_EQ(c3d.name(), "c3d");
+  EXPECT_EQ(c3d.feature_dim(), 12);
+  EXPECT_THROW(baseline::C3dBackbone(4, 6, 16, 12, rng),
+               std::invalid_argument);
+  EXPECT_THROW(baseline::C3dBackbone(4, 8, 20, 12, rng),
+               std::invalid_argument);
+}
+
+TEST(C3dTest, SensitiveToTemporalOrder) {
+  tt::Rng rng(7);
+  baseline::C3dBackbone c3d(2, 4, 16, 8, rng);
+  Tensor video = Tensor::rand_uniform({1, 4, 2, 16, 16}, rng, 0.0f, 1.0f);
+  std::vector<float> rev(video.data().begin(), video.data().end());
+  const std::size_t frame = 2 * 16 * 16;
+  for (int f = 0; f < 2; ++f) {
+    for (std::size_t i = 0; i < frame; ++i) {
+      std::swap(rev[f * frame + i], rev[(3 - f) * frame + i]);
+    }
+  }
+  const Tensor a = c3d.forward(video);
+  const Tensor b = c3d.forward(Tensor::from_vector({1, 4, 2, 16, 16}, rev));
+  double diff = 0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    diff += std::abs(a.at(i) - b.at(i));
+  }
+  EXPECT_GT(diff, 1e-4);  // 3-D convs see temporal structure
+}
+
+TEST(CnnGruTest, ForwardShapeAndName) {
+  tt::Rng rng(8);
+  baseline::CnnGruBackbone gru(4, 16, 10, rng);
+  EXPECT_EQ(gru.forward(Tensor::zeros({2, 4, 4, 16, 16})).shape(),
+            (Shape{2, 10}));
+  EXPECT_EQ(gru.name(), "cnn_gru");
+}

@@ -1,0 +1,354 @@
+// nn_test.cpp — layers, modules, optimizers, schedules, checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace tt = tsdx::tensor;
+namespace nn = tsdx::nn;
+using tt::Shape;
+using tt::Tensor;
+
+// ---- module bookkeeping ------------------------------------------------------
+
+TEST(ModuleTest, ParameterRegistrationAndCounting) {
+  tt::Rng rng(1);
+  nn::Linear linear(4, 3, rng);
+  EXPECT_EQ(linear.num_parameters(), 4 * 3 + 3);
+  const auto named = linear.named_parameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+  for (const Tensor& p : linear.parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(ModuleTest, NestedNamesAreDotted) {
+  tt::Rng rng(1);
+  nn::Mlp mlp(4, 8, 0.0f, rng);
+  const auto named = mlp.named_parameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc1.weight");
+  EXPECT_EQ(named[2].first, "fc2.weight");
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  tt::Rng rng(1);
+  nn::Linear linear(2, 2, rng);
+  Tensor x = Tensor::ones({1, 2});
+  tt::sum_all(linear.forward(x)).backward();
+  bool any_nonzero = false;
+  for (const Tensor& p : linear.parameters()) {
+    for (float g : p.grad()) any_nonzero |= g != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+  linear.zero_grad();
+  for (const Tensor& p : linear.parameters()) {
+    for (float g : p.grad()) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  tt::Rng rng(1);
+  nn::Mlp mlp(4, 8, 0.5f, rng);
+  EXPECT_TRUE(mlp.training());
+  mlp.set_training(false);
+  EXPECT_FALSE(mlp.training());
+}
+
+// ---- layers --------------------------------------------------------------------
+
+TEST(LinearTest, ShapeAndBatchedApplication) {
+  tt::Rng rng(2);
+  nn::Linear linear(3, 5, rng);
+  EXPECT_EQ(linear.forward(Tensor::zeros({2, 3})).shape(), (Shape{2, 5}));
+  EXPECT_EQ(linear.forward(Tensor::zeros({2, 4, 3})).shape(), (Shape{2, 4, 5}));
+}
+
+TEST(LinearTest, ZeroInputGivesBias) {
+  tt::Rng rng(2);
+  nn::Linear linear(3, 2, rng);
+  const Tensor y = linear.forward(Tensor::zeros({1, 3}));
+  // bias is initialized to zero
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+}
+
+TEST(LayerNormTest, OutputIsNormalized) {
+  nn::LayerNorm norm(8);
+  tt::Rng rng(3);
+  const Tensor y = norm.forward(Tensor::randn({4, 8}, rng, 3.0f));
+  for (int r = 0; r < 4; ++r) {
+    float mean = 0;
+    for (int i = 0; i < 8; ++i) mean += y.at(r * 8 + i);
+    EXPECT_NEAR(mean / 8, 0.0f, 1e-4f);
+  }
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  tt::Rng rng(4);
+  nn::Dropout drop(0.9f, rng);
+  drop.set_training(false);
+  Tensor x = Tensor::ones({100});
+  const Tensor y = drop.forward(x);
+  for (float v : y.data()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(DropoutTest, TrainModeDropsRoughlyP) {
+  tt::Rng rng(4);
+  nn::Dropout drop(0.5f, rng);
+  const Tensor y = drop.forward(Tensor::ones({2000}));
+  int zeros = 0;
+  for (float v : y.data()) zeros += v == 0.0f ? 1 : 0;
+  EXPECT_NEAR(zeros / 2000.0, 0.5, 0.06);
+}
+
+TEST(EmbeddingTest, LookupShape) {
+  tt::Rng rng(5);
+  nn::Embedding emb(10, 4, rng);
+  EXPECT_EQ(emb.forward({1, 5, 9}).shape(), (Shape{3, 4}));
+  EXPECT_EQ(emb.table().shape(), (Shape{10, 4}));
+}
+
+// ---- attention / transformer ------------------------------------------------------
+
+TEST(AttentionTest, ForwardShapeAndDimValidation) {
+  tt::Rng rng(6);
+  nn::MultiHeadAttention mha(16, 4, 0.0f, rng);
+  EXPECT_EQ(mha.forward(Tensor::zeros({2, 5, 16})).shape(), (Shape{2, 5, 16}));
+  EXPECT_THROW(mha.forward(Tensor::zeros({2, 5, 8})), std::invalid_argument);
+  EXPECT_THROW(nn::MultiHeadAttention(10, 4, 0.0f, rng), std::invalid_argument);
+}
+
+TEST(AttentionTest, TokenPermutationEquivariance) {
+  // Self-attention without positional information is permutation-equivariant:
+  // permuting input tokens permutes output tokens identically.
+  tt::Rng rng(7);
+  nn::MultiHeadAttention mha(8, 2, 0.0f, rng);
+  Tensor x = Tensor::randn({1, 4, 8}, rng);
+  const Tensor y = mha.forward(x);
+
+  // Swap tokens 1 and 2 of x.
+  std::vector<float> xs(x.data().begin(), x.data().end());
+  for (int i = 0; i < 8; ++i) std::swap(xs[8 + i], xs[16 + i]);
+  const Tensor y2 = mha.forward(Tensor::from_vector({1, 4, 8}, std::move(xs)));
+
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(y.at(8 + i), y2.at(16 + i), 1e-4f);
+    EXPECT_NEAR(y.at(16 + i), y2.at(8 + i), 1e-4f);
+    EXPECT_NEAR(y.at(i), y2.at(i), 1e-4f);  // untouched token unchanged
+  }
+}
+
+TEST(TransformerTest, EncoderStackShapes) {
+  tt::Rng rng(8);
+  nn::TransformerEncoder enc(3, 16, 4, 32, 0.0f, rng);
+  EXPECT_EQ(enc.depth(), 3);
+  EXPECT_EQ(enc.forward(Tensor::zeros({2, 6, 16})).shape(), (Shape{2, 6, 16}));
+}
+
+TEST(TransformerTest, ParameterCountScalesWithDepth) {
+  tt::Rng rng(9);
+  nn::TransformerEncoder enc1(1, 16, 4, 32, 0.0f, rng);
+  nn::TransformerEncoder enc2(2, 16, 4, 32, 0.0f, rng);
+  const std::int64_t final_norm = 2 * 16;
+  EXPECT_EQ(enc2.num_parameters() - final_norm,
+            2 * (enc1.num_parameters() - final_norm));
+}
+
+// ---- conv / lstm --------------------------------------------------------------------
+
+TEST(ConvTest, OutputGeometry) {
+  tt::Rng rng(10);
+  nn::Conv2d conv(3, 8, 3, 2, 1, rng);
+  EXPECT_EQ(conv.forward(Tensor::zeros({2, 3, 16, 16})).shape(),
+            (Shape{2, 8, 8, 8}));
+  nn::MaxPool2d pool(2);
+  EXPECT_EQ(pool.forward(Tensor::zeros({2, 3, 8, 8})).shape(),
+            (Shape{2, 3, 4, 4}));
+}
+
+TEST(LstmTest, ShapesAndStateEvolution) {
+  tt::Rng rng(11);
+  nn::Lstm lstm(3, 5, rng);
+  Tensor x = Tensor::randn({2, 4, 3}, rng);
+  EXPECT_EQ(lstm.forward(x).shape(), (Shape{2, 5}));
+  const Tensor seq = lstm.forward_sequence(x);
+  EXPECT_EQ(seq.shape(), (Shape{2, 4, 5}));
+  // Final hidden equals last element of the sequence output.
+  const Tensor h = lstm.forward(x);
+  for (int b = 0; b < 2; ++b) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_NEAR(h.at(b * 5 + i), seq.at((b * 4 + 3) * 5 + i), 1e-5f);
+    }
+  }
+  EXPECT_THROW(lstm.forward(Tensor::zeros({2, 4, 4})), std::invalid_argument);
+}
+
+TEST(LstmTest, ZeroInputKeepsBoundedState) {
+  tt::Rng rng(12);
+  nn::Lstm lstm(2, 3, rng);
+  const Tensor h = lstm.forward(Tensor::zeros({1, 10, 2}));
+  for (float v : h.data()) {
+    EXPECT_LT(std::abs(v), 1.0f);  // tanh-bounded
+  }
+}
+
+// ---- optimizers ------------------------------------------------------------------------
+
+namespace {
+
+/// Minimize ||x - target||^2 with the given optimizer; returns final loss.
+template <class MakeOpt>
+float optimize_quadratic(MakeOpt make_opt, int steps) {
+  Tensor x = Tensor::from_vector({2}, {5.0f, -3.0f}, true);
+  Tensor target = Tensor::from_vector({2}, {1.0f, 2.0f});
+  auto opt = make_opt(std::vector<Tensor>{x});
+  float loss_value = 0.0f;
+  for (int i = 0; i < steps; ++i) {
+    x.zero_grad();
+    Tensor diff = tt::sub(x, target);
+    Tensor loss = tt::sum_all(tt::mul(diff, diff));
+    loss.backward();
+    opt->step();
+    loss_value = loss.item();
+  }
+  return loss_value;
+}
+
+}  // namespace
+
+TEST(OptimTest, SgdConverges) {
+  const float final_loss = optimize_quadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<nn::Sgd>(std::move(p), 0.05f, 0.0f);
+      },
+      100);
+  EXPECT_LT(final_loss, 1e-4f);
+}
+
+TEST(OptimTest, SgdMomentumConvergesFasterThanPlain) {
+  const float plain = optimize_quadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<nn::Sgd>(std::move(p), 0.01f, 0.0f);
+      },
+      40);
+  const float momentum = optimize_quadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<nn::Sgd>(std::move(p), 0.01f, 0.9f);
+      },
+      40);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(OptimTest, AdamConverges) {
+  const float final_loss = optimize_quadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<nn::Adam>(std::move(p), 0.3f);
+      },
+      150);
+  EXPECT_LT(final_loss, 1e-3f);
+}
+
+TEST(OptimTest, AdamWeightDecayShrinksParams) {
+  Tensor x = Tensor::from_vector({1}, {1.0f}, true);
+  nn::Adam opt({x}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  for (int i = 0; i < 50; ++i) {
+    x.zero_grad();
+    // Constant zero gradient: only decay acts.
+    tt::sum_all(tt::mul_scalar(x, 0.0f)).backward();
+    opt.step();
+  }
+  EXPECT_LT(std::abs(x.at(0)), 1.0f);
+}
+
+TEST(OptimTest, CosineWarmupSchedule) {
+  // Warmup ramps linearly...
+  EXPECT_NEAR(nn::cosine_warmup_lr(0, 100, 1.0f, 10), 0.1f, 1e-5f);
+  EXPECT_NEAR(nn::cosine_warmup_lr(9, 100, 1.0f, 10), 1.0f, 1e-5f);
+  // ...then cosine decays to ~0 at the end.
+  EXPECT_NEAR(nn::cosine_warmup_lr(99, 100, 1.0f, 10), 0.0f, 1e-2f);
+  // Midpoint of decay is half the base lr.
+  EXPECT_NEAR(nn::cosine_warmup_lr(55, 100, 1.0f, 10), 0.5f, 1e-2f);
+}
+
+TEST(OptimTest, ClipGradNorm) {
+  Tensor x = Tensor::from_vector({2}, {3.0f, 4.0f}, true);
+  tt::sum_all(tt::mul(x, Tensor::from_vector({2}, {3.0f, 4.0f}))).backward();
+  // grad = (3, 4), norm 5; clip to 1.
+  const float norm = nn::clip_grad_norm({x}, 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  EXPECT_NEAR(x.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(x.grad()[1], 0.8f, 1e-5f);
+  // Below threshold: untouched.
+  const float norm2 = nn::clip_grad_norm({x}, 10.0f);
+  EXPECT_NEAR(norm2, 1.0f, 1e-4f);
+}
+
+// ---- serialization -----------------------------------------------------------------------
+
+namespace {
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+}  // namespace
+
+TEST(SerializeTest, RoundTripRestoresExactWeights) {
+  tt::Rng rng(13);
+  nn::Mlp a(4, 8, 0.0f, rng);
+  nn::Mlp b(4, 8, 0.0f, rng);  // different init
+
+  const std::string path = temp_path("tsdx_mlp_ckpt.bin");
+  nn::save_checkpoint(a, path);
+  nn::load_checkpoint(b, path);
+
+  const auto pa = a.named_parameters();
+  const auto pb = b.named_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].second.numel(), pb[i].second.numel());
+    for (std::int64_t j = 0; j < pa[i].second.numel(); ++j) {
+      EXPECT_EQ(pa[i].second.at(j), pb[i].second.at(j));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, ArchitectureMismatchFailsLoudly) {
+  tt::Rng rng(14);
+  nn::Linear small(2, 2, rng);
+  nn::Linear big(4, 4, rng);
+  const std::string path = temp_path("tsdx_linear_ckpt.bin");
+  nn::save_checkpoint(small, path);
+  EXPECT_THROW(nn::load_checkpoint(big, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  tt::Rng rng(15);
+  nn::Linear linear(2, 2, rng);
+  EXPECT_THROW(nn::load_checkpoint(linear, "/nonexistent/path.bin"),
+               std::runtime_error);
+}
+
+TEST(SerializeTest, CorruptMagicThrows) {
+  const std::string path = temp_path("tsdx_bad_magic.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("JUNKJUNKJUNK", 1, 12, f);
+    std::fclose(f);
+  }
+  tt::Rng rng(16);
+  nn::Linear linear(2, 2, rng);
+  EXPECT_THROW(nn::load_checkpoint(linear, path), std::runtime_error);
+  std::filesystem::remove(path);
+}

@@ -1,0 +1,150 @@
+// property_test.cpp — cross-module property sweeps: invariants that must
+// hold over the whole scenario space, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/augment.hpp"
+#include "data/export.hpp"
+#include "sdl/coverage.hpp"
+#include "sdl/embedding.hpp"
+#include "sdl/serialization.hpp"
+#include "sim/clipgen.hpp"
+
+namespace core = tsdx::core;
+namespace data = tsdx::data;
+namespace sdl = tsdx::sdl;
+namespace sim = tsdx::sim;
+
+namespace {
+
+sim::RenderConfig tiny_render() {
+  sim::RenderConfig cfg;
+  cfg.height = cfg.width = 16;
+  cfg.frames = 2;
+  return cfg;
+}
+
+}  // namespace
+
+// Every (layout, ego action) pair the sampler can emit renders to a finite,
+// in-range clip with the ego visible.
+class LayoutEgoProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LayoutEgoProperty, RendersValidClipWhenCombinationIsValid) {
+  const auto layout = static_cast<sdl::RoadLayout>(std::get<0>(GetParam()));
+  const auto ego = static_cast<sdl::EgoAction>(std::get<1>(GetParam()));
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = layout;
+  d.ego_action = ego;
+  if (!sdl::is_valid(d)) GTEST_SKIP() << "combination invalid by grammar";
+
+  tsdx::tensor::Rng jitter(7), noise(8);
+  const sim::World w = sim::build_world(d, jitter);
+  sim::RenderConfig cfg = tiny_render();
+  cfg.height = cfg.width = 32;
+  cfg.frames = 4;
+  const sim::VideoClip clip = sim::render_clip(w, cfg, noise);
+  float veh_peak = 0.0f;
+  for (float v : clip.data) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+  for (std::int64_t y = 0; y < 32; ++y) {
+    for (std::int64_t x = 0; x < 32; ++x) {
+      veh_peak = std::max(veh_peak, clip.at(0, 1, y, x));
+    }
+  }
+  EXPECT_GT(veh_peak, 0.8f) << "ego not visible";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, LayoutEgoProperty,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(sdl::kNumRoadLayouts)),
+                       ::testing::Range(0, static_cast<int>(sdl::kNumEgoActions))));
+
+// Serialization, embedding, mirroring and coverage must be total over the
+// sampler's output distribution, across seeds.
+class SeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedProperty, JsonRoundTripIsIdentityOnSampledDescriptions) {
+  tsdx::tensor::Rng rng(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    const sdl::ScenarioDescription d = sim::sample_description(rng);
+    const auto back = sdl::description_from_string(sdl::to_json_string(d));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, d);
+  }
+}
+
+TEST_P(SeedProperty, EmbeddingIsUnitNormAndSelfSimilar) {
+  tsdx::tensor::Rng rng(GetParam() ^ 0xE1u);
+  for (int i = 0; i < 25; ++i) {
+    const sdl::ScenarioDescription d = sim::sample_description(rng);
+    const auto v = sdl::scenario_to_vector(d);
+    double norm = 0;
+    for (float x : v) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+    EXPECT_NEAR(sdl::scenario_similarity(d, d), 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(SeedProperty, MirrorPreservesValidityAndSentenceLength) {
+  tsdx::tensor::Rng rng(GetParam() ^ 0xE2u);
+  for (int i = 0; i < 25; ++i) {
+    const sdl::ScenarioDescription d = sim::sample_description(rng);
+    const sdl::ScenarioDescription m = core::mirror_description(d);
+    EXPECT_TRUE(sdl::is_valid(m));
+    // The mirror never changes how many actors are described.
+    EXPECT_EQ(m.background_actors.size(), d.background_actors.size());
+  }
+}
+
+TEST_P(SeedProperty, SampledLabelsAreInValidCombinationSet) {
+  // Everything the simulator samples must be in the enumerated valid set —
+  // the two validity definitions (procedural sampler, declarative grammar)
+  // agree.
+  tsdx::tensor::Rng rng(GetParam() ^ 0xE3u);
+  const auto& valid = sdl::all_valid_label_combinations();
+  const std::set<sdl::SlotLabels> valid_set(valid.begin(), valid.end());
+  for (int i = 0; i < 25; ++i) {
+    const sdl::ScenarioDescription d = sim::sample_description(rng);
+    EXPECT_TRUE(valid_set.contains(sdl::to_slot_labels(d)));
+  }
+}
+
+TEST_P(SeedProperty, JsonlBatchRoundTrip) {
+  tsdx::tensor::Rng rng(GetParam() ^ 0xE4u);
+  std::vector<data::DescriptionRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back({std::to_string(i), sim::sample_description(rng)});
+  }
+  const auto back = data::from_jsonl(data::to_jsonl(records));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+// Clip generation is deterministic and labels match descriptions across the
+// whole dataset pipeline.
+TEST(PipelineProperty, DatasetLabelsAlwaysMatchDescriptions) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 40, 77);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds[i].labels, sdl::to_slot_labels(ds[i].description));
+    EXPECT_TRUE(sdl::is_valid(ds[i].description));
+  }
+}
+
+TEST(PipelineProperty, MirrorAugmentedDatasetStillValid) {
+  const data::Dataset ds = data::Dataset::synthesize(tiny_render(), 15, 78);
+  const data::Dataset aug = core::augment_mirror(ds);
+  for (std::size_t i = 0; i < aug.size(); ++i) {
+    EXPECT_TRUE(sdl::is_valid(aug[i].description));
+    EXPECT_EQ(aug[i].labels, sdl::to_slot_labels(aug[i].description));
+  }
+}

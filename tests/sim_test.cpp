@@ -1,0 +1,431 @@
+// sim_test.cpp — trajectory kinematics, road geometry, scenario sampler
+// validity (property-swept over seeds), rendering invariants, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sdl/description.hpp"
+#include "sim/clipgen.hpp"
+#include "sim/render.hpp"
+#include "sim/road.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/world.hpp"
+
+namespace sim = tsdx::sim;
+namespace sdl = tsdx::sdl;
+using sim::Pose;
+using sim::Trajectory;
+using sim::Vec2;
+
+// ---- geometry helpers ------------------------------------------------------------
+
+TEST(GeometryTest, VectorOps) {
+  Vec2 a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot({1, 0}), 3.0);
+  const Vec2 r = Vec2{1, 0}.rotated(sim::kPi / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(GeometryTest, OrientedRectMembership) {
+  const Pose pose{{0, 0}, sim::kPi / 2};  // facing north, length along y
+  EXPECT_TRUE(sim::in_oriented_rect({0, 1.9}, pose, 4.0, 2.0));
+  EXPECT_FALSE(sim::in_oriented_rect({0, 2.1}, pose, 4.0, 2.0));
+  EXPECT_TRUE(sim::in_oriented_rect({0.9, 0}, pose, 4.0, 2.0));
+  EXPECT_FALSE(sim::in_oriented_rect({1.1, 0}, pose, 4.0, 2.0));
+}
+
+TEST(GeometryTest, Smoothstep) {
+  EXPECT_DOUBLE_EQ(sim::smoothstep(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(sim::smoothstep(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sim::smoothstep(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(sim::smoothstep(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::smoothstep(2.0), 1.0);
+}
+
+// ---- trajectories ----------------------------------------------------------------
+
+TEST(TrajectoryTest, StationaryNeverMoves) {
+  const Pose p{{1, 2}, 0.3};
+  const Trajectory t = Trajectory::stationary(p);
+  for (double time : {0.0, 1.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(t.at(time).pos.x, 1.0);
+    EXPECT_DOUBLE_EQ(t.at(time).pos.y, 2.0);
+    EXPECT_DOUBLE_EQ(t.at(time).heading, 0.3);
+  }
+}
+
+TEST(TrajectoryTest, StraightHasConstantSpeed) {
+  const Trajectory t =
+      Trajectory::straight(Pose{{0, 0}, sim::kPi / 2}, /*speed=*/5.0);
+  const Pose p1 = t.at(1.0);
+  const Pose p2 = t.at(2.0);
+  EXPECT_NEAR(p1.pos.y, 5.0, 1e-9);
+  EXPECT_NEAR(p2.pos.y, 10.0, 1e-9);
+  EXPECT_NEAR(p1.pos.x, 0.0, 1e-9);
+}
+
+TEST(TrajectoryTest, DecelerateStopsExactlyAndStays) {
+  const Trajectory t = Trajectory::decelerate_to_stop(
+      Pose{{0, 0}, sim::kPi / 2}, /*speed=*/8.0, /*stop_time=*/2.0);
+  // Total distance = v*T/2 = 8.
+  EXPECT_NEAR(t.at(2.0).pos.y, 8.0, 1e-9);
+  EXPECT_NEAR(t.at(5.0).pos.y, 8.0, 1e-9);  // stays stopped
+  // Monotone position, decreasing increments.
+  const double d1 = t.at(0.5).pos.y - t.at(0.0).pos.y;
+  const double d2 = t.at(1.5).pos.y - t.at(1.0).pos.y;
+  EXPECT_GT(d1, d2);
+  EXPECT_GT(d2, 0.0);
+}
+
+TEST(TrajectoryTest, LaneChangeReachesLateralOffset) {
+  const Trajectory t = Trajectory::lane_change(
+      Pose{{0, 0}, sim::kPi / 2}, /*speed=*/8.0, /*lateral=*/3.5,
+      /*t0=*/1.0, /*t1=*/2.0);
+  // Left of a north heading is -x.
+  EXPECT_NEAR(t.at(0.5).pos.x, 0.0, 1e-9);
+  EXPECT_NEAR(t.at(3.0).pos.x, -3.5, 1e-9);
+  EXPECT_NEAR(t.at(3.0).pos.y, 24.0, 1e-9);
+  // Heading returns to straight after the manoeuvre.
+  EXPECT_NEAR(t.at(3.0).heading, sim::kPi / 2, 1e-9);
+}
+
+TEST(TrajectoryTest, TurnLeftRotatesHeadingPlus90) {
+  const double speed = 8.0;
+  const double radius = 6.0;
+  const double approach = 8.0;
+  const Trajectory t = Trajectory::turn(Pose{{0, 0}, sim::kPi / 2}, speed,
+                                        radius, approach, sim::kPi / 2);
+  // End of approach phase.
+  const double t_arc_start = approach / speed;
+  EXPECT_NEAR(t.at(t_arc_start).pos.y, approach, 1e-9);
+  EXPECT_NEAR(t.at(t_arc_start).heading, sim::kPi / 2, 1e-9);
+  // After the arc the heading has turned +90 degrees (now facing -x / west).
+  const double arc_time = radius * (sim::kPi / 2) / speed;
+  const Pose after = t.at(t_arc_start + arc_time + 0.5);
+  EXPECT_NEAR(after.heading, sim::kPi, 1e-9);
+  EXPECT_LT(after.pos.x, 0.0);  // moved west after a left turn
+}
+
+TEST(TrajectoryTest, TurnRightRotatesHeadingMinus90) {
+  const Trajectory t = Trajectory::turn(Pose{{0, 0}, sim::kPi / 2}, 8.0, 4.0,
+                                        8.0, -sim::kPi / 2);
+  const Pose end = t.at(4.0);
+  EXPECT_NEAR(end.heading, 0.0, 1e-9);  // facing east
+  EXPECT_GT(end.pos.x, 0.0);
+}
+
+TEST(TrajectoryTest, TurnPathIsContinuous) {
+  const Trajectory t = Trajectory::turn(Pose{{0.5, -14}, sim::kPi / 2}, 8.0,
+                                        5.0, 10.0, sim::kPi / 2);
+  Pose prev = t.at(0.0);
+  for (double time = 0.05; time <= 4.0; time += 0.05) {
+    const Pose cur = t.at(time);
+    const double step = (cur.pos - prev.pos).norm();
+    EXPECT_LT(step, 8.0 * 0.05 * 1.2) << "discontinuity at t=" << time;
+    EXPECT_GT(step, 8.0 * 0.05 * 0.8) << "stall at t=" << time;
+    prev = cur;
+  }
+}
+
+TEST(TrajectoryTest, ArcStaysOnCircle) {
+  const Vec2 center{10, 0};
+  const Trajectory t = Trajectory::arc(center, 5.0, 0.0, 2.0);
+  for (double time : {0.0, 1.0, 3.0, 7.0}) {
+    EXPECT_NEAR((t.at(time).pos - center).norm(), 5.0, 1e-9);
+  }
+}
+
+// ---- roads ---------------------------------------------------------------------------
+
+TEST(RoadTest, StraightRoadMembership) {
+  EXPECT_TRUE(sim::is_on_road(sdl::RoadLayout::kStraight, {0, 50}));
+  EXPECT_TRUE(sim::is_on_road(sdl::RoadLayout::kStraight, {3.4, -50}));
+  EXPECT_FALSE(sim::is_on_road(sdl::RoadLayout::kStraight, {3.6, 0}));
+}
+
+TEST(RoadTest, IntersectionHasBothRoads) {
+  EXPECT_TRUE(sim::is_on_road(sdl::RoadLayout::kIntersection4, {0, 20}));
+  EXPECT_TRUE(sim::is_on_road(sdl::RoadLayout::kIntersection4, {20, 0}));
+  EXPECT_FALSE(sim::is_on_road(sdl::RoadLayout::kIntersection4, {20, 20}));
+}
+
+TEST(RoadTest, TJunctionHasNoWestArm) {
+  EXPECT_TRUE(sim::is_on_road(sdl::RoadLayout::kTJunction, {20, 0}));
+  EXPECT_FALSE(sim::is_on_road(sdl::RoadLayout::kTJunction, {-20, 0}));
+  EXPECT_TRUE(sim::is_on_road(sdl::RoadLayout::kTJunction, {0, -20}));
+}
+
+TEST(RoadTest, CurveFollowsArcNorthOfOrigin) {
+  // South of origin: straight segment.
+  EXPECT_TRUE(sim::is_on_road(sdl::RoadLayout::kCurve, {0, -10}));
+  // North: points near the arc of radius kCurveRadius around curve_center().
+  const Vec2 center = sim::curve_center();
+  const Vec2 on_arc = center + Vec2{-sim::kCurveRadius, 0}.rotated(0.5);
+  EXPECT_TRUE(sim::is_on_road(sdl::RoadLayout::kCurve, on_arc));
+  EXPECT_FALSE(sim::is_on_road(sdl::RoadLayout::kCurve, {-10, 10}));
+}
+
+// ---- scenario sampler: property sweep over seeds ----------------------------------------
+
+class SamplerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SamplerProperty, SampledDescriptionsAreAlwaysValid) {
+  tsdx::tensor::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const sdl::ScenarioDescription d = sim::sample_description(rng);
+    const auto errors = sdl::validate(d);
+    EXPECT_TRUE(errors.empty())
+        << "seed " << GetParam() << " sample " << i << ": " << errors[0]
+        << "\n" << sdl::to_sentence(d);
+  }
+}
+
+TEST_P(SamplerProperty, BackgroundCountMatchesDensity) {
+  tsdx::tensor::Rng rng(GetParam() ^ 0xABCDu);
+  for (int i = 0; i < 30; ++i) {
+    const sdl::ScenarioDescription d = sim::sample_description(rng);
+    const std::size_t n = d.background_actors.size();
+    switch (d.environment.density) {
+      case sdl::TrafficDensity::kSparse:
+        EXPECT_EQ(n, 0u);
+        break;
+      case sdl::TrafficDensity::kMedium:
+        EXPECT_EQ(n, 2u);
+        break;
+      case sdl::TrafficDensity::kDense:
+        EXPECT_EQ(n, 4u);
+        break;
+    }
+  }
+}
+
+TEST_P(SamplerProperty, WorldAgentsMatchDescription) {
+  tsdx::tensor::Rng rng(GetParam() ^ 0x1234u);
+  const sim::World w = sim::sample_world(rng);
+  const bool has_salient =
+      w.description.salient_actor.type != sdl::ActorType::kNone;
+  const std::size_t expected =
+      (has_salient ? 1u : 0u) + w.description.background_actors.size();
+  EXPECT_EQ(w.actors.size(), expected);
+  if (has_salient) {
+    EXPECT_TRUE(w.actors[0].is_salient);
+    EXPECT_EQ(w.actors[0].type, w.description.salient_actor.type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+// ---- rendering -----------------------------------------------------------------------------
+
+namespace {
+sim::RenderConfig small_render() {
+  sim::RenderConfig cfg;
+  cfg.height = cfg.width = 32;
+  cfg.frames = 4;
+  return cfg;
+}
+}  // namespace
+
+TEST(RenderTest, ClipShapeAndRange) {
+  tsdx::tensor::Rng rng(5);
+  const sim::World w = sim::sample_world(rng);
+  tsdx::tensor::Rng noise(6);
+  const sim::VideoClip clip = sim::render_clip(w, small_render(), noise);
+  EXPECT_EQ(clip.frames, 4);
+  EXPECT_EQ(clip.height, 32);
+  EXPECT_EQ(clip.data.size(),
+            static_cast<std::size_t>(4 * sim::kNumChannels * 32 * 32));
+  for (float v : clip.data) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(RenderTest, EgoVisibleNearViewCenter) {
+  tsdx::tensor::Rng rng(7);
+  const sim::World w = sim::sample_world(rng);
+  tsdx::tensor::Rng noise(8);
+  const sim::VideoClip clip = sim::render_clip(w, small_render(), noise);
+  // The camera centers 6 m ahead of the ego, so the ego rectangle sits just
+  // below center. Look for a bright vehicle pixel in the lower middle.
+  float best = 0.0f;
+  for (std::int64_t y = 16; y < 28; ++y) {
+    for (std::int64_t x = 8; x < 24; ++x) {
+      best = std::max(best, clip.at(0, 1, y, x));
+    }
+  }
+  EXPECT_GT(best, 0.8f);
+}
+
+TEST(RenderTest, RoadBrighterInDayThanNight) {
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kStraight;
+  d.environment.weather = sdl::Weather::kClear;
+  d.ego_action = sdl::EgoAction::kCruise;
+
+  auto road_mean = [&](sdl::TimeOfDay tod) {
+    d.environment.time_of_day = tod;
+    tsdx::tensor::Rng rng(11);
+    const sim::World w = sim::build_world(d, rng);
+    tsdx::tensor::Rng noise(12);
+    const sim::VideoClip clip = sim::render_clip(w, small_render(), noise);
+    double sum = 0.0;
+    const std::size_t plane = 32 * 32;
+    for (std::size_t i = 0; i < plane; ++i) sum += clip.data[i];
+    return sum / plane;
+  };
+  EXPECT_GT(road_mean(sdl::TimeOfDay::kDay),
+            road_mean(sdl::TimeOfDay::kNight) + 0.05);
+}
+
+TEST(RenderTest, PedestrianAppearsInVruChannel) {
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kStraight;
+  d.ego_action = sdl::EgoAction::kCruise;
+  d.salient_actor = {sdl::ActorType::kPedestrian, sdl::ActorAction::kCross,
+                     sdl::RelativePosition::kAhead};
+  tsdx::tensor::Rng rng(13);
+  const sim::World w = sim::build_world(d, rng);
+  tsdx::tensor::Rng noise(14);
+  sim::RenderConfig cfg = small_render();
+  cfg.frames = 8;
+  const sim::VideoClip clip = sim::render_clip(w, cfg, noise);
+  float peak = 0.0f;
+  for (std::int64_t f = 0; f < clip.frames; ++f) {
+    for (std::int64_t y = 0; y < 32; ++y) {
+      for (std::int64_t x = 0; x < 32; ++x) {
+        peak = std::max(peak, clip.at(f, 2, y, x));
+      }
+    }
+  }
+  EXPECT_GT(peak, 0.5f);  // the pedestrian shows up at some point
+}
+
+TEST(RenderTest, MotionChangesFrames) {
+  tsdx::tensor::Rng rng(15);
+  sdl::ScenarioDescription d;
+  d.ego_action = sdl::EgoAction::kCruise;
+  d.salient_actor = {sdl::ActorType::kCar, sdl::ActorAction::kCruise,
+                     sdl::RelativePosition::kOncoming};
+  const sim::World w = sim::build_world(d, rng);
+  tsdx::tensor::Rng noise(16);
+  const sim::VideoClip clip = sim::render_clip(w, small_render(), noise);
+  // Vehicle channel must differ between first and last frame.
+  double diff = 0.0;
+  for (std::int64_t y = 0; y < 32; ++y) {
+    for (std::int64_t x = 0; x < 32; ++x) {
+      diff += std::abs(clip.at(0, 1, y, x) - clip.at(3, 1, y, x));
+    }
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(RenderTest, AsciiFrameHasExpectedDimensions) {
+  tsdx::tensor::Rng rng(17);
+  const sim::World w = sim::sample_world(rng);
+  tsdx::tensor::Rng noise(18);
+  const sim::VideoClip clip = sim::render_clip(w, small_render(), noise);
+  const std::string art = sim::ascii_frame(clip, 0);
+  EXPECT_EQ(art.size(), static_cast<std::size_t>(33 * 32));  // 32 cols + \n
+  EXPECT_NE(art.find('#'), std::string::npos);  // ego rectangle visible
+}
+
+// ---- clip generator ----------------------------------------------------------------------------
+
+TEST(ClipGeneratorTest, DeterministicAcrossInstances) {
+  sim::ClipGenerator g1(small_render(), 77);
+  sim::ClipGenerator g2(small_render(), 77);
+  for (int i = 0; i < 3; ++i) {
+    const sim::LabeledClip a = g1.generate();
+    const sim::LabeledClip b = g2.generate();
+    EXPECT_EQ(a.description, b.description);
+    EXPECT_EQ(a.video.data, b.video.data);
+  }
+}
+
+TEST(ClipGeneratorTest, DifferentSeedsDiffer) {
+  sim::ClipGenerator g1(small_render(), 1);
+  sim::ClipGenerator g2(small_render(), 2);
+  bool any_diff = false;
+  for (int i = 0; i < 3 && !any_diff; ++i) {
+    any_diff = g1.generate().description != g2.generate().description;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ClipGeneratorTest, GenerateForRealizesGivenDescription) {
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kTJunction;
+  d.environment.time_of_day = sdl::TimeOfDay::kDusk;
+  d.ego_action = sdl::EgoAction::kTurnRight;
+  sim::ClipGenerator gen(small_render(), 3);
+  const sim::LabeledClip clip = gen.generate_for(d);
+  EXPECT_EQ(clip.description, d);
+  EXPECT_EQ(clip.video.frames, 4);
+}
+
+TEST(ClipGeneratorTest, LabelsAlwaysValidOverManyClips) {
+  sim::ClipGenerator gen(small_render(), 4);
+  for (int i = 0; i < 40; ++i) {
+    const sim::LabeledClip clip = gen.generate();
+    EXPECT_TRUE(sdl::is_valid(clip.description));
+    // Labels must be in range for every slot.
+    const sdl::SlotLabels labels = sdl::to_slot_labels(clip.description);
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      EXPECT_LT(labels[s], sdl::kSlotCardinality[s]);
+    }
+  }
+}
+
+// ---- camera frames ---------------------------------------------------------------------------
+
+TEST(CameraFrameTest, EgoAlignedKeepsEgoPointingUp) {
+  // A turning ego: in the ego-aligned view the ego rectangle must stay
+  // upright at the view center in every frame.
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kIntersection4;
+  d.ego_action = sdl::EgoAction::kTurnLeft;
+  tsdx::tensor::Rng jitter(31);
+  const sim::World w = sim::build_world(d, jitter);
+
+  sim::RenderConfig cfg = small_render();
+  cfg.frames = 6;
+  cfg.camera = sim::CameraFrame::kEgoAligned;
+  tsdx::tensor::Rng noise(32);
+  const sim::VideoClip clip = sim::render_clip(w, cfg, noise);
+
+  // Ego occupies the pixel column at the center, rows just below middle
+  // (look_ahead shifts it down) — in every frame, including mid-turn.
+  for (std::int64_t f = 0; f < clip.frames; ++f) {
+    float center_peak = 0.0f;
+    for (std::int64_t y = 18; y < 26; ++y) {
+      for (std::int64_t x = 14; x < 18; ++x) {
+        center_peak = std::max(center_peak, clip.at(f, 1, y, x));
+      }
+    }
+    EXPECT_GT(center_peak, 0.8f) << "frame " << f;
+  }
+}
+
+TEST(CameraFrameTest, NorthUpAndEgoAlignedAgreeWhileDrivingStraight) {
+  // Heading is pi/2 on a straight cruise, so the two camera frames coincide
+  // (same axes) and the renders must match except for the noise stream.
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kStraight;
+  d.ego_action = sdl::EgoAction::kCruise;
+  tsdx::tensor::Rng jitter(33);
+  const sim::World w = sim::build_world(d, jitter);
+
+  sim::RenderConfig north = small_render();
+  sim::RenderConfig aligned = small_render();
+  aligned.camera = sim::CameraFrame::kEgoAligned;
+  tsdx::tensor::Rng n1(34), n2(34);
+  const sim::VideoClip a = sim::render_clip(w, north, n1);
+  const sim::VideoClip b = sim::render_clip(w, aligned, n2);
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    ASSERT_NEAR(a.data[i], b.data[i], 1e-6f);
+  }
+}
