@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_retrieval.dir/bench_f3_retrieval.cpp.o"
+  "CMakeFiles/bench_f3_retrieval.dir/bench_f3_retrieval.cpp.o.d"
+  "bench_f3_retrieval"
+  "bench_f3_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_robustness.dir/bench_f4_robustness.cpp.o"
+  "CMakeFiles/bench_f4_robustness.dir/bench_f4_robustness.cpp.o.d"
+  "bench_f4_robustness"
+  "bench_f4_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_camera.dir/bench_f5_camera.cpp.o"
+  "CMakeFiles/bench_f5_camera.dir/bench_f5_camera.cpp.o.d"
+  "bench_f5_camera"
+  "bench_f5_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

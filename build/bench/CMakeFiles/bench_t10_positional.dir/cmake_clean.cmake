@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t10_positional.dir/bench_t10_positional.cpp.o"
+  "CMakeFiles/bench_t10_positional.dir/bench_t10_positional.cpp.o.d"
+  "bench_t10_positional"
+  "bench_t10_positional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t10_positional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_latency.dir/bench_t3_latency.cpp.o"
+  "CMakeFiles/bench_t3_latency.dir/bench_t3_latency.cpp.o.d"
+  "bench_t3_latency"
+  "bench_t3_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_data_efficiency.dir/bench_t4_data_efficiency.cpp.o"
+  "CMakeFiles/bench_t4_data_efficiency.dir/bench_t4_data_efficiency.cpp.o.d"
+  "bench_t4_data_efficiency"
+  "bench_t4_data_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_data_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_pooling.dir/bench_t6_pooling.cpp.o"
+  "CMakeFiles/bench_t6_pooling.dir/bench_t6_pooling.cpp.o.d"
+  "bench_t6_pooling"
+  "bench_t6_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

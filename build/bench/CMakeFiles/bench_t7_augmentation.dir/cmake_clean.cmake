@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_augmentation.dir/bench_t7_augmentation.cpp.o"
+  "CMakeFiles/bench_t7_augmentation.dir/bench_t7_augmentation.cpp.o.d"
+  "bench_t7_augmentation"
+  "bench_t7_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_calibration.dir/bench_t8_calibration.cpp.o"
+  "CMakeFiles/bench_t8_calibration.dir/bench_t8_calibration.cpp.o.d"
+  "bench_t8_calibration"
+  "bench_t8_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t9_decoding.dir/bench_t9_decoding.cpp.o"
+  "CMakeFiles/bench_t9_decoding.dir/bench_t9_decoding.cpp.o.d"
+  "bench_t9_decoding"
+  "bench_t9_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t9_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/coverage_report.cpp" "examples/CMakeFiles/coverage_report.dir/coverage_report.cpp.o" "gcc" "examples/CMakeFiles/coverage_report.dir/coverage_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsdx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tsdx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tsdx_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tsdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsdx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdl/CMakeFiles/tsdx_sdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tsdx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_report.dir/coverage_report.cpp.o"
+  "CMakeFiles/coverage_report.dir/coverage_report.cpp.o.d"
+  "coverage_report"
+  "coverage_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_search.dir/scenario_search.cpp.o"
+  "CMakeFiles/scenario_search.dir/scenario_search.cpp.o.d"
+  "scenario_search"
+  "scenario_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_extractor.dir/train_extractor.cpp.o"
+  "CMakeFiles/train_extractor.dir/train_extractor.cpp.o.d"
+  "train_extractor"
+  "train_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

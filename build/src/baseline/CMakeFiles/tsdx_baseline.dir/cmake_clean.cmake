@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdx_baseline.dir/cnn.cpp.o"
+  "CMakeFiles/tsdx_baseline.dir/cnn.cpp.o.d"
+  "CMakeFiles/tsdx_baseline.dir/cnn3d.cpp.o"
+  "CMakeFiles/tsdx_baseline.dir/cnn3d.cpp.o.d"
+  "CMakeFiles/tsdx_baseline.dir/majority.cpp.o"
+  "CMakeFiles/tsdx_baseline.dir/majority.cpp.o.d"
+  "libtsdx_baseline.a"
+  "libtsdx_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdx_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augment.cpp" "src/core/CMakeFiles/tsdx_core.dir/augment.cpp.o" "gcc" "src/core/CMakeFiles/tsdx_core.dir/augment.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/tsdx_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/tsdx_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/tsdx_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/tsdx_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/decoding.cpp" "src/core/CMakeFiles/tsdx_core.dir/decoding.cpp.o" "gcc" "src/core/CMakeFiles/tsdx_core.dir/decoding.cpp.o.d"
+  "/root/repo/src/core/extractor.cpp" "src/core/CMakeFiles/tsdx_core.dir/extractor.cpp.o" "gcc" "src/core/CMakeFiles/tsdx_core.dir/extractor.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/tsdx_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/tsdx_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/tsdx_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/tsdx_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/video_transformer.cpp" "src/core/CMakeFiles/tsdx_core.dir/video_transformer.cpp.o" "gcc" "src/core/CMakeFiles/tsdx_core.dir/video_transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tsdx_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tsdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsdx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdl/CMakeFiles/tsdx_sdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tsdx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

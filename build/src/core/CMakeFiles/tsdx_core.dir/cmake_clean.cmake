@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdx_core.dir/augment.cpp.o"
+  "CMakeFiles/tsdx_core.dir/augment.cpp.o.d"
+  "CMakeFiles/tsdx_core.dir/calibration.cpp.o"
+  "CMakeFiles/tsdx_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/tsdx_core.dir/config.cpp.o"
+  "CMakeFiles/tsdx_core.dir/config.cpp.o.d"
+  "CMakeFiles/tsdx_core.dir/decoding.cpp.o"
+  "CMakeFiles/tsdx_core.dir/decoding.cpp.o.d"
+  "CMakeFiles/tsdx_core.dir/extractor.cpp.o"
+  "CMakeFiles/tsdx_core.dir/extractor.cpp.o.d"
+  "CMakeFiles/tsdx_core.dir/model.cpp.o"
+  "CMakeFiles/tsdx_core.dir/model.cpp.o.d"
+  "CMakeFiles/tsdx_core.dir/trainer.cpp.o"
+  "CMakeFiles/tsdx_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/tsdx_core.dir/video_transformer.cpp.o"
+  "CMakeFiles/tsdx_core.dir/video_transformer.cpp.o.d"
+  "libtsdx_core.a"
+  "libtsdx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdx_data.dir/corruption.cpp.o"
+  "CMakeFiles/tsdx_data.dir/corruption.cpp.o.d"
+  "CMakeFiles/tsdx_data.dir/dataset.cpp.o"
+  "CMakeFiles/tsdx_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/tsdx_data.dir/export.cpp.o"
+  "CMakeFiles/tsdx_data.dir/export.cpp.o.d"
+  "CMakeFiles/tsdx_data.dir/metrics.cpp.o"
+  "CMakeFiles/tsdx_data.dir/metrics.cpp.o.d"
+  "libtsdx_data.a"
+  "libtsdx_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdx_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/tsdx_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/tsdx_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/tsdx_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/tsdx_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/tsdx_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/tsdx_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/tsdx_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/tsdx_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/tsdx_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/tsdx_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/tsdx_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/tsdx_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/tsdx_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/tsdx_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/tsdx_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/tsdx_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tsdx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdx_nn.dir/attention.cpp.o"
+  "CMakeFiles/tsdx_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/tsdx_nn.dir/conv.cpp.o"
+  "CMakeFiles/tsdx_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/tsdx_nn.dir/gru.cpp.o"
+  "CMakeFiles/tsdx_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/tsdx_nn.dir/layers.cpp.o"
+  "CMakeFiles/tsdx_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/tsdx_nn.dir/lstm.cpp.o"
+  "CMakeFiles/tsdx_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/tsdx_nn.dir/module.cpp.o"
+  "CMakeFiles/tsdx_nn.dir/module.cpp.o.d"
+  "CMakeFiles/tsdx_nn.dir/optim.cpp.o"
+  "CMakeFiles/tsdx_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/tsdx_nn.dir/serialize.cpp.o"
+  "CMakeFiles/tsdx_nn.dir/serialize.cpp.o.d"
+  "libtsdx_nn.a"
+  "libtsdx_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdx_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdl/coverage.cpp" "src/sdl/CMakeFiles/tsdx_sdl.dir/coverage.cpp.o" "gcc" "src/sdl/CMakeFiles/tsdx_sdl.dir/coverage.cpp.o.d"
+  "/root/repo/src/sdl/description.cpp" "src/sdl/CMakeFiles/tsdx_sdl.dir/description.cpp.o" "gcc" "src/sdl/CMakeFiles/tsdx_sdl.dir/description.cpp.o.d"
+  "/root/repo/src/sdl/diff.cpp" "src/sdl/CMakeFiles/tsdx_sdl.dir/diff.cpp.o" "gcc" "src/sdl/CMakeFiles/tsdx_sdl.dir/diff.cpp.o.d"
+  "/root/repo/src/sdl/embedding.cpp" "src/sdl/CMakeFiles/tsdx_sdl.dir/embedding.cpp.o" "gcc" "src/sdl/CMakeFiles/tsdx_sdl.dir/embedding.cpp.o.d"
+  "/root/repo/src/sdl/json.cpp" "src/sdl/CMakeFiles/tsdx_sdl.dir/json.cpp.o" "gcc" "src/sdl/CMakeFiles/tsdx_sdl.dir/json.cpp.o.d"
+  "/root/repo/src/sdl/serialization.cpp" "src/sdl/CMakeFiles/tsdx_sdl.dir/serialization.cpp.o" "gcc" "src/sdl/CMakeFiles/tsdx_sdl.dir/serialization.cpp.o.d"
+  "/root/repo/src/sdl/spec.cpp" "src/sdl/CMakeFiles/tsdx_sdl.dir/spec.cpp.o" "gcc" "src/sdl/CMakeFiles/tsdx_sdl.dir/spec.cpp.o.d"
+  "/root/repo/src/sdl/taxonomy.cpp" "src/sdl/CMakeFiles/tsdx_sdl.dir/taxonomy.cpp.o" "gcc" "src/sdl/CMakeFiles/tsdx_sdl.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdx_sdl.dir/coverage.cpp.o"
+  "CMakeFiles/tsdx_sdl.dir/coverage.cpp.o.d"
+  "CMakeFiles/tsdx_sdl.dir/description.cpp.o"
+  "CMakeFiles/tsdx_sdl.dir/description.cpp.o.d"
+  "CMakeFiles/tsdx_sdl.dir/diff.cpp.o"
+  "CMakeFiles/tsdx_sdl.dir/diff.cpp.o.d"
+  "CMakeFiles/tsdx_sdl.dir/embedding.cpp.o"
+  "CMakeFiles/tsdx_sdl.dir/embedding.cpp.o.d"
+  "CMakeFiles/tsdx_sdl.dir/json.cpp.o"
+  "CMakeFiles/tsdx_sdl.dir/json.cpp.o.d"
+  "CMakeFiles/tsdx_sdl.dir/serialization.cpp.o"
+  "CMakeFiles/tsdx_sdl.dir/serialization.cpp.o.d"
+  "CMakeFiles/tsdx_sdl.dir/spec.cpp.o"
+  "CMakeFiles/tsdx_sdl.dir/spec.cpp.o.d"
+  "CMakeFiles/tsdx_sdl.dir/taxonomy.cpp.o"
+  "CMakeFiles/tsdx_sdl.dir/taxonomy.cpp.o.d"
+  "libtsdx_sdl.a"
+  "libtsdx_sdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdx_sdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tsdx_sdl.
+# This may be replaced when dependencies are built.

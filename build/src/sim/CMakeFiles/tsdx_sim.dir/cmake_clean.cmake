@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdx_sim.dir/clipgen.cpp.o"
+  "CMakeFiles/tsdx_sim.dir/clipgen.cpp.o.d"
+  "CMakeFiles/tsdx_sim.dir/render.cpp.o"
+  "CMakeFiles/tsdx_sim.dir/render.cpp.o.d"
+  "CMakeFiles/tsdx_sim.dir/road.cpp.o"
+  "CMakeFiles/tsdx_sim.dir/road.cpp.o.d"
+  "CMakeFiles/tsdx_sim.dir/trajectory.cpp.o"
+  "CMakeFiles/tsdx_sim.dir/trajectory.cpp.o.d"
+  "CMakeFiles/tsdx_sim.dir/world.cpp.o"
+  "CMakeFiles/tsdx_sim.dir/world.cpp.o.d"
+  "libtsdx_sim.a"
+  "libtsdx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdx_tensor.dir/gradcheck.cpp.o"
+  "CMakeFiles/tsdx_tensor.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/tsdx_tensor.dir/nn_ops.cpp.o"
+  "CMakeFiles/tsdx_tensor.dir/nn_ops.cpp.o.d"
+  "CMakeFiles/tsdx_tensor.dir/ops.cpp.o"
+  "CMakeFiles/tsdx_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/tsdx_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/tsdx_tensor.dir/tensor.cpp.o.d"
+  "libtsdx_tensor.a"
+  "libtsdx_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdx_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsdx_tensor.a"
+)

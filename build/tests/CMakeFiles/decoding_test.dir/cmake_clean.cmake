@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoding_test.dir/decoding_test.cpp.o"
+  "CMakeFiles/decoding_test.dir/decoding_test.cpp.o.d"
+  "decoding_test"
+  "decoding_test.pdb"
+  "decoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_test.dir/sdl_test.cpp.o"
+  "CMakeFiles/sdl_test.dir/sdl_test.cpp.o.d"
+  "sdl_test"
+  "sdl_test.pdb"
+  "sdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
