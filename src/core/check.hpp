@@ -1,0 +1,86 @@
+// check.hpp — contract assertions for the tensor/NN/core stack.
+//
+// Every public op validates its inputs with these macros so that a mis-shaped
+// or out-of-contract call fails with a typed, descriptive exception instead of
+// silently reading out of bounds. The checks are always on (not NDEBUG-gated):
+// they run once per op call, which is negligible next to the op itself, and
+// they are exactly what makes sanitizer runs and downstream serving safe.
+//
+// The layer is header-only and dependency-free so the lowest layer
+// (src/tensor) can use it without linking against tsdx_core.
+//
+// Idiom:
+//   TSDX_CHECK(stride >= 1, "conv2d: stride must be >= 1, got ", stride);
+//   TSDX_SHAPE_ASSERT(a.shape() == b.shape(), "add: incompatible shapes ",
+//                     to_string(a.shape()), " and ", to_string(b.shape()));
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tsdx {
+
+/// A value-level contract violation (bad stride, index out of range, ...).
+/// Derives from std::invalid_argument so existing call sites and tests that
+/// catch the standard type keep working.
+class ValueError : public std::invalid_argument {
+ public:
+  explicit ValueError(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
+
+/// A shape-level contract violation (rank/extent mismatch between operands).
+class ShapeError : public std::invalid_argument {
+ public:
+  explicit ShapeError(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
+
+namespace check_detail {
+
+template <class... Parts>
+std::string concat(const Parts&... parts) {
+  std::ostringstream os;
+  static_cast<void>((os << ... << parts));
+  return os.str();
+}
+
+template <class... Parts>
+[[noreturn]] void fail_value(const char* file, int line, const char* cond,
+                             const Parts&... parts) {
+  std::string msg = concat(parts...);
+  if (msg.empty()) msg = "contract violated";
+  throw ValueError(concat(msg, " [", file, ":", line, ": CHECK(", cond,
+                          ")]"));
+}
+
+template <class... Parts>
+[[noreturn]] void fail_shape(const char* file, int line, const char* cond,
+                             const Parts&... parts) {
+  std::string msg = concat(parts...);
+  if (msg.empty()) msg = "shape contract violated";
+  throw ShapeError(concat(msg, " [", file, ":", line, ": SHAPE_ASSERT(", cond,
+                          ")]"));
+}
+
+}  // namespace check_detail
+}  // namespace tsdx
+
+/// Throw tsdx::ValueError with a formatted message unless `cond` holds.
+#define TSDX_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::tsdx::check_detail::fail_value(__FILE__, __LINE__,                 \
+                                       #cond __VA_OPT__(, ) __VA_ARGS__);  \
+    }                                                                      \
+  } while (false)
+
+/// Throw tsdx::ShapeError with a formatted message unless `cond` holds.
+#define TSDX_SHAPE_ASSERT(cond, ...)                                       \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::tsdx::check_detail::fail_shape(__FILE__, __LINE__,                 \
+                                       #cond __VA_OPT__(, ) __VA_ARGS__);  \
+    }                                                                      \
+  } while (false)

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "tensor/ops.hpp"
 
 namespace tsdx::core {
@@ -17,18 +18,19 @@ TubeletEmbedding::TubeletEmbedding(const ModelConfig& cfg, nn::Rng& rng)
 }
 
 Tensor TubeletEmbedding::forward(const Tensor& video) const {
-  if (video.rank() != 5) {
-    throw std::invalid_argument("TubeletEmbedding: expected [B,T,C,H,W]");
-  }
+  TSDX_SHAPE_ASSERT(video.rank() == 5, "TubeletEmbedding: expected [B,T,C,H,W], got ",
+                    tt::to_string(video.shape()));
   const std::int64_t b = video.dim(0);
   const std::int64_t t = video.dim(1);
   const std::int64_t c = video.dim(2);
   const std::int64_t h = video.dim(3);
   const std::int64_t w = video.dim(4);
-  if (t != cfg_.frames || c != cfg_.channels || h != cfg_.image_size ||
-      w != cfg_.image_size) {
-    throw std::invalid_argument("TubeletEmbedding: clip geometry mismatch");
-  }
+  TSDX_SHAPE_ASSERT(
+      t == cfg_.frames && c == cfg_.channels && h == cfg_.image_size &&
+          w == cfg_.image_size,
+      "TubeletEmbedding: clip ", tt::to_string(video.shape()),
+      " does not match configured geometry [B, ", cfg_.frames, ", ",
+      cfg_.channels, ", ", cfg_.image_size, ", ", cfg_.image_size, "]");
   const std::int64_t nt = cfg_.temporal_tokens();
   const std::int64_t tub = cfg_.tubelet_frames;
   const std::int64_t g = cfg_.image_size / cfg_.patch_size;  // grid side
@@ -157,6 +159,9 @@ Tensor VideoTransformer::tokenize(const Tensor& video) const {
 }
 
 Tensor VideoTransformer::pool(const Tensor& tokens) const {
+  TSDX_SHAPE_ASSERT(tokens.rank() == 3 && tokens.dim(2) == cfg_.dim,
+                    "VideoTransformer::pool: expected [B, N, ", cfg_.dim,
+                    "], got ", tt::to_string(tokens.shape()));
   if (cfg_.pooling == Pooling::kMean) return tt::mean_dim(tokens, 1);
   // Single-query attention pool: softmax(tokens . q) weighted token sum.
   const std::int64_t b = tokens.dim(0);
@@ -218,6 +223,8 @@ Tensor VideoTransformer::forward_divided(const Tensor& tokens,
 }
 
 Tensor VideoTransformer::forward(const Tensor& video) const {
+  TSDX_SHAPE_ASSERT(video.rank() == 5, "VideoTransformer: expected [B,T,C,H,W], got ",
+                    tt::to_string(video.shape()));
   const std::int64_t b = video.dim(0);
   const Tensor tokens = tokenize(video);
   switch (cfg_.attention) {

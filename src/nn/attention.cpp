@@ -1,7 +1,8 @@
 #include "nn/attention.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace tsdx::nn {
 
@@ -18,9 +19,8 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t dim, std::int64_t heads,
       proj_(dim, dim, rng),
       attn_drop_(dropout_p, rng),
       proj_drop_(dropout_p, rng) {
-  if (dim % heads != 0) {
-    throw std::invalid_argument("MultiHeadAttention: dim % heads != 0");
-  }
+  TSDX_CHECK(heads > 0 && dim % heads == 0, "MultiHeadAttention: dim ", dim,
+             " not divisible by heads ", heads);
   register_module("wq", wq_);
   register_module("wk", wk_);
   register_module("wv", wv_);
@@ -30,11 +30,9 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t dim, std::int64_t heads,
 }
 
 Tensor MultiHeadAttention::forward(const Tensor& x) const {
-  if (x.rank() != 3 || x.shape()[2] != dim_) {
-    throw std::invalid_argument("MultiHeadAttention: expected [B, T, " +
-                                std::to_string(dim_) + "], got " +
-                                tt::to_string(x.shape()));
-  }
+  TSDX_SHAPE_ASSERT(x.rank() == 3 && x.shape()[2] == dim_,
+                    "MultiHeadAttention: expected [B, T, ", dim_, "], got ",
+                    tt::to_string(x.shape()));
   const std::int64_t b = x.dim(0);
   const std::int64_t t = x.dim(1);
 

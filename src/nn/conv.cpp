@@ -2,12 +2,18 @@
 
 #include <cmath>
 
+#include "core/check.hpp"
+
 namespace tsdx::nn {
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
                Rng& rng)
     : out_channels_(out_channels), stride_(stride), pad_(pad) {
+  TSDX_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                 stride > 0 && pad >= 0,
+             "Conv2d: bad geometry in=", in_channels, " out=", out_channels,
+             " k=", kernel, " stride=", stride, " pad=", pad);
   // He (Kaiming) normal: std = sqrt(2 / fan_in).
   const float std =
       std::sqrt(2.0f / static_cast<float>(in_channels * kernel * kernel));
@@ -22,6 +28,12 @@ Conv3d::Conv3d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t stride_t, std::int64_t stride_s, std::int64_t pad_t,
                std::int64_t pad_s, Rng& rng)
     : stride_t_(stride_t), stride_s_(stride_s), pad_t_(pad_t), pad_s_(pad_s) {
+  TSDX_CHECK(in_channels > 0 && out_channels > 0 && kernel_t > 0 &&
+                 kernel_s > 0 && stride_t > 0 && stride_s > 0 && pad_t >= 0 &&
+                 pad_s >= 0,
+             "Conv3d: bad geometry in=", in_channels, " out=", out_channels,
+             " kt=", kernel_t, " ks=", kernel_s, " st=", stride_t,
+             " ss=", stride_s, " pt=", pad_t, " ps=", pad_s);
   const float std = std::sqrt(
       2.0f / static_cast<float>(in_channels * kernel_t * kernel_s * kernel_s));
   weight_ = register_parameter(

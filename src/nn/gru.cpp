@@ -1,6 +1,6 @@
 #include "nn/gru.hpp"
 
-#include <stdexcept>
+#include "core/check.hpp"
 
 namespace tsdx::nn {
 
@@ -28,10 +28,8 @@ Tensor Gru::step(const Tensor& xt, const Tensor& h) const {
 }
 
 Tensor Gru::forward(const Tensor& x) const {
-  if (x.rank() != 3 || x.dim(2) != input_) {
-    throw std::invalid_argument("Gru: expected [B, T, " +
-                                std::to_string(input_) + "]");
-  }
+  TSDX_SHAPE_ASSERT(x.rank() == 3 && x.dim(2) == input_, "Gru: expected [B, T, ",
+                    input_, "], got ", tt::to_string(x.shape()));
   const std::int64_t b = x.dim(0);
   const std::int64_t t = x.dim(1);
   Tensor h = Tensor::zeros({b, hidden_});

@@ -1,6 +1,6 @@
 #include "nn/lstm.hpp"
 
-#include <stdexcept>
+#include "core/check.hpp"
 
 namespace tsdx::nn {
 
@@ -27,10 +27,8 @@ std::pair<Tensor, Tensor> Lstm::step(const Tensor& xt, const Tensor& h,
 }
 
 Tensor Lstm::forward(const Tensor& x) const {
-  if (x.rank() != 3 || x.dim(2) != input_) {
-    throw std::invalid_argument("Lstm: expected [B, T, " +
-                                std::to_string(input_) + "]");
-  }
+  TSDX_SHAPE_ASSERT(x.rank() == 3 && x.dim(2) == input_, "Lstm: expected [B, T, ",
+                    input_, "], got ", tt::to_string(x.shape()));
   const std::int64_t b = x.dim(0);
   const std::int64_t t = x.dim(1);
   Tensor h = Tensor::zeros({b, hidden_});
@@ -44,6 +42,9 @@ Tensor Lstm::forward(const Tensor& x) const {
 }
 
 Tensor Lstm::forward_sequence(const Tensor& x) const {
+  TSDX_SHAPE_ASSERT(x.rank() == 3 && x.dim(2) == input_,
+                    "Lstm: expected [B, T, ", input_, "], got ",
+                    tt::to_string(x.shape()));
   const std::int64_t b = x.dim(0);
   const std::int64_t t = x.dim(1);
   Tensor h = Tensor::zeros({b, hidden_});

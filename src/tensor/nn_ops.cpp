@@ -1,18 +1,18 @@
 #include "tensor/nn_ops.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace tsdx::tensor {
 
 Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   float eps) {
-  if (x.rank() == 0) throw std::invalid_argument("layer_norm: scalar input");
+  TSDX_SHAPE_ASSERT(x.rank() >= 1, "layer_norm: scalar input");
   const std::int64_t d = x.shape().back();
-  if (gamma.shape() != Shape{d} || beta.shape() != Shape{d}) {
-    throw std::invalid_argument("layer_norm: gamma/beta must be [" +
-                                std::to_string(d) + "]");
-  }
+  TSDX_SHAPE_ASSERT(gamma.shape() == Shape{d} && beta.shape() == Shape{d},
+                    "layer_norm: gamma ", to_string(gamma.shape()),
+                    " / beta ", to_string(beta.shape()), " must be [", d, "]");
   const std::int64_t rows = x.numel() / d;
   std::vector<float> out(static_cast<std::size_t>(x.numel()));
   // Saved for backward: normalized values and 1/std per row.
@@ -94,15 +94,12 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 
 Tensor cross_entropy_logits(const Tensor& logits,
                             const std::vector<std::int64_t>& targets) {
-  if (logits.rank() != 2) {
-    throw std::invalid_argument("cross_entropy: logits must be [B, C], got " +
-                                to_string(logits.shape()));
-  }
+  TSDX_SHAPE_ASSERT(logits.rank() == 2, "cross_entropy: logits must be [B, C], got ",
+                    to_string(logits.shape()));
   const std::int64_t b = logits.dim(0);
   const std::int64_t c = logits.dim(1);
-  if (static_cast<std::int64_t>(targets.size()) != b) {
-    throw std::invalid_argument("cross_entropy: batch/target size mismatch");
-  }
+  TSDX_SHAPE_ASSERT(static_cast<std::int64_t>(targets.size()) == b,
+                    "cross_entropy: ", targets.size(), " targets for batch ", b);
   // Forward: mean of -log softmax at the target index; save the softmax for
   // backward.
   auto probs = std::make_shared<std::vector<float>>(
@@ -111,7 +108,8 @@ Tensor cross_entropy_logits(const Tensor& logits,
   double loss = 0.0;
   for (std::int64_t r = 0; r < b; ++r) {
     const std::int64_t t = targets[static_cast<std::size_t>(r)];
-    if (t < 0 || t >= c) throw std::invalid_argument("cross_entropy: bad target");
+    TSDX_CHECK(t >= 0 && t < c, "cross_entropy: target ", t,
+               " out of range [0, ", c, ")");
     const float* x = lv.data() + r * c;
     float mx = x[0];
     for (std::int64_t i = 1; i < c; ++i) mx = std::max(mx, x[i]);
@@ -148,9 +146,8 @@ Tensor cross_entropy_logits(const Tensor& logits,
 
 Tensor embedding_lookup(const Tensor& weight,
                         const std::vector<std::int64_t>& indices) {
-  if (weight.rank() != 2) {
-    throw std::invalid_argument("embedding: weight must be [V, D]");
-  }
+  TSDX_SHAPE_ASSERT(weight.rank() == 2, "embedding: weight must be [V, D], got ",
+                    to_string(weight.shape()));
   const std::int64_t v = weight.dim(0);
   const std::int64_t d = weight.dim(1);
   const std::int64_t n = static_cast<std::int64_t>(indices.size());
@@ -158,7 +155,8 @@ Tensor embedding_lookup(const Tensor& weight,
   const auto wv = weight.data();
   for (std::int64_t i = 0; i < n; ++i) {
     const std::int64_t idx = indices[static_cast<std::size_t>(i)];
-    if (idx < 0 || idx >= v) throw std::invalid_argument("embedding: bad index");
+    TSDX_CHECK(idx >= 0 && idx < v, "embedding: index ", idx,
+               " out of range [0, ", v, ")");
     std::copy_n(wv.data() + idx * d, d, out.data() + i * d);
   }
   NodePtr wn = weight.node();
@@ -180,23 +178,25 @@ Tensor embedding_lookup(const Tensor& weight,
 
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               std::int64_t stride, std::int64_t pad) {
-  if (input.rank() != 4 || weight.rank() != 4) {
-    throw std::invalid_argument("conv2d: input [B,C,H,W], weight [O,C,KH,KW]");
-  }
+  TSDX_SHAPE_ASSERT(input.rank() == 4 && weight.rank() == 4,
+                    "conv2d: input [B,C,H,W], weight [O,C,KH,KW], got ",
+                    to_string(input.shape()), " and ",
+                    to_string(weight.shape()));
   const std::int64_t b = input.dim(0), cin = input.dim(1), h = input.dim(2),
                      w = input.dim(3);
   const std::int64_t cout = weight.dim(0), kh = weight.dim(2),
                      kw = weight.dim(3);
-  if (weight.dim(1) != cin) {
-    throw std::invalid_argument("conv2d: channel mismatch");
-  }
-  if (bias.shape() != Shape{cout}) {
-    throw std::invalid_argument("conv2d: bias must be [Cout]");
-  }
-  if (stride < 1) throw std::invalid_argument("conv2d: stride must be >= 1");
+  TSDX_SHAPE_ASSERT(weight.dim(1) == cin, "conv2d: weight has ", weight.dim(1),
+                    " input channels, input has ", cin);
+  TSDX_SHAPE_ASSERT(bias.shape() == Shape{cout}, "conv2d: bias must be [",
+                    cout, "], got ", to_string(bias.shape()));
+  TSDX_CHECK(stride >= 1, "conv2d: stride must be >= 1, got ", stride);
+  TSDX_CHECK(pad >= 0, "conv2d: pad must be >= 0, got ", pad);
   const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
   const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
-  if (oh <= 0 || ow <= 0) throw std::invalid_argument("conv2d: empty output");
+  TSDX_SHAPE_ASSERT(oh > 0 && ow > 0, "conv2d: empty output for input ",
+                    to_string(input.shape()), " and kernel ",
+                    to_string(weight.shape()));
 
   std::vector<float> out(static_cast<std::size_t>(b * cout * oh * ow));
   const float* in = input.data().data();
@@ -278,27 +278,28 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               std::int64_t stride_t, std::int64_t stride_s, std::int64_t pad_t,
               std::int64_t pad_s) {
-  if (input.rank() != 5 || weight.rank() != 5) {
-    throw std::invalid_argument(
-        "conv3d: input [B,C,T,H,W], weight [O,C,KT,KH,KW]");
-  }
+  TSDX_SHAPE_ASSERT(input.rank() == 5 && weight.rank() == 5,
+                    "conv3d: input [B,C,T,H,W], weight [O,C,KT,KH,KW], got ",
+                    to_string(input.shape()), " and ",
+                    to_string(weight.shape()));
   const std::int64_t b = input.dim(0), cin = input.dim(1), t = input.dim(2),
                      h = input.dim(3), w = input.dim(4);
   const std::int64_t cout = weight.dim(0), kt = weight.dim(2),
                      kh = weight.dim(3), kw = weight.dim(4);
-  if (weight.dim(1) != cin) throw std::invalid_argument("conv3d: channel mismatch");
-  if (bias.shape() != Shape{cout}) {
-    throw std::invalid_argument("conv3d: bias must be [Cout]");
-  }
-  if (stride_t < 1 || stride_s < 1) {
-    throw std::invalid_argument("conv3d: strides must be >= 1");
-  }
+  TSDX_SHAPE_ASSERT(weight.dim(1) == cin, "conv3d: weight has ", weight.dim(1),
+                    " input channels, input has ", cin);
+  TSDX_SHAPE_ASSERT(bias.shape() == Shape{cout}, "conv3d: bias must be [",
+                    cout, "], got ", to_string(bias.shape()));
+  TSDX_CHECK(stride_t >= 1 && stride_s >= 1,
+             "conv3d: strides must be >= 1, got ", stride_t, " and ", stride_s);
+  TSDX_CHECK(pad_t >= 0 && pad_s >= 0, "conv3d: pads must be >= 0, got ",
+             pad_t, " and ", pad_s);
   const std::int64_t ot = (t + 2 * pad_t - kt) / stride_t + 1;
   const std::int64_t oh = (h + 2 * pad_s - kh) / stride_s + 1;
   const std::int64_t ow = (w + 2 * pad_s - kw) / stride_s + 1;
-  if (ot <= 0 || oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("conv3d: empty output");
-  }
+  TSDX_SHAPE_ASSERT(ot > 0 && oh > 0 && ow > 0,
+                    "conv3d: empty output for input ", to_string(input.shape()),
+                    " and kernel ", to_string(weight.shape()));
 
   std::vector<float> out(static_cast<std::size_t>(b * cout * ot * oh * ow));
   const float* in = input.data().data();
@@ -396,15 +397,18 @@ Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 }
 
 Tensor max_pool2d(const Tensor& input, std::int64_t k, std::int64_t stride) {
-  if (input.rank() != 4) {
-    throw std::invalid_argument("max_pool2d: input must be [B,C,H,W]");
-  }
+  TSDX_SHAPE_ASSERT(input.rank() == 4, "max_pool2d: input must be [B,C,H,W], got ",
+                    to_string(input.shape()));
+  TSDX_CHECK(k >= 1 && stride >= 0, "max_pool2d: bad window k=", k,
+             " stride=", stride);
   if (stride == 0) stride = k;
   const std::int64_t b = input.dim(0), c = input.dim(1), h = input.dim(2),
                      w = input.dim(3);
   const std::int64_t oh = (h - k) / stride + 1;
   const std::int64_t ow = (w - k) / stride + 1;
-  if (oh <= 0 || ow <= 0) throw std::invalid_argument("max_pool2d: empty output");
+  TSDX_SHAPE_ASSERT(oh > 0 && ow > 0 && k <= h && k <= w,
+                    "max_pool2d: window ", k, " does not fit input ",
+                    to_string(input.shape()));
 
   std::vector<float> out(static_cast<std::size_t>(b * c * oh * ow));
   auto argmax = std::make_shared<std::vector<std::int64_t>>(out.size());
@@ -448,7 +452,7 @@ Tensor max_pool2d(const Tensor& input, std::int64_t k, std::int64_t stride) {
 }
 
 Tensor dropout(const Tensor& x, float p, Rng& rng) {
-  if (p < 0.0f || p >= 1.0f) throw std::invalid_argument("dropout: p in [0,1)");
+  TSDX_CHECK(p >= 0.0f && p < 1.0f, "dropout: p must be in [0, 1), got ", p);
   if (p == 0.0f) return x;
   const float scale = 1.0f / (1.0f - p);
   auto mask = std::make_shared<std::vector<float>>(

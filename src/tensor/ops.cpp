@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace tsdx::tensor {
 
 namespace {
 
 [[noreturn]] void shape_error(const char* op, const Shape& a, const Shape& b) {
-  throw std::invalid_argument(std::string(op) + ": incompatible shapes " +
-                              to_string(a) + " and " + to_string(b));
+  throw ShapeError(std::string(op) + ": incompatible shapes " + to_string(a) +
+                   " and " + to_string(b));
 }
 
 /// Layout of a broadcasting binary op: which operand (if any) is the
@@ -207,7 +208,7 @@ Tensor abs(const Tensor& a) {
 }
 
 Tensor clamp(const Tensor& a, float lo, float hi) {
-  if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
+  TSDX_CHECK(lo <= hi, "clamp: lo (", lo, ") > hi (", hi, ")");
   return unary_op(
       a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
       [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; });
@@ -356,10 +357,8 @@ void reduce_extents(const Shape& s, std::size_t dim, std::int64_t& outer,
 }  // namespace
 
 Tensor sum_dim(const Tensor& a, std::size_t dim) {
-  if (dim >= a.rank()) {
-    throw std::invalid_argument("sum_dim: dim out of range for " +
-                                to_string(a.shape()));
-  }
+  TSDX_SHAPE_ASSERT(dim < a.rank(), "sum_dim: dim ", dim,
+                    " out of range for ", to_string(a.shape()));
   std::int64_t outer, d, inner;
   reduce_extents(a.shape(), dim, outer, d, inner);
   Shape out_shape;
@@ -393,15 +392,15 @@ Tensor sum_dim(const Tensor& a, std::size_t dim) {
 }
 
 Tensor mean_dim(const Tensor& a, std::size_t dim) {
+  TSDX_SHAPE_ASSERT(dim < a.rank(), "mean_dim: dim ", dim,
+                    " out of range for ", to_string(a.shape()));
   const float inv = 1.0f / static_cast<float>(a.shape()[dim]);
   return mul_scalar(sum_dim(a, dim), inv);
 }
 
 Tensor max_dim(const Tensor& a, std::size_t dim) {
-  if (dim >= a.rank()) {
-    throw std::invalid_argument("max_dim: dim out of range for " +
-                                to_string(a.shape()));
-  }
+  TSDX_SHAPE_ASSERT(dim < a.rank(), "max_dim: dim ", dim,
+                    " out of range for ", to_string(a.shape()));
   std::int64_t outer, d, inner;
   reduce_extents(a.shape(), dim, outer, d, inner);
   Shape out_shape;
@@ -446,25 +445,21 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
   int infer = -1;
   for (std::size_t i = 0; i < new_shape.size(); ++i) {
     if (new_shape[i] == -1) {
-      if (infer != -1) throw std::invalid_argument("reshape: multiple -1 dims");
+      TSDX_SHAPE_ASSERT(infer == -1, "reshape: multiple -1 dims in ",
+                        to_string(new_shape));
       infer = static_cast<int>(i);
     } else {
       known *= new_shape[i];
     }
   }
   if (infer >= 0) {
-    if (known == 0 || a.numel() % known != 0) {
-      throw std::invalid_argument("reshape: cannot infer dim for " +
-                                  to_string(a.shape()) + " -> " +
-                                  to_string(new_shape));
-    }
+    TSDX_SHAPE_ASSERT(known != 0 && a.numel() % known == 0,
+                      "reshape: cannot infer dim for ", to_string(a.shape()),
+                      " -> ", to_string(new_shape));
     new_shape[static_cast<std::size_t>(infer)] = a.numel() / known;
   }
-  if (numel(new_shape) != a.numel()) {
-    throw std::invalid_argument("reshape: numel mismatch " +
-                                to_string(a.shape()) + " -> " +
-                                to_string(new_shape));
-  }
+  TSDX_SHAPE_ASSERT(numel(new_shape) == a.numel(), "reshape: numel mismatch ",
+                    to_string(a.shape()), " -> ", to_string(new_shape));
   NodePtr an = a.node();
   std::vector<float> out(a.data().begin(), a.data().end());
   return make_op_result(std::move(new_shape), std::move(out), {an},
@@ -478,10 +473,12 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
 
 Tensor permute(const Tensor& a, const std::vector<std::size_t>& perm) {
   const std::size_t r = a.rank();
-  if (perm.size() != r) throw std::invalid_argument("permute: rank mismatch");
+  TSDX_SHAPE_ASSERT(perm.size() == r, "permute: perm of size ", perm.size(),
+                    " for rank-", r, " input ", to_string(a.shape()));
   std::vector<bool> seen(r, false);
   for (std::size_t p : perm) {
-    if (p >= r || seen[p]) throw std::invalid_argument("permute: invalid perm");
+    TSDX_CHECK(p < r && !seen[p], "permute: invalid permutation for rank-", r,
+               " input");
     seen[p] = true;
   }
   Shape out_shape(r);
@@ -534,6 +531,8 @@ Tensor permute(const Tensor& a, const std::vector<std::size_t>& perm) {
 }
 
 Tensor transpose_last2(const Tensor& a) {
+  TSDX_SHAPE_ASSERT(a.rank() >= 2, "transpose_last2: rank-", a.rank(),
+                    " input ", to_string(a.shape()));
   std::vector<std::size_t> perm(a.rank());
   for (std::size_t i = 0; i < a.rank(); ++i) perm[i] = i;
   std::swap(perm[a.rank() - 1], perm[a.rank() - 2]);
@@ -541,9 +540,10 @@ Tensor transpose_last2(const Tensor& a) {
 }
 
 Tensor concat(const std::vector<Tensor>& parts, std::size_t dim) {
-  if (parts.empty()) throw std::invalid_argument("concat: no parts");
+  TSDX_CHECK(!parts.empty(), "concat: no parts");
   const Shape& ref = parts[0].shape();
-  if (dim >= ref.size()) throw std::invalid_argument("concat: dim out of range");
+  TSDX_SHAPE_ASSERT(dim < ref.size(), "concat: dim ", dim,
+                    " out of range for ", to_string(ref));
   std::int64_t total = 0;
   for (const Tensor& p : parts) {
     if (p.rank() != ref.size()) shape_error("concat", ref, p.shape());
@@ -602,13 +602,11 @@ Tensor concat(const std::vector<Tensor>& parts, std::size_t dim) {
 
 Tensor slice(const Tensor& a, std::size_t dim, std::int64_t start,
              std::int64_t len) {
-  if (dim >= a.rank()) throw std::invalid_argument("slice: dim out of range");
+  TSDX_SHAPE_ASSERT(dim < a.rank(), "slice: dim ", dim, " out of range for ",
+                    to_string(a.shape()));
   const std::int64_t d = a.shape()[dim];
-  if (start < 0 || len < 0 || start + len > d) {
-    throw std::invalid_argument("slice: range [" + std::to_string(start) + ", " +
-                                std::to_string(start + len) + ") exceeds dim " +
-                                std::to_string(d));
-  }
+  TSDX_CHECK(start >= 0 && len >= 0 && start + len <= d, "slice: range [",
+             start, ", ", start + len, ") exceeds dim ", d);
   std::int64_t outer = 1, inner = 1;
   for (std::size_t i = 0; i < dim; ++i) outer *= a.shape()[i];
   for (std::size_t i = dim + 1; i < a.rank(); ++i) inner *= a.shape()[i];
@@ -637,7 +635,7 @@ Tensor slice(const Tensor& a, std::size_t dim, std::int64_t start,
 }
 
 Tensor stack(const std::vector<Tensor>& parts) {
-  if (parts.empty()) throw std::invalid_argument("stack: no parts");
+  TSDX_CHECK(!parts.empty(), "stack: no parts");
   const Shape& ref = parts[0].shape();
   std::vector<Tensor> reshaped;
   reshaped.reserve(parts.size());
@@ -651,7 +649,8 @@ Tensor stack(const std::vector<Tensor>& parts) {
 }
 
 Tensor flip(const Tensor& a, std::size_t dim) {
-  if (dim >= a.rank()) throw std::invalid_argument("flip: dim out of range");
+  TSDX_SHAPE_ASSERT(dim < a.rank(), "flip: dim ", dim, " out of range for ",
+                    to_string(a.shape()));
   std::int64_t outer, d, inner;
   reduce_extents(a.shape(), dim, outer, d, inner);
   std::vector<float> out(static_cast<std::size_t>(a.numel()));
@@ -684,7 +683,7 @@ Tensor flip(const Tensor& a, std::size_t dim) {
 // ---- softmax family ---------------------------------------------------------------
 
 Tensor softmax_lastdim(const Tensor& a) {
-  if (a.rank() == 0) throw std::invalid_argument("softmax: scalar input");
+  TSDX_SHAPE_ASSERT(a.rank() >= 1, "softmax: scalar input");
   const std::int64_t d = a.shape().back();
   const std::int64_t rows = a.numel() / d;
   std::vector<float> out(static_cast<std::size_t>(a.numel()));
@@ -724,7 +723,7 @@ Tensor softmax_lastdim(const Tensor& a) {
 }
 
 Tensor log_softmax_lastdim(const Tensor& a) {
-  if (a.rank() == 0) throw std::invalid_argument("log_softmax: scalar input");
+  TSDX_SHAPE_ASSERT(a.rank() >= 1, "log_softmax: scalar input");
   const std::int64_t d = a.shape().back();
   const std::int64_t rows = a.numel() / d;
   std::vector<float> out(static_cast<std::size_t>(a.numel()));
@@ -760,6 +759,9 @@ Tensor log_softmax_lastdim(const Tensor& a) {
 }
 
 std::vector<std::int64_t> argmax_lastdim(const Tensor& a) {
+  TSDX_SHAPE_ASSERT(a.rank() >= 1 && a.shape().back() > 0,
+                    "argmax_lastdim: need a non-empty last dim, got ",
+                    to_string(a.shape()));
   const std::int64_t d = a.shape().back();
   const std::int64_t rows = a.numel() / d;
   std::vector<std::int64_t> out(static_cast<std::size_t>(rows));

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/check.hpp"
+
 namespace tsdx::tensor {
 
 namespace {
@@ -15,7 +17,9 @@ NoGradGuard::~NoGradGuard() { g_no_grad = previous_; }
 bool NoGradGuard::active() { return g_no_grad; }
 
 Tensor make_tensor(Shape shape, std::vector<float> data, bool requires_grad) {
-  assert(static_cast<std::int64_t>(data.size()) == numel(shape));
+  TSDX_SHAPE_ASSERT(static_cast<std::int64_t>(data.size()) == numel(shape),
+                    "make_tensor: ", data.size(), " values for shape ",
+                    to_string(shape));
   auto node = std::make_shared<Node>();
   node->shape = std::move(shape);
   node->data = std::move(data);
@@ -63,10 +67,9 @@ Tensor Tensor::scalar(float value, bool requires_grad) {
 
 Tensor Tensor::from_vector(Shape shape, std::vector<float> values,
                            bool requires_grad) {
-  if (static_cast<std::int64_t>(values.size()) != ::tsdx::tensor::numel(shape)) {
-    throw std::invalid_argument("from_vector: " + std::to_string(values.size()) +
-                                " values for shape " + to_string(shape));
-  }
+  TSDX_SHAPE_ASSERT(
+      static_cast<std::int64_t>(values.size()) == ::tsdx::tensor::numel(shape),
+      "from_vector: ", values.size(), " values for shape ", to_string(shape));
   return make_tensor(std::move(shape), std::move(values), requires_grad);
 }
 
@@ -134,9 +137,9 @@ void Tensor::backward(std::span<const float> seed) const {
   if (!node_->requires_grad) {
     throw std::logic_error("backward() on a tensor outside the tape");
   }
-  if (static_cast<std::int64_t>(seed.size()) != numel()) {
-    throw std::invalid_argument("backward seed size mismatch");
-  }
+  TSDX_SHAPE_ASSERT(static_cast<std::int64_t>(seed.size()) == numel(),
+                    "backward: seed of size ", seed.size(),
+                    " for tensor with numel ", numel());
   std::vector<Node*> order = topo_order(node_.get());
   // Reset intermediate (non-leaf) gradients so repeated backward() calls on
   // the same graph don't double-count; leaf gradients accumulate, matching

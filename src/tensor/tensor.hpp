@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/check.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/shape.hpp"
 
@@ -93,7 +94,8 @@ class Tensor {
   // ---- accessors -----------------------------------------------------------
   const Shape& shape() const { return node_->shape; }
   std::int64_t dim(std::size_t i) const {
-    assert(i < node_->shape.size());
+    TSDX_SHAPE_ASSERT(i < node_->shape.size(), "dim(", i,
+                      "): out of range for ", to_string(node_->shape));
     return node_->shape[i];
   }
   std::size_t rank() const { return node_->shape.size(); }
@@ -105,11 +107,14 @@ class Tensor {
   std::span<const float> grad() const { return node_->grad; }
 
   float item() const {
-    assert(numel() == 1 && "item() requires a single-element tensor");
+    TSDX_SHAPE_ASSERT(numel() == 1,
+                      "item() requires a single-element tensor, got ",
+                      to_string(node_->shape));
     return node_->data[0];
   }
   float at(std::int64_t flat_index) const {
-    assert(flat_index >= 0 && flat_index < numel());
+    TSDX_CHECK(flat_index >= 0 && flat_index < numel(), "at(", flat_index,
+               "): out of range for numel ", numel());
     return node_->data[static_cast<std::size_t>(flat_index)];
   }
 

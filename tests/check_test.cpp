@@ -1,0 +1,191 @@
+// check_test.cpp — the contract-assertion layer (src/core/check.hpp).
+//
+// Mis-shaped inputs to every hot-path op must fail fast with a typed
+// ShapeError/ValueError carrying the offending shapes, never with silent
+// out-of-bounds reads. These tests pin the exception types, the
+// invalid_argument compatibility contract, and the message contents.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/check.hpp"
+#include "core/video_transformer.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/gru.hpp"
+#include "tensor/nn_ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace tt = tsdx::tensor;
+namespace nn = tsdx::nn;
+using tt::Tensor;
+
+namespace {
+
+TEST(CheckMacros, TsdxCheckThrowsValueError) {
+  EXPECT_THROW(TSDX_CHECK(1 == 2, "one is not two"), tsdx::ValueError);
+  EXPECT_NO_THROW(TSDX_CHECK(1 == 1, "unused"));
+}
+
+TEST(CheckMacros, TsdxShapeAssertThrowsShapeError) {
+  EXPECT_THROW(TSDX_SHAPE_ASSERT(false, "bad shape"), tsdx::ShapeError);
+  EXPECT_NO_THROW(TSDX_SHAPE_ASSERT(true, "unused"));
+}
+
+TEST(CheckMacros, MessageCarriesFormattedPartsAndLocation) {
+  try {
+    TSDX_SHAPE_ASSERT(false, "matmul: got ", 3, " and ", 4);
+    FAIL() << "expected ShapeError";
+  } catch (const tsdx::ShapeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("matmul: got 3 and 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckMacros, ErrorsAreInvalidArgument) {
+  // Back-compat: all pre-existing catch sites use std::invalid_argument.
+  EXPECT_THROW(TSDX_CHECK(false), std::invalid_argument);
+  EXPECT_THROW(TSDX_SHAPE_ASSERT(false), std::invalid_argument);
+  EXPECT_THROW(TSDX_CHECK(false), std::logic_error);
+}
+
+// ---- tensor accessors -----------------------------------------------------
+
+TEST(TensorContract, AccessorsThrowTyped) {
+  const Tensor t = Tensor::zeros({2, 3});
+  EXPECT_THROW(t.dim(2), tsdx::ShapeError);
+  EXPECT_THROW(t.item(), tsdx::ShapeError);
+  EXPECT_THROW(t.at(6), tsdx::ValueError);
+  EXPECT_THROW(t.at(-1), tsdx::ValueError);
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1.0f, 2.0f}), tsdx::ShapeError);
+}
+
+// ---- tensor ops -----------------------------------------------------------
+
+TEST(OpShapeContract, MatmulInnerDimMismatchThrowsShapeError) {
+  const Tensor a = Tensor::zeros({3, 4});
+  const Tensor b = Tensor::zeros({5, 2});
+  try {
+    tt::matmul(a, b);
+    FAIL() << "expected ShapeError";
+  } catch (const tsdx::ShapeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[3, 4]"), std::string::npos) << what;
+    EXPECT_NE(what.find("[5, 2]"), std::string::npos) << what;
+  }
+}
+
+TEST(OpShapeContract, MatmulBatchMismatchThrowsShapeError) {
+  EXPECT_THROW(tt::matmul(Tensor::zeros({2, 3, 4}), Tensor::zeros({3, 4, 5})),
+               tsdx::ShapeError);
+  EXPECT_THROW(tt::matmul(Tensor::zeros({3}), Tensor::zeros({3, 2})),
+               tsdx::ShapeError);
+}
+
+TEST(OpShapeContract, BinaryOpsRejectNonSuffixBroadcast) {
+  EXPECT_THROW(tt::add(Tensor::zeros({2, 3}), Tensor::zeros({2})),
+               tsdx::ShapeError);
+  EXPECT_THROW(tt::mul(Tensor::zeros({4}), Tensor::zeros({5})),
+               tsdx::ShapeError);
+}
+
+TEST(OpShapeContract, ShapeOpsValidate) {
+  const Tensor a = Tensor::zeros({2, 3});
+  EXPECT_THROW(tt::reshape(a, {4, 2}), tsdx::ShapeError);
+  EXPECT_THROW(tt::reshape(a, {-1, -1}), tsdx::ShapeError);
+  EXPECT_THROW(tt::permute(a, {0}), tsdx::ShapeError);
+  EXPECT_THROW(tt::permute(a, {0, 0}), tsdx::ValueError);
+  EXPECT_THROW(tt::transpose_last2(Tensor::zeros({3})), tsdx::ShapeError);
+  EXPECT_THROW(tt::sum_dim(a, 2), tsdx::ShapeError);
+  EXPECT_THROW(tt::mean_dim(a, 5), tsdx::ShapeError);
+  EXPECT_THROW(tt::slice(a, 1, 2, 2), tsdx::ValueError);
+  EXPECT_THROW(tt::flip(a, 2), tsdx::ShapeError);
+  EXPECT_THROW(tt::concat({}, 0), tsdx::ValueError);
+  EXPECT_THROW(tt::softmax_lastdim(Tensor::scalar(1.0f)), tsdx::ShapeError);
+}
+
+TEST(OpShapeContract, FusedNnOpsValidate) {
+  EXPECT_THROW(
+      tt::layer_norm(Tensor::zeros({2, 4}), Tensor::ones({3}),
+                     Tensor::zeros({4})),
+      tsdx::ShapeError);
+  EXPECT_THROW(tt::cross_entropy_logits(Tensor::zeros({2, 3}), {0, 1, 2}),
+               tsdx::ShapeError);
+  EXPECT_THROW(tt::cross_entropy_logits(Tensor::zeros({2, 3}), {0, 7}),
+               tsdx::ValueError);
+  EXPECT_THROW(tt::embedding_lookup(Tensor::zeros({4, 2}), {4}),
+               tsdx::ValueError);
+  tt::Rng rng(1);
+  EXPECT_THROW(tt::dropout(Tensor::zeros({2}), 1.5f, rng), tsdx::ValueError);
+}
+
+TEST(OpShapeContract, ConvValidates) {
+  const Tensor img = Tensor::zeros({1, 2, 5, 5});
+  EXPECT_THROW(tt::conv2d(img, Tensor::zeros({3, 1, 3, 3}),
+                          Tensor::zeros({3})),
+               tsdx::ShapeError);  // channel mismatch
+  EXPECT_THROW(tt::conv2d(img, Tensor::zeros({3, 2, 3, 3}),
+                          Tensor::zeros({2})),
+               tsdx::ShapeError);  // bias mismatch
+  EXPECT_THROW(tt::conv2d(img, Tensor::zeros({3, 2, 7, 7}),
+                          Tensor::zeros({3})),
+               tsdx::ShapeError);  // empty output
+  EXPECT_THROW(tt::conv2d(img, Tensor::zeros({3, 2, 3, 3}),
+                          Tensor::zeros({3}), /*stride=*/0),
+               tsdx::ValueError);
+  EXPECT_THROW(tt::conv3d(Tensor::zeros({1, 2, 4, 5, 5}),
+                          Tensor::zeros({3, 1, 2, 3, 3}), Tensor::zeros({3})),
+               tsdx::ShapeError);
+  EXPECT_THROW(tt::max_pool2d(Tensor::zeros({1, 1, 3, 3}), /*k=*/4),
+               tsdx::ShapeError);
+}
+
+// ---- nn modules ------------------------------------------------------------
+
+TEST(ModuleShapeContract, AttentionRejectsMisShapedInput) {
+  tt::Rng rng(7);
+  nn::MultiHeadAttention mha(8, 2, 0.0f, rng);
+  EXPECT_THROW(mha.forward(Tensor::zeros({2, 5, 6})), tsdx::ShapeError);
+  EXPECT_THROW(mha.forward(Tensor::zeros({2, 8})), tsdx::ShapeError);
+  EXPECT_THROW(nn::MultiHeadAttention(10, 4, 0.0f, rng), tsdx::ValueError);
+}
+
+TEST(ModuleShapeContract, RecurrentModulesRejectMisShapedInput) {
+  tt::Rng rng(8);
+  nn::Gru gru(4, 3, rng);
+  EXPECT_THROW(gru.forward(Tensor::zeros({2, 5, 5})), tsdx::ShapeError);
+  EXPECT_THROW(gru.forward(Tensor::zeros({2, 4})), tsdx::ShapeError);
+}
+
+TEST(ModuleShapeContract, ConvLayersRejectBadGeometry) {
+  tt::Rng rng(9);
+  EXPECT_THROW(nn::Conv2d(0, 4, 3, 1, 0, rng), tsdx::ValueError);
+  EXPECT_THROW(nn::Conv3d(2, 4, 0, 3, 1, 1, 0, 0, rng), tsdx::ValueError);
+  nn::Conv2d conv(2, 4, 3, 1, 0, rng);
+  EXPECT_THROW(conv.forward(Tensor::zeros({1, 3, 8, 8})), tsdx::ShapeError);
+}
+
+TEST(ModuleShapeContract, VideoTransformerRejectsBadClipGeometry) {
+  tt::Rng rng(10);
+  tsdx::core::ModelConfig cfg;
+  cfg.frames = 2;
+  cfg.channels = 2;
+  cfg.image_size = 4;
+  cfg.patch_size = 2;
+  cfg.tubelet_frames = 1;
+  cfg.dim = 4;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  tsdx::core::VideoTransformer model(cfg, rng);
+  // Wrong rank and wrong geometry both fail fast, before any tensor math.
+  EXPECT_THROW(model.forward(Tensor::zeros({1, 2, 2, 4})), tsdx::ShapeError);
+  EXPECT_THROW(model.forward(Tensor::zeros({1, 3, 2, 4, 4})),
+               tsdx::ShapeError);
+  EXPECT_THROW(model.forward(Tensor::zeros({1, 2, 2, 8, 8})),
+               tsdx::ShapeError);
+  // The configured geometry still works.
+  EXPECT_NO_THROW(model.forward(Tensor::zeros({1, 2, 2, 4, 4})));
+}
+
+}  // namespace

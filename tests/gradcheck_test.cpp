@@ -9,6 +9,7 @@
 
 #include "core/video_transformer.hpp"
 #include "nn/attention.hpp"
+#include "nn/gru.hpp"
 #include "nn/lstm.hpp"
 #include "tensor/gradcheck.hpp"
 #include "tensor/nn_ops.hpp"
@@ -238,6 +239,43 @@ TEST(ModuleGradCheck, LstmFinalHidden) {
   nn::Lstm lstm(3, 4, rng);
   Tensor x = Tensor::randn({2, 3, 3}, rng, 1.0f, true);
   check_module(lstm, x, [&](const Tensor& in) { return lstm.forward(in); });
+}
+
+TEST(ModuleGradCheck, GruFinalHidden) {
+  tt::Rng rng(6);
+  nn::Gru gru(3, 4, rng);
+  Tensor x = Tensor::randn({2, 3, 3}, rng, 1.0f, true);
+  check_module(gru, x, [&](const Tensor& in) { return gru.forward(in); });
+}
+
+TEST(ModuleGradCheck, TransformerEncoderDeepAttention) {
+  // Two stacked layers: gradients must survive the full attention recursion
+  // (softmax -> matmul -> projection) twice, plus the final norm.
+  tt::Rng rng(7);
+  nn::TransformerEncoder encoder(/*depth=*/2, /*dim=*/4, /*heads=*/2,
+                                 /*mlp_hidden=*/8, /*dropout_p=*/0.0f, rng);
+  Tensor x = Tensor::randn({1, 3, 4}, rng, 1.0f, true);
+  check_module(encoder, x,
+               [&](const Tensor& in) { return encoder.forward(in); });
+}
+
+TEST(ModuleGradCheck, VideoTransformerAttentionPool) {
+  // End-to-end through the attention-pooling head (the learned pool_query
+  // path in VideoTransformer::pool), which no op-level case exercises.
+  tt::Rng rng(8);
+  tsdx::core::ModelConfig cfg;
+  cfg.frames = 2;
+  cfg.channels = 2;
+  cfg.image_size = 4;
+  cfg.patch_size = 2;
+  cfg.tubelet_frames = 1;
+  cfg.dim = 4;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  cfg.pooling = tsdx::core::Pooling::kAttention;
+  tsdx::core::VideoTransformer model(cfg, rng);
+  Tensor x = Tensor::randn({1, 2, 2, 4, 4}, rng, 1.0f, true);
+  check_module(model, x, [&](const Tensor& in) { return model.forward(in); });
 }
 
 TEST(ModuleGradCheck, TubeletEmbedding) {

@@ -1,0 +1,25 @@
+#!/bin/sh
+# format_check.sh — check-only clang-format pass over the tracked C++ sources.
+# Exits non-zero if any file would be reformatted; never modifies files.
+set -eu
+
+CLANG_FORMAT="${1:-clang-format}"
+cd "$(dirname "$0")/.."
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format_check: $CLANG_FORMAT not found; skipping" >&2
+  exit 0
+fi
+
+status=0
+for f in $(find src bench tests examples -name '*.hpp' -o -name '*.cpp' | sort); do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "format_check: would reformat $f"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "format_check: clean"
+fi
+exit "$status"

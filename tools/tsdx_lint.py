@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""tsdx_lint — repo-invariant checker for the tsdx tree.
+
+Enforced invariants (each maps to a rule id shown in diagnostics):
+
+  header-guard      Every header under src/, bench/, tests/ uses `#pragma once`
+                    (the repo convention; no #ifndef-style guards).
+  raw-array-new     No raw `new T[...]` / `delete[]` outside src/tensor/.
+                    Owning storage lives in std::vector / smart pointers; the
+                    tensor layer is the only place allowed to opt out (it
+                    currently doesn't either, but it owns the memory model).
+  bench-common      Every benchmark translation unit in bench/ includes
+                    bench_common.hpp so all reconstructed tables share one
+                    dataset recipe and train/eval loop.
+  taxonomy-int      No floating-point literals in src/sdl/taxonomy.{hpp,cpp}.
+                    The SDL slot tables are pure integral enums; a float
+                    literal there means an accidental float->int narrowing.
+  op-shape-check    Every public op declared in src/tensor/ops.hpp and
+                    src/tensor/nn_ops.hpp validates its input shapes: its
+                    definition must use TSDX_CHECK / TSDX_SHAPE_ASSERT, go
+                    through a validating helper (binary_op / unary_op /
+                    classify / shape_error), or delegate to another validated
+                    op. Genuinely shape-agnostic ops are allowlisted below.
+
+Usage: tsdx_lint.py [repo_root]      (exit 0 = clean, 1 = violations)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Ops whose domain really is every shape; nothing to validate.
+SHAPE_AGNOSTIC_OPS = {"sum_all"}
+
+# Helpers that perform validation on behalf of their caller. `unary_op` is in
+# this set because elementwise unary ops are shape-agnostic by construction.
+VALIDATING_HELPERS = {"binary_op", "unary_op", "classify", "shape_error"}
+
+VALIDATION_MACROS = ("TSDX_CHECK", "TSDX_SHAPE_ASSERT")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.errors: list[str] = []
+
+    def error(self, path: Path, line: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(self.root)
+        self.errors.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    # ---- header-guard -------------------------------------------------------
+
+    def check_header_guards(self) -> None:
+        for sub in ("src", "bench", "tests"):
+            for path in sorted((self.root / sub).rglob("*.hpp")):
+                text = path.read_text()
+                if "#pragma once" not in text:
+                    self.error(path, 1, "header-guard",
+                               "header is missing `#pragma once`")
+                elif re.search(r"^#ifndef\s+\w+_HPP", text, re.M):
+                    self.error(path, 1, "header-guard",
+                               "mixes #ifndef guard with `#pragma once`")
+
+    # ---- raw-array-new ------------------------------------------------------
+
+    def check_raw_array_new(self) -> None:
+        tensor_dir = self.root / "src" / "tensor"
+        pats = (re.compile(r"\bnew\s+[\w:<>,\s]+\["),
+                re.compile(r"\bdelete\s*\[\]"))
+        for sub in ("src", "bench", "tests", "examples"):
+            for path in sorted((self.root / sub).rglob("*")):
+                if path.suffix not in (".hpp", ".cpp"):
+                    continue
+                if tensor_dir in path.parents:
+                    continue
+                clean = strip_comments_and_strings(path.read_text())
+                for lineno, line in enumerate(clean.splitlines(), 1):
+                    if any(p.search(line) for p in pats):
+                        self.error(path, lineno, "raw-array-new",
+                                   "raw array new/delete outside src/tensor/")
+
+    # ---- bench-common -------------------------------------------------------
+
+    def check_bench_common(self) -> None:
+        for path in sorted((self.root / "bench").glob("*.cpp")):
+            if '#include "bench_common.hpp"' not in path.read_text():
+                self.error(path, 1, "bench-common",
+                           "bench translation unit must use bench_common.hpp")
+
+    # ---- taxonomy-int -------------------------------------------------------
+
+    def check_taxonomy_tables(self) -> None:
+        float_lit = re.compile(r"\b\d+\.\d*f?|\b\.\d+f?")
+        for name in ("taxonomy.hpp", "taxonomy.cpp"):
+            path = self.root / "src" / "sdl" / name
+            if not path.exists():
+                continue
+            clean = strip_comments_and_strings(path.read_text())
+            for lineno, line in enumerate(clean.splitlines(), 1):
+                if float_lit.search(line):
+                    self.error(path, lineno, "taxonomy-int",
+                               "float literal in integral SDL taxonomy table "
+                               f"({line.strip()})")
+
+    # ---- op-shape-check -----------------------------------------------------
+
+    @staticmethod
+    def _public_ops(header_text: str) -> list[str]:
+        decl = re.compile(
+            r"^(?:Tensor|std::vector<std::int64_t>)\s+(\w+)\(", re.M)
+        return decl.findall(header_text)
+
+    @staticmethod
+    def _op_bodies(cpp_text: str) -> dict[str, tuple[int, str]]:
+        """Map op name -> (line, body text) for column-0 definitions."""
+        bodies: dict[str, tuple[int, str]] = {}
+        defn = re.compile(
+            r"^(?:Tensor|std::vector<std::int64_t>)\s+(\w+)\(", re.M)
+        for m in defn.finditer(cpp_text):
+            name = m.group(1)
+            brace = cpp_text.find("{", m.end())
+            if brace == -1:
+                continue  # declaration, not definition
+            depth, j = 0, brace
+            while j < len(cpp_text):
+                if cpp_text[j] == "{":
+                    depth += 1
+                elif cpp_text[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            line = cpp_text.count("\n", 0, m.start()) + 1
+            bodies[name] = (line, cpp_text[brace:j + 1])
+        return bodies
+
+    def check_op_shape_validation(self) -> None:
+        pairs = [("src/tensor/ops.hpp", "src/tensor/ops.cpp"),
+                 ("src/tensor/nn_ops.hpp", "src/tensor/nn_ops.cpp")]
+        call = {h: re.compile(rf"\b{h}\s*\(") for h in VALIDATING_HELPERS}
+        for hpp, cpp in pairs:
+            header, source = self.root / hpp, self.root / cpp
+            if not header.exists() or not source.exists():
+                self.error(self.root / "CMakeLists.txt", 1, "op-shape-check",
+                           f"expected {hpp} and {cpp} to exist")
+                continue
+            ops = self._public_ops(strip_comments_and_strings(
+                header.read_text()))
+            bodies = self._op_bodies(strip_comments_and_strings(
+                source.read_text()))
+            validated = set(SHAPE_AGNOSTIC_OPS)
+            # Fixed point: an op is validated if it checks directly, uses a
+            # validating helper, or calls an already-validated sibling op.
+            changed = True
+            while changed:
+                changed = False
+                for name in ops:
+                    if name in validated or name not in bodies:
+                        continue
+                    body = bodies[name][1]
+                    ok = (any(macro in body for macro in VALIDATION_MACROS)
+                          or any(p.search(body) for p in call.values())
+                          or any(re.search(rf"\b{v}\s*\(", body)
+                                 for v in validated))
+                    if ok:
+                        validated.add(name)
+                        changed = True
+            for name in ops:
+                if name not in bodies:
+                    self.error(source, 1, "op-shape-check",
+                               f"public op `{name}` declared in {hpp} has no "
+                               "column-0 definition here")
+                elif name not in validated:
+                    self.error(source, bodies[name][0], "op-shape-check",
+                               f"public op `{name}` does not validate its "
+                               "input shapes (TSDX_CHECK / TSDX_SHAPE_ASSERT)")
+
+    # ---- driver -------------------------------------------------------------
+
+    def run(self) -> int:
+        self.check_header_guards()
+        self.check_raw_array_new()
+        self.check_bench_common()
+        self.check_taxonomy_tables()
+        self.check_op_shape_validation()
+        if self.errors:
+            for e in self.errors:
+                print(e)
+            print(f"tsdx_lint: {len(self.errors)} violation(s)")
+            return 1
+        print("tsdx_lint: clean")
+        return 0
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    if not (root / "CMakeLists.txt").exists():
+        print(f"tsdx_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
