@@ -10,7 +10,9 @@
 // target, not absolute accuracy on real driving footage (see DESIGN.md §2).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -19,6 +21,7 @@
 #include "baseline/majority.hpp"
 #include "core/extractor.hpp"
 #include "core/trainer.hpp"
+#include "serve/stats.hpp"
 
 namespace tsdx::bench {
 
@@ -162,6 +165,42 @@ inline EvalRow fit_and_evaluate(BuiltModel& built,
   built.model->set_training(false);
   row.metrics = core::Trainer::evaluate(*built.model, test);
   return row;
+}
+
+// ---- latency percentiles --------------------------------------------------------------
+//
+// Shared by every bench that reports tail latency (R-T3, R-S1): one sample
+// store + one row format, so percentile columns are computed identically
+// across tables. The histogram itself is the serving runtime's
+// (tsdx::serve::LatencyHistogram) — the benches measure the same
+// distribution the server reports at runtime.
+
+using LatencyHistogram = serve::LatencyHistogram;
+
+/// Run `fn` `iterations` times and record each wall-clock duration (ms).
+inline LatencyHistogram time_repeated(std::size_t iterations,
+                                      const std::function<void()>& fn) {
+  LatencyHistogram hist;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    hist.record(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+  }
+  return hist;
+}
+
+inline void print_latency_header(const char* label_column) {
+  std::printf("%-26s %8s %8s %8s %8s %8s\n", label_column, "n", "p50ms",
+              "p95ms", "p99ms", "meanms");
+}
+
+inline void print_latency_row(const std::string& label,
+                              const LatencyHistogram& hist) {
+  std::printf("%-26s %8zu %8.2f %8.2f %8.2f %8.2f\n", label.c_str(),
+              hist.count(), hist.percentile(50.0), hist.percentile(95.0),
+              hist.percentile(99.0), hist.mean());
 }
 
 // ---- printing -------------------------------------------------------------------------

@@ -7,6 +7,9 @@
 // adds recurrent cost.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <vector>
+
 #include "bench_common.hpp"
 
 using namespace tsdx;
@@ -84,6 +87,42 @@ void BM_VtDividedFrames(benchmark::State& state) {
 BENCHMARK(BM_VtDividedFrames)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(
     benchmark::kMillisecond);
 
+/// Tail-latency table (p50/p95/p99 per model), via the shared percentile
+/// helper in bench_common.hpp — the same distribution machinery the serving
+/// runtime reports (R-S1), so the two tables are directly comparable.
+void print_percentile_table() {
+  constexpr std::size_t kIterations = 40;
+  std::printf("\nSingle-clip latency percentiles (%zu iterations):\n",
+              kIterations);
+  print_latency_header("model");
+  const std::vector<BuiltModel (*)()> factories = {
+      +[] { return make_video_transformer(
+                model_config(core::AttentionKind::kDividedST)); },
+      +[] { return make_video_transformer(
+                model_config(core::AttentionKind::kJoint)); },
+      +[] { return make_cnn_avg(); },
+      +[] { return make_cnn_gru(); },
+  };
+  for (const auto& factory : factories) {
+    BuiltModel built = factory();
+    built.model->set_training(false);
+    nn::Rng rng(99);
+    const nn::Tensor clip = make_clip(rng);
+    const LatencyHistogram hist = time_repeated(kIterations, [&] {
+      const auto preds = built.model->predict(clip);
+      benchmark::DoNotOptimize(preds);
+    });
+    print_latency_row(built.name, hist);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_percentile_table();
+  return 0;
+}

@@ -43,6 +43,13 @@ class ScenarioExtractor {
   TrainResult train(const data::Dataset& train_set,
                     const data::Dataset& val_set, const TrainConfig& config);
 
+  /// Freeze the model for inference (disables dropout). On a frozen model,
+  /// extract()/extract_batch() are pure const traversals of the weights:
+  /// deterministic, RNG-free, and safe to call concurrently from multiple
+  /// threads (the contract tsdx::serve::InferenceServer relies on).
+  void freeze() { model_->set_training(false); }
+  bool frozen() const { return !model_->training(); }
+
   /// Extract the description of a single clip.
   ExtractionResult extract(const sim::VideoClip& clip) const;
 

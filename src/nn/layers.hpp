@@ -38,14 +38,19 @@ class LayerNorm : public Module {
   Tensor beta_;
 };
 
-/// Inverted dropout; identity in eval mode or when p == 0.
+/// Inverted dropout; identity in eval mode, when p == 0, or inside a
+/// no-grad (inference) region.
 class Dropout : public Module {
  public:
   /// `rng` must outlive the module (the owning model holds it).
   Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {}
 
   Tensor forward(const Tensor& x) const {
-    if (!training() || p_ == 0.0f) return x;
+    // The NoGradGuard test makes every inference forward deterministic and
+    // RNG-free even if the caller forgot set_training(false): advancing the
+    // shared training Rng behind a const predict()/extract() call would be
+    // a data race under concurrent serving (see src/serve/server.hpp).
+    if (!training() || p_ == 0.0f || tensor::NoGradGuard::active()) return x;
     return tensor::dropout(x, p_, *rng_);
   }
 

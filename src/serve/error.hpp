@@ -1,0 +1,33 @@
+// error.hpp — typed failure modes of the serving runtime.
+//
+// Both errors derive from std::runtime_error so callers that only care about
+// "the request did not produce a result" can catch the standard type, while
+// backpressure-aware clients can distinguish overload (QueueFullError, retry
+// with backoff) from teardown (ServerStoppedError, do not retry).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tsdx::serve {
+
+/// The bounded request queue was full and the configured overflow policy
+/// chose to fail a request: thrown synchronously from submit() under
+/// OverflowPolicy::kReject, and delivered through the evicted request's
+/// future under OverflowPolicy::kShedOldest.
+class QueueFullError : public std::runtime_error {
+ public:
+  explicit QueueFullError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// The server is no longer accepting or processing work: thrown from
+/// submit() after drain()/shutdown(), and delivered through the futures of
+/// requests that were still queued when shutdown() discarded them.
+class ServerStoppedError : public std::runtime_error {
+ public:
+  explicit ServerStoppedError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+}  // namespace tsdx::serve

@@ -1,0 +1,152 @@
+// queue.hpp — bounded MPMC queue with an explicit backpressure policy.
+//
+// The queue is the single coupling point between producers (client threads
+// calling InferenceServer::submit) and consumers (worker threads forming
+// micro-batches). Capacity is a hard bound; what happens when it is reached
+// is a first-class configuration choice rather than an accident:
+//
+//   kBlock      producer waits for space (lossless, propagates backpressure
+//               upstream; the right default for batch/offline callers).
+//   kReject     push throws QueueFullError immediately (bounded latency;
+//               the caller owns retry/backoff — typical RPC front door).
+//   kShedOldest the oldest queued item is evicted and returned to the
+//               pusher, which fails it; freshest work wins (typical for
+//               live video feeds where a stale frame is worthless).
+//
+// All operations are mutex + condition-variable based: simple, portable, and
+// clean under ThreadSanitizer. The serving workload is dominated by model
+// forward passes (milliseconds), so lock contention on the queue is noise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/check.hpp"
+#include "serve/error.hpp"
+
+namespace tsdx::serve {
+
+enum class OverflowPolicy { kBlock, kReject, kShedOldest };
+
+const char* to_string(OverflowPolicy policy);
+
+template <typename T>
+class BoundedQueue {
+ public:
+  BoundedQueue(std::size_t capacity, OverflowPolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    TSDX_CHECK(capacity_ >= 1, "BoundedQueue: capacity must be >= 1, got ",
+               capacity_);
+  }
+
+  /// Enqueue one item, applying the overflow policy when at capacity.
+  /// Returns the evicted item under kShedOldest (the caller must fail it);
+  /// std::nullopt otherwise. Throws QueueFullError under kReject when full
+  /// and ServerStoppedError if the queue has been closed.
+  std::optional<T> push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) throw ServerStoppedError("push on closed queue");
+    std::optional<T> shed;
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverflowPolicy::kBlock:
+          not_full_.wait(lock, [&] {
+            return items_.size() < capacity_ || closed_;
+          });
+          if (closed_) throw ServerStoppedError("push on closed queue");
+          break;
+        case OverflowPolicy::kReject:
+          throw QueueFullError("request queue full (capacity " +
+                               std::to_string(capacity_) + ")");
+        case OverflowPolicy::kShedOldest:
+          shed = std::move(items_.front());
+          items_.pop_front();
+          break;
+      }
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return shed;
+  }
+
+  /// Blocking pop: waits until an item is available or the queue is closed.
+  /// After close(), keeps returning remaining items until empty, then
+  /// std::nullopt (so a graceful drain can finish queued work).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return pop_locked();
+  }
+
+  /// Pop an item if one is available now or arrives before `deadline`;
+  /// std::nullopt on timeout or when closed-and-empty. Used by the
+  /// micro-batcher to top up a batch inside the batching window.
+  template <typename Clock, typename Duration>
+  std::optional<T> try_pop_until(
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_until(lock, deadline,
+                          [&] { return !items_.empty() || closed_; });
+    return pop_locked();
+  }
+
+  /// Non-waiting pop: an item if immediately available, else std::nullopt.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return pop_locked();
+  }
+
+  /// Close the queue: pushes fail from now on; blocked producers and
+  /// consumers wake. Queued items stay poppable (graceful drain).
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Close and remove every queued item in FIFO order (hard shutdown: the
+  /// caller fails the returned items' futures).
+  std::vector<T> close_and_drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    std::vector<T> leftover;
+    leftover.reserve(items_.size());
+    for (auto& item : items_) leftover.push_back(std::move(item));
+    items_.clear();
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    return leftover;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  OverflowPolicy policy() const { return policy_; }
+
+ private:
+  std::optional<T> pop_locked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tsdx::serve

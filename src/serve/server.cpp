@@ -1,0 +1,248 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "core/check.hpp"
+
+namespace tsdx::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Stack same-geometry clips into one [B, T, C, H, W] batch tensor. Clip
+/// storage is already [T, C, H, W] row-major, so stacking is concatenation.
+nn::Tensor stack_clips(const std::vector<const sim::VideoClip*>& clips) {
+  const sim::VideoClip& head = *clips.front();
+  const std::size_t per_clip =
+      static_cast<std::size_t>(head.frames * sim::kNumChannels * head.height *
+                               head.width);
+  std::vector<float> stacked;
+  stacked.reserve(per_clip * clips.size());
+  for (const sim::VideoClip* clip : clips) {
+    TSDX_CHECK(clip->data.size() == per_clip,
+               "InferenceServer: clip data has ", clip->data.size(),
+               " values, geometry implies ", per_clip);
+    stacked.insert(stacked.end(), clip->data.begin(), clip->data.end());
+  }
+  return nn::Tensor::from_vector(
+      {static_cast<std::int64_t>(clips.size()), head.frames, sim::kNumChannels,
+       head.height, head.width},
+      std::move(stacked));
+}
+
+bool same_geometry(const sim::VideoClip& a, const sim::VideoClip& b) {
+  return a.frames == b.frames && a.height == b.height && a.width == b.width;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(
+    std::shared_ptr<const core::ScenarioExtractor> extractor,
+    ServerConfig config)
+    : extractor_(std::move(extractor)),
+      config_(config),
+      queue_(config.queue_capacity, config.overflow),
+      stats_(config.queue_capacity, config.max_batch) {
+  TSDX_CHECK(extractor_ != nullptr, "InferenceServer: extractor is null");
+  TSDX_CHECK(config_.max_batch >= 1,
+             "InferenceServer: max_batch must be >= 1, got ",
+             config_.max_batch);
+  TSDX_CHECK(!extractor_->model().training(),
+             "InferenceServer: model is in training mode; freeze it with "
+             "model().set_training(false) before serving (training-mode "
+             "dropout draws from the shared Rng and is not thread-safe)");
+  if (config_.workers > 0) {
+    workers_.spawn(config_.workers,
+                   [this](std::size_t index) { worker_loop(index); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<core::ExtractionResult> InferenceServer::submit(
+    sim::VideoClip clip) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    throw ServerStoppedError("submit after drain()/shutdown()");
+  }
+  Request request;
+  request.clip = std::move(clip);
+  request.submit_time = Clock::now();
+  std::future<core::ExtractionResult> future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  std::optional<Request> shed;
+  try {
+    shed = queue_.push(std::move(request));
+  } catch (const QueueFullError&) {
+    stats_.on_reject();
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      --pending_;
+    }
+    pending_cv_.notify_all();
+    throw;
+  } catch (const ServerStoppedError&) {
+    // A kBlock push parked on a full queue can be woken by shutdown().
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      --pending_;
+    }
+    pending_cv_.notify_all();
+    throw;
+  }
+  stats_.on_submit(queue_.size());
+
+  if (shed) {
+    stats_.on_shed();
+    fail_request(*shed, std::make_exception_ptr(QueueFullError(
+                            "request shed by a newer submission "
+                            "(OverflowPolicy::kShedOldest)")));
+  }
+  return future;
+}
+
+void InferenceServer::worker_loop(std::size_t worker_index) {
+  Replica replica{extractor_, worker_index};
+  while (std::optional<Request> first = queue_.pop()) {
+    process_batch(replica, fill_batch(std::move(*first)));
+  }
+}
+
+std::vector<InferenceServer::Request> InferenceServer::fill_batch(
+    Request first) {
+  std::vector<Request> batch;
+  batch.reserve(config_.max_batch);
+  batch.push_back(std::move(first));
+  const auto deadline = Clock::now() + config_.batch_window;
+  while (batch.size() < config_.max_batch) {
+    std::optional<Request> more = config_.batch_window.count() == 0
+                                      ? queue_.try_pop()
+                                      : queue_.try_pop_until(deadline);
+    if (!more) break;
+    batch.push_back(std::move(*more));
+  }
+  return batch;
+}
+
+void InferenceServer::process_batch(const Replica& replica,
+                                    std::vector<Request> requests) {
+  // Partition into same-geometry groups (first-appearance order) so each
+  // model dispatch sees a rectangular [B, T, C, H, W] batch.
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    bool placed = false;
+    for (auto& group : groups) {
+      if (same_geometry(requests[group.front()].clip, requests[i].clip)) {
+        group.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
+  }
+
+  for (const auto& group : groups) {
+    stats_.on_batch(group.size());
+    std::size_t resolved = 0;
+    try {
+      std::vector<const sim::VideoClip*> clips;
+      clips.reserve(group.size());
+      for (std::size_t i : group) clips.push_back(&requests[i].clip);
+      data::Batch batch;
+      batch.video = stack_clips(clips);
+      std::vector<core::ExtractionResult> results =
+          replica.extractor->extract_batch(batch);
+      TSDX_CHECK(results.size() == group.size(),
+                 "InferenceServer: extract_batch returned ", results.size(),
+                 " results for a batch of ", group.size());
+      for (; resolved < group.size(); ++resolved) {
+        Request& request = requests[group[resolved]];
+        request.promise.set_value(std::move(results[resolved]));
+        finish_request(request, /*ok=*/true);
+      }
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (std::size_t i = resolved; i < group.size(); ++i) {
+        Request& request = requests[group[i]];
+        request.promise.set_exception(error);
+        finish_request(request, /*ok=*/false);
+      }
+    }
+  }
+}
+
+void InferenceServer::finish_request(Request& request, bool ok) {
+  stats_.on_done(Clock::now() - request.submit_time, ok);
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    --pending_;
+  }
+  pending_cv_.notify_all();
+}
+
+void InferenceServer::fail_request(Request& request, std::exception_ptr error) {
+  request.promise.set_exception(std::move(error));
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    --pending_;
+  }
+  pending_cv_.notify_all();
+}
+
+void InferenceServer::process_inline() {
+  Replica replica{extractor_, /*worker_index=*/0};
+  while (std::optional<Request> first = queue_.try_pop()) {
+    process_batch(replica, fill_batch(std::move(*first)));
+  }
+}
+
+void InferenceServer::drain() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (stopped_) return;
+  accepting_.store(false, std::memory_order_release);
+  if (config_.workers == 0) {
+    // No worker threads: consume on this thread until every accepted
+    // request (including any being delivered by a producer blocked in a
+    // kBlock push) has been resolved.
+    while (true) {
+      process_inline();
+      std::unique_lock<std::mutex> lock(pending_mutex_);
+      if (pending_ == 0) break;
+      pending_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    pending_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+  queue_.close();
+  workers_.join();
+  stopped_ = true;
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (stopped_) return;
+  accepting_.store(false, std::memory_order_release);
+  std::vector<Request> leftover = queue_.close_and_drain();
+  stats_.on_cancel(leftover.size());
+  const std::exception_ptr stopped = std::make_exception_ptr(
+      ServerStoppedError("server shut down before the request was dispatched"));
+  for (Request& request : leftover) {
+    fail_request(request, stopped);
+  }
+  // Workers finish their in-flight batch, see the closed-and-empty queue,
+  // and exit; join() then waits for exactly that.
+  workers_.join();
+  stopped_ = true;
+}
+
+ServerStats InferenceServer::stats() const {
+  return stats_.snapshot(queue_.size());
+}
+
+}  // namespace tsdx::serve

@@ -1,0 +1,135 @@
+// server.hpp — tsdx::serve::InferenceServer: the concurrent request path of
+// the extractor.
+//
+// Architecture (see DESIGN.md "Serving runtime"):
+//
+//   client threads ──submit()──▶ BoundedQueue ──▶ worker pool (ThreadPool)
+//        ▲                        (capacity +        each worker: Replica
+//        └── std::future ◀────── backpressure)       ├─ micro-batcher
+//                                                    └─ extract_batch()
+//
+// * submit() converts nothing and trains nothing: it enqueues the clip and
+//   hands back a std::future<ExtractionResult>. Overflow behaviour is the
+//   queue's OverflowPolicy (block / reject / shed-oldest).
+// * Each worker owns a Replica — a handle onto the *shared, frozen* model
+//   weights. Inference is a const traversal of those weights; the server
+//   refuses models left in training mode, where dropout would mutate the
+//   shared Rng behind extract()'s const facade (see layers.hpp::Dropout).
+// * The micro-batcher coalesces queued requests: a worker takes the first
+//   request, then keeps accepting more until `max_batch` are in hand or
+//   `batch_window` has elapsed — whichever comes first — and dispatches one
+//   extract_batch() call per clip geometry.
+// * drain() stops intake and completes every accepted request, then stops
+//   the workers. shutdown() stops intake, fails still-queued requests with
+//   ServerStoppedError, finishes in-flight batches, and stops the workers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "serve/queue.hpp"
+#include "serve/stats.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace tsdx::serve {
+
+struct ServerConfig {
+  /// Worker (consumer) threads. 0 is a deterministic test/debug mode: no
+  /// threads are spawned and queued requests are processed inline by
+  /// drain() on the calling thread.
+  std::size_t workers = 2;
+  /// Largest model batch a worker will assemble.
+  std::size_t max_batch = 8;
+  /// How long a worker holds an incomplete batch open waiting for more
+  /// requests. 0 means "never wait": batch whatever is already queued.
+  std::chrono::microseconds batch_window{2000};
+  /// Bound on queued (not yet dispatched) requests.
+  std::size_t queue_capacity = 64;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
+
+class InferenceServer {
+ public:
+  /// Starts the worker pool. The extractor's model must be frozen
+  /// (`model().set_training(false)`) — a model in training mode would run
+  /// dropout, whose weight masks draw from the shared training Rng.
+  InferenceServer(std::shared_ptr<const core::ScenarioExtractor> extractor,
+                  ServerConfig config);
+
+  /// Calls shutdown() if the server is still running.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueue one clip for extraction. Thread-safe. The future resolves with
+  /// the result, or with the model's exception if inference failed, or with
+  /// QueueFullError if this request was later shed, or ServerStoppedError
+  /// if shutdown() discarded it. Throws QueueFullError (kReject, queue
+  /// full) or ServerStoppedError (after drain()/shutdown()).
+  std::future<core::ExtractionResult> submit(sim::VideoClip clip);
+
+  /// Stop intake, complete every accepted request, stop workers.
+  void drain();
+
+  /// Stop intake, fail queued requests with ServerStoppedError, finish
+  /// in-flight batches, stop workers.
+  void shutdown();
+
+  /// Counter/gauge/histogram snapshot (thread-safe, callable live).
+  ServerStats stats() const;
+
+  const ServerConfig& config() const { return config_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Request {
+    sim::VideoClip clip;
+    std::promise<core::ExtractionResult> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  /// Per-worker handle onto the shared frozen weights. Owning a shared_ptr
+  /// (not a raw reference) pins the model for the worker's lifetime; the
+  /// struct is the seam where per-replica state (scratch buffers, pinned
+  /// devices) would live in a larger deployment.
+  struct Replica {
+    std::shared_ptr<const core::ScenarioExtractor> extractor;
+    std::size_t worker_index = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  /// Assemble one micro-batch starting from `first` (max_batch / batch
+  /// window, whichever first).
+  std::vector<Request> fill_batch(Request first);
+  /// Dispatch a micro-batch through the replica, grouped by clip geometry,
+  /// and resolve every request's promise.
+  void process_batch(const Replica& replica, std::vector<Request> requests);
+  void finish_request(Request& request, bool ok);
+  void fail_request(Request& request, std::exception_ptr error);
+  void process_inline();  // workers == 0 path, used by drain()
+
+  const std::shared_ptr<const core::ScenarioExtractor> extractor_;
+  const ServerConfig config_;
+  BoundedQueue<Request> queue_;
+  StatsCollector stats_;
+  ThreadPool workers_;
+
+  std::atomic<bool> accepting_{true};
+  bool stopped_ = false;          // guarded by lifecycle_mutex_
+  std::mutex lifecycle_mutex_;    // serializes drain()/shutdown()
+
+  // Accepted-but-unresolved request count; drain() waits for it to hit 0.
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace tsdx::serve

@@ -1,0 +1,136 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/check.hpp"
+#include "serve/queue.hpp"
+
+namespace tsdx::serve {
+
+const char* to_string(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kBlock: return "block";
+    case OverflowPolicy::kReject: return "reject";
+    case OverflowPolicy::kShedOldest: return "shed-oldest";
+  }
+  return "?";
+}
+
+double percentile(std::vector<double> samples, double p) {
+  TSDX_CHECK(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100], got ",
+             p);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: smallest sample with at least p% of the mass at or below.
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(samples.size()));
+  const std::size_t idx =
+      rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+double LatencyHistogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double LatencyHistogram::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::uint64_t ServerStats::batches() const {
+  return std::accumulate(batch_size_counts.begin(), batch_size_counts.end(),
+                         std::uint64_t{0});
+}
+
+double ServerStats::mean_batch_size() const {
+  std::uint64_t total = 0;
+  std::uint64_t weighted = 0;
+  for (std::size_t s = 0; s < batch_size_counts.size(); ++s) {
+    total += batch_size_counts[s];
+    weighted += batch_size_counts[s] * s;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(weighted) / static_cast<double>(total);
+}
+
+std::string ServerStats::table_header() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-26s %9s %9s %6s %6s %7s %8s %8s %8s",
+                "config", "completed", "dropped", "depth", "batch", "p50ms",
+                "p95ms", "p99ms", "meanms");
+  return buf;
+}
+
+std::string ServerStats::table_row(const std::string& label) const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "%-26s %9llu %9llu %6zu %6.2f %7.2f %8.2f %8.2f %8.2f",
+                label.c_str(), static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(rejected + shed + cancelled),
+                queue_depth_max, mean_batch_size(), latency.percentile(50.0),
+                latency.percentile(95.0), latency.percentile(99.0),
+                latency.mean());
+  return buf;
+}
+
+StatsCollector::StatsCollector(std::size_t queue_capacity,
+                               std::size_t max_batch) {
+  stats_.queue_capacity = queue_capacity;
+  stats_.batch_size_counts.assign(max_batch + 1, 0);
+}
+
+void StatsCollector::on_submit(std::size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+  stats_.queue_depth_max = std::max(stats_.queue_depth_max, queue_depth_after);
+}
+
+void StatsCollector::on_reject() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.rejected;
+}
+
+void StatsCollector::on_shed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.shed;
+}
+
+void StatsCollector::on_cancel(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.cancelled += count;
+}
+
+void StatsCollector::on_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TSDX_CHECK(batch_size < stats_.batch_size_counts.size(),
+             "StatsCollector::on_batch: size ", batch_size,
+             " exceeds max_batch ", stats_.batch_size_counts.size() - 1);
+  ++stats_.batch_size_counts[batch_size];
+}
+
+void StatsCollector::on_done(std::chrono::steady_clock::duration latency,
+                             bool ok) {
+  const double ms =
+      std::chrono::duration<double, std::milli>(latency).count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ok) {
+    ++stats_.completed;
+  } else {
+    ++stats_.failed;
+  }
+  stats_.latency.record(ms);
+}
+
+ServerStats StatsCollector::snapshot(std::size_t queue_depth_now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats copy = stats_;
+  copy.queue_depth = queue_depth_now;
+  return copy;
+}
+
+}  // namespace tsdx::serve

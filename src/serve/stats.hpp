@@ -1,0 +1,100 @@
+// stats.hpp — observability surface of the serving runtime.
+//
+// Three layers:
+//   * percentile()        — exact percentile over a sample vector (shared
+//                           with the bench harness, see bench_common.hpp).
+//   * LatencyHistogram    — sample store with p50/p95/p99/mean accessors.
+//   * ServerStats         — immutable snapshot of one server's counters,
+//                           queue gauge, batch-size distribution and
+//                           end-to-end latency distribution, plus a
+//                           bench-table printer.
+//
+// The live collector (StatsCollector) is mutex-guarded and updated once per
+// submit and once per processed batch, so its cost is invisible next to a
+// model forward pass.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsdx::serve {
+
+/// Exact percentile (nearest-rank on a copy; `p` in [0, 100]). Returns 0 for
+/// an empty sample set so printers need no special-casing.
+double percentile(std::vector<double> samples, double p);
+
+/// Accumulates latency samples (milliseconds) and answers distribution
+/// queries. Not thread-safe on its own — owners lock around it.
+class LatencyHistogram {
+ public:
+  void record(double ms) { samples_.push_back(ms); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double max() const;
+  /// p in [0, 100], e.g. p50/p95/p99 tail latency.
+  double percentile(double p) const { return serve::percentile(samples_, p); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Point-in-time snapshot of a server's observable state. All counters are
+/// cumulative since construction.
+struct ServerStats {
+  // Request counters (submitted == completed + failed + shed + cancelled +
+  // still-pending at snapshot time).
+  std::uint64_t submitted = 0;   ///< accepted by submit()
+  std::uint64_t completed = 0;   ///< result delivered through the future
+  std::uint64_t failed = 0;      ///< model error delivered through the future
+  std::uint64_t rejected = 0;    ///< submit() threw QueueFullError (kReject)
+  std::uint64_t shed = 0;        ///< evicted by kShedOldest
+  std::uint64_t cancelled = 0;   ///< discarded by shutdown()
+
+  // Queue-depth gauge.
+  std::size_t queue_depth = 0;      ///< at snapshot time
+  std::size_t queue_depth_max = 0;  ///< high-water mark
+  std::size_t queue_capacity = 0;
+
+  // Micro-batching behaviour: batch_size_counts[s] = number of dispatched
+  // model batches of size s (index 0 unused).
+  std::vector<std::uint64_t> batch_size_counts;
+  std::uint64_t batches() const;
+  double mean_batch_size() const;
+
+  // End-to-end request latency (submit() -> future ready), milliseconds.
+  LatencyHistogram latency;
+
+  /// One bench-table row: counters, mean batch, p50/p95/p99. `label` names
+  /// the configuration (e.g. "workers=4 window=2ms").
+  std::string table_row(const std::string& label) const;
+  /// Header matching table_row's columns.
+  static std::string table_header();
+};
+
+/// Thread-safe accumulator behind InferenceServer::stats().
+class StatsCollector {
+ public:
+  explicit StatsCollector(std::size_t queue_capacity, std::size_t max_batch);
+
+  void on_submit(std::size_t queue_depth_after);
+  void on_reject();
+  void on_shed();
+  void on_cancel(std::size_t count);
+  void on_batch(std::size_t batch_size);
+  void on_done(std::chrono::steady_clock::duration latency, bool ok);
+
+  ServerStats snapshot(std::size_t queue_depth_now) const;
+
+ private:
+  mutable std::mutex mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace tsdx::serve

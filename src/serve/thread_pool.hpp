@@ -1,0 +1,46 @@
+// thread_pool.hpp — the one place in the repo that is allowed to construct
+// std::thread (enforced by tools/tsdx_lint.py, rule `raw-thread`).
+//
+// Centralizing thread creation keeps ownership/joining in a single audited
+// spot: every thread in a tsdx process is either an InferenceServer worker
+// or a ThreadPool::run() fan-out, both of which join deterministically —
+// there are no detached threads anywhere.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace tsdx::serve {
+
+/// A fixed set of named worker threads. Construction is explicit (spawn),
+/// teardown is deterministic (join; the destructor joins as a safety net).
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Launch `count` threads, each running fn(worker_index). May be called
+  /// once per pool lifetime (a pool is a batch of workers, not a task queue
+  /// — the InferenceServer's request queue plays that role).
+  void spawn(std::size_t count, std::function<void(std::size_t)> fn);
+
+  /// Block until every spawned thread has returned. Idempotent.
+  void join();
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Spawn-run-join in one call: run fn(i) on `count` concurrent threads and
+  /// wait for all of them. This is the sanctioned primitive for producer
+  /// fan-out in tests and benches (see the raw-thread lint rule).
+  static void run(std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tsdx::serve

@@ -12,6 +12,13 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
   bench-common      Every benchmark translation unit in bench/ includes
                     bench_common.hpp so all reconstructed tables share one
                     dataset recipe and train/eval loop.
+  raw-thread        No raw std::thread / std::jthread construction outside
+                    src/serve/ — every thread in a tsdx process must go
+                    through the serve layer (ThreadPool / InferenceServer),
+                    which owns spawning and deterministic joining. Static
+                    members like std::thread::hardware_concurrency() are
+                    fine. (src/serve/ headers are swept by the header-guard
+                    and raw-array-new rules like every other module.)
   taxonomy-int      No floating-point literals in src/sdl/taxonomy.{hpp,cpp}.
                     The SDL slot tables are pure integral enums; a float
                     literal there means an accidental float->int narrowing.
@@ -109,6 +116,28 @@ class Linter:
                     if any(p.search(line) for p in pats):
                         self.error(path, lineno, "raw-array-new",
                                    "raw array new/delete outside src/tensor/")
+
+    # ---- raw-thread ---------------------------------------------------------
+
+    def check_raw_thread(self) -> None:
+        serve_dir = self.root / "src" / "serve"
+        # `std::thread` / `std::jthread` as a type (construction, members,
+        # containers of threads) — but not scoped statics like
+        # `std::thread::hardware_concurrency()`.
+        pat = re.compile(r"\bstd::j?thread\b(?!::)")
+        for sub in ("src", "bench", "tests", "examples"):
+            for path in sorted((self.root / sub).rglob("*")):
+                if path.suffix not in (".hpp", ".cpp"):
+                    continue
+                if serve_dir in path.parents:
+                    continue
+                clean = strip_comments_and_strings(path.read_text())
+                for lineno, line in enumerate(clean.splitlines(), 1):
+                    if pat.search(line):
+                        self.error(path, lineno, "raw-thread",
+                                   "raw std::thread outside src/serve/ — "
+                                   "use tsdx::serve::ThreadPool or the "
+                                   "InferenceServer worker pool")
 
     # ---- bench-common -------------------------------------------------------
 
@@ -211,6 +240,7 @@ class Linter:
     def run(self) -> int:
         self.check_header_guards()
         self.check_raw_array_new()
+        self.check_raw_thread()
         self.check_bench_common()
         self.check_taxonomy_tables()
         self.check_op_shape_validation()
