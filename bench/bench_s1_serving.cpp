@@ -115,6 +115,7 @@ int main() {
   const std::chrono::microseconds windows[] = {
       std::chrono::microseconds(0), std::chrono::microseconds(2000)};
   double one_worker_throughput[2] = {0.0, 0.0};
+  serve::ServerStats last_stats;
   for (std::size_t w = 0; w < 2; ++w) {
     for (const std::size_t workers : worker_counts) {
       const RunResult run =
@@ -133,8 +134,15 @@ int main() {
                   run.stats.latency.percentile(50.0),
                   run.stats.latency.percentile(95.0),
                   run.stats.latency.percentile(99.0), run.stats.latency.mean());
+      last_stats = run.stats;
     }
   }
+
+  // Fault-tolerance counters (see DESIGN.md §9). This closed-loop bench
+  // injects nothing, so every counter should read zero with the circuit
+  // closed — a healthy-path sanity check; bench_r1_degradation is where
+  // they move.
+  std::printf("\n%s\n", last_stats.fault_summary().c_str());
 
   std::printf(
       "\n(speedup column is vs the 1-worker server at the same window; "

@@ -1,20 +1,26 @@
-// serve_demo — the extractor as a service: train a small model, stand up an
-// InferenceServer, fire concurrent requests at it, and read the stats
-// surface. A compressed tour of src/serve/ (see DESIGN.md "Serving
-// runtime").
+// serve_demo — the extractor as a service: train a small model, checkpoint
+// it (CRC-verified, atomically), stand up a fault-tolerant InferenceServer,
+// fire concurrent requests at it, and read the stats surface. A compressed
+// tour of src/serve/ (see DESIGN.md "Serving runtime" and "Fault tolerance
+// contract").
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <vector>
 
 #include "core/extractor.hpp"
 #include "data/dataset.hpp"
+#include "nn/serialize.hpp"
 #include "sdl/description.hpp"
+#include "serve/fallback.hpp"
 #include "serve/server.hpp"
 #include "serve/thread_pool.hpp"
 #include "sim/clipgen.hpp"
 
 namespace core = tsdx::core;
 namespace data = tsdx::data;
+namespace nn = tsdx::nn;
 namespace sdl = tsdx::sdl;
 namespace serve = tsdx::serve;
 namespace sim = tsdx::sim;
@@ -43,19 +49,42 @@ int main() {
   tc.epochs = 3;
   tc.batch_size = 8;
   extractor->train(train, val, tc);
+
+  // 2. Checkpoint round-trip, the way a serving bootstrap would do it:
+  //    save_checkpoint writes atomically with a CRC-32 footer, and
+  //    load_checkpoint_or_fallback degrades a missing/corrupt file to the
+  //    current weights instead of crashing the process.
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "serve_demo_ckpt.bin")
+          .string();
+  nn::save_checkpoint(extractor->model(), ckpt);
+  const nn::CheckpointLoad loaded =
+      nn::load_checkpoint_or_fallback(extractor->model(), ckpt);
+  std::printf("checkpoint bootstrap: %s (%s)\n", nn::to_string(loaded), ckpt.c_str());
+  std::filesystem::remove(ckpt);
+
   extractor->freeze();  // mandatory before serving
 
-  // 2. The server: 2 workers, micro-batches of up to 8 formed within a 2 ms
-  //    window, a 64-deep queue that blocks producers when full.
+  // 3. The server: 2 workers, micro-batches of up to 8 formed within a 2 ms
+  //    window, a 64-deep queue that blocks producers when full. Degraded
+  //    mode is armed with the training set's majority answer: if the
+  //    primary model faults repeatedly or the queue saturates, the circuit
+  //    breaker routes requests there instead of failing them.
   serve::ServerConfig sc;
   sc.workers = 2;
   sc.max_batch = 8;
   sc.batch_window = std::chrono::microseconds(2000);
   sc.queue_capacity = 64;
   sc.overflow = serve::OverflowPolicy::kBlock;
+  sc.fallback = serve::MajorityFallback::fit(train);
+  sc.circuit.fault_threshold = 3;
+  sc.circuit.cooldown = std::chrono::milliseconds(250);
   serve::InferenceServer server(extractor, sc);
 
-  // 3. Four concurrent clients, 16 requests each.
+  // 4. Four concurrent clients, 16 requests each, every request carrying a
+  //    half-second deadline (generous here — it exists to show the API; an
+  //    expired deadline fails the future with DeadlineExceededError without
+  //    the clip ever reaching the model).
   std::printf("serving 64 requests on %zu workers...\n\n", sc.workers);
   sim::ClipGenerator gen(render, /*seed=*/42);
   std::vector<sim::VideoClip> clips;
@@ -63,8 +92,9 @@ int main() {
 
   serve::ThreadPool::run(4, [&](std::size_t client) {
     for (std::size_t i = 0; i < 16; ++i) {
-      std::future<core::ExtractionResult> future =
-          server.submit(clips[(client * 16 + i) % clips.size()]);
+      std::future<core::ExtractionResult> future = server.submit_within(
+          clips[(client * 16 + i) % clips.size()],
+          std::chrono::milliseconds(500));
       const core::ExtractionResult result = future.get();
       if (client == 0 && i == 0) {
         std::printf("first result (min confidence %.2f):\n  %s\n\n",
@@ -74,7 +104,9 @@ int main() {
     }
   });
 
-  // 4. Finish cleanly and read the observability surface.
+  // 5. Finish cleanly and read the observability surface — including the
+  //    fault counters (all zero on this healthy run; chaos_test and
+  //    bench_r1_degradation show them moving).
   server.drain();
   const serve::ServerStats stats = server.stats();
   std::printf("%s\n%s\n", serve::ServerStats::table_header().c_str(),
@@ -85,5 +117,6 @@ int main() {
     std::printf("  batch=%zu  x%llu\n", s,
                 static_cast<unsigned long long>(stats.batch_size_counts[s]));
   }
+  std::printf("\n%s\n", stats.fault_summary().c_str());
   return 0;
 }

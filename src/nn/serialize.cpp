@@ -1,91 +1,270 @@
 #include "nn/serialize.hpp"
 
+#include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+// Header-only fault-injection hooks (see inject.hpp: being header-only is
+// what lets this low-level layer consume the chaos plan without tsdx_nn
+// link-depending on the serve layer above it).
+#include "serve/fault/inject.hpp"
 
 namespace tsdx::nn {
 
 namespace {
 
 constexpr char kMagic[4] = {'T', 'S', 'D', 'X'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+// magic + version + param_count before any parameter record.
+constexpr std::size_t kHeaderBytes = 4 + sizeof(std::uint32_t) +
+                                     sizeof(std::uint64_t);
+constexpr std::size_t kFooterBytes = sizeof(std::uint32_t);
 
 template <class T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void append_pod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <class T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("checkpoint: truncated file");
-  return value;
-}
+/// Bounds-checked reader over the in-memory checkpoint image. Any read past
+/// the end is corruption (CRC verification happens first, so this is a
+/// belt-and-braces backstop) and reports the offending offset.
+class Cursor {
+ public:
+  Cursor(const std::string& buffer, std::size_t limit)
+      : buffer_(buffer), limit_(limit) {}
+
+  template <class T>
+  T read_pod() {
+    require(sizeof(T));
+    T value{};
+    std::memcpy(&value, buffer_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string read_string(std::size_t size) {
+    require(size);
+    std::string value = buffer_.substr(pos_, size);
+    pos_ += size;
+    return value;
+  }
+
+  void read_floats(float* dst, std::size_t count) {
+    require(count * sizeof(float));
+    std::memcpy(dst, buffer_.data() + pos_, count * sizeof(float));
+    pos_ += count * sizeof(float);
+  }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t bytes) const {
+    if (pos_ + bytes > limit_) {
+      throw CheckpointCorruptError("checkpoint: truncated record", pos_);
+    }
+  }
+
+  const std::string& buffer_;
+  std::size_t limit_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace
 
-void save_checkpoint(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  out.write(kMagic, 4);
-  write_pod(out, kVersion);
-  const auto named = module.named_parameters();
-  write_pod(out, static_cast<std::uint64_t>(named.size()));
-  for (const auto& [name, t] : named) {
-    write_pod(out, static_cast<std::uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(out, static_cast<std::uint32_t>(t.rank()));
-    for (std::int64_t d : t.shape()) write_pod(out, d);
-    out.write(reinterpret_cast<const char*>(t.data().data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+std::uint32_t crc32(const void* data, std::size_t size) {
+  // CRC-32/ISO-HDLC, table-driven (the zlib polynomial, reflected).
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
   }
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  // Serialize to memory first: the CRC footer covers the exact image, and
+  // the write becomes a single all-or-nothing stream into the temp file.
+  std::string image;
+  image.append(kMagic, 4);
+  append_pod(image, kVersion);
+  const auto named = module.named_parameters();
+  append_pod(image, static_cast<std::uint64_t>(named.size()));
+  for (const auto& [name, t] : named) {
+    append_pod(image, static_cast<std::uint32_t>(name.size()));
+    image.append(name.data(), name.size());
+    append_pod(image, static_cast<std::uint32_t>(t.rank()));
+    for (std::int64_t d : t.shape()) append_pod(image, d);
+    image.append(reinterpret_cast<const char*>(t.data().data()),
+                 t.numel() * sizeof(float));
+  }
+  append_pod(image, crc32(image.data(), image.size()));
+
+  // Fault hook: an armed chaos plan may flip one seed-chosen byte of the
+  // CRC-protected payload — after the footer is computed, so the loader's
+  // integrity check is what catches it.
+  std::uint64_t corrupt_seed = 0;
+  if (serve::fault::Injector::instance().consume_checkpoint_corruption(
+          corrupt_seed)) {
+    const std::size_t offset = static_cast<std::size_t>(
+        serve::fault::mix64(corrupt_seed) % (image.size() - kFooterBytes));
+    image[offset] = static_cast<char>(image[offset] ^ 0xA5);
+  }
+
+  // Atomic publish: write the temp file completely, then rename into place.
+  // Readers either see the old checkpoint or the new one, never a torn mix;
+  // a crash between write and rename strands only a .tmp file.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot open " + tmp_path);
+    }
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("checkpoint: rename failed for " + path);
+  }
 }
 
 void load_checkpoint(Module& module, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("checkpoint: bad magic in " + path);
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("checkpoint: read failed for " + path);
   }
-  const auto version = read_pod<std::uint32_t>(in);
+
+  // ---- integrity before anything else ------------------------------------
+  if (image.size() < kHeaderBytes + kFooterBytes) {
+    throw CheckpointCorruptError("checkpoint: file too small to be valid",
+                                 image.size());
+  }
+  if (std::memcmp(image.data(), kMagic, 4) != 0) {
+    throw CheckpointCorruptError("checkpoint: bad magic", 0);
+  }
+  const std::size_t payload_size = image.size() - kFooterBytes;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + payload_size, kFooterBytes);
+  const std::uint32_t computed_crc = crc32(image.data(), payload_size);
+  if (stored_crc != computed_crc) {
+    throw CheckpointCorruptError(
+        "checkpoint: crc mismatch (stored " + std::to_string(stored_crc) +
+            ", computed " + std::to_string(computed_crc) + " over payload)",
+        payload_size);
+  }
+
+  // ---- structure (trustworthy now: the image passed its CRC) --------------
+  Cursor cursor(image, payload_size);
+  cursor.read_string(4);  // magic, already checked
+  const auto version = cursor.read_pod<std::uint32_t>();
   if (version != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version");
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kVersion) + ")");
+  }
+
+  // Parse every record into staging storage before touching the module, so
+  // a structural failure (unknown name, shape mismatch) cannot leave the
+  // module half-loaded.
+  struct Entry {
+    std::string name;
+    Shape shape;
+    std::vector<float> data;
+  };
+  const auto count = cursor.read_pod<std::uint64_t>();
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry entry;
+    const auto name_len = cursor.read_pod<std::uint32_t>();
+    entry.name = cursor.read_string(name_len);
+    const auto rank = cursor.read_pod<std::uint32_t>();
+    entry.shape.resize(rank);
+    std::size_t numel = 1;
+    for (auto& d : entry.shape) {
+      d = cursor.read_pod<std::int64_t>();
+      if (d < 0) {
+        throw CheckpointCorruptError("checkpoint: negative dimension",
+                                     cursor.position());
+      }
+      numel *= static_cast<std::size_t>(d);
+    }
+    entry.data.resize(numel);
+    cursor.read_floats(entry.data.data(), numel);
+    entries.push_back(std::move(entry));
+  }
+  if (cursor.position() != payload_size) {
+    throw CheckpointCorruptError("checkpoint: trailing bytes after records",
+                                 cursor.position());
   }
 
   std::unordered_map<std::string, Tensor> by_name;
   for (auto& [name, t] : module.named_parameters()) by_name.emplace(name, t);
-
-  const auto count = read_pod<std::uint64_t>(in);
-  std::size_t loaded = 0;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const auto rank = read_pod<std::uint32_t>(in);
-    Shape shape(rank);
-    for (auto& d : shape) d = read_pod<std::int64_t>(in);
-
-    auto it = by_name.find(name);
-    if (it == by_name.end()) {
-      throw std::runtime_error("checkpoint: unknown parameter '" + name + "'");
-    }
-    Tensor& t = it->second;
-    if (t.shape() != shape) {
-      throw std::runtime_error("checkpoint: shape mismatch for '" + name + "'");
-    }
-    in.read(reinterpret_cast<char*>(t.mutable_data().data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!in) throw std::runtime_error("checkpoint: truncated data");
-    ++loaded;
-  }
-  if (loaded != by_name.size()) {
+  if (entries.size() != by_name.size()) {
     throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+  for (const Entry& entry : entries) {
+    auto it = by_name.find(entry.name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("checkpoint: unknown parameter '" + entry.name +
+                               "'");
+    }
+    if (it->second.shape() != entry.shape) {
+      throw std::runtime_error("checkpoint: shape mismatch for '" +
+                               entry.name + "'");
+    }
+  }
+  for (const Entry& entry : entries) {
+    Tensor& t = by_name.at(entry.name);
+    std::memcpy(t.mutable_data().data(), entry.data.data(),
+                entry.data.size() * sizeof(float));
+  }
+}
+
+const char* to_string(CheckpointLoad outcome) {
+  switch (outcome) {
+    case CheckpointLoad::kLoaded: return "loaded";
+    case CheckpointLoad::kMissingKeptInit: return "missing-kept-init";
+    case CheckpointLoad::kCorruptKeptInit: return "corrupt-kept-init";
+  }
+  return "?";
+}
+
+CheckpointLoad load_checkpoint_or_fallback(Module& module,
+                                           const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return CheckpointLoad::kMissingKeptInit;
+  }
+  try {
+    load_checkpoint(module, path);
+    return CheckpointLoad::kLoaded;
+  } catch (const CheckpointCorruptError&) {
+    return CheckpointLoad::kCorruptKeptInit;
   }
 }
 

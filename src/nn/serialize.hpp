@@ -1,24 +1,84 @@
 // serialize.hpp — checkpoint save/load.
 //
-// Format (little-endian binary):
+// Format v2 (little-endian binary):
 //   magic "TSDX" | u32 version | u64 param_count |
 //   per param: u32 name_len | name bytes | u32 rank | i64 dims... | f32 data...
+//   | u32 crc32 footer (CRC-32/ISO-HDLC over every preceding byte)
+//
+// Integrity contract:
+//   * save_checkpoint is atomic: the bytes are written to `path + ".tmp"`
+//     and renamed into place only after a successful write, so a crash
+//     mid-save can leave a stale .tmp file behind but never a truncated
+//     checkpoint under the real name (serialize_test pins the recovery).
+//   * load_checkpoint verifies the CRC footer before touching a single
+//     parameter, so a corrupt or truncated file throws
+//     CheckpointCorruptError (with byte-offset diagnostics) and leaves the
+//     module's weights exactly as they were.
+//   * load_checkpoint_or_fallback is the serving-bootstrap entry point: it
+//     degrades a missing/corrupt checkpoint to "keep the module's current
+//     (initialized) weights" instead of crashing the process, and reports
+//     which of the three outcomes happened.
 //
 // Loading matches parameters by dotted path name and requires exact shape
 // agreement, so checkpoints are robust to registration-order changes but not
 // to architecture changes (by design — fail loudly).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "nn/module.hpp"
 
 namespace tsdx::nn {
 
+/// The checkpoint bytes fail integrity checking: bad magic, truncation, a
+/// CRC footer mismatch, or trailing garbage. `byte_offset()` names where in
+/// the file the check failed (for a CRC mismatch: the footer's offset, i.e.
+/// the end of the protected payload).
+class CheckpointCorruptError : public std::runtime_error {
+ public:
+  CheckpointCorruptError(const std::string& what_arg, std::size_t byte_offset)
+      : std::runtime_error(what_arg + " (at byte offset " +
+                           std::to_string(byte_offset) + ")"),
+        byte_offset_(byte_offset) {}
+
+  std::size_t byte_offset() const { return byte_offset_; }
+
+ private:
+  std::size_t byte_offset_;
+};
+
+/// CRC-32/ISO-HDLC (the zlib polynomial), exposed for tests.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Atomic save: write to `path + ".tmp"`, then rename over `path`. Throws
+/// std::runtime_error on I/O failure (the .tmp file is removed).
 void save_checkpoint(const Module& module, const std::string& path);
 
 /// Throws std::runtime_error on missing file, unknown parameter names,
-/// missing parameters, or shape mismatches.
+/// missing parameters, or shape mismatches; CheckpointCorruptError (a
+/// runtime_error) on integrity failures. The module is never partially
+/// mutated: integrity is verified before any parameter is written.
 void load_checkpoint(Module& module, const std::string& path);
+
+/// Outcome of load_checkpoint_or_fallback.
+enum class CheckpointLoad {
+  kLoaded,           ///< checkpoint verified and applied
+  kMissingKeptInit,  ///< no file; module keeps its current weights
+  kCorruptKeptInit,  ///< integrity failure; module keeps its current weights
+};
+
+const char* to_string(CheckpointLoad outcome);
+
+/// Serving-bootstrap loader: a missing or corrupt checkpoint degrades to
+/// the module's current (e.g. freshly initialized, or cheap-baseline)
+/// weights instead of crashing. Structural mismatches — unknown parameter
+/// names, wrong shapes, wrong version — still throw: those are deployment
+/// bugs, not runtime corruption, and silently serving the wrong
+/// architecture would be worse than refusing to start.
+CheckpointLoad load_checkpoint_or_fallback(Module& module,
+                                           const std::string& path);
 
 }  // namespace tsdx::nn

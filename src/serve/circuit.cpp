@@ -1,0 +1,101 @@
+#include "serve/circuit.hpp"
+
+#include "core/check.hpp"
+
+namespace tsdx::serve {
+
+const char* to_string(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed: return "closed";
+    case CircuitState::kOpen: return "open";
+    case CircuitState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitConfig config, bool has_fallback)
+    : config_(config), has_fallback_(has_fallback) {
+  TSDX_CHECK(config_.fault_threshold >= 1,
+             "CircuitBreaker: fault_threshold must be >= 1, got ",
+             config_.fault_threshold);
+}
+
+CircuitBreaker::Route CircuitBreaker::route(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case CircuitState::kClosed:
+      return Route::kPrimary;
+    case CircuitState::kOpen:
+      if (now - opened_at_ >= config_.cooldown) {
+        state_ = CircuitState::kHalfOpen;
+        return Route::kProbe;
+      }
+      return Route::kDegraded;
+    case CircuitState::kHalfOpen:
+      // A probe is already in flight; keep degrading until it resolves.
+      return Route::kDegraded;
+  }
+  return Route::kPrimary;
+}
+
+void CircuitBreaker::on_fault(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == CircuitState::kHalfOpen) {
+    // The probe failed: the primary is still sick. Restart the cooldown.
+    trip_locked(now);
+    return;
+  }
+  ++consecutive_faults_;
+  if (state_ == CircuitState::kClosed &&
+      consecutive_faults_ >= config_.fault_threshold && has_fallback_) {
+    trip_locked(now);
+  }
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_faults_ = 0;
+  if (state_ == CircuitState::kHalfOpen) {
+    state_ = CircuitState::kClosed;
+    saturated_ = false;
+  }
+}
+
+void CircuitBreaker::on_queue_depth(std::size_t depth, std::size_t capacity,
+                                    Clock::time_point now) {
+  if (config_.saturation_window.count() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (depth < capacity) {
+    saturated_ = false;
+    return;
+  }
+  if (!saturated_) {
+    saturated_ = true;
+    saturated_since_ = now;
+    return;
+  }
+  if (state_ == CircuitState::kClosed && has_fallback_ &&
+      now - saturated_since_ >= config_.saturation_window) {
+    trip_locked(now);
+  }
+}
+
+CircuitState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+void CircuitBreaker::trip_locked(Clock::time_point now) {
+  state_ = CircuitState::kOpen;
+  opened_at_ = now;
+  consecutive_faults_ = 0;
+  saturated_ = false;
+  ++trips_;
+}
+
+}  // namespace tsdx::serve

@@ -1,0 +1,96 @@
+// circuit.hpp — the circuit breaker that decides primary vs degraded
+// dispatch for the serving runtime.
+//
+// State machine (see DESIGN.md §9 "Fault tolerance contract"):
+//
+//            K consecutive worker faults,
+//            or queue saturated past saturation_window
+//   CLOSED ────────────────────────────────────────────▶ OPEN (degraded)
+//     ▲                                                    │
+//     │ probe batch succeeds                 cooldown over │
+//     │                                                    ▼
+//     └──────────────────────────────────────────────── HALF-OPEN
+//                        probe batch faults: back to OPEN,
+//                        cooldown restarts
+//
+// While OPEN, workers route every batch to the configured fallback extractor
+// (degraded-but-bounded answers instead of shed requests). After `cooldown`,
+// exactly one batch is let through to the primary model as a probe
+// (HALF-OPEN); its outcome decides whether the circuit heals or re-opens.
+//
+// The breaker only ever trips when a fallback exists — with nothing to
+// degrade to, routing around the model would turn one failure into many.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace tsdx::serve {
+
+enum class CircuitState { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(CircuitState state);
+
+struct CircuitConfig {
+  /// Consecutive worker faults (no intervening primary success) that trip
+  /// the breaker.
+  std::size_t fault_threshold = 3;
+  /// How long the breaker stays OPEN before probing the primary again.
+  std::chrono::milliseconds cooldown{250};
+  /// Trip when the queue has been continuously at capacity for this long.
+  /// 0 disables saturation tripping (faults still trip).
+  std::chrono::milliseconds saturation_window{0};
+};
+
+/// Thread-safe breaker shared by every worker of one InferenceServer.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Where the caller should send the batch it is about to dispatch.
+  /// kProbe is kPrimary with a claim attached: the caller is the single
+  /// in-flight probe and must report the outcome (on_fault / on_success).
+  enum class Route { kPrimary, kDegraded, kProbe };
+
+  CircuitBreaker(CircuitConfig config, bool has_fallback);
+
+  /// Routing decision for one batch. Transitions OPEN -> HALF-OPEN when the
+  /// cooldown has elapsed (first caller gets kProbe, the rest keep
+  /// degrading until the probe resolves).
+  Route route(Clock::time_point now);
+
+  /// A batch dispatched to the primary threw. Trips CLOSED -> OPEN at the
+  /// fault threshold; re-opens a HALF-OPEN probe.
+  void on_fault(Clock::time_point now);
+
+  /// A batch dispatched to the primary succeeded. Resets the consecutive-
+  /// fault streak; heals HALF-OPEN -> CLOSED.
+  void on_success();
+
+  /// Queue-depth observation from submit(). Saturation that persists past
+  /// `saturation_window` trips the breaker just like faults do.
+  void on_queue_depth(std::size_t depth, std::size_t capacity,
+                      Clock::time_point now);
+
+  CircuitState state() const;
+  /// Times the breaker has transitioned into OPEN.
+  std::uint64_t trips() const;
+
+ private:
+  void trip_locked(Clock::time_point now);
+
+  const CircuitConfig config_;
+  const bool has_fallback_;
+
+  mutable std::mutex mutex_;
+  CircuitState state_ = CircuitState::kClosed;
+  std::size_t consecutive_faults_ = 0;
+  std::uint64_t trips_ = 0;
+  Clock::time_point opened_at_{};
+  bool saturated_ = false;
+  Clock::time_point saturated_since_{};
+};
+
+}  // namespace tsdx::serve

@@ -30,4 +30,15 @@ class ServerStoppedError : public std::runtime_error {
       : std::runtime_error(what_arg) {}
 };
 
+/// The request's deadline passed before a worker dispatched it: delivered
+/// through the future, either at submit() time (deadline already in the
+/// past) or when the micro-batcher scrubbed the expired request instead of
+/// giving it a batch slot. The request was NOT processed — a client that
+/// still wants the answer must resubmit with a fresh deadline.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
 }  // namespace tsdx::serve

@@ -1,0 +1,68 @@
+#include "serve/fallback.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "baseline/majority.hpp"
+#include "core/check.hpp"
+
+namespace tsdx::serve {
+
+MajorityFallback::MajorityFallback(
+    const sdl::SlotLabels& labels,
+    const std::array<float, sdl::kNumSlots>& confidence) {
+  canned_.description = sdl::from_slot_labels(labels);
+  canned_.confidence = confidence;
+  canned_.warnings.push_back(kDegradedWarning);
+  for (auto& w : sdl::validate(canned_.description)) {
+    canned_.warnings.push_back(std::move(w));
+  }
+}
+
+std::shared_ptr<MajorityFallback> MajorityFallback::fit(
+    const data::Dataset& train) {
+  TSDX_CHECK(!train.empty(), "MajorityFallback::fit: empty training set");
+  baseline::MajorityPredictor predictor;
+  predictor.fit(train);
+  const sdl::SlotLabels labels = predictor.predict();
+  // Confidence = majority-class frequency per slot.
+  const auto hist = train.label_histogram();
+  std::array<float, sdl::kNumSlots> confidence{};
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    const auto total = std::accumulate(hist[s].begin(), hist[s].end(),
+                                       std::size_t{0});
+    confidence[s] = total == 0 ? 0.0f
+                               : static_cast<float>(hist[s][labels[s]]) /
+                                     static_cast<float>(total);
+  }
+  return std::make_shared<MajorityFallback>(labels, confidence);
+}
+
+core::ExtractionResult MajorityFallback::extract(
+    const sim::VideoClip& clip) const {
+  static_cast<void>(clip);  // the majority answer is clip-independent
+  return canned_;
+}
+
+ExtractorFallback::ExtractorFallback(
+    std::shared_ptr<const core::ScenarioExtractor> extractor)
+    : extractor_(std::move(extractor)) {
+  TSDX_CHECK(extractor_ != nullptr, "ExtractorFallback: extractor is null");
+  TSDX_CHECK(extractor_->frozen(),
+             "ExtractorFallback: fallback model must be frozen before "
+             "serving (see InferenceServer's freeze contract)");
+}
+
+core::ExtractionResult ExtractorFallback::extract(
+    const sim::VideoClip& clip) const {
+  core::ExtractionResult result = extractor_->extract(clip);
+  result.warnings.insert(result.warnings.begin(), kDegradedWarning);
+  return result;
+}
+
+std::string ExtractorFallback::name() const {
+  return extractor_->model().backbone().name();
+}
+
+}  // namespace tsdx::serve

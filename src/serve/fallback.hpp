@@ -1,0 +1,78 @@
+// fallback.hpp — degraded-mode extractors for the serving runtime.
+//
+// When the circuit breaker is OPEN, workers stop dispatching the (faulting
+// or saturated) primary model and answer from one of these instead. The
+// contract mirrors the safety framing of the TAP / TrafficVLM line of work:
+// downstream AV-behaviour comparison would rather consume a cheap, bounded-
+// quality scenario description than a dropped request — degraded answers
+// carry an explicit warning so no client can mistake one for a primary
+// extraction.
+//
+// Two implementations, matching the repo's baseline ladder (src/baseline):
+//   MajorityFallback   — the no-learning floor: a canned per-slot majority
+//                        answer, O(1) per request, never throws.
+//   ExtractorFallback  — any frozen ScenarioExtractor (typically a CnnAvg
+//                        backbone: ~10x cheaper than the transformer).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/extractor.hpp"
+#include "data/dataset.hpp"
+#include "sdl/description.hpp"
+#include "sim/render.hpp"
+
+namespace tsdx::serve {
+
+/// A degraded-mode answer source. Implementations must be thread-safe const
+/// (multiple workers call extract() concurrently while the circuit is open).
+class FallbackExtractor {
+ public:
+  virtual ~FallbackExtractor() = default;
+
+  virtual core::ExtractionResult extract(const sim::VideoClip& clip) const = 0;
+
+  /// Short name for stats/bench labels ("majority", "cnn_avg", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Warning string prepended to every degraded result's warnings list, so
+/// clients (and tests) can tell degraded answers from primary ones.
+inline constexpr const char* kDegradedWarning =
+    "degraded: answered by fallback extractor, not the primary model";
+
+/// The per-slot majority answer of a training set, served as a constant.
+/// Confidence is each slot's empirical majority-class frequency — an honest
+/// "this is the base rate" signal, not a model posterior.
+class MajorityFallback final : public FallbackExtractor {
+ public:
+  MajorityFallback(const sdl::SlotLabels& labels,
+                   const std::array<float, sdl::kNumSlots>& confidence);
+
+  /// Fit on a labeled dataset via baseline::MajorityPredictor.
+  static std::shared_ptr<MajorityFallback> fit(const data::Dataset& train);
+
+  core::ExtractionResult extract(const sim::VideoClip& clip) const override;
+  std::string name() const override { return "majority"; }
+
+ private:
+  core::ExtractionResult canned_;
+};
+
+/// Wraps a frozen (typically cheap, e.g. CnnAvg-backbone) ScenarioExtractor.
+/// Refuses unfrozen models for the same Rng-race reason InferenceServer does.
+class ExtractorFallback final : public FallbackExtractor {
+ public:
+  explicit ExtractorFallback(
+      std::shared_ptr<const core::ScenarioExtractor> extractor);
+
+  core::ExtractionResult extract(const sim::VideoClip& clip) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const core::ScenarioExtractor> extractor_;
+};
+
+}  // namespace tsdx::serve

@@ -1,0 +1,163 @@
+// inject.hpp — deterministic fault injection for the serving stack.
+//
+// Recovery paths that are only exercised by accident are recovery paths that
+// don't work. This header gives tests and benches a way to *schedule* the
+// accidents: a seeded FaultPlan names exactly which extract_batch dispatch
+// throws, which dispatch stalls, and whether the next checkpoint save gets
+// one byte flipped — so `chaos_test` can drive worker supervision, the
+// circuit breaker, and checkpoint CRC rejection down a reproducible script
+// (same plan, same failures, same recovery, every run, under TSan).
+//
+// Design constraints:
+//   * Compiled in always, inert unless armed. The hooks are a mutex-guarded
+//     counter bump on paths that already cost a model forward pass; there is
+//     no build-flavor divergence between what CI chaos-tests and what ships.
+//   * Header-only with inline state, deliberately: the hook sites live in
+//     two different static libraries (tsdx_serve for extract_batch,
+//     tsdx_nn for checkpoint saves), and a header-only injector lets
+//     nn/serialize.cpp consume the plan without tsdx_nn link-depending on
+//     the serve layer (which sits *above* it in the dependency DAG).
+//   * Thread-safe: worker threads hit on_extract_batch concurrently while a
+//     test arms/disarms from the main thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tsdx::serve::fault {
+
+/// SplitMix64 — the repo's standard seed mixer; used to derive the corrupted
+/// checkpoint byte offset deterministically from FaultPlan::seed.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The fault thrown by an armed plan out of extract_batch. Typed so chaos
+/// tests can assert that a failed future carries an *injected* fault and not
+/// an incidental model error.
+class InjectedFaultError : public std::runtime_error {
+ public:
+  explicit InjectedFaultError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// A deterministic script of faults. Call indices are 1-based and count
+/// every extract_batch dispatch process-wide from the moment the plan is
+/// armed (arming resets the counter).
+struct FaultPlan {
+  /// Seeds derived randomness (currently: which checkpoint byte to flip).
+  std::uint64_t seed = 0;
+  /// extract_batch dispatches that throw InjectedFaultError.
+  std::vector<std::uint64_t> throw_on_extract_calls;
+  /// extract_batch dispatches that stall for `extract_delay` first.
+  std::vector<std::uint64_t> delay_on_extract_calls;
+  std::chrono::microseconds extract_delay{0};
+  /// Flip one seed-chosen byte of the next checkpoint save (after its CRC
+  /// footer is computed, so the corruption is CRC-detectable on load).
+  bool corrupt_next_checkpoint = false;
+};
+
+/// Process-wide injector the hook sites consult. Inert (two branch-free
+/// loads under a mutex) unless a plan is armed.
+class Injector {
+ public:
+  static Injector& instance() {
+    static Injector injector;
+    return injector;
+  }
+
+  void arm(FaultPlan plan) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = std::move(plan);
+    armed_ = true;
+    extract_calls_ = 0;
+  }
+
+  void disarm() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_ = false;
+    plan_ = FaultPlan{};
+  }
+
+  bool armed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return armed_;
+  }
+
+  /// Dispatches observed since the plan was armed.
+  std::uint64_t extract_calls() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return extract_calls_;
+  }
+
+  /// Hook: call immediately before an extract_batch dispatch. May sleep
+  /// (injected latency) and/or throw InjectedFaultError per the armed plan.
+  void on_extract_batch() {
+    std::chrono::microseconds delay{0};
+    std::uint64_t call = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!armed_) return;
+      call = ++extract_calls_;
+      for (std::uint64_t d : plan_.delay_on_extract_calls) {
+        if (d == call) delay = plan_.extract_delay;
+      }
+    }
+    // Sleep outside the lock so a stalled worker cannot block arm()/stats.
+    if (delay.count() > 0) sleep_for(delay);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!armed_) return;
+      for (std::uint64_t t : plan_.throw_on_extract_calls) {
+        if (t == call) {
+          throw InjectedFaultError("injected fault on extract_batch call #" +
+                                   std::to_string(call));
+        }
+      }
+    }
+  }
+
+  /// Hook: checkpoint save asks whether to corrupt this write. One-shot —
+  /// consuming clears the flag so only a single save is affected. Returns
+  /// the plan seed through `seed_out` when corruption is due.
+  bool consume_checkpoint_corruption(std::uint64_t& seed_out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_ || !plan_.corrupt_next_checkpoint) return false;
+    plan_.corrupt_next_checkpoint = false;
+    seed_out = plan_.seed;
+    return true;
+  }
+
+ private:
+  Injector() = default;
+  static void sleep_for(std::chrono::microseconds delay) {
+    std::this_thread::sleep_for(delay);
+  }
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  std::uint64_t extract_calls_ = 0;
+};
+
+/// RAII armer for tests: arms on construction, disarms on scope exit so a
+/// failing test cannot leak an armed plan into its neighbours.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) {
+    Injector::instance().arm(std::move(plan));
+  }
+  ~ScopedFaultPlan() { Injector::instance().disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace tsdx::serve::fault

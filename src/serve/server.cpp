@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/check.hpp"
+#include "serve/fault/inject.hpp"
 
 namespace tsdx::serve {
 
@@ -42,9 +43,10 @@ InferenceServer::InferenceServer(
     std::shared_ptr<const core::ScenarioExtractor> extractor,
     ServerConfig config)
     : extractor_(std::move(extractor)),
-      config_(config),
-      queue_(config.queue_capacity, config.overflow),
-      stats_(config.queue_capacity, config.max_batch) {
+      config_(std::move(config)),
+      queue_(config_.queue_capacity, config_.overflow),
+      stats_(config_.queue_capacity, config_.max_batch),
+      circuit_(config_.circuit, config_.fallback != nullptr) {
   TSDX_CHECK(extractor_ != nullptr, "InferenceServer: extractor is null");
   TSDX_CHECK(config_.max_batch >= 1,
              "InferenceServer: max_batch must be >= 1, got ",
@@ -56,20 +58,33 @@ InferenceServer::InferenceServer(
   if (config_.workers > 0) {
     workers_.spawn(config_.workers,
                    [this](std::size_t index) { worker_loop(index); });
+    supervisor_.spawn(1, [this](std::size_t) { supervisor_loop(); });
   }
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
 std::future<core::ExtractionResult> InferenceServer::submit(
-    sim::VideoClip clip) {
+    sim::VideoClip clip, std::optional<Clock::time_point> deadline) {
   if (!accepting_.load(std::memory_order_acquire)) {
     throw ServerStoppedError("submit after drain()/shutdown()");
   }
   Request request;
   request.clip = std::move(clip);
   request.submit_time = Clock::now();
+  request.deadline = deadline;
   std::future<core::ExtractionResult> future = request.promise.get_future();
+
+  // A deadline already in the past fails fast: the request is accounted for
+  // (submitted + deadline_expired) but never reaches the queue, so it
+  // cannot displace live work.
+  if (deadline && *deadline <= request.submit_time) {
+    stats_.on_submit(queue_.size());
+    stats_.on_deadline_expired();
+    request.promise.set_exception(std::make_exception_ptr(
+        DeadlineExceededError("deadline already expired at submit()")));
+    return future;
+  }
 
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -95,7 +110,9 @@ std::future<core::ExtractionResult> InferenceServer::submit(
     pending_cv_.notify_all();
     throw;
   }
-  stats_.on_submit(queue_.size());
+  const std::size_t depth = queue_.size();
+  stats_.on_submit(depth);
+  circuit_.on_queue_depth(depth, config_.queue_capacity, Clock::now());
 
   if (shed) {
     stats_.on_shed();
@@ -109,21 +126,69 @@ std::future<core::ExtractionResult> InferenceServer::submit(
 void InferenceServer::worker_loop(std::size_t worker_index) {
   Replica replica{extractor_, worker_index};
   while (std::optional<Request> first = queue_.pop()) {
-    process_batch(replica, fill_batch(std::move(*first)));
+    try {
+      process_batch(replica, fill_batch(std::move(*first)));
+    } catch (const WorkerFault&) {
+      // The batch's futures are already failed; this thread is done. The
+      // supervisor spawns a replacement with the same index.
+      report_worker_death(worker_index);
+      return;
+    }
   }
+}
+
+void InferenceServer::supervisor_loop() {
+  while (true) {
+    std::vector<std::size_t> dead;
+    {
+      std::unique_lock<std::mutex> lock(supervisor_mutex_);
+      supervisor_cv_.wait(lock, [&] {
+        return supervisor_stop_ || !dead_workers_.empty();
+      });
+      if (supervisor_stop_) return;
+      dead.swap(dead_workers_);
+    }
+    for (const std::size_t index : dead) {
+      workers_.spawn_one([this, index] { worker_loop(index); });
+    }
+  }
+}
+
+void InferenceServer::report_worker_death(std::size_t worker_index) {
+  {
+    std::lock_guard<std::mutex> lock(supervisor_mutex_);
+    dead_workers_.push_back(worker_index);
+  }
+  supervisor_cv_.notify_one();
+}
+
+void InferenceServer::stop_supervisor() {
+  {
+    std::lock_guard<std::mutex> lock(supervisor_mutex_);
+    supervisor_stop_ = true;
+  }
+  supervisor_cv_.notify_all();
+  supervisor_.join();
 }
 
 std::vector<InferenceServer::Request> InferenceServer::fill_batch(
     Request first) {
   std::vector<Request> batch;
   batch.reserve(config_.max_batch);
-  batch.push_back(std::move(first));
-  const auto deadline = Clock::now() + config_.batch_window;
+  const auto window_deadline = Clock::now() + config_.batch_window;
+  if (!expire_if_due(first, Clock::now())) {
+    batch.push_back(std::move(first));
+  }
   while (batch.size() < config_.max_batch) {
-    std::optional<Request> more = config_.batch_window.count() == 0
-                                      ? queue_.try_pop()
-                                      : queue_.try_pop_until(deadline);
+    std::optional<Request> more =
+        config_.batch_window.count() == 0
+            ? queue_.try_pop()
+            : queue_.try_pop_until(window_deadline);
     if (!more) break;
+    // Scrub expired requests here, at batching time: a request whose
+    // deadline has passed is failed immediately and never takes a slot a
+    // live request could use.
+    if (expire_if_due(*more, Clock::now())) continue;
     batch.push_back(std::move(*more));
   }
   return batch;
@@ -131,13 +196,27 @@ std::vector<InferenceServer::Request> InferenceServer::fill_batch(
 
 void InferenceServer::process_batch(const Replica& replica,
                                     std::vector<Request> requests) {
+  // Final deadline scrub: the batch window may have outlived a deadline.
+  const auto now = Clock::now();
+  std::vector<Request> live;
+  live.reserve(requests.size());
+  for (auto& request : requests) {
+    if (!expire_if_due(request, now)) live.push_back(std::move(request));
+  }
+  if (live.empty()) return;
+
+  if (circuit_.route(now) == CircuitBreaker::Route::kDegraded) {
+    process_degraded(live);
+    return;
+  }
+
   // Partition into same-geometry groups (first-appearance order) so each
   // model dispatch sees a rectangular [B, T, C, H, W] batch.
   std::vector<std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
+  for (std::size_t i = 0; i < live.size(); ++i) {
     bool placed = false;
     for (auto& group : groups) {
-      if (same_geometry(requests[group.front()].clip, requests[i].clip)) {
+      if (same_geometry(live[group.front()].clip, live[i].clip)) {
         group.push_back(i);
         placed = true;
         break;
@@ -146,38 +225,88 @@ void InferenceServer::process_batch(const Replica& replica,
     if (!placed) groups.push_back({i});
   }
 
-  for (const auto& group : groups) {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& group = groups[g];
     stats_.on_batch(group.size());
     std::size_t resolved = 0;
     try {
       std::vector<const sim::VideoClip*> clips;
       clips.reserve(group.size());
-      for (std::size_t i : group) clips.push_back(&requests[i].clip);
+      for (std::size_t i : group) clips.push_back(&live[i].clip);
       data::Batch batch;
       batch.video = stack_clips(clips);
+      fault::Injector::instance().on_extract_batch();
       std::vector<core::ExtractionResult> results =
           replica.extractor->extract_batch(batch);
       TSDX_CHECK(results.size() == group.size(),
                  "InferenceServer: extract_batch returned ", results.size(),
                  " results for a batch of ", group.size());
+      // Accounting before resolution, here and in the catch below: a client
+      // that has observed its future's outcome must also observe the
+      // matching counters and circuit state (future.get() synchronizes with
+      // set_value/set_exception, so updates sequenced before those calls
+      // are visible after it).
+      circuit_.on_success();
       for (; resolved < group.size(); ++resolved) {
-        Request& request = requests[group[resolved]];
+        Request& request = live[group[resolved]];
+        finish_request(request, DoneKind::kCompleted);
         request.promise.set_value(std::move(results[resolved]));
-        finish_request(request, /*ok=*/true);
       }
     } catch (...) {
+      // Worker fault: every future still in flight on this worker — the
+      // rest of this group and every not-yet-dispatched group of the same
+      // micro-batch — fails with the captured exception. The worker thread
+      // then dies and is restarted by the supervisor (WorkerFault signal).
       const std::exception_ptr error = std::current_exception();
+      stats_.on_worker_fault();
+      circuit_.on_fault(Clock::now());
       for (std::size_t i = resolved; i < group.size(); ++i) {
-        Request& request = requests[group[i]];
+        Request& request = live[group[i]];
+        finish_request(request, DoneKind::kFailed);
         request.promise.set_exception(error);
-        finish_request(request, /*ok=*/false);
       }
+      for (std::size_t g2 = g + 1; g2 < groups.size(); ++g2) {
+        for (const std::size_t i : groups[g2]) {
+          Request& request = live[i];
+          finish_request(request, DoneKind::kFailed);
+          request.promise.set_exception(error);
+        }
+      }
+      throw WorkerFault{};
     }
   }
 }
 
-void InferenceServer::finish_request(Request& request, bool ok) {
-  stats_.on_done(Clock::now() - request.submit_time, ok);
+void InferenceServer::process_degraded(std::vector<Request>& requests) {
+  // The circuit only routes here when a fallback is configured.
+  for (Request& request : requests) {
+    try {
+      core::ExtractionResult result = config_.fallback->extract(request.clip);
+      // Accounting before resolution (same visibility contract as
+      // process_batch): a client that got a degraded answer can rely on
+      // degraded_completions already counting it.
+      finish_request(request, DoneKind::kDegraded);
+      request.promise.set_value(std::move(result));
+    } catch (...) {
+      // A fallback error fails only this request — degraded mode must not
+      // take down the worker that is keeping the service answering.
+      finish_request(request, DoneKind::kFailed);
+      request.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+bool InferenceServer::expire_if_due(Request& request, Clock::time_point now) {
+  if (!request.deadline || now < *request.deadline) return false;
+  stats_.on_deadline_expired();
+  fail_request(request,
+               std::make_exception_ptr(DeadlineExceededError(
+                   "request deadline expired before dispatch")));
+  return true;
+}
+
+void InferenceServer::finish_request(Request& request, DoneKind kind) {
+  stats_.on_done(Clock::now() - request.submit_time, kind);
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     --pending_;
@@ -197,7 +326,12 @@ void InferenceServer::fail_request(Request& request, std::exception_ptr error) {
 void InferenceServer::process_inline() {
   Replica replica{extractor_, /*worker_index=*/0};
   while (std::optional<Request> first = queue_.try_pop()) {
-    process_batch(replica, fill_batch(std::move(*first)));
+    try {
+      process_batch(replica, fill_batch(std::move(*first)));
+    } catch (const WorkerFault&) {
+      // Inline mode has no thread to restart: the batch's futures are
+      // failed and the fault is counted; keep consuming.
+    }
   }
 }
 
@@ -216,10 +350,13 @@ void InferenceServer::drain() {
       pending_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
   } else {
+    // Workers (restarted by the supervisor if they fault) finish every
+    // accepted request before we tear anything down.
     std::unique_lock<std::mutex> lock(pending_mutex_);
     pending_cv_.wait(lock, [&] { return pending_ == 0; });
   }
   queue_.close();
+  stop_supervisor();
   workers_.join();
   stopped_ = true;
 }
@@ -228,6 +365,10 @@ void InferenceServer::shutdown() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   if (stopped_) return;
   accepting_.store(false, std::memory_order_release);
+  // Stop the supervisor first: a worker that faults during teardown is not
+  // replaced (the queue is about to be emptied, so there is no queued work
+  // a replacement could rescue).
+  stop_supervisor();
   std::vector<Request> leftover = queue_.close_and_drain();
   stats_.on_cancel(leftover.size());
   const std::exception_ptr stopped = std::make_exception_ptr(
@@ -242,7 +383,7 @@ void InferenceServer::shutdown() {
 }
 
 ServerStats InferenceServer::stats() const {
-  return stats_.snapshot(queue_.size());
+  return stats_.snapshot(queue_.size(), circuit_.state(), circuit_.trips());
 }
 
 }  // namespace tsdx::serve

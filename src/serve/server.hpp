@@ -1,16 +1,24 @@
 // server.hpp — tsdx::serve::InferenceServer: the concurrent request path of
 // the extractor.
 //
-// Architecture (see DESIGN.md "Serving runtime"):
+// Architecture (see DESIGN.md "Serving runtime" and "Fault tolerance
+// contract"):
 //
 //   client threads ──submit()──▶ BoundedQueue ──▶ worker pool (ThreadPool)
 //        ▲                        (capacity +        each worker: Replica
 //        └── std::future ◀────── backpressure)       ├─ micro-batcher
-//                                                    └─ extract_batch()
+//                                                    ├─ deadline scrub
+//                                  supervisor ──┐    └─ extract_batch()
+//                                  (restarts    │         │ faults
+//                                   dead ◀──────┴─────────┘
+//                                   workers)   CircuitBreaker ─▶ fallback
 //
 // * submit() converts nothing and trains nothing: it enqueues the clip and
 //   hands back a std::future<ExtractionResult>. Overflow behaviour is the
-//   queue's OverflowPolicy (block / reject / shed-oldest).
+//   queue's OverflowPolicy (block / reject / shed-oldest). An optional
+//   per-request deadline bounds how long the request may wait: the batcher
+//   scrubs already-expired requests (failing their futures with
+//   DeadlineExceededError) so doomed work never occupies a batch slot.
 // * Each worker owns a Replica — a handle onto the *shared, frozen* model
 //   weights. Inference is a const traversal of those weights; the server
 //   refuses models left in training mode, where dropout would mutate the
@@ -19,6 +27,14 @@
 //   request, then keeps accepting more until `max_batch` are in hand or
 //   `batch_window` has elapsed — whichever comes first — and dispatches one
 //   extract_batch() call per clip geometry.
+// * Worker supervision: an exception thrown out of extract_batch fails only
+//   the in-flight batch's futures (with the captured exception), increments
+//   ServerStats::worker_faults, and kills that worker thread; a supervisor
+//   thread restarts it so capacity recovers. K consecutive faults — or
+//   sustained queue saturation — trip the CircuitBreaker into degraded
+//   mode, routing requests to the configured FallbackExtractor until a
+//   cooldown + successful probe heals it (DESIGN.md §9 has the state
+//   machine).
 // * drain() stops intake and completes every accepted request, then stops
 //   the workers. shutdown() stops intake, fails still-queued requests with
 //   ServerStoppedError, finishes in-flight batches, and stops the workers.
@@ -31,9 +47,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/extractor.hpp"
+#include "serve/circuit.hpp"
+#include "serve/fallback.hpp"
 #include "serve/queue.hpp"
 #include "serve/stats.hpp"
 #include "serve/thread_pool.hpp"
@@ -53,11 +72,21 @@ struct ServerConfig {
   /// Bound on queued (not yet dispatched) requests.
   std::size_t queue_capacity = 64;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
+
+  /// Degraded-mode answer source. When null, the circuit breaker never
+  /// trips: worker faults still fail their batch and restart the worker,
+  /// but there is nothing to route around the model to.
+  std::shared_ptr<const FallbackExtractor> fallback;
+  /// Trip/heal thresholds for the circuit breaker (see circuit.hpp).
+  CircuitConfig circuit;
 };
 
 class InferenceServer {
  public:
-  /// Starts the worker pool. The extractor's model must be frozen
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts the worker pool (plus a supervisor thread that restarts workers
+  /// killed by faults). The extractor's model must be frozen
   /// (`model().set_training(false)`) — a model in training mode would run
   /// dropout, whose weight masks draw from the shared training Rng.
   InferenceServer(std::shared_ptr<const core::ScenarioExtractor> extractor,
@@ -70,11 +99,21 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Enqueue one clip for extraction. Thread-safe. The future resolves with
-  /// the result, or with the model's exception if inference failed, or with
-  /// QueueFullError if this request was later shed, or ServerStoppedError
-  /// if shutdown() discarded it. Throws QueueFullError (kReject, queue
-  /// full) or ServerStoppedError (after drain()/shutdown()).
-  std::future<core::ExtractionResult> submit(sim::VideoClip clip);
+  /// the result (primary or, in degraded mode, fallback), or with the
+  /// model's exception if inference failed, or with DeadlineExceededError
+  /// if `deadline` passed before dispatch, or QueueFullError if this
+  /// request was later shed, or ServerStoppedError if shutdown() discarded
+  /// it. Throws QueueFullError (kReject, queue full) or ServerStoppedError
+  /// (after drain()/shutdown()).
+  std::future<core::ExtractionResult> submit(
+      sim::VideoClip clip,
+      std::optional<Clock::time_point> deadline = std::nullopt);
+
+  /// Convenience: deadline as a timeout from now.
+  std::future<core::ExtractionResult> submit_within(
+      sim::VideoClip clip, std::chrono::microseconds timeout) {
+    return submit(std::move(clip), Clock::now() + timeout);
+  }
 
   /// Stop intake, complete every accepted request, stop workers.
   void drain();
@@ -86,6 +125,9 @@ class InferenceServer {
   /// Counter/gauge/histogram snapshot (thread-safe, callable live).
   ServerStats stats() const;
 
+  /// Live circuit-breaker state (kClosed when healthy).
+  CircuitState circuit_state() const { return circuit_.state(); }
+
   const ServerConfig& config() const { return config_; }
   std::size_t queue_depth() const { return queue_.size(); }
 
@@ -94,7 +136,13 @@ class InferenceServer {
     sim::VideoClip clip;
     std::promise<core::ExtractionResult> promise;
     std::chrono::steady_clock::time_point submit_time;
+    std::optional<Clock::time_point> deadline;
   };
+
+  /// Internal signal: a batch threw out of extract_batch. The worker's loop
+  /// catches it, reports to the supervisor, and lets the thread die;
+  /// process_inline() catches it and keeps consuming.
+  struct WorkerFault {};
 
   /// Per-worker handle onto the shared frozen weights. Owning a shared_ptr
   /// (not a raw reference) pins the model for the worker's lifetime; the
@@ -106,13 +154,24 @@ class InferenceServer {
   };
 
   void worker_loop(std::size_t worker_index);
+  /// Restart-on-fault loop: waits for dead-worker notices and respawns.
+  void supervisor_loop();
+  void report_worker_death(std::size_t worker_index);
+  void stop_supervisor();
   /// Assemble one micro-batch starting from `first` (max_batch / batch
-  /// window, whichever first).
+  /// window, whichever first), scrubbing expired requests as it goes. May
+  /// return an empty batch if everything it saw had expired.
   std::vector<Request> fill_batch(Request first);
-  /// Dispatch a micro-batch through the replica, grouped by clip geometry,
-  /// and resolve every request's promise.
+  /// Dispatch a micro-batch through the replica (or the fallback when the
+  /// circuit is open), grouped by clip geometry, and resolve every
+  /// request's promise. Throws WorkerFault after failing the batch's
+  /// futures if the primary model threw.
   void process_batch(const Replica& replica, std::vector<Request> requests);
-  void finish_request(Request& request, bool ok);
+  void process_degraded(std::vector<Request>& requests);
+  /// If the request's deadline has passed, fail it with
+  /// DeadlineExceededError and return true.
+  bool expire_if_due(Request& request, Clock::time_point now);
+  void finish_request(Request& request, DoneKind kind);
   void fail_request(Request& request, std::exception_ptr error);
   void process_inline();  // workers == 0 path, used by drain()
 
@@ -120,11 +179,20 @@ class InferenceServer {
   const ServerConfig config_;
   BoundedQueue<Request> queue_;
   StatsCollector stats_;
+  CircuitBreaker circuit_;
   ThreadPool workers_;
+  ThreadPool supervisor_;
 
   std::atomic<bool> accepting_{true};
   bool stopped_ = false;          // guarded by lifecycle_mutex_
   std::mutex lifecycle_mutex_;    // serializes drain()/shutdown()
+
+  // Dead-worker mailbox: workers push their index on a fault, the
+  // supervisor pops and respawns (unless stopping).
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  std::vector<std::size_t> dead_workers_;
+  bool supervisor_stop_ = false;
 
   // Accepted-but-unresolved request count; drain() waits for it to hit 0.
   std::mutex pending_mutex_;

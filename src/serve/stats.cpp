@@ -59,22 +59,40 @@ double ServerStats::mean_batch_size() const {
 }
 
 std::string ServerStats::table_header() {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%-26s %9s %9s %6s %6s %7s %8s %8s %8s",
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "%-26s %9s %9s %6s %6s %7s %8s %8s %8s %6s %6s",
                 "config", "completed", "dropped", "depth", "batch", "p50ms",
-                "p95ms", "p99ms", "meanms");
+                "p95ms", "p99ms", "meanms", "faults", "degr");
   return buf;
 }
 
 std::string ServerStats::table_row(const std::string& label) const {
-  char buf[200];
+  char buf[240];
   std::snprintf(buf, sizeof(buf),
-                "%-26s %9llu %9llu %6zu %6.2f %7.2f %8.2f %8.2f %8.2f",
+                "%-26s %9llu %9llu %6zu %6.2f %7.2f %8.2f %8.2f %8.2f %6llu "
+                "%6llu",
                 label.c_str(), static_cast<unsigned long long>(completed),
-                static_cast<unsigned long long>(rejected + shed + cancelled),
+                static_cast<unsigned long long>(rejected + shed + cancelled +
+                                                deadline_expired),
                 queue_depth_max, mean_batch_size(), latency.percentile(50.0),
                 latency.percentile(95.0), latency.percentile(99.0),
-                latency.mean());
+                latency.mean(),
+                static_cast<unsigned long long>(worker_faults),
+                static_cast<unsigned long long>(degraded_completions));
+  return buf;
+}
+
+std::string ServerStats::fault_summary() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "worker_faults=%llu deadline_expired=%llu "
+                "degraded_completions=%llu circuit=%s trips=%llu",
+                static_cast<unsigned long long>(worker_faults),
+                static_cast<unsigned long long>(deadline_expired),
+                static_cast<unsigned long long>(degraded_completions),
+                to_string(circuit_state),
+                static_cast<unsigned long long>(circuit_trips));
   return buf;
 }
 
@@ -114,22 +132,43 @@ void StatsCollector::on_batch(std::size_t batch_size) {
 }
 
 void StatsCollector::on_done(std::chrono::steady_clock::duration latency,
-                             bool ok) {
+                             DoneKind kind) {
   const double ms =
       std::chrono::duration<double, std::milli>(latency).count();
   std::lock_guard<std::mutex> lock(mutex_);
-  if (ok) {
-    ++stats_.completed;
-  } else {
-    ++stats_.failed;
+  switch (kind) {
+    case DoneKind::kCompleted:
+      ++stats_.completed;
+      break;
+    case DoneKind::kFailed:
+      ++stats_.failed;
+      break;
+    case DoneKind::kDegraded:
+      ++stats_.completed;
+      ++stats_.degraded_completions;
+      break;
   }
   stats_.latency.record(ms);
 }
 
-ServerStats StatsCollector::snapshot(std::size_t queue_depth_now) const {
+void StatsCollector::on_worker_fault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.worker_faults;
+}
+
+void StatsCollector::on_deadline_expired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.deadline_expired;
+}
+
+ServerStats StatsCollector::snapshot(std::size_t queue_depth_now,
+                                     CircuitState circuit_state,
+                                     std::uint64_t circuit_trips) const {
   std::lock_guard<std::mutex> lock(mutex_);
   ServerStats copy = stats_;
   copy.queue_depth = queue_depth_now;
+  copy.circuit_state = circuit_state;
+  copy.circuit_trips = circuit_trips;
   return copy;
 }
 

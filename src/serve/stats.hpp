@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/circuit.hpp"
+
 namespace tsdx::serve {
 
 /// Exact percentile (nearest-rank on a copy; `p` in [0, 100]). Returns 0 for
@@ -48,14 +50,22 @@ class LatencyHistogram {
 /// Point-in-time snapshot of a server's observable state. All counters are
 /// cumulative since construction.
 struct ServerStats {
-  // Request counters (submitted == completed + failed + shed + cancelled +
-  // still-pending at snapshot time).
+  // Request counters (submitted == completed + failed + deadline_expired +
+  // shed + cancelled + still-pending at snapshot time; degraded_completions
+  // is a subset of completed).
   std::uint64_t submitted = 0;   ///< accepted by submit()
   std::uint64_t completed = 0;   ///< result delivered through the future
   std::uint64_t failed = 0;      ///< model error delivered through the future
   std::uint64_t rejected = 0;    ///< submit() threw QueueFullError (kReject)
   std::uint64_t shed = 0;        ///< evicted by kShedOldest
   std::uint64_t cancelled = 0;   ///< discarded by shutdown()
+
+  // Fault-tolerance counters (see DESIGN.md §9).
+  std::uint64_t worker_faults = 0;        ///< batches thrown out of a worker
+  std::uint64_t deadline_expired = 0;     ///< DeadlineExceededError futures
+  std::uint64_t degraded_completions = 0; ///< answered by the fallback
+  std::uint64_t circuit_trips = 0;        ///< transitions into OPEN
+  CircuitState circuit_state = CircuitState::kClosed;  ///< at snapshot time
 
   // Queue-depth gauge.
   std::size_t queue_depth = 0;      ///< at snapshot time
@@ -76,6 +86,18 @@ struct ServerStats {
   std::string table_row(const std::string& label) const;
   /// Header matching table_row's columns.
   static std::string table_header();
+
+  /// One-line fault-tolerance summary: worker faults, expired deadlines,
+  /// degraded completions, circuit state/trips. Printed by bench_s1_serving
+  /// and bench_r1_degradation alongside the throughput tables.
+  std::string fault_summary() const;
+};
+
+/// How a request's future was resolved by a worker.
+enum class DoneKind {
+  kCompleted,  ///< primary model result
+  kFailed,     ///< model/injected exception delivered through the future
+  kDegraded,   ///< fallback extractor result (counts as completed too)
 };
 
 /// Thread-safe accumulator behind InferenceServer::stats().
@@ -88,9 +110,13 @@ class StatsCollector {
   void on_shed();
   void on_cancel(std::size_t count);
   void on_batch(std::size_t batch_size);
-  void on_done(std::chrono::steady_clock::duration latency, bool ok);
+  void on_done(std::chrono::steady_clock::duration latency, DoneKind kind);
+  void on_worker_fault();
+  void on_deadline_expired();
 
-  ServerStats snapshot(std::size_t queue_depth_now) const;
+  ServerStats snapshot(std::size_t queue_depth_now,
+                       CircuitState circuit_state,
+                       std::uint64_t circuit_trips) const;
 
  private:
   mutable std::mutex mutex_;

@@ -1,5 +1,7 @@
 #include "serve/thread_pool.hpp"
 
+#include <utility>
+
 #include "core/check.hpp"
 
 namespace tsdx::serve {
@@ -7,6 +9,7 @@ namespace tsdx::serve {
 ThreadPool::~ThreadPool() { join(); }
 
 void ThreadPool::spawn(std::size_t count, std::function<void(std::size_t)> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
   TSDX_CHECK(threads_.empty(), "ThreadPool::spawn: pool already spawned (",
              threads_.size(), " threads)");
   threads_.reserve(count);
@@ -15,11 +18,32 @@ void ThreadPool::spawn(std::size_t count, std::function<void(std::size_t)> fn) {
   }
 }
 
+void ThreadPool::spawn_one(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  threads_.emplace_back(std::move(fn));
+}
+
 void ThreadPool::join() {
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
+  // Joining happens outside the lock (a joined thread may itself be blocked
+  // on something the lock-holder must release), and loops because a
+  // concurrent spawn_one() may add a thread while we were joining the
+  // previous batch.
+  while (true) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (threads_.empty()) return;
+      batch.swap(threads_);
+    }
+    for (auto& t : batch) {
+      if (t.joinable()) t.join();
+    }
   }
-  threads_.clear();
+}
+
+std::size_t ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threads_.size();
 }
 
 void ThreadPool::run(std::size_t count,

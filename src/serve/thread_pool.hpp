@@ -2,20 +2,23 @@
 // std::thread (enforced by tools/tsdx_lint.py, rule `raw-thread`).
 //
 // Centralizing thread creation keeps ownership/joining in a single audited
-// spot: every thread in a tsdx process is either an InferenceServer worker
-// or a ThreadPool::run() fan-out, both of which join deterministically —
-// there are no detached threads anywhere.
+// spot: every thread in a tsdx process is either an InferenceServer worker,
+// its supervisor, or a ThreadPool::run() fan-out, all of which join
+// deterministically — there are no detached threads anywhere.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace tsdx::serve {
 
-/// A fixed set of named worker threads. Construction is explicit (spawn),
-/// teardown is deterministic (join; the destructor joins as a safety net).
+/// A set of named worker threads. Construction is explicit (spawn /
+/// spawn_one), teardown is deterministic (join; the destructor joins as a
+/// safety net). Internally synchronized: the InferenceServer supervisor may
+/// spawn_one() a replacement worker while another thread is in join().
 class ThreadPool {
  public:
   ThreadPool() = default;
@@ -28,10 +31,16 @@ class ThreadPool {
   /// — the InferenceServer's request queue plays that role).
   void spawn(std::size_t count, std::function<void(std::size_t)> fn);
 
-  /// Block until every spawned thread has returned. Idempotent.
+  /// Launch one additional thread running fn(). Used by the InferenceServer
+  /// supervisor to restart a worker that died on a fault; safe to call
+  /// concurrently with join() (the new thread is picked up by the join loop).
+  void spawn_one(std::function<void()> fn);
+
+  /// Block until every spawned thread — including any spawned concurrently
+  /// with this call — has returned. Idempotent.
   void join();
 
-  std::size_t size() const { return threads_.size(); }
+  std::size_t size() const;
 
   /// Spawn-run-join in one call: run fn(i) on `count` concurrent threads and
   /// wait for all of them. This is the sanctioned primitive for producer
@@ -40,6 +49,7 @@ class ThreadPool {
                   const std::function<void(std::size_t)>& fn);
 
  private:
+  mutable std::mutex mutex_;
   std::vector<std::thread> threads_;
 };
 

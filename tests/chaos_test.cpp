@@ -1,0 +1,361 @@
+// chaos_test.cpp — scripted-failure coverage of the fault-tolerance stack:
+// worker supervision, the circuit breaker + degraded fallback, per-request
+// deadlines, and checkpoint corruption detection. Every failure here is
+// *scheduled* through tsdx::serve::fault (a seeded FaultPlan), so the same
+// crashes happen at the same dispatches on every run — including under the
+// CI ThreadSanitizer job, which runs this binary directly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+#include "sdl/description.hpp"
+#include "serve/fallback.hpp"
+#include "serve/fault/inject.hpp"
+#include "serve/server.hpp"
+#include "sim/clipgen.hpp"
+
+namespace core = tsdx::core;
+namespace nn = tsdx::nn;
+namespace sdl = tsdx::sdl;
+namespace serve = tsdx::serve;
+namespace fault = tsdx::serve::fault;
+namespace sim = tsdx::sim;
+
+namespace {
+
+core::ModelConfig micro_config() {
+  core::ModelConfig cfg;
+  cfg.frames = 2;
+  cfg.image_size = 8;
+  cfg.patch_size = 4;
+  cfg.tubelet_frames = 1;
+  cfg.dim = 8;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  cfg.attention = core::AttentionKind::kDividedST;
+  return cfg;
+}
+
+std::shared_ptr<core::ScenarioExtractor> make_frozen_extractor(
+    std::uint64_t seed = 7) {
+  auto extractor =
+      std::make_shared<core::ScenarioExtractor>(micro_config(), seed);
+  extractor->freeze();
+  return extractor;
+}
+
+std::vector<sim::VideoClip> make_clips(std::size_t count,
+                                       std::uint64_t seed = 11) {
+  const core::ModelConfig cfg = micro_config();
+  sim::RenderConfig render;
+  render.height = render.width = cfg.image_size;
+  render.frames = cfg.frames;
+  sim::ClipGenerator gen(render, seed);
+  std::vector<sim::VideoClip> clips;
+  clips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    clips.push_back(gen.generate().video);
+  }
+  return clips;
+}
+
+/// A canned, always-valid fallback (all-zero slot labels: straight road,
+/// daytime, clear, sparse, ego cruising, no salient actor).
+std::shared_ptr<serve::MajorityFallback> make_fallback() {
+  sdl::SlotLabels labels{};
+  std::array<float, sdl::kNumSlots> confidence{};
+  confidence.fill(1.0f);
+  return std::make_shared<serve::MajorityFallback>(labels, confidence);
+}
+
+/// One worker, batches of one, no batching window: extract_batch dispatch N
+/// is exactly request N, so FaultPlan call indices map 1:1 to requests.
+serve::ServerConfig sequential_config() {
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.batch_window = std::chrono::microseconds{0};
+  cfg.queue_capacity = 8;
+  return cfg;
+}
+
+bool is_degraded(const core::ExtractionResult& result) {
+  return !result.warnings.empty() &&
+         result.warnings.front() == serve::kDegradedWarning;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<float> flat_weights(const nn::Module& module) {
+  std::vector<float> flat;
+  for (const auto& [name, t] : module.named_parameters()) {
+    const auto& data = t.data();
+    flat.insert(flat.end(), data.begin(), data.end());
+  }
+  return flat;
+}
+
+}  // namespace
+
+// ---- worker supervision ---------------------------------------------------------
+
+// An injected fault kills the worker mid-batch: the batch's future must fail
+// with the *injected* error (typed, not swallowed), and the supervisor must
+// restart the worker so the next request completes on the primary model.
+// Without a fallback configured, the circuit never trips.
+TEST(ChaosTest, InjectedFaultFailsBatchAndSupervisorRestartsWorker) {
+  auto server = serve::InferenceServer(make_frozen_extractor(),
+                                       sequential_config());
+  const auto clips = make_clips(2);
+
+  fault::FaultPlan plan;
+  plan.throw_on_extract_calls = {1};
+  fault::ScopedFaultPlan armed(plan);
+
+  auto doomed = server.submit(clips[0]);
+  EXPECT_THROW(doomed.get(), fault::InjectedFaultError);
+
+  // The replacement worker (same index, fresh thread) serves this one.
+  auto healthy = server.submit(clips[1]);
+  EXPECT_FALSE(is_degraded(healthy.get()));
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.worker_faults, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.degraded_completions, 0u);
+  EXPECT_EQ(stats.circuit_trips, 0u);
+  EXPECT_EQ(stats.circuit_state, serve::CircuitState::kClosed);
+}
+
+// ---- circuit breaker ------------------------------------------------------------
+
+// The full trip-and-heal arc: K consecutive injected faults open the
+// circuit; while OPEN, requests are answered by the fallback (explicitly
+// marked degraded); after the cooldown a probe reaches the healthy primary
+// and the circuit closes again.
+TEST(ChaosTest, CircuitTripsToFallbackThenProbeHeals) {
+  serve::ServerConfig cfg = sequential_config();
+  cfg.fallback = make_fallback();
+  cfg.circuit.fault_threshold = 2;
+  cfg.circuit.cooldown = std::chrono::milliseconds(50);
+  auto server = serve::InferenceServer(make_frozen_extractor(), cfg);
+  const auto clips = make_clips(4);
+
+  fault::FaultPlan plan;
+  plan.throw_on_extract_calls = {1, 2};
+  fault::ScopedFaultPlan armed(plan);
+
+  EXPECT_THROW(server.submit(clips[0]).get(), fault::InjectedFaultError);
+  EXPECT_EQ(server.circuit_state(), serve::CircuitState::kClosed);
+  EXPECT_THROW(server.submit(clips[1]).get(), fault::InjectedFaultError);
+  EXPECT_EQ(server.circuit_state(), serve::CircuitState::kOpen);
+
+  // OPEN: the fallback answers — degraded, marked as such, and counted.
+  const core::ExtractionResult degraded = server.submit(clips[2]).get();
+  EXPECT_TRUE(is_degraded(degraded));
+  EXPECT_EQ(server.stats().degraded_completions, 1u);
+  EXPECT_EQ(server.circuit_state(), serve::CircuitState::kOpen);
+
+  // After the cooldown the next batch is the probe; extract call #3 is not
+  // in the plan, so the probe succeeds and the circuit heals.
+  std::this_thread::sleep_for(cfg.circuit.cooldown +
+                              std::chrono::milliseconds(20));
+  const core::ExtractionResult primary = server.submit(clips[3]).get();
+  EXPECT_FALSE(is_degraded(primary));
+  EXPECT_EQ(server.circuit_state(), serve::CircuitState::kClosed);
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.worker_faults, 2u);
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 2u);  // one degraded + one primary
+  EXPECT_EQ(stats.degraded_completions, 1u);
+  EXPECT_EQ(stats.circuit_trips, 1u);
+  EXPECT_EQ(stats.circuit_state, serve::CircuitState::kClosed);
+}
+
+// A probe that faults re-opens the circuit (and counts a second trip)
+// instead of letting a still-broken primary back into rotation.
+TEST(ChaosTest, FailedProbeReopensCircuit) {
+  serve::ServerConfig cfg = sequential_config();
+  cfg.fallback = make_fallback();
+  cfg.circuit.fault_threshold = 1;
+  cfg.circuit.cooldown = std::chrono::milliseconds(30);
+  auto server = serve::InferenceServer(make_frozen_extractor(), cfg);
+  const auto clips = make_clips(3);
+
+  fault::FaultPlan plan;
+  plan.throw_on_extract_calls = {1, 2};  // the trip AND the probe
+  fault::ScopedFaultPlan armed(plan);
+
+  EXPECT_THROW(server.submit(clips[0]).get(), fault::InjectedFaultError);
+  EXPECT_EQ(server.circuit_state(), serve::CircuitState::kOpen);
+
+  std::this_thread::sleep_for(cfg.circuit.cooldown +
+                              std::chrono::milliseconds(20));
+  EXPECT_THROW(server.submit(clips[1]).get(), fault::InjectedFaultError);
+  EXPECT_EQ(server.circuit_state(), serve::CircuitState::kOpen);
+  EXPECT_EQ(server.stats().circuit_trips, 2u);
+
+  // While re-opened, the fallback still answers.
+  EXPECT_TRUE(is_degraded(server.submit(clips[2]).get()));
+  server.drain();
+}
+
+// With no fallback configured there is nothing to route to: repeated faults
+// keep failing fast on the primary (each restarting its worker) and the
+// circuit must never trip.
+TEST(ChaosTest, NoFallbackMeansNoTrip) {
+  serve::ServerConfig cfg = sequential_config();
+  cfg.circuit.fault_threshold = 1;
+  auto server = serve::InferenceServer(make_frozen_extractor(), cfg);
+  const auto clips = make_clips(3);
+
+  fault::FaultPlan plan;
+  plan.throw_on_extract_calls = {1, 2};
+  fault::ScopedFaultPlan armed(plan);
+
+  EXPECT_THROW(server.submit(clips[0]).get(), fault::InjectedFaultError);
+  EXPECT_THROW(server.submit(clips[1]).get(), fault::InjectedFaultError);
+  EXPECT_EQ(server.circuit_state(), serve::CircuitState::kClosed);
+  EXPECT_NO_THROW(server.submit(clips[2]).get());
+  server.drain();
+  EXPECT_EQ(server.stats().circuit_trips, 0u);
+  EXPECT_EQ(server.stats().worker_faults, 2u);
+}
+
+// ---- deadlines ------------------------------------------------------------------
+
+// Expired requests must never reach the model: one expires at submit() (fast
+// fail, never enqueued), one expires while queued (scrubbed by the batcher).
+// The batch-size histogram proves neither occupied a batch slot.
+TEST(ChaosTest, ExpiredDeadlinesAreScrubbedBeforeDispatch) {
+  serve::ServerConfig cfg;
+  cfg.workers = 0;  // inline mode: nothing is processed until drain()
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 8;
+  auto server = serve::InferenceServer(make_frozen_extractor(), cfg);
+  const auto clips = make_clips(4);
+
+  // Already expired at submit(): fails immediately, never queued.
+  auto dead_on_arrival =
+      server.submit(clips[0], serve::InferenceServer::Clock::now() -
+                                  std::chrono::milliseconds(1));
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_THROW(dead_on_arrival.get(), serve::DeadlineExceededError);
+
+  // Expires while queued: accepted now, scrubbed at batching time.
+  auto expires_in_queue =
+      server.submit_within(clips[1], std::chrono::milliseconds(2));
+  auto live_a = server.submit(clips[2]);
+  auto live_b = server.submit(clips[3]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.drain();
+
+  EXPECT_THROW(expires_in_queue.get(), serve::DeadlineExceededError);
+  EXPECT_NO_THROW(live_a.get());
+  EXPECT_NO_THROW(live_b.get());
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.deadline_expired, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  // The two live requests formed one batch of 2: the expired pair took no
+  // batch slot and triggered no dispatch.
+  EXPECT_EQ(stats.batches(), 1u);
+  EXPECT_EQ(stats.batch_size_counts[2], 1u);
+  EXPECT_EQ(stats.latency.count(), 2u);
+}
+
+// A generous deadline is inert: the request completes normally.
+TEST(ChaosTest, UnexpiredDeadlineDoesNotInterfere) {
+  auto server = serve::InferenceServer(make_frozen_extractor(),
+                                       sequential_config());
+  const auto clips = make_clips(1);
+  auto future = server.submit_within(clips[0], std::chrono::seconds(30));
+  EXPECT_NO_THROW(future.get());
+  server.drain();
+  EXPECT_EQ(server.stats().deadline_expired, 0u);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+// ---- injected latency -----------------------------------------------------------
+
+// A scheduled stall on one dispatch must show up in the end-to-end latency
+// tail (lower-bound assertion only: sleep_for may oversleep, never under).
+TEST(ChaosTest, InjectedLatencyShowsUpInTail) {
+  auto server = serve::InferenceServer(make_frozen_extractor(),
+                                       sequential_config());
+  const auto clips = make_clips(2);
+
+  fault::FaultPlan plan;
+  plan.delay_on_extract_calls = {1};
+  plan.extract_delay = std::chrono::microseconds(20000);  // 20 ms
+  fault::ScopedFaultPlan armed(plan);
+
+  EXPECT_NO_THROW(server.submit(clips[0]).get());
+  EXPECT_NO_THROW(server.submit(clips[1]).get());
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.worker_faults, 0u);
+  EXPECT_GE(stats.latency.max(), 20.0);  // milliseconds
+}
+
+// ---- checkpoint corruption ------------------------------------------------------
+
+// The injector flips one seed-chosen byte of a checkpoint after its CRC
+// footer is computed. The loader must reject the file with a typed error
+// carrying a byte offset, leave the target module's weights untouched, and
+// the serving-bootstrap loader must degrade to kCorruptKeptInit. A clean
+// re-save then loads normally.
+TEST(ChaosTest, CorruptedCheckpointIsRejectedAndWeightsKept) {
+  tsdx::tensor::Rng rng(21);
+  nn::Mlp source(4, 8, 0.0f, rng);
+  nn::Mlp target(4, 8, 0.0f, rng);  // different init
+  const std::string path = temp_path("tsdx_chaos_ckpt.bin");
+
+  {
+    fault::FaultPlan plan;
+    plan.seed = 42;
+    plan.corrupt_next_checkpoint = true;
+    fault::ScopedFaultPlan armed(plan);
+    nn::save_checkpoint(source, path);
+  }
+
+  const std::vector<float> before = flat_weights(target);
+  try {
+    nn::load_checkpoint(target, path);
+    FAIL() << "corrupted checkpoint was accepted";
+  } catch (const nn::CheckpointCorruptError& e) {
+    EXPECT_LT(e.byte_offset(), std::filesystem::file_size(path));
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos);
+  }
+  EXPECT_EQ(flat_weights(target), before);
+
+  EXPECT_EQ(nn::load_checkpoint_or_fallback(target, path),
+            nn::CheckpointLoad::kCorruptKeptInit);
+  EXPECT_EQ(flat_weights(target), before);
+
+  // The injector is one-shot: the next save is clean and loads.
+  nn::save_checkpoint(source, path);
+  EXPECT_EQ(nn::load_checkpoint_or_fallback(target, path),
+            nn::CheckpointLoad::kLoaded);
+  EXPECT_EQ(flat_weights(target), flat_weights(source));
+  std::filesystem::remove(path);
+}

@@ -1,0 +1,226 @@
+// serialize_test.cpp — the v2 checkpoint format's integrity contract:
+// CRC-32 detection of flipped bytes and truncation, atomic save (a stranded
+// .tmp from an interrupted save never shadows the real checkpoint), and the
+// serving-bootstrap loader's degrade-don't-crash behaviour. nn_test keeps
+// the happy-path round-trip coverage; this file is the hostile-input side.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+
+namespace fs = std::filesystem;
+namespace nn = tsdx::nn;
+namespace tt = tsdx::tensor;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::vector<float> flat_weights(const nn::Module& module) {
+  std::vector<float> flat;
+  for (const auto& [name, t] : module.named_parameters()) {
+    const auto& data = t.data();
+    flat.insert(flat.end(), data.begin(), data.end());
+  }
+  return flat;
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// RAII cleanup so a failing assertion cannot leak checkpoint files into
+/// later tests (or later ctest runs on the same machine).
+class TempFile {
+ public:
+  explicit TempFile(const char* name) : path_(temp_path(name)) {}
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+    fs::remove(path_ + ".tmp", ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
+// ---- crc32 ----------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownCheckValue) {
+  // The CRC-32/ISO-HDLC check value: crc32("123456789") == 0xCBF43926.
+  const char msg[] = "123456789";
+  EXPECT_EQ(nn::crc32(msg, 9), 0xCBF43926u);
+  EXPECT_EQ(nn::crc32(msg, 0), 0u);
+}
+
+TEST(Crc32Test, SensitiveToEveryByte) {
+  std::string data(64, '\x5A');
+  const std::uint32_t clean = nn::crc32(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    EXPECT_NE(nn::crc32(flipped.data(), flipped.size()), clean)
+        << "flip at byte " << i << " went undetected";
+  }
+}
+
+// ---- integrity rejection --------------------------------------------------------
+
+TEST(SerializeIntegrityTest, FlippedByteFailsCrcAndKeepsWeights) {
+  tt::Rng rng(31);
+  nn::Mlp source(4, 8, 0.0f, rng);
+  nn::Mlp target(4, 8, 0.0f, rng);
+  TempFile file("tsdx_ser_flip.bin");
+  nn::save_checkpoint(source, file.path());
+
+  std::string bytes = read_bytes(file.path());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  write_bytes(file.path(), bytes);
+
+  const std::vector<float> before = flat_weights(target);
+  try {
+    nn::load_checkpoint(target, file.path());
+    FAIL() << "flipped byte was accepted";
+  } catch (const nn::CheckpointCorruptError& e) {
+    // A CRC mismatch reports the footer's offset (end of protected payload).
+    EXPECT_EQ(e.byte_offset(), bytes.size() - sizeof(std::uint32_t));
+  }
+  EXPECT_EQ(flat_weights(target), before);
+}
+
+TEST(SerializeIntegrityTest, TruncationFailsCrc) {
+  tt::Rng rng(32);
+  nn::Mlp source(4, 8, 0.0f, rng);
+  TempFile file("tsdx_ser_trunc.bin");
+  nn::save_checkpoint(source, file.path());
+
+  const auto full = fs::file_size(file.path());
+  fs::resize_file(file.path(), full - 5);
+  EXPECT_THROW(nn::load_checkpoint(source, file.path()),
+               nn::CheckpointCorruptError);
+
+  // Truncated below even the header: still a typed corruption error.
+  fs::resize_file(file.path(), 3);
+  EXPECT_THROW(nn::load_checkpoint(source, file.path()),
+               nn::CheckpointCorruptError);
+}
+
+TEST(SerializeIntegrityTest, BadMagicReportsOffsetZero) {
+  TempFile file("tsdx_ser_magic.bin");
+  write_bytes(file.path(), std::string(64, 'J'));
+  tt::Rng rng(33);
+  nn::Mlp module(4, 8, 0.0f, rng);
+  try {
+    nn::load_checkpoint(module, file.path());
+    FAIL() << "junk file was accepted";
+  } catch (const nn::CheckpointCorruptError& e) {
+    EXPECT_EQ(e.byte_offset(), 0u);
+  }
+}
+
+// ---- atomic save ----------------------------------------------------------------
+
+// An interrupted save dies between writing `path + ".tmp"` and the rename.
+// The invariant under test: the checkpoint under the real name is never torn
+// — a stranded .tmp (even pure garbage) must not affect loading, and the
+// next successful save simply replaces both.
+TEST(SerializeAtomicityTest, StrandedTmpFileNeverShadowsCheckpoint) {
+  tt::Rng rng(34);
+  nn::Mlp source(4, 8, 0.0f, rng);
+  nn::Mlp target(4, 8, 0.0f, rng);
+  TempFile file("tsdx_ser_tmp.bin");
+  nn::save_checkpoint(source, file.path());
+
+  // Simulate the interrupted later save: garbage parked at the tmp name.
+  write_bytes(file.path() + ".tmp", "half-written garbage");
+
+  EXPECT_EQ(nn::load_checkpoint_or_fallback(target, file.path()),
+            nn::CheckpointLoad::kLoaded);
+  EXPECT_EQ(flat_weights(target), flat_weights(source));
+
+  // A fresh save overwrites the real file atomically and leaves no .tmp.
+  nn::save_checkpoint(source, file.path());
+  EXPECT_FALSE(fs::exists(file.path() + ".tmp"));
+  EXPECT_EQ(nn::load_checkpoint_or_fallback(target, file.path()),
+            nn::CheckpointLoad::kLoaded);
+}
+
+TEST(SerializeAtomicityTest, SaveReplacesExistingCheckpoint) {
+  tt::Rng rng(35);
+  nn::Mlp first(4, 8, 0.0f, rng);
+  nn::Mlp second(4, 8, 0.0f, rng);  // different draw from the same stream
+  nn::Mlp target(4, 8, 0.0f, rng);
+  ASSERT_NE(flat_weights(first), flat_weights(second));
+  TempFile file("tsdx_ser_replace.bin");
+
+  nn::save_checkpoint(first, file.path());
+  nn::save_checkpoint(second, file.path());
+  nn::load_checkpoint(target, file.path());
+  EXPECT_EQ(flat_weights(target), flat_weights(second));
+}
+
+// ---- bootstrap loader -----------------------------------------------------------
+
+TEST(SerializeFallbackTest, MissingFileKeepsInitWeights) {
+  tt::Rng rng(36);
+  nn::Mlp module(4, 8, 0.0f, rng);
+  const std::vector<float> before = flat_weights(module);
+  EXPECT_EQ(nn::load_checkpoint_or_fallback(
+                module, temp_path("tsdx_ser_never_written.bin")),
+            nn::CheckpointLoad::kMissingKeptInit);
+  EXPECT_EQ(flat_weights(module), before);
+}
+
+TEST(SerializeFallbackTest, CorruptFileKeepsInitWeights) {
+  tt::Rng rng(37);
+  nn::Mlp source(4, 8, 0.0f, rng);
+  nn::Mlp target(4, 8, 0.0f, rng);
+  TempFile file("tsdx_ser_fb_corrupt.bin");
+  nn::save_checkpoint(source, file.path());
+  std::string bytes = read_bytes(file.path());
+  bytes[10] = static_cast<char>(bytes[10] ^ 0x80);
+  write_bytes(file.path(), bytes);
+
+  const std::vector<float> before = flat_weights(target);
+  EXPECT_EQ(nn::load_checkpoint_or_fallback(target, file.path()),
+            nn::CheckpointLoad::kCorruptKeptInit);
+  EXPECT_EQ(flat_weights(target), before);
+}
+
+// Structural mismatches are deployment bugs, not runtime corruption: the
+// bootstrap loader must refuse to degrade them into silent fallbacks.
+TEST(SerializeFallbackTest, ArchitectureMismatchStillThrows) {
+  tt::Rng rng(38);
+  nn::Mlp small(4, 8, 0.0f, rng);
+  nn::Mlp big(8, 16, 0.0f, rng);
+  TempFile file("tsdx_ser_fb_arch.bin");
+  nn::save_checkpoint(small, file.path());
+  EXPECT_THROW(nn::load_checkpoint_or_fallback(big, file.path()),
+               std::runtime_error);
+}
+
+TEST(SerializeFallbackTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(nn::to_string(nn::CheckpointLoad::kLoaded), "loaded");
+  EXPECT_STREQ(nn::to_string(nn::CheckpointLoad::kMissingKeptInit),
+               "missing-kept-init");
+  EXPECT_STREQ(nn::to_string(nn::CheckpointLoad::kCorruptKeptInit),
+               "corrupt-kept-init");
+}

@@ -8,6 +8,8 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/extractor.hpp"
@@ -340,6 +342,54 @@ TEST(ServeStressTest, EightProducersTenThousandRequests) {
     batched += stats.batch_size_counts[s] * s;
   }
   EXPECT_EQ(batched, kTotal);
+}
+
+// ---- queue timed pop: the spurious-wakeup contract ------------------------------
+
+// try_pop_until must return std::nullopt only when the deadline has
+// genuinely elapsed — never early.
+TEST(BoundedQueueTimedPopTest, TimesOutOnlyAtTheDeadline) {
+  serve::BoundedQueue<int> queue(4, serve::OverflowPolicy::kBlock);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_FALSE(queue.try_pop_until(deadline).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+  // A deadline already in the past degrades to a non-waiting try_pop.
+  queue.push(7);
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(queue.try_pop_until(past), 7);
+}
+
+// Regression for the audited wakeup path in BoundedQueue::try_pop_until
+// (see the contract comment in queue.hpp): push() notifies the timed
+// waiter, but a faster consumer can steal the item before the waiter
+// reacquires the lock. The waiter then wakes to an *empty* queue with time
+// left on the clock — exactly the shape of a spurious wakeup — and must
+// re-wait for the follow-up item instead of reporting a timeout. The steal
+// is a race, so the test runs many jittered rounds and asserts the
+// invariant whichever way each round's race resolves.
+TEST(BoundedQueueTimedPopTest, WakeupFindingQueueEmptyReWaits) {
+  for (int round = 0; round < 100; ++round) {
+    serve::BoundedQueue<int> queue(4, serve::OverflowPolicy::kBlock);
+    std::optional<int> got;
+    serve::ThreadPool waiter;
+    waiter.spawn(1, [&](std::size_t) {
+      got = queue.try_pop_until(std::chrono::steady_clock::now() +
+                                std::chrono::seconds(20));
+    });
+    // Jitter so successive rounds catch the waiter at different points
+    // (not yet waiting, parked in the wait, mid-wakeup).
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * (round % 4)));
+    queue.push(1);
+    const std::optional<int> stolen = queue.try_pop();  // races the waiter
+    queue.push(2);
+    waiter.join();
+    ASSERT_TRUE(got.has_value())
+        << "round " << round << ": waiter timed out 20s early (stole="
+        << stolen.has_value() << ")";
+    EXPECT_EQ(*got, stolen ? 2 : 1) << "round " << round;
+  }
 }
 
 // ---- stats surface --------------------------------------------------------------

@@ -19,6 +19,13 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     members like std::thread::hardware_concurrency() are
                     fine. (src/serve/ headers are swept by the header-guard
                     and raw-array-new rules like every other module.)
+  catch-all-swallow No `catch (...)` outside src/serve/ unless the handler
+                    rethrows (`throw;`) or routes through the fault-injection
+                    layer (`fault::`). A catch-all that swallows is how
+                    recovery bugs hide: the serve layer is the one place with
+                    a contract for translating arbitrary failures (worker
+                    supervision, circuit breaker, degraded fallback); every
+                    other layer must let unknown exceptions propagate to it.
   taxonomy-int      No floating-point literals in src/sdl/taxonomy.{hpp,cpp}.
                     The SDL slot tables are pure integral enums; a float
                     literal there means an accidental float->int narrowing.
@@ -139,6 +146,41 @@ class Linter:
                                    "use tsdx::serve::ThreadPool or the "
                                    "InferenceServer worker pool")
 
+    # ---- catch-all-swallow --------------------------------------------------
+
+    def check_catch_all_swallow(self) -> None:
+        serve_dir = self.root / "src" / "serve"
+        catch_all = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+        rethrow = re.compile(r"\bthrow\s*;")
+        for sub in ("src", "bench", "tests", "examples"):
+            for path in sorted((self.root / sub).rglob("*")):
+                if path.suffix not in (".hpp", ".cpp"):
+                    continue
+                if serve_dir in path.parents:
+                    continue
+                clean = strip_comments_and_strings(path.read_text())
+                for m in catch_all.finditer(clean):
+                    lineno = clean.count("\n", 0, m.start()) + 1
+                    brace = clean.find("{", m.end())
+                    if brace == -1:
+                        continue
+                    depth, j = 0, brace
+                    while j < len(clean):
+                        if clean[j] == "{":
+                            depth += 1
+                        elif clean[j] == "}":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        j += 1
+                    body = clean[brace:j + 1]
+                    if not rethrow.search(body) and "fault::" not in body:
+                        self.error(path, lineno, "catch-all-swallow",
+                                   "catch (...) outside src/serve/ must "
+                                   "rethrow (`throw;`) or route through the "
+                                   "fault:: layer — swallowing unknown "
+                                   "exceptions hides recovery bugs")
+
     # ---- bench-common -------------------------------------------------------
 
     def check_bench_common(self) -> None:
@@ -241,6 +283,7 @@ class Linter:
         self.check_header_guards()
         self.check_raw_array_new()
         self.check_raw_thread()
+        self.check_catch_all_swallow()
         self.check_bench_common()
         self.check_taxonomy_tables()
         self.check_op_shape_validation()
