@@ -10,6 +10,7 @@
 // baseline defines 1.0× throughput and the best achievable p50 at
 // concurrency 1.
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <vector>
 
@@ -23,7 +24,10 @@ using namespace tsdx::bench;
 
 namespace {
 
-constexpr std::size_t kRequests = 160;   // per configuration
+// Full run; --smoke (the bench-smoke CI job) quarters the request count and
+// drops the batching-window sweep so the bench finishes in CI seconds while
+// still exercising the full submit -> batch -> extract -> resolve path.
+std::size_t g_requests = 160;            // per configuration
 constexpr std::size_t kProducers = 4;    // client threads driving the server
 constexpr std::size_t kClipPool = 16;    // distinct clips, submitted round-robin
 
@@ -42,7 +46,7 @@ struct RunResult {
   serve::ServerStats stats;
 };
 
-/// Closed-loop load: kProducers threads submit kRequests total and block on
+/// Closed-loop load: kProducers threads submit g_requests total and block on
 /// each future (an RPC client's view of the server).
 RunResult run_server_config(
     const std::shared_ptr<const core::ScenarioExtractor>& extractor,
@@ -58,7 +62,7 @@ RunResult run_server_config(
 
   const auto start = std::chrono::steady_clock::now();
   serve::ThreadPool::run(kProducers, [&](std::size_t p) {
-    const std::size_t n = kRequests / kProducers;
+    const std::size_t n = g_requests / kProducers;
     for (std::size_t i = 0; i < n; ++i) {
       server.submit(clips[(p * n + i) % clips.size()]).get();
     }
@@ -74,7 +78,18 @@ RunResult run_server_config(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) g_requests = 40;
+
   print_banner("R-S1", "serving throughput & tail latency (tsdx::serve)");
 
   // The model every configuration shares: the paper's DividedST extractor at
@@ -87,7 +102,7 @@ int main() {
   // Baseline: the offline for-loop (one thread, batch 1, no queue).
   LatencyHistogram baseline_lat;
   const auto base_start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < kRequests; ++i) {
+  for (std::size_t i = 0; i < g_requests; ++i) {
     const auto start = std::chrono::steady_clock::now();
     const core::ExtractionResult result =
         extractor->extract(clips[i % clips.size()]);
@@ -99,11 +114,11 @@ int main() {
   const double base_seconds = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - base_start)
                                   .count();
-  const double base_throughput = static_cast<double>(kRequests) / base_seconds;
+  const double base_throughput = static_cast<double>(g_requests) / base_seconds;
 
   std::printf("%zu requests per configuration, %zu producer threads, "
               "max_batch 8, block policy\n\n",
-              kRequests, kProducers);
+              g_requests, kProducers);
   std::printf("%-26s %9s %8s %6s %7s %8s %8s %8s\n", "config", "clips/s",
               "speedup", "batch", "p50ms", "p95ms", "p99ms", "meanms");
   std::printf("%-26s %9.1f %8s %6.2f %7.2f %8.2f %8.2f %8.2f\n",
@@ -114,9 +129,10 @@ int main() {
   const std::size_t worker_counts[] = {1, 2, 4};
   const std::chrono::microseconds windows[] = {
       std::chrono::microseconds(0), std::chrono::microseconds(2000)};
+  const std::size_t window_count = smoke ? 1 : 2;  // smoke: skip the sweep
   double one_worker_throughput[2] = {0.0, 0.0};
   serve::ServerStats last_stats;
-  for (std::size_t w = 0; w < 2; ++w) {
+  for (std::size_t w = 0; w < window_count; ++w) {
     for (const std::size_t workers : worker_counts) {
       const RunResult run =
           run_server_config(extractor, workers, windows[w], 8, clips);

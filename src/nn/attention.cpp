@@ -46,9 +46,8 @@ Tensor MultiHeadAttention::forward(const Tensor& x) const {
   const Tensor v = split_heads(wv_.forward(x));
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  // [B, H, T, T]
-  Tensor scores =
-      tt::mul_scalar(tt::matmul(q, tt::transpose_last2(k)), scale);
+  // [B, H, T, T]: Q·Kᵀ via the transposed-rhs kernel — no permute copy of K.
+  Tensor scores = tt::mul_scalar(tt::matmul_nt(q, k), scale);
   Tensor attn = attn_drop_.forward(tt::softmax_lastdim(scores));
   // [B, H, T, Dh] -> [B, T, D]
   Tensor ctx = tt::reshape(tt::permute(tt::matmul(attn, v), {0, 2, 1, 3}),

@@ -1,10 +1,13 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "core/check.hpp"
 #include "serve/fault/inject.hpp"
+#include "tensor/kernels/parallel_for.hpp"
 
 namespace tsdx::serve {
 
@@ -56,6 +59,18 @@ InferenceServer::InferenceServer(
              "model().set_training(false) before serving (training-mode "
              "dropout draws from the shared Rng and is not thread-safe)");
   if (config_.workers > 0) {
+    // Budget the intra-op pool so inter-op workers share the machine instead
+    // of each assuming they own it. TSDX_NUM_THREADS (an explicit user
+    // choice) takes precedence over both the config field and the default.
+    if (!par::env_override()) {
+      std::size_t budget = config_.intra_op_threads;
+      if (budget == 0) {
+        const std::size_t cores =
+            std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        budget = std::max<std::size_t>(1, cores / config_.workers);
+      }
+      par::set_threads(budget);
+    }
     workers_.spawn(config_.workers,
                    [this](std::size_t index) { worker_loop(index); });
     supervisor_.spawn(1, [this](std::size_t) { supervisor_loop(); });

@@ -79,6 +79,12 @@ struct ServerConfig {
   std::shared_ptr<const FallbackExtractor> fallback;
   /// Trip/heal thresholds for the circuit breaker (see circuit.hpp).
   CircuitConfig circuit;
+
+  /// Intra-op (tsdx::par) thread budget each worker's kernels may use. 0
+  /// picks hardware_concurrency / workers (min 1) so inter-op workers don't
+  /// oversubscribe the cores between them. Ignored when TSDX_NUM_THREADS is
+  /// set — an explicit user choice always wins (par::env_override()).
+  std::size_t intra_op_threads = 0;
 };
 
 class InferenceServer {

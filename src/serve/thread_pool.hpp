@@ -1,10 +1,12 @@
-// thread_pool.hpp — the one place in the repo that is allowed to construct
-// std::thread (enforced by tools/tsdx_lint.py, rule `raw-thread`).
+// thread_pool.hpp — inter-op thread creation. Together with the intra-op
+// pool in src/tensor/kernels/parallel_for.cpp these are the only places in
+// the repo allowed to construct std::thread (enforced by tools/tsdx_lint.py,
+// rule `raw-thread`).
 //
 // Centralizing thread creation keeps ownership/joining in a single audited
-// spot: every thread in a tsdx process is either an InferenceServer worker,
-// its supervisor, or a ThreadPool::run() fan-out, all of which join
-// deterministically — there are no detached threads anywhere.
+// spot: every thread in a tsdx process is an InferenceServer worker, its
+// supervisor, a ThreadPool::run() fan-out, or a tsdx::par kernel worker, all
+// of which join deterministically — there are no detached threads anywhere.
 #pragma once
 
 #include <cstddef>

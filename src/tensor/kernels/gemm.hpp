@@ -1,0 +1,60 @@
+// gemm.hpp — cache-blocked, panel-packed single-precision GEMM kernels.
+//
+// mm(ta, tb, m, k, n, a, b, c) computes
+//
+//     C[M, N] += op(A)[M, K] · op(B)[K, N]
+//
+// over row-major storage, where op(X) is X (Trans::kN) or the transpose of
+// the stored matrix (Trans::kT): with ta == kT, `a` is stored [K, M]; with
+// tb == kT, `b` is stored [N, K]. Accumulating (+=) semantics serve both the
+// forward pass (callers pass a zeroed C) and gradient accumulation (C is the
+// grad buffer).
+//
+// Implementation notes (see DESIGN.md "Compute kernels & threading model"):
+//
+// * C rows are partitioned across tsdx::par with a grain derived from the
+//   shape alone (row_grain), so chunk boundaries — and therefore results —
+//   are bit-identical at any thread count (chunks write disjoint C rows).
+// * Within a chunk, A and op(B) are packed into contiguous panels
+//   (KC x NC column panels of op(B), row panels of op(A)), making every
+//   inner-loop access unit-stride regardless of ta/tb; the 4-row micro
+//   kernel's inner loop is a contiguous multiply-add over the packed B
+//   panel, which GCC/Clang auto-vectorize (verify with -fopt-info-vec).
+// * For every C element, contributions accumulate in ascending-k order —
+//   the same order as the textbook ikj loop — so the blocked kernel is
+//   bit-identical to the naive one (no reassociation, no reordering).
+#pragma once
+
+#include <cstdint>
+
+namespace tsdx::tensor::kernels {
+
+enum class Trans : std::uint8_t { kN, kT };
+
+/// C[m, n] += op(A)[m, k] · op(B)[k, n]. Pointers must not alias.
+void mm(Trans ta, Trans tb, std::int64_t m, std::int64_t k, std::int64_t n,
+        const float* a, const float* b, float* c);
+
+/// C += A · B               A: [m, k]   B: [k, n]
+inline void mm_nn(std::int64_t m, std::int64_t k, std::int64_t n,
+                  const float* a, const float* b, float* c) {
+  mm(Trans::kN, Trans::kN, m, k, n, a, b, c);
+}
+
+/// C += A · Bᵀ              A: [m, k]   B stored [n, k]
+inline void mm_nt(std::int64_t m, std::int64_t k, std::int64_t n,
+                  const float* a, const float* b, float* c) {
+  mm(Trans::kN, Trans::kT, m, k, n, a, b, c);
+}
+
+/// C += Aᵀ · B              A stored [k, m]   B: [k, n]
+inline void mm_tn(std::int64_t m, std::int64_t k, std::int64_t n,
+                  const float* a, const float* b, float* c) {
+  mm(Trans::kT, Trans::kN, m, k, n, a, b, c);
+}
+
+/// Row-partition grain for an (m, k, n) product: a pure function of the
+/// shape (never the thread count), a multiple of the micro-kernel height.
+std::int64_t row_grain(std::int64_t m, std::int64_t k, std::int64_t n);
+
+}  // namespace tsdx::tensor::kernels

@@ -1,0 +1,231 @@
+#include "tensor/kernels/parallel_for.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace tsdx::par {
+
+namespace {
+
+std::int64_t chunk_count(std::int64_t total, std::int64_t grain) {
+  return (total + grain - 1) / grain;
+}
+
+/// One fan-out: a chunk counter the participants race on plus a completion
+/// latch. Heap-allocated and shared so a worker that wakes late (or finishes
+/// after the caller has already moved on) can only ever touch its own job's
+/// state, never the next job's.
+struct Job {
+  const ChunkFn* fn = nullptr;
+  std::int64_t total = 0;
+  std::int64_t grain = 0;
+  std::int64_t nchunks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::int64_t done = 0;  // guarded by done_mutex
+
+  /// Claim and run chunks until none are left. Called by pool workers and by
+  /// the thread that published the job.
+  void process() {
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      const std::int64_t begin = c * grain;
+      const std::int64_t end = std::min(total, begin + grain);
+      (*fn)(begin, end);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (++done == nchunks) done_cv.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == nchunks; });
+  }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  ~Pool() { stop_workers(); }
+
+  std::size_t threads() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    ensure_init();
+    return workers_.size() + 1;
+  }
+
+  void set_threads(std::size_t n) {
+    if (n == 0) n = 1;
+    // Taking job_mutex_ first means no fan-out is in flight while workers
+    // are torn down and respawned.
+    std::lock_guard<std::mutex> job(job_mutex_);
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    initialized_ = true;
+    resize(n - 1);
+  }
+
+  void run(std::int64_t total, std::int64_t grain, const ChunkFn& fn) {
+    const std::int64_t nchunks = chunk_count(total, grain);
+    std::size_t nworkers = 0;
+    std::unique_lock<std::mutex> job(job_mutex_, std::try_to_lock);
+    if (job.owns_lock()) {
+      std::lock_guard<std::mutex> lock(config_mutex_);
+      ensure_init();
+      nworkers = workers_.size();
+    }
+    // Inline path: single-chunk loops, a 1-thread budget, or a pool already
+    // busy with another fan-out (including fn itself calling parallel_for).
+    // Chunk boundaries are identical either way, so results are too.
+    if (!job.owns_lock() || nworkers == 0 || nchunks <= 1) {
+      for (std::int64_t c = 0; c < nchunks; ++c) {
+        fn(c * grain, std::min(total, (c + 1) * grain));
+      }
+      return;
+    }
+
+    auto shared = std::make_shared<Job>();
+    shared->fn = &fn;
+    shared->total = total;
+    shared->grain = grain;
+    shared->nchunks = nchunks;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      current_ = shared;
+      ++epoch_;
+    }
+    state_cv_.notify_all();
+    shared->process();
+    shared->wait();
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      current_.reset();
+    }
+  }
+
+ private:
+  void ensure_init() {  // requires config_mutex_
+    if (initialized_) return;
+    initialized_ = true;
+    std::size_t n = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("TSDX_NUM_THREADS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && parsed > 0) n = static_cast<std::size_t>(parsed);
+    }
+    if (n == 0) n = 1;
+    resize(n - 1);
+  }
+
+  void resize(std::size_t nworkers) {  // requires config_mutex_
+    stop_workers();
+    stop_ = false;
+    workers_.reserve(nworkers);
+    for (std::size_t i = 0; i < nworkers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop_workers() {  // requires config_mutex_ (or destruction)
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      stop_ = true;
+    }
+    state_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        state_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        job = current_;
+      }
+      if (job) job->process();
+    }
+  }
+
+  // Serializes fan-outs: at most one job uses the workers at a time;
+  // concurrent callers fall back to inline execution.
+  std::mutex job_mutex_;
+
+  // Pool sizing (workers_, initialized_).
+  std::mutex config_mutex_;
+  bool initialized_ = false;
+  std::vector<std::thread> workers_;
+
+  // Job publication: workers sleep on state_cv_ until epoch_ moves.
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t threads() { return Pool::instance().threads(); }
+
+void set_threads(std::size_t n) { Pool::instance().set_threads(n); }
+
+bool env_override() {
+  static const bool set = std::getenv("TSDX_NUM_THREADS") != nullptr;
+  return set;
+}
+
+void parallel_for(std::int64_t total, std::int64_t grain, const ChunkFn& fn) {
+  TSDX_CHECK(grain >= 1, "parallel_for: grain must be >= 1, got ", grain);
+  if (total <= 0) return;
+  Pool::instance().run(total, grain, fn);
+}
+
+double tree_sum(const float* data, std::int64_t n, std::int64_t grain) {
+  TSDX_CHECK(grain >= 1, "tree_sum: grain must be >= 1, got ", grain);
+  if (n <= 0) return 0.0;
+  const std::int64_t nchunks = chunk_count(n, grain);
+  std::vector<double> partial(static_cast<std::size_t>(nchunks), 0.0);
+  parallel_for(n, grain, [&](std::int64_t begin, std::int64_t end) {
+    double acc = 0.0;
+    for (std::int64_t i = begin; i < end; ++i) acc += data[i];
+    partial[static_cast<std::size_t>(begin / grain)] = acc;
+  });
+  // Fixed-order pairwise tree: the combination order depends only on the
+  // chunk count, never on which thread produced which partial.
+  for (std::int64_t width = 1; width < nchunks; width *= 2) {
+    for (std::int64_t i = 0; i + width < nchunks; i += 2 * width) {
+      partial[static_cast<std::size_t>(i)] +=
+          partial[static_cast<std::size_t>(i + width)];
+    }
+  }
+  return partial[0];
+}
+
+std::int64_t suggest_grain(std::int64_t total, std::int64_t cost_per_item) {
+  constexpr std::int64_t kTargetChunkCost = 32768;
+  if (cost_per_item < 1) cost_per_item = 1;
+  std::int64_t grain = 1;
+  while (grain < total && grain * cost_per_item < kTargetChunkCost) {
+    grain *= 2;
+  }
+  return grain;
+}
+
+}  // namespace tsdx::par

@@ -1,0 +1,66 @@
+// parallel_for.hpp — tsdx::par: the process-wide intra-op thread pool.
+//
+// Contract (see DESIGN.md "Compute kernels & threading model"):
+//
+// * Deterministic work partitioning. parallel_for(total, grain, fn) splits
+//   [0, total) into fixed chunks of `grain` (last chunk partial); chunk
+//   boundaries are a pure function of (total, grain) and NEVER of the thread
+//   count. Kernels derive `grain` from the problem shape alone, so a kernel
+//   that writes disjoint chunk outputs produces bit-identical results at any
+//   thread count — the property the serving layer's batched-vs-sequential
+//   identity test pins down.
+// * Cross-chunk reductions go through tree_sum: per-chunk partials combined
+//   by a fixed-order pairwise tree, again independent of thread count.
+// * One pool per process, sized by set_threads(n) / the TSDX_NUM_THREADS
+//   environment variable (read once, at first use), defaulting to the
+//   hardware concurrency. `threads() == 1` runs everything inline.
+// * Re-entrancy and concurrent callers are safe but not multiplied: if the
+//   pool is already busy (another thread's parallel_for is in flight, or fn
+//   itself calls parallel_for), the new call simply runs its chunks inline
+//   on the calling thread. Inter-op worker threads (src/serve) therefore
+//   never stack intra-op pools on top of each other.
+// * fn must not throw: chunks run on pool threads with no unwind channel
+//   back to the caller. Kernels are pure arithmetic and satisfy this.
+//
+// This file (with parallel_for.cpp) is the only place outside src/serve/
+// allowed to construct std::thread — enforced by tools/tsdx_lint.py, rule
+// `raw-thread`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace tsdx::par {
+
+/// Chunk body: process the half-open index range [begin, end).
+using ChunkFn = std::function<void(std::int64_t begin, std::int64_t end)>;
+
+/// Current intra-op budget (pool workers + the calling thread). Lazily
+/// initialized from TSDX_NUM_THREADS, else std::thread::hardware_concurrency.
+std::size_t threads();
+
+/// Resize the pool to an n-thread budget (n-1 workers; the caller is the
+/// n-th). n == 0 is treated as 1. Blocks until in-flight loops finish.
+void set_threads(std::size_t n);
+
+/// True when TSDX_NUM_THREADS was set in the environment — callers that
+/// compute a default budget (src/serve) must not override an explicit user
+/// choice.
+bool env_override();
+
+/// Run fn over [0, total) in chunks of `grain`. Chunks are claimed by the
+/// pool workers and the calling thread; returns after every chunk completed.
+/// `grain` must be >= 1 and should be a pure function of the problem shape.
+void parallel_for(std::int64_t total, std::int64_t grain, const ChunkFn& fn);
+
+/// Deterministic parallel sum: double partial per `grain`-chunk, combined by
+/// a fixed-order pairwise tree. Bit-identical at any thread count.
+double tree_sum(const float* data, std::int64_t n, std::int64_t grain);
+
+/// Pick a chunk grain so each chunk carries roughly `kTargetChunkCost`
+/// (~32k) units of work, given `cost_per_item` units per index. Pure
+/// function of its arguments — safe for deterministic partitioning.
+std::int64_t suggest_grain(std::int64_t total, std::int64_t cost_per_item);
+
+}  // namespace tsdx::par

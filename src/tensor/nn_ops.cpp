@@ -1,10 +1,98 @@
 #include "tensor/nn_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/check.hpp"
+#include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/parallel_for.hpp"
 
 namespace tsdx::tensor {
+
+namespace {
+
+// Both convolutions lower to im2col + GEMM. The 2d variant is the 3d one
+// with a degenerate time axis (t = kt = ot = 1, stride_t = 1, pad_t = 0).
+// Column r = ((ic*kt + kz)*kh + ky)*kw + kx of the [ck, opix] col matrix
+// matches the flattened weight layout [cout, ck], so the GEMM accumulates
+// taps in the same ascending (ic, kz, ky, kx) order as the direct loops.
+
+/// Gather one [cin, t, h, w] image into col[ck, opix]; padding taps become 0.
+void im2col(const float* in, std::int64_t cin, std::int64_t t, std::int64_t h,
+            std::int64_t w, std::int64_t kt, std::int64_t kh, std::int64_t kw,
+            std::int64_t ot, std::int64_t oh, std::int64_t ow,
+            std::int64_t stride_t, std::int64_t stride_s, std::int64_t pad_t,
+            std::int64_t pad_s, float* col) {
+  const std::int64_t ck = cin * kt * kh * kw;
+  const std::int64_t opix = ot * oh * ow;
+  par::parallel_for(
+      ck, par::suggest_grain(ck, opix), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const std::int64_t kx = r % kw;
+          const std::int64_t ky = (r / kw) % kh;
+          const std::int64_t kz = (r / (kw * kh)) % kt;
+          const std::int64_t ic = r / (kw * kh * kt);
+          const float* vol = in + ic * t * h * w;
+          float* dst = col + r * opix;
+          for (std::int64_t z = 0; z < ot; ++z) {
+            const std::int64_t iz = z * stride_t + kz - pad_t;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              const std::int64_t iy = y * stride_s + ky - pad_s;
+              for (std::int64_t x = 0; x < ow; ++x) {
+                const std::int64_t ix = x * stride_s + kx - pad_s;
+                const bool inb = iz >= 0 && iz < t && iy >= 0 && iy < h &&
+                                 ix >= 0 && ix < w;
+                dst[(z * oh + y) * ow + x] =
+                    inb ? vol[(iz * h + iy) * w + ix] : 0.0f;
+              }
+            }
+          }
+        }
+      });
+}
+
+/// Transpose of im2col: scatter-add dcol[ck, opix] into the input gradient.
+/// Parallel over channels — channel ic's columns land only in its own input
+/// volume, so chunks write disjoint memory.
+void col2im(const float* dcol, std::int64_t cin, std::int64_t t,
+            std::int64_t h, std::int64_t w, std::int64_t kt, std::int64_t kh,
+            std::int64_t kw, std::int64_t ot, std::int64_t oh, std::int64_t ow,
+            std::int64_t stride_t, std::int64_t stride_s, std::int64_t pad_t,
+            std::int64_t pad_s, float* gin) {
+  const std::int64_t opix = ot * oh * ow;
+  par::parallel_for(
+      cin, par::suggest_grain(cin, kt * kh * kw * opix),
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t ic = c0; ic < c1; ++ic) {
+          float* vol = gin + ic * t * h * w;
+          for (std::int64_t kz = 0; kz < kt; ++kz) {
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t r = ((ic * kt + kz) * kh + ky) * kw + kx;
+                const float* src = dcol + r * opix;
+                for (std::int64_t z = 0; z < ot; ++z) {
+                  const std::int64_t iz = z * stride_t + kz - pad_t;
+                  if (iz < 0 || iz >= t) continue;
+                  for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t iy = y * stride_s + ky - pad_s;
+                    if (iy < 0 || iy >= h) continue;
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                      const std::int64_t ix = x * stride_s + kx - pad_s;
+                      if (ix < 0 || ix >= w) continue;
+                      vol[(iz * h + iy) * w + ix] +=
+                          src[(z * oh + y) * ow + x];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace
 
 Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   float eps) {
@@ -23,33 +111,36 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const auto xv = x.data();
   const auto gv = gamma.data();
   const auto bv = beta.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = xv.data() + r * d;
-    float mean = 0.0f;
-    for (std::int64_t i = 0; i < d; ++i) mean += xr[i];
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (std::int64_t i = 0; i < d; ++i) {
-      const float c = xr[i] - mean;
-      var += c * c;
+  const std::int64_t grain = par::suggest_grain(rows, d);
+  par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xr = xv.data() + r * d;
+      float mean = 0.0f;
+      for (std::int64_t i = 0; i < d; ++i) mean += xr[i];
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (std::int64_t i = 0; i < d; ++i) {
+        const float c = xr[i] - mean;
+        var += c * c;
+      }
+      var /= static_cast<float>(d);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      (*inv_std)[static_cast<std::size_t>(r)] = istd;
+      float* xh = xhat->data() + r * d;
+      float* yr = out.data() + r * d;
+      for (std::int64_t i = 0; i < d; ++i) {
+        xh[i] = (xr[i] - mean) * istd;
+        yr[i] = xh[i] * gv[i] + bv[i];
+      }
     }
-    var /= static_cast<float>(d);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[static_cast<std::size_t>(r)] = istd;
-    float* xh = xhat->data() + r * d;
-    float* yr = out.data() + r * d;
-    for (std::int64_t i = 0; i < d; ++i) {
-      xh[i] = (xr[i] - mean) * istd;
-      yr[i] = xh[i] * gv[i] + bv[i];
-    }
-  }
+  });
 
   NodePtr xn = x.node();
   NodePtr gn = gamma.node();
   NodePtr bn = beta.node();
   return make_op_result(
       x.shape(), std::move(out), {xn, gn, bn},
-      [xn, gn, bn, xhat, inv_std, rows, d](Node& self) {
+      [xn, gn, bn, xhat, inv_std, rows, d, grain](Node& self) {
         const auto& g = self.grad;
         const auto& gv2 = gn->data;
         if (bn->requires_grad) {
@@ -69,25 +160,28 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         }
         if (xn->requires_grad) {
           auto& gx = xn->ensure_grad();
-          // dx = istd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
-          for (std::int64_t r = 0; r < rows; ++r) {
-            const float* gr = g.data() + r * d;
-            const float* xh = xhat->data() + r * d;
-            const float istd = (*inv_std)[static_cast<std::size_t>(r)];
-            float m1 = 0.0f, m2 = 0.0f;
-            for (std::int64_t i = 0; i < d; ++i) {
-              const float dxh = gr[i] * gv2[i];
-              m1 += dxh;
-              m2 += dxh * xh[i];
+          // dx = istd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat));
+          // rows are independent, so the forward grain partitions them too.
+          par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+              const float* gr = g.data() + r * d;
+              const float* xh = xhat->data() + r * d;
+              const float istd = (*inv_std)[static_cast<std::size_t>(r)];
+              float m1 = 0.0f, m2 = 0.0f;
+              for (std::int64_t i = 0; i < d; ++i) {
+                const float dxh = gr[i] * gv2[i];
+                m1 += dxh;
+                m2 += dxh * xh[i];
+              }
+              m1 /= static_cast<float>(d);
+              m2 /= static_cast<float>(d);
+              float* dst = gx.data() + r * d;
+              for (std::int64_t i = 0; i < d; ++i) {
+                const float dxh = gr[i] * gv2[i];
+                dst[i] += istd * (dxh - m1 - xh[i] * m2);
+              }
             }
-            m1 /= static_cast<float>(d);
-            m2 /= static_cast<float>(d);
-            float* dst = gx.data() + r * d;
-            for (std::int64_t i = 0; i < d; ++i) {
-              const float dxh = gr[i] * gv2[i];
-              dst[i] += istd * (dxh - m1 - xh[i] * m2);
-            }
-          }
+          });
         }
       });
 }
@@ -198,34 +292,25 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                     to_string(input.shape()), " and kernel ",
                     to_string(weight.shape()));
 
-  std::vector<float> out(static_cast<std::size_t>(b * cout * oh * ow));
+  const std::int64_t ck = cin * kh * kw;
+  const std::int64_t opix = oh * ow;
+  std::vector<float> out(static_cast<std::size_t>(b * cout * opix));
   const float* in = input.data().data();
   const float* wt = weight.data().data();
   const float* bs = bias.data().data();
 
+  // out[n] = bias ⊕ W[cout, ck] · col[ck, opix]: pre-fill each output channel
+  // with its bias so the GEMM's accumulation starts from it, exactly like the
+  // direct loop's `acc = bs[oc]`.
+  std::vector<float> col(static_cast<std::size_t>(ck * opix));
   for (std::int64_t n = 0; n < b; ++n) {
+    im2col(in + n * cin * h * w, cin, 1, h, w, 1, kh, kw, 1, oh, ow, 1, stride,
+           0, pad, col.data());
+    float* outn = out.data() + n * cout * opix;
     for (std::int64_t oc = 0; oc < cout; ++oc) {
-      float* outp = out.data() + ((n * cout + oc) * oh) * ow;
-      for (std::int64_t y = 0; y < oh; ++y) {
-        for (std::int64_t x = 0; x < ow; ++x) {
-          float acc = bs[oc];
-          for (std::int64_t ic = 0; ic < cin; ++ic) {
-            const float* inc = in + ((n * cin + ic) * h) * w;
-            const float* wtc = wt + ((oc * cin + ic) * kh) * kw;
-            for (std::int64_t ky = 0; ky < kh; ++ky) {
-              const std::int64_t iy = y * stride + ky - pad;
-              if (iy < 0 || iy >= h) continue;
-              for (std::int64_t kx = 0; kx < kw; ++kx) {
-                const std::int64_t ix = x * stride + kx - pad;
-                if (ix < 0 || ix >= w) continue;
-                acc += inc[iy * w + ix] * wtc[ky * kw + kx];
-              }
-            }
-          }
-          outp[y * ow + x] = acc;
-        }
-      }
+      std::fill_n(outn + oc * opix, opix, bs[oc]);
     }
+    kernels::mm_nn(cout, ck, opix, wt, col.data(), outn);
   }
 
   NodePtr in_n = input.node();
@@ -235,6 +320,8 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
       Shape{b, cout, oh, ow}, std::move(out), {in_n, wt_n, bs_n},
       [in_n, wt_n, bs_n, b, cin, h, w, cout, kh, kw, oh, ow, stride,
        pad](Node& self) {
+        const std::int64_t ck = cin * kh * kw;
+        const std::int64_t opix = oh * ow;
         const float* g = self.grad.data();
         const float* in2 = in_n->data.data();
         const float* wt2 = wt_n->data.data();
@@ -242,34 +329,30 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         float* gwt = wt_n->requires_grad ? wt_n->ensure_grad().data() : nullptr;
         float* gbs = bs_n->requires_grad ? bs_n->ensure_grad().data() : nullptr;
 
+        std::vector<float> col;
+        if (gwt) col.resize(static_cast<std::size_t>(ck * opix));
+        std::vector<float> dcol;
+        if (gin) dcol.resize(static_cast<std::size_t>(ck * opix));
         for (std::int64_t n = 0; n < b; ++n) {
-          for (std::int64_t oc = 0; oc < cout; ++oc) {
-            const float* gout = g + ((n * cout + oc) * oh) * ow;
-            for (std::int64_t y = 0; y < oh; ++y) {
-              for (std::int64_t x = 0; x < ow; ++x) {
-                const float gv = gout[y * ow + x];
-                if (gv == 0.0f) continue;
-                if (gbs) gbs[oc] += gv;
-                for (std::int64_t ic = 0; ic < cin; ++ic) {
-                  const float* inc = in2 + ((n * cin + ic) * h) * w;
-                  const float* wtc = wt2 + ((oc * cin + ic) * kh) * kw;
-                  float* ginc =
-                      gin ? gin + ((n * cin + ic) * h) * w : nullptr;
-                  float* gwtc =
-                      gwt ? gwt + ((oc * cin + ic) * kh) * kw : nullptr;
-                  for (std::int64_t ky = 0; ky < kh; ++ky) {
-                    const std::int64_t iy = y * stride + ky - pad;
-                    if (iy < 0 || iy >= h) continue;
-                    for (std::int64_t kx = 0; kx < kw; ++kx) {
-                      const std::int64_t ix = x * stride + kx - pad;
-                      if (ix < 0 || ix >= w) continue;
-                      if (gwtc) gwtc[ky * kw + kx] += gv * inc[iy * w + ix];
-                      if (ginc) ginc[iy * w + ix] += gv * wtc[ky * kw + kx];
-                    }
-                  }
-                }
-              }
+          const float* gn = g + n * cout * opix;
+          if (gbs) {
+            for (std::int64_t oc = 0; oc < cout; ++oc) {
+              const float* row = gn + oc * opix;
+              for (std::int64_t j = 0; j < opix; ++j) gbs[oc] += row[j];
             }
+          }
+          if (gwt) {
+            // dW[cout, ck] += G[cout, opix] · colᵀ
+            im2col(in2 + n * cin * h * w, cin, 1, h, w, 1, kh, kw, 1, oh, ow,
+                   1, stride, 0, pad, col.data());
+            kernels::mm_nt(cout, opix, ck, gn, col.data(), gwt);
+          }
+          if (gin) {
+            // dcol[ck, opix] = Wᵀ · G, scattered back through col2im.
+            std::fill(dcol.begin(), dcol.end(), 0.0f);
+            kernels::mm_tn(ck, cout, opix, wt2, gn, dcol.data());
+            col2im(dcol.data(), cin, 1, h, w, 1, kh, kw, 1, oh, ow, 1, stride,
+                   0, pad, gin + n * cin * h * w);
           }
         }
       });
@@ -301,41 +384,22 @@ Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                     "conv3d: empty output for input ", to_string(input.shape()),
                     " and kernel ", to_string(weight.shape()));
 
-  std::vector<float> out(static_cast<std::size_t>(b * cout * ot * oh * ow));
+  const std::int64_t ck = cin * kt * kh * kw;
+  const std::int64_t opix = ot * oh * ow;
+  std::vector<float> out(static_cast<std::size_t>(b * cout * opix));
   const float* in = input.data().data();
   const float* wt = weight.data().data();
   const float* bs = bias.data().data();
 
+  std::vector<float> col(static_cast<std::size_t>(ck * opix));
   for (std::int64_t n = 0; n < b; ++n) {
+    im2col(in + n * cin * t * h * w, cin, t, h, w, kt, kh, kw, ot, oh, ow,
+           stride_t, stride_s, pad_t, pad_s, col.data());
+    float* outn = out.data() + n * cout * opix;
     for (std::int64_t oc = 0; oc < cout; ++oc) {
-      float* outp = out.data() + (((n * cout + oc) * ot) * oh) * ow;
-      for (std::int64_t z = 0; z < ot; ++z) {
-        for (std::int64_t y = 0; y < oh; ++y) {
-          for (std::int64_t x = 0; x < ow; ++x) {
-            float acc = bs[oc];
-            for (std::int64_t ic = 0; ic < cin; ++ic) {
-              const float* inc = in + (((n * cin + ic) * t) * h) * w;
-              const float* wtc = wt + (((oc * cin + ic) * kt) * kh) * kw;
-              for (std::int64_t kz = 0; kz < kt; ++kz) {
-                const std::int64_t iz = z * stride_t + kz - pad_t;
-                if (iz < 0 || iz >= t) continue;
-                for (std::int64_t ky = 0; ky < kh; ++ky) {
-                  const std::int64_t iy = y * stride_s + ky - pad_s;
-                  if (iy < 0 || iy >= h) continue;
-                  for (std::int64_t kx = 0; kx < kw; ++kx) {
-                    const std::int64_t ix = x * stride_s + kx - pad_s;
-                    if (ix < 0 || ix >= w) continue;
-                    acc += inc[(iz * h + iy) * w + ix] *
-                           wtc[(kz * kh + ky) * kw + kx];
-                  }
-                }
-              }
-            }
-            outp[(z * oh + y) * ow + x] = acc;
-          }
-        }
-      }
+      std::fill_n(outn + oc * opix, opix, bs[oc]);
     }
+    kernels::mm_nn(cout, ck, opix, wt, col.data(), outn);
   }
 
   NodePtr in_n = input.node();
@@ -345,6 +409,8 @@ Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
       Shape{b, cout, ot, oh, ow}, std::move(out), {in_n, wt_n, bs_n},
       [in_n, wt_n, bs_n, b, cin, t, h, w, cout, kt, kh, kw, ot, oh, ow,
        stride_t, stride_s, pad_t, pad_s](Node& self) {
+        const std::int64_t ck = cin * kt * kh * kw;
+        const std::int64_t opix = ot * oh * ow;
         const float* g = self.grad.data();
         const float* in2 = in_n->data.data();
         const float* wt2 = wt_n->data.data();
@@ -352,45 +418,28 @@ Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         float* gwt = wt_n->requires_grad ? wt_n->ensure_grad().data() : nullptr;
         float* gbs = bs_n->requires_grad ? bs_n->ensure_grad().data() : nullptr;
 
+        std::vector<float> col;
+        if (gwt) col.resize(static_cast<std::size_t>(ck * opix));
+        std::vector<float> dcol;
+        if (gin) dcol.resize(static_cast<std::size_t>(ck * opix));
         for (std::int64_t n = 0; n < b; ++n) {
-          for (std::int64_t oc = 0; oc < cout; ++oc) {
-            const float* gout = g + (((n * cout + oc) * ot) * oh) * ow;
-            for (std::int64_t z = 0; z < ot; ++z) {
-              for (std::int64_t y = 0; y < oh; ++y) {
-                for (std::int64_t x = 0; x < ow; ++x) {
-                  const float gv = gout[(z * oh + y) * ow + x];
-                  if (gv == 0.0f) continue;
-                  if (gbs) gbs[oc] += gv;
-                  for (std::int64_t ic = 0; ic < cin; ++ic) {
-                    const float* inc = in2 + (((n * cin + ic) * t) * h) * w;
-                    const float* wtc =
-                        wt2 + (((oc * cin + ic) * kt) * kh) * kw;
-                    float* ginc =
-                        gin ? gin + (((n * cin + ic) * t) * h) * w : nullptr;
-                    float* gwtc =
-                        gwt ? gwt + (((oc * cin + ic) * kt) * kh) * kw
-                            : nullptr;
-                    for (std::int64_t kz = 0; kz < kt; ++kz) {
-                      const std::int64_t iz = z * stride_t + kz - pad_t;
-                      if (iz < 0 || iz >= t) continue;
-                      for (std::int64_t ky = 0; ky < kh; ++ky) {
-                        const std::int64_t iy = y * stride_s + ky - pad_s;
-                        if (iy < 0 || iy >= h) continue;
-                        for (std::int64_t kx = 0; kx < kw; ++kx) {
-                          const std::int64_t ix = x * stride_s + kx - pad_s;
-                          if (ix < 0 || ix >= w) continue;
-                          const std::int64_t in_idx = (iz * h + iy) * w + ix;
-                          const std::int64_t wt_idx =
-                              (kz * kh + ky) * kw + kx;
-                          if (gwtc) gwtc[wt_idx] += gv * inc[in_idx];
-                          if (ginc) ginc[in_idx] += gv * wtc[wt_idx];
-                        }
-                      }
-                    }
-                  }
-                }
-              }
+          const float* gn = g + n * cout * opix;
+          if (gbs) {
+            for (std::int64_t oc = 0; oc < cout; ++oc) {
+              const float* row = gn + oc * opix;
+              for (std::int64_t j = 0; j < opix; ++j) gbs[oc] += row[j];
             }
+          }
+          if (gwt) {
+            im2col(in2 + n * cin * t * h * w, cin, t, h, w, kt, kh, kw, ot, oh,
+                   ow, stride_t, stride_s, pad_t, pad_s, col.data());
+            kernels::mm_nt(cout, opix, ck, gn, col.data(), gwt);
+          }
+          if (gin) {
+            std::fill(dcol.begin(), dcol.end(), 0.0f);
+            kernels::mm_tn(ck, cout, opix, wt2, gn, dcol.data());
+            col2im(dcol.data(), cin, t, h, w, kt, kh, kw, ot, oh, ow, stride_t,
+                   stride_s, pad_t, pad_s, gin + n * cin * t * h * w);
           }
         }
       });

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/parallel_for.hpp"
 
 namespace tsdx::tensor {
 
@@ -223,100 +225,158 @@ Tensor pow(const Tensor& a, float exponent) {
 }
 
 // ---- matmul ---------------------------------------------------------------------
+//
+// Both products run on the blocked, panel-packed kernels in
+// tensor/kernels/gemm.hpp, parallelized over C rows by tsdx::par. A shared
+// rhs ([K,N] against [*batch,M,K]) is the common Linear case: the batch
+// collapses into one [batch*M, K] x [K, N] product, and its backward
+// reduces over the batch *inside* the kernel's ascending-k accumulation —
+// deterministic at any thread count, with the packed panels replacing the
+// seed's strided inner loops (dA via mm_nt, dB via mm_tn).
 
 namespace {
 
-/// C[M,N] += A[M,K] @ B[K,N]   (row-major, cache-friendly ikj order)
-void mm_nn_acc(const float* a, const float* b, float* c, std::int64_t m,
-               std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float aip = a[i * k + p];
-      if (aip == 0.0f) continue;
-      const float* brow = b + p * n;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+/// Common shape logic for matmul / matmul_nt. `k_axis_first` says whether
+/// b's contraction axis is its second-to-last (matmul: [.., K, N]) or last
+/// (matmul_nt: [.., N, K]) axis.
+struct MatmulDims {
+  std::int64_t batch = 1;
+  std::int64_t m = 0, k = 0, n = 0;
+  bool shared_rhs = false;
+  Shape out_shape;
+};
+
+MatmulDims matmul_dims(const char* op, const Shape& as, const Shape& bs,
+                       bool k_axis_first) {
+  if (as.size() < 2 || bs.size() < 2) shape_error(op, as, bs);
+  MatmulDims d;
+  d.m = as[as.size() - 2];
+  d.k = as[as.size() - 1];
+  const std::int64_t bk = k_axis_first ? bs[bs.size() - 2] : bs[bs.size() - 1];
+  d.n = k_axis_first ? bs[bs.size() - 1] : bs[bs.size() - 2];
+  if (d.k != bk) shape_error(op, as, bs);
+
+  d.shared_rhs = bs.size() == 2;
+  if (!d.shared_rhs) {
+    // batch dims must match exactly
+    if (as.size() != bs.size()) shape_error(op, as, bs);
+    for (std::size_t i = 0; i + 2 < as.size(); ++i) {
+      if (as[i] != bs[i]) shape_error(op, as, bs);
     }
   }
+  for (std::size_t i = 0; i + 2 < as.size(); ++i) d.batch *= as[i];
+  d.out_shape.assign(as.begin(), as.end() - 2);
+  d.out_shape.push_back(d.m);
+  d.out_shape.push_back(d.n);
+  return d;
 }
 
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  const Shape& as = a.shape();
-  const Shape& bs = b.shape();
-  if (as.size() < 2 || bs.size() < 2) shape_error("matmul", as, bs);
-  const std::int64_t m = as[as.size() - 2];
-  const std::int64_t k = as[as.size() - 1];
-  const std::int64_t k2 = bs[bs.size() - 2];
-  const std::int64_t n = bs[bs.size() - 1];
-  if (k != k2) shape_error("matmul", as, bs);
-
-  const bool shared_rhs = bs.size() == 2;
-  if (!shared_rhs) {
-    // batch dims must match exactly
-    if (as.size() != bs.size()) shape_error("matmul", as, bs);
-    for (std::size_t i = 0; i + 2 < as.size(); ++i) {
-      if (as[i] != bs[i]) shape_error("matmul", as, bs);
-    }
-  }
-  std::int64_t batch = 1;
-  for (std::size_t i = 0; i + 2 < as.size(); ++i) batch *= as[i];
-
-  Shape out_shape(as.begin(), as.end() - 2);
-  out_shape.push_back(m);
-  out_shape.push_back(n);
+  const MatmulDims d =
+      matmul_dims("matmul", a.shape(), b.shape(), /*k_axis_first=*/true);
+  const std::int64_t batch = d.batch, m = d.m, k = d.k, n = d.n;
+  const bool shared_rhs = d.shared_rhs;
 
   std::vector<float> out(static_cast<std::size_t>(batch * m * n), 0.0f);
   const float* ap = a.data().data();
   const float* bp = b.data().data();
-  for (std::int64_t bi = 0; bi < batch; ++bi) {
-    const float* abatch = ap + bi * m * k;
-    const float* bbatch = shared_rhs ? bp : bp + bi * k * n;
-    mm_nn_acc(abatch, bbatch, out.data() + bi * m * n, m, k, n);
+  if (shared_rhs) {
+    // One [batch*m, k] x [k, n] product; each output row depends only on
+    // its own input row, so batching preserves per-item bit-identity.
+    kernels::mm_nn(batch * m, k, n, ap, bp, out.data());
+  } else {
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+      kernels::mm_nn(m, k, n, ap + bi * m * k, bp + bi * k * n,
+                     out.data() + bi * m * n);
+    }
   }
 
   NodePtr an = a.node();
   NodePtr bn = b.node();
   return make_op_result(
-      std::move(out_shape), std::move(out), {an, bn},
+      std::move(d.out_shape), std::move(out), {an, bn},
       [an, bn, batch, m, k, n, shared_rhs](Node& self) {
         const float* g = self.grad.data();
         const float* ax = an->data.data();
         const float* bx = bn->data.data();
         if (an->requires_grad) {
           float* ga = an->ensure_grad().data();
-          // dA[i,p] += sum_j G[i,j] * B[p,j]
-          for (std::int64_t bi = 0; bi < batch; ++bi) {
-            const float* gb = g + bi * m * n;
-            const float* bb = shared_rhs ? bx : bx + bi * k * n;
-            float* gab = ga + bi * m * k;
-            for (std::int64_t i = 0; i < m; ++i) {
-              for (std::int64_t p = 0; p < k; ++p) {
-                float acc = 0.0f;
-                const float* grow = gb + i * n;
-                const float* brow = bb + p * n;
-                for (std::int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-                gab[i * k + p] += acc;
-              }
+          // dA[i,p] += sum_j G[i,j] * B[p,j]  ==  G · Bᵀ  (mm_nt)
+          if (shared_rhs) {
+            kernels::mm_nt(batch * m, n, k, g, bx, ga);
+          } else {
+            for (std::int64_t bi = 0; bi < batch; ++bi) {
+              kernels::mm_nt(m, n, k, g + bi * m * n, bx + bi * k * n,
+                             ga + bi * m * k);
             }
           }
         }
         if (bn->requires_grad) {
           float* gbm = bn->ensure_grad().data();
-          // dB[p,j] += sum_i A[i,p] * G[i,j]   (accumulated over batch when shared)
-          for (std::int64_t bi = 0; bi < batch; ++bi) {
-            const float* gb = g + bi * m * n;
-            const float* ab = ax + bi * m * k;
-            float* gbb = shared_rhs ? gbm : gbm + bi * k * n;
-            for (std::int64_t i = 0; i < m; ++i) {
-              for (std::int64_t p = 0; p < k; ++p) {
-                const float aip = ab[i * k + p];
-                if (aip == 0.0f) continue;
-                const float* grow = gb + i * n;
-                float* gbrow = gbb + p * n;
-                for (std::int64_t j = 0; j < n; ++j) gbrow[j] += aip * grow[j];
-              }
+          // dB[p,j] += sum_i A[i,p] * G[i,j]  ==  Aᵀ · G  (mm_tn); with a
+          // shared rhs the batch reduction is the kernel's own ascending-i
+          // accumulation over the flattened [batch*m] rows.
+          if (shared_rhs) {
+            kernels::mm_tn(k, batch * m, n, ax, g, gbm);
+          } else {
+            for (std::int64_t bi = 0; bi < batch; ++bi) {
+              kernels::mm_tn(k, m, n, ax + bi * m * k, g + bi * m * n,
+                             gbm + bi * k * n);
+            }
+          }
+        }
+      });
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  const MatmulDims d =
+      matmul_dims("matmul_nt", a.shape(), b.shape(), /*k_axis_first=*/false);
+  const std::int64_t batch = d.batch, m = d.m, k = d.k, n = d.n;
+  const bool shared_rhs = d.shared_rhs;
+
+  std::vector<float> out(static_cast<std::size_t>(batch * m * n), 0.0f);
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  if (shared_rhs) {
+    kernels::mm_nt(batch * m, k, n, ap, bp, out.data());
+  } else {
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+      kernels::mm_nt(m, k, n, ap + bi * m * k, bp + bi * n * k,
+                     out.data() + bi * m * n);
+    }
+  }
+
+  NodePtr an = a.node();
+  NodePtr bn = b.node();
+  return make_op_result(
+      std::move(d.out_shape), std::move(out), {an, bn},
+      [an, bn, batch, m, k, n, shared_rhs](Node& self) {
+        const float* g = self.grad.data();
+        const float* ax = an->data.data();
+        const float* bx = bn->data.data();
+        if (an->requires_grad) {
+          float* ga = an->ensure_grad().data();
+          // dA[i,p] += sum_j G[i,j] * B[j,p]  ==  G · B  (mm_nn)
+          if (shared_rhs) {
+            kernels::mm_nn(batch * m, n, k, g, bx, ga);
+          } else {
+            for (std::int64_t bi = 0; bi < batch; ++bi) {
+              kernels::mm_nn(m, n, k, g + bi * m * n, bx + bi * n * k,
+                             ga + bi * m * k);
+            }
+          }
+        }
+        if (bn->requires_grad) {
+          float* gbm = bn->ensure_grad().data();
+          // dB[j,p] += sum_i G[i,j] * A[i,p]  ==  Gᵀ · A  (mm_tn)
+          if (shared_rhs) {
+            kernels::mm_tn(n, batch * m, k, g, ax, gbm);
+          } else {
+            for (std::int64_t bi = 0; bi < batch; ++bi) {
+              kernels::mm_tn(n, m, k, g + bi * m * n, ax + bi * m * k,
+                             gbm + bi * n * k);
             }
           }
         }
@@ -326,8 +386,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 // ---- reductions -------------------------------------------------------------------
 
 Tensor sum_all(const Tensor& a) {
-  double acc = 0.0;
-  for (float v : a.data()) acc += v;
+  // Deterministic parallel reduction: fixed-grain partials + a fixed-order
+  // pairwise tree (par::tree_sum), bit-identical at any thread count.
+  const std::int64_t n = a.numel();
+  const double acc =
+      par::tree_sum(a.data().data(), n, par::suggest_grain(n, 1));
   NodePtr an = a.node();
   return make_op_result(Shape{}, {static_cast<float>(acc)}, {an},
                         [an](Node& self) {
@@ -688,38 +751,44 @@ Tensor softmax_lastdim(const Tensor& a) {
   const std::int64_t rows = a.numel() / d;
   std::vector<float> out(static_cast<std::size_t>(a.numel()));
   const auto av = a.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* x = av.data() + r * d;
-    float* y = out.data() + r * d;
-    float mx = x[0];
-    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
-    float sum = 0.0f;
-    for (std::int64_t i = 0; i < d; ++i) {
-      y[i] = std::exp(x[i] - mx);
-      sum += y[i];
+  // Rows are independent: partition them across the intra-op pool (chunk
+  // boundaries depend on the shape only, so results are thread-count
+  // invariant).
+  const std::int64_t grain = par::suggest_grain(rows, d);
+  par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* x = av.data() + r * d;
+      float* y = out.data() + r * d;
+      float mx = x[0];
+      for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
+      float sum = 0.0f;
+      for (std::int64_t i = 0; i < d; ++i) {
+        y[i] = std::exp(x[i] - mx);
+        sum += y[i];
+      }
+      const float inv = 1.0f / sum;
+      for (std::int64_t i = 0; i < d; ++i) y[i] *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (std::int64_t i = 0; i < d; ++i) y[i] *= inv;
-  }
+  });
   NodePtr an = a.node();
   auto saved = std::make_shared<std::vector<float>>(out);
-  return make_op_result(a.shape(), std::move(out), {an},
-                        [an, saved, rows, d](Node& self) {
-                          if (!an->requires_grad) return;
-                          auto& ga = an->ensure_grad();
-                          const auto& g = self.grad;
-                          // dx = y * (g - sum_j g_j y_j)
-                          for (std::int64_t r = 0; r < rows; ++r) {
-                            const float* y = saved->data() + r * d;
-                            const float* gr = g.data() + r * d;
-                            float dot = 0.0f;
-                            for (std::int64_t i = 0; i < d; ++i)
-                              dot += gr[i] * y[i];
-                            float* dst = ga.data() + r * d;
-                            for (std::int64_t i = 0; i < d; ++i)
-                              dst[i] += y[i] * (gr[i] - dot);
-                          }
-                        });
+  return make_op_result(
+      a.shape(), std::move(out), {an}, [an, saved, rows, d, grain](Node& self) {
+        if (!an->requires_grad) return;
+        auto& ga = an->ensure_grad();
+        const auto& g = self.grad;
+        // dx = y * (g - sum_j g_j y_j)
+        par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const float* y = saved->data() + r * d;
+            const float* gr = g.data() + r * d;
+            float dot = 0.0f;
+            for (std::int64_t i = 0; i < d; ++i) dot += gr[i] * y[i];
+            float* dst = ga.data() + r * d;
+            for (std::int64_t i = 0; i < d; ++i) dst[i] += y[i] * (gr[i] - dot);
+          }
+        });
+      });
 }
 
 Tensor log_softmax_lastdim(const Tensor& a) {
@@ -728,34 +797,39 @@ Tensor log_softmax_lastdim(const Tensor& a) {
   const std::int64_t rows = a.numel() / d;
   std::vector<float> out(static_cast<std::size_t>(a.numel()));
   const auto av = a.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* x = av.data() + r * d;
-    float* y = out.data() + r * d;
-    float mx = x[0];
-    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
-    float sum = 0.0f;
-    for (std::int64_t i = 0; i < d; ++i) sum += std::exp(x[i] - mx);
-    const float lse = mx + std::log(sum);
-    for (std::int64_t i = 0; i < d; ++i) y[i] = x[i] - lse;
-  }
+  const std::int64_t grain = par::suggest_grain(rows, d);
+  par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* x = av.data() + r * d;
+      float* y = out.data() + r * d;
+      float mx = x[0];
+      for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
+      float sum = 0.0f;
+      for (std::int64_t i = 0; i < d; ++i) sum += std::exp(x[i] - mx);
+      const float lse = mx + std::log(sum);
+      for (std::int64_t i = 0; i < d; ++i) y[i] = x[i] - lse;
+    }
+  });
   NodePtr an = a.node();
   auto saved = std::make_shared<std::vector<float>>(out);
-  return make_op_result(a.shape(), std::move(out), {an},
-                        [an, saved, rows, d](Node& self) {
-                          if (!an->requires_grad) return;
-                          auto& ga = an->ensure_grad();
-                          const auto& g = self.grad;
-                          // dx = g - exp(y) * sum_j g_j
-                          for (std::int64_t r = 0; r < rows; ++r) {
-                            const float* y = saved->data() + r * d;
-                            const float* gr = g.data() + r * d;
-                            float gsum = 0.0f;
-                            for (std::int64_t i = 0; i < d; ++i) gsum += gr[i];
-                            float* dst = ga.data() + r * d;
-                            for (std::int64_t i = 0; i < d; ++i)
-                              dst[i] += gr[i] - std::exp(y[i]) * gsum;
-                          }
-                        });
+  return make_op_result(
+      a.shape(), std::move(out), {an}, [an, saved, rows, d, grain](Node& self) {
+        if (!an->requires_grad) return;
+        auto& ga = an->ensure_grad();
+        const auto& g = self.grad;
+        // dx = g - exp(y) * sum_j g_j
+        par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const float* y = saved->data() + r * d;
+            const float* gr = g.data() + r * d;
+            float gsum = 0.0f;
+            for (std::int64_t i = 0; i < d; ++i) gsum += gr[i];
+            float* dst = ga.data() + r * d;
+            for (std::int64_t i = 0; i < d; ++i)
+              dst[i] += gr[i] - std::exp(y[i]) * gsum;
+          }
+        });
+      });
 }
 
 std::vector<std::int64_t> argmax_lastdim(const Tensor& a) {

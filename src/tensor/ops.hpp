@@ -52,6 +52,11 @@ Tensor pow(const Tensor& a, float exponent);
 ///   a: [*batch, M, K]   b: [*batch, K, N]    -> [*batch, M, N]
 /// Plain [M,K] x [K,N] is the zero-batch case.
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// Batched product against a transposed rhs: a · bᵀ without materializing
+/// the transpose (used for attention scores Q·Kᵀ).
+///   a: [*batch, M, K]   b: [N, K]            -> [*batch, M, N]  (shared rhs)
+///   a: [*batch, M, K]   b: [*batch, N, K]    -> [*batch, M, N]
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
 // ---- reductions ---------------------------------------------------------------
 Tensor sum_all(const Tensor& a);   ///< -> scalar

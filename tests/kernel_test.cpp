@@ -1,0 +1,275 @@
+// kernel_test.cpp — the compute-kernel layer's contract (see DESIGN.md
+// "Compute kernels & threading model"):
+//
+//   1. The blocked, packed GEMM is BIT-identical to the textbook ikj loop
+//      for every transpose variant, including shapes that don't divide the
+//      micro-kernel or panel sizes.
+//   2. Results are BIT-identical at any thread count (1, 2, 8), because work
+//      partitioning is a pure function of the shape.
+//   3. parallel_for covers every index exactly once, and tree_sum is both
+//      deterministic and accurate.
+//   4. The autograd ops routed through the kernels (matmul, matmul_nt) still
+//      pass finite-difference gradchecks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/gradcheck.hpp"
+#include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/parallel_for.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace tt = tsdx::tensor;
+namespace kn = tsdx::tensor::kernels;
+namespace par = tsdx::par;
+using tt::Shape;
+using tt::Tensor;
+
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  tt::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+/// Textbook reference: C += op(A)·op(B) with the plain ikj loop — the same
+/// ascending-k accumulation order the blocked kernel promises to preserve.
+void naive_mm(kn::Trans ta, kn::Trans tb, std::int64_t m, std::int64_t k,
+              std::int64_t n, const float* a, const float* b, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = (ta == kn::Trans::kN) ? a[i * k + p] : a[p * m + i];
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float bv = (tb == kn::Trans::kN) ? b[p * n + j] : b[j * k + p];
+        c[i * n + j] += av * bv;
+      }
+    }
+  }
+}
+
+struct MmCase {
+  kn::Trans ta;
+  kn::Trans tb;
+  const char* name;
+};
+
+constexpr MmCase kVariants[] = {
+    {kn::Trans::kN, kn::Trans::kN, "nn"},
+    {kn::Trans::kN, kn::Trans::kT, "nt"},
+    {kn::Trans::kT, kn::Trans::kN, "tn"},
+};
+
+// Shapes straddling every blocking boundary: below/at/above the micro-kernel
+// height (4), non-dividing the KC/NC panels, and degenerate dims.
+constexpr std::int64_t kDims[] = {1, 3, 17, 64, 129};
+
+}  // namespace
+
+TEST(GemmKernelTest, BlockedMatchesNaiveBitExact) {
+  for (const MmCase& v : kVariants) {
+    for (std::int64_t m : kDims) {
+      for (std::int64_t k : kDims) {
+        for (std::int64_t n : kDims) {
+          const auto a = random_vec(static_cast<std::size_t>(m * k),
+                                    1000 + static_cast<std::uint64_t>(m));
+          const auto b = random_vec(static_cast<std::size_t>(k * n),
+                                    2000 + static_cast<std::uint64_t>(n));
+          // Non-zero C exercises the accumulate (+=) semantics.
+          auto c_blocked = random_vec(static_cast<std::size_t>(m * n), 3000);
+          auto c_naive = c_blocked;
+          kn::mm(v.ta, v.tb, m, k, n, a.data(), b.data(), c_blocked.data());
+          naive_mm(v.ta, v.tb, m, k, n, a.data(), b.data(), c_naive.data());
+          for (std::size_t i = 0; i < c_blocked.size(); ++i) {
+            ASSERT_EQ(c_blocked[i], c_naive[i])
+                << "variant=" << v.name << " m=" << m << " k=" << k
+                << " n=" << n << " at flat index " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmKernelTest, ThreadCountDoesNotChangeBits) {
+  constexpr std::int64_t m = 129, k = 65, n = 77;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), 42);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), 43);
+
+  std::vector<std::vector<float>> results;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    par::set_threads(threads);
+    EXPECT_EQ(par::threads(), threads);
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+    kn::mm_nn(m, k, n, a.data(), b.data(), c.data());
+    results.push_back(std::move(c));
+  }
+  par::set_threads(1);
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      ASSERT_EQ(results[0][i], results[t][i])
+          << "thread config " << t << " diverged at flat index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 4u}) {
+    par::set_threads(threads);
+    for (std::int64_t total : {1, 7, 64, 1000}) {
+      for (std::int64_t grain : {1, 3, 64, 2000}) {
+        std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+        for (auto& h : hits) h.store(0);
+        par::parallel_for(total, grain, [&](std::int64_t b, std::int64_t e) {
+          ASSERT_LE(b, e);
+          ASSERT_LE(e, total);
+          for (std::int64_t i = b; i < e; ++i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+          }
+        });
+        for (std::int64_t i = 0; i < total; ++i) {
+          ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+              << "threads=" << threads << " total=" << total
+              << " grain=" << grain << " index " << i;
+        }
+      }
+    }
+  }
+  par::set_threads(1);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  par::set_threads(4);
+  std::atomic<std::int64_t> count{0};
+  par::parallel_for(8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      par::parallel_for(16, 4, [&](std::int64_t ib, std::int64_t ie) {
+        count.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+  par::set_threads(1);
+}
+
+TEST(ParallelForTest, TreeSumIsDeterministicAndAccurate) {
+  const auto v = random_vec(10001, 7);
+  double seq = 0.0;
+  for (float x : v) seq += x;
+
+  std::vector<double> sums;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    par::set_threads(threads);
+    sums.push_back(
+        par::tree_sum(v.data(), static_cast<std::int64_t>(v.size()), 128));
+  }
+  par::set_threads(1);
+  // Bit-identical across thread counts; near the sequential double sum.
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[0], sums[2]);
+  EXPECT_NEAR(sums[0], seq, 1e-6 * v.size());
+}
+
+TEST(ParallelForTest, SuggestGrainIsShapePureAndBounded) {
+  // Pure function of its arguments (same inputs, same grain) and always a
+  // usable chunk size.
+  EXPECT_EQ(par::suggest_grain(1000, 10), par::suggest_grain(1000, 10));
+  EXPECT_GE(par::suggest_grain(1, 1), 1);
+  EXPECT_GE(par::suggest_grain(1 << 20, 1), 1);
+  // Expensive rows need no batching; cheap rows get grouped.
+  EXPECT_EQ(par::suggest_grain(1000, 1 << 20), 1);
+  EXPECT_GT(par::suggest_grain(1 << 20, 1), 1);
+}
+
+TEST(MatmulNtTest, MatchesExplicitTransposeBitExact) {
+  tt::Rng rng(11);
+  for (std::size_t threads : {1u, 4u}) {
+    par::set_threads(threads);
+    const Shape as{2, 3, 9, 5};
+    const Shape bs{2, 3, 7, 5};
+    Tensor a = Tensor::randn(as, rng);
+    Tensor b = Tensor::randn(bs, rng);
+    Tensor via_nt = tt::matmul_nt(a, b);
+    Tensor via_transpose = tt::matmul(a, tt::transpose_last2(b));
+    ASSERT_EQ(via_nt.shape(), via_transpose.shape());
+    const auto x = via_nt.data();
+    const auto y = via_transpose.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(x[i], y[i]) << "threads=" << threads << " index " << i;
+    }
+  }
+  par::set_threads(1);
+}
+
+TEST(MatmulNtTest, SharedRhsMatchesExplicitTranspose) {
+  tt::Rng rng(12);
+  Tensor a = Tensor::randn({4, 6, 5}, rng);
+  Tensor b = Tensor::randn({3, 5}, rng);  // shared [N, K]
+  Tensor via_nt = tt::matmul_nt(a, b);
+  Tensor via_transpose = tt::matmul(a, tt::transpose_last2(b));
+  const auto x = via_nt.data();
+  const auto y = via_transpose.data();
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(x[i], y[i]);
+}
+
+TEST(KernelGradTest, MatmulPathsPassGradcheck) {
+  struct Case {
+    const char* name;
+    Shape a, b;
+    bool nt;
+  };
+  const Case cases[] = {
+      {"SharedRhs", {3, 4, 5}, {5, 6}, false},
+      {"Batched", {2, 3, 4}, {2, 4, 5}, false},
+      {"OddShapes", {1, 7, 9}, {9, 3}, false},
+      {"NtBatched", {2, 3, 4}, {2, 6, 4}, true},
+      {"NtSharedRhs", {3, 4, 5}, {6, 5}, true},
+  };
+  tt::Rng rng(21);
+  for (const Case& c : cases) {
+    std::vector<Tensor> inputs;
+    inputs.push_back(Tensor::randn(c.a, rng, 1.0f, /*requires_grad=*/true));
+    inputs.push_back(Tensor::randn(c.b, rng, 1.0f, /*requires_grad=*/true));
+    const bool nt = c.nt;
+    auto result = tt::grad_check(
+        [nt](const std::vector<Tensor>& in) {
+          Tensor y = nt ? tt::matmul_nt(in[0], in[1])
+                        : tt::matmul(in[0], in[1]);
+          return tt::sum_all(tt::mul(y, y));
+        },
+        std::move(inputs));
+    EXPECT_TRUE(result.ok) << c.name << ": " << result.detail;
+  }
+}
+
+TEST(KernelGradTest, MatmulBackwardThreadCountInvariant) {
+  // Gradients must also be bit-identical at any thread count: the backward
+  // GEMMs partition over output rows exactly like the forward.
+  const Shape as{4, 9, 7};
+  const Shape bs{7, 5};
+  std::vector<std::vector<float>> ga_runs, gb_runs;
+  for (std::size_t threads : {1u, 8u}) {
+    par::set_threads(threads);
+    tt::Rng rng(33);
+    Tensor a = Tensor::randn(as, rng, 1.0f, /*requires_grad=*/true);
+    Tensor b = Tensor::randn(bs, rng, 1.0f, /*requires_grad=*/true);
+    Tensor loss = tt::sum_all(tt::matmul(a, b));
+    loss.backward();
+    ga_runs.emplace_back(a.grad().begin(), a.grad().end());
+    gb_runs.emplace_back(b.grad().begin(), b.grad().end());
+  }
+  par::set_threads(1);
+  ASSERT_EQ(ga_runs[0].size(), ga_runs[1].size());
+  for (std::size_t i = 0; i < ga_runs[0].size(); ++i) {
+    ASSERT_EQ(ga_runs[0][i], ga_runs[1][i]) << "dA index " << i;
+  }
+  ASSERT_EQ(gb_runs[0].size(), gb_runs[1].size());
+  for (std::size_t i = 0; i < gb_runs[0].size(); ++i) {
+    ASSERT_EQ(gb_runs[0][i], gb_runs[1][i]) << "dB index " << i;
+  }
+}

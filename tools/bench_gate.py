@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""bench_gate — perf-regression gate for the bench-smoke CI job.
+
+Compares a fresh bench_k1_kernels JSON report against the committed baseline
+(bench/BENCH_K1_baseline.json) and fails (exit 1) if forward GEMM throughput
+dropped more than the threshold (default 25%) on any shape, for either the
+blocked single-thread kernel or the parallel path.
+
+The baseline is recorded on a reference run and then derated (multiplied by
+0.8) before committing, so the gate tolerates runner-to-runner variance on
+top of the explicit threshold; it exists to catch order-of-magnitude
+regressions (a dropped fast path, an accidental de-vectorization, a pool that
+stopped parallelizing), not single-digit noise. Refresh it with:
+
+    build/bench/bench_k1_kernels --json /tmp/k1.json
+    python3 tools/bench_gate.py --derate 0.8 /tmp/k1.json \
+        > bench/BENCH_K1_baseline.json
+
+A markdown comparison table is printed, and appended to the CI job summary
+when $GITHUB_STEP_SUMMARY is set.
+
+Usage:
+    bench_gate.py CURRENT.json BASELINE.json [--threshold 0.25]
+    bench_gate.py --derate 0.8 CURRENT.json     (emit derated baseline JSON)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+GATED_METRICS = ("blocked_gflops", "parallel_gflops")
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def derate(report: dict, factor: float) -> dict:
+    out = dict(report)
+    out["derated_by"] = factor
+    out["shapes"] = []
+    for shape in report["shapes"]:
+        row = dict(shape)
+        for key in ("scalar_gflops",) + GATED_METRICS:
+            if key in row:
+                row[key] = round(row[key] * factor, 4)
+        out["shapes"].append(row)
+    if "summary" in out:
+        out["summary"] = {
+            k: (round(v * factor, 4) if isinstance(v, float) else v)
+            for k, v in report["summary"].items()
+        }
+    return out
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> tuple[str, list[str]]:
+    """Return (markdown table, list of failure strings)."""
+    base_by_name = {s["name"]: s for s in baseline["shapes"]}
+    failures: list[str] = []
+    lines = [
+        "| shape | metric | baseline GFLOP/s | current GFLOP/s | ratio | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for shape in current["shapes"]:
+        name = shape["name"]
+        base = base_by_name.get(name)
+        if base is None:
+            lines.append(f"| {name} | — | — | — | — | no baseline (new shape) |")
+            continue
+        for metric in GATED_METRICS:
+            cur_v, base_v = shape.get(metric), base.get(metric)
+            if cur_v is None or base_v is None or base_v <= 0:
+                continue
+            ratio = cur_v / base_v
+            ok = ratio >= 1.0 - threshold
+            status = "ok" if ok else f"**FAIL** (>{threshold:.0%} drop)"
+            if not ok:
+                failures.append(
+                    f"{name}/{metric}: {cur_v:.2f} GFLOP/s vs baseline "
+                    f"{base_v:.2f} ({ratio:.2f}x, floor {1.0 - threshold:.2f}x)")
+            lines.append(
+                f"| {name} | {metric.removesuffix('_gflops')} | {base_v:.2f} "
+                f"| {cur_v:.2f} | {ratio:.2f}x | {status} |")
+    missing = set(base_by_name) - {s["name"] for s in current["shapes"]}
+    for name in sorted(missing):
+        failures.append(f"{name}: present in baseline but missing from current run")
+        lines.append(f"| {name} | — | — | — | — | **FAIL** (missing) |")
+    return "\n".join(lines), failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh bench_k1_kernels JSON")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline JSON to gate against")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional drop (default 0.25)")
+    parser.add_argument("--derate", type=float, default=None, metavar="FACTOR",
+                        help="emit CURRENT scaled by FACTOR as a new baseline "
+                             "and exit (no gating)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    if args.derate is not None:
+        json.dump(derate(current, args.derate), sys.stdout, indent=2)
+        print()
+        return 0
+    if args.baseline is None:
+        parser.error("BASELINE is required unless --derate is given")
+
+    baseline = load(args.baseline)
+    table, failures = compare(current, baseline, args.threshold)
+
+    header = "## bench-smoke: kernel throughput vs baseline\n"
+    verdict = ("\n**Gate: FAIL**\n" + "\n".join(f"- {f}" for f in failures)
+               if failures else "\n**Gate: pass** — no metric dropped more "
+                                f"than {args.threshold:.0%}.")
+    report = f"{header}\n{table}\n{verdict}\n"
+    print(report)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(report + "\n")
+
+    if failures:
+        print(f"bench_gate: {len(failures)} gated metric(s) regressed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

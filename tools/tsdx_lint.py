@@ -13,12 +13,16 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     bench_common.hpp so all reconstructed tables share one
                     dataset recipe and train/eval loop.
   raw-thread        No raw std::thread / std::jthread construction outside
-                    src/serve/ — every thread in a tsdx process must go
-                    through the serve layer (ThreadPool / InferenceServer),
-                    which owns spawning and deterministic joining. Static
-                    members like std::thread::hardware_concurrency() are
-                    fine. (src/serve/ headers are swept by the header-guard
-                    and raw-array-new rules like every other module.)
+                    src/serve/ and the intra-op pool implementation
+                    (src/tensor/kernels/parallel_for.{hpp,cpp}) — every
+                    thread in a tsdx process must go through the serve layer
+                    (ThreadPool / InferenceServer) or tsdx::par, which own
+                    spawning and deterministic joining. Inside src/tensor/
+                    specifically, compute code must use tsdx::par so results
+                    stay deterministic at any thread count. Static members
+                    like std::thread::hardware_concurrency() are fine.
+                    (src/serve/ headers are swept by the header-guard and
+                    raw-array-new rules like every other module.)
   catch-all-swallow No `catch (...)` outside src/serve/ unless the handler
                     rethrows (`throw;`) or routes through the fault-injection
                     layer (`fault::`). A catch-all that swallows is how
@@ -49,8 +53,10 @@ from pathlib import Path
 SHAPE_AGNOSTIC_OPS = {"sum_all"}
 
 # Helpers that perform validation on behalf of their caller. `unary_op` is in
-# this set because elementwise unary ops are shape-agnostic by construction.
-VALIDATING_HELPERS = {"binary_op", "unary_op", "classify", "shape_error"}
+# this set because elementwise unary ops are shape-agnostic by construction;
+# `matmul_dims` centralizes the matmul/matmul_nt shape contract (ops.cpp).
+VALIDATING_HELPERS = {"binary_op", "unary_op", "classify", "shape_error",
+                      "matmul_dims"}
 
 VALIDATION_MACROS = ("TSDX_CHECK", "TSDX_SHAPE_ASSERT")
 
@@ -128,6 +134,11 @@ class Linter:
 
     def check_raw_thread(self) -> None:
         serve_dir = self.root / "src" / "serve"
+        tensor_dir = self.root / "src" / "tensor"
+        # The intra-op pool is the one compute-side owner of threads; see
+        # parallel_for.hpp's determinism contract.
+        par_files = {tensor_dir / "kernels" / "parallel_for.hpp",
+                     tensor_dir / "kernels" / "parallel_for.cpp"}
         # `std::thread` / `std::jthread` as a type (construction, members,
         # containers of threads) — but not scoped statics like
         # `std::thread::hardware_concurrency()`.
@@ -136,15 +147,24 @@ class Linter:
             for path in sorted((self.root / sub).rglob("*")):
                 if path.suffix not in (".hpp", ".cpp"):
                     continue
-                if serve_dir in path.parents:
+                if serve_dir in path.parents or path in par_files:
                     continue
+                in_tensor = tensor_dir in path.parents
                 clean = strip_comments_and_strings(path.read_text())
                 for lineno, line in enumerate(clean.splitlines(), 1):
                     if pat.search(line):
-                        self.error(path, lineno, "raw-thread",
-                                   "raw std::thread outside src/serve/ — "
-                                   "use tsdx::serve::ThreadPool or the "
-                                   "InferenceServer worker pool")
+                        if in_tensor:
+                            self.error(path, lineno, "raw-thread",
+                                       "raw std::thread in src/tensor/ — "
+                                       "compute kernels must use tsdx::par "
+                                       "(kernels/parallel_for.hpp) so results "
+                                       "are deterministic at any thread count")
+                        else:
+                            self.error(path, lineno, "raw-thread",
+                                       "raw std::thread outside src/serve/ — "
+                                       "use tsdx::serve::ThreadPool, the "
+                                       "InferenceServer worker pool, or "
+                                       "tsdx::par for intra-op parallelism")
 
     # ---- catch-all-swallow --------------------------------------------------
 
