@@ -21,7 +21,7 @@
 #include "baseline/majority.hpp"
 #include "core/extractor.hpp"
 #include "core/trainer.hpp"
-#include "serve/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace tsdx::bench {
 
@@ -171,11 +171,12 @@ inline EvalRow fit_and_evaluate(BuiltModel& built,
 //
 // Shared by every bench that reports tail latency (R-T3, R-S1): one sample
 // store + one row format, so percentile columns are computed identically
-// across tables. The histogram itself is the serving runtime's
-// (tsdx::serve::LatencyHistogram) — the benches measure the same
-// distribution the server reports at runtime.
+// across tables. The histogram is tsdx::obs::LatencyHistogram — the same
+// exact-percentile store the serving runtime reports through (src/serve
+// aliases it too), so bench tables and live server stats agree by
+// construction.
 
-using LatencyHistogram = serve::LatencyHistogram;
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// Run `fn` `iterations` times and record each wall-clock duration (ms).
 inline LatencyHistogram time_repeated(std::size_t iterations,

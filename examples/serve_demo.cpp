@@ -1,17 +1,31 @@
 // serve_demo — the extractor as a service: train a small model, checkpoint
 // it (CRC-verified, atomically), stand up a fault-tolerant InferenceServer,
 // fire concurrent requests at it, and read the stats surface. A compressed
-// tour of src/serve/ (see DESIGN.md "Serving runtime" and "Fault tolerance
-// contract").
+// tour of src/serve/ (see DESIGN.md "Serving runtime", "Fault tolerance
+// contract" and §11 "Observability model").
+//
+// Flags:
+//   --smoke         tiny model/dataset/request count, for CI (seconds, not
+//                   minutes).
+//   --metrics-dump  after draining, write the observability surface to the
+//                   working directory: tsdx_metrics.json + tsdx_metrics.prom
+//                   (the registry) and tsdx_trace.json (Perfetto-loadable
+//                   span trace). Forces full tracing unless TSDX_TRACE was
+//                   set explicitly, so the dumped trace is never empty.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "core/extractor.hpp"
 #include "data/dataset.hpp"
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 #include "sdl/description.hpp"
 #include "serve/fallback.hpp"
 #include "serve/server.hpp"
@@ -21,32 +35,60 @@
 namespace core = tsdx::core;
 namespace data = tsdx::data;
 namespace nn = tsdx::nn;
+namespace obs = tsdx::obs;
 namespace sdl = tsdx::sdl;
 namespace serve = tsdx::serve;
 namespace sim = tsdx::sim;
 
-int main() {
+namespace {
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool metrics_dump = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      metrics_dump = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-dump]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (metrics_dump && std::getenv("TSDX_TRACE") == nullptr) {
+    obs::trace::set_mode(obs::trace::Mode::kFull);
+  }
+
   // 1. A quickly-trained extractor (see examples/quickstart.cpp for the
   //    full training walkthrough).
   sim::RenderConfig render;
-  render.height = render.width = 32;
-  render.frames = 8;
+  render.height = render.width = smoke ? 16 : 32;
+  render.frames = smoke ? 4 : 8;
 
   core::ModelConfig mc;
-  mc.frames = 8;
-  mc.image_size = 32;
+  mc.frames = render.frames;
+  mc.image_size = render.height;
   mc.patch_size = 8;
-  mc.dim = 32;
-  mc.depth = 2;
+  mc.dim = smoke ? 16 : 32;
+  mc.depth = smoke ? 1 : 2;
   mc.heads = 4;
   mc.attention = core::AttentionKind::kDividedST;
 
   std::printf("training a small extractor...\n");
-  const data::Dataset train = data::Dataset::synthesize(render, 96, 1);
-  const data::Dataset val = data::Dataset::synthesize(render, 24, 2);
+  const data::Dataset train =
+      data::Dataset::synthesize(render, smoke ? 24 : 96, 1);
+  const data::Dataset val = data::Dataset::synthesize(render, smoke ? 8 : 24, 2);
   auto extractor = std::make_shared<core::ScenarioExtractor>(mc, /*seed=*/7);
   core::TrainConfig tc;
-  tc.epochs = 3;
+  tc.epochs = smoke ? 1 : 3;
   tc.batch_size = 8;
   extractor->train(train, val, tc);
 
@@ -81,19 +123,22 @@ int main() {
   sc.circuit.cooldown = std::chrono::milliseconds(250);
   serve::InferenceServer server(extractor, sc);
 
-  // 4. Four concurrent clients, 16 requests each, every request carrying a
-  //    half-second deadline (generous here — it exists to show the API; an
-  //    expired deadline fails the future with DeadlineExceededError without
-  //    the clip ever reaching the model).
-  std::printf("serving 64 requests on %zu workers...\n\n", sc.workers);
+  // 4. Concurrent clients, every request carrying a half-second deadline
+  //    (generous here — it exists to show the API; an expired deadline fails
+  //    the future with DeadlineExceededError without the clip ever reaching
+  //    the model).
+  const std::size_t clients = smoke ? 2 : 4;
+  const std::size_t per_client = 16;
+  std::printf("serving %zu requests on %zu workers...\n\n",
+              clients * per_client, sc.workers);
   sim::ClipGenerator gen(render, /*seed=*/42);
   std::vector<sim::VideoClip> clips;
   for (int i = 0; i < 16; ++i) clips.push_back(gen.generate().video);
 
-  serve::ThreadPool::run(4, [&](std::size_t client) {
-    for (std::size_t i = 0; i < 16; ++i) {
+  serve::ThreadPool::run(clients, [&](std::size_t client) {
+    for (std::size_t i = 0; i < per_client; ++i) {
       std::future<core::ExtractionResult> future = server.submit_within(
-          clips[(client * 16 + i) % clips.size()],
+          clips[(client * per_client + i) % clips.size()],
           std::chrono::milliseconds(500));
       const core::ExtractionResult result = future.get();
       if (client == 0 && i == 0) {
@@ -118,5 +163,21 @@ int main() {
                 static_cast<unsigned long long>(stats.batch_size_counts[s]));
   }
   std::printf("\n%s\n", stats.fault_summary().c_str());
+
+  // 6. The machine-readable view of the same run: the metrics registry in
+  //    JSON + Prometheus exposition (what a GET /metrics endpoint would
+  //    serve) and the span trace, loadable in https://ui.perfetto.dev.
+  //    CI feeds all three to tools/trace_check.py.
+  if (metrics_dump) {
+    bool ok = write_file("tsdx_metrics.json", server.metrics_json());
+    ok = write_file("tsdx_metrics.prom", server.metrics_text()) && ok;
+    ok = obs::trace::flush_trace("tsdx_trace.json") && ok;
+    if (!ok) {
+      std::fprintf(stderr, "serve_demo: --metrics-dump failed to write\n");
+      return 1;
+    }
+    std::printf(
+        "\nwrote tsdx_metrics.json, tsdx_metrics.prom, tsdx_trace.json\n");
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/decoding.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace tsdx::core {
@@ -50,6 +51,7 @@ ExtractionResult make_result(const sdl::SlotLabels& labels,
 
 std::vector<ExtractionResult> ScenarioExtractor::extract_batch(
     const data::Batch& batch) const {
+  TSDX_TRACE_SPAN("extract.batch");
   if (!constrained_) {
     const auto preds = model_->predict_with_confidence(batch.video);
     std::vector<ExtractionResult> out;

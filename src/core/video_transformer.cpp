@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/check.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace tsdx::core {
@@ -18,6 +19,7 @@ TubeletEmbedding::TubeletEmbedding(const ModelConfig& cfg, nn::Rng& rng)
 }
 
 Tensor TubeletEmbedding::forward(const Tensor& video) const {
+  TSDX_TRACE_SPAN("model.embed");
   TSDX_SHAPE_ASSERT(video.rank() == 5, "TubeletEmbedding: expected [B,T,C,H,W], got ",
                     tt::to_string(video.shape()));
   const std::int64_t b = video.dim(0);

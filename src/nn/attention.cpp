@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "obs/trace.hpp"
 
 namespace tsdx::nn {
 
@@ -30,6 +31,7 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t dim, std::int64_t heads,
 }
 
 Tensor MultiHeadAttention::forward(const Tensor& x) const {
+  TSDX_TRACE_SPAN("model.attention");
   TSDX_SHAPE_ASSERT(x.rank() == 3 && x.shape()[2] == dim_,
                     "MultiHeadAttention: expected [B, T, ", dim_, "], got ",
                     tt::to_string(x.shape()));

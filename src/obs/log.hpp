@@ -1,0 +1,48 @@
+// log.hpp — tsdx::obs structured logging macros.
+//
+// The serving and observability layers must not scatter raw
+// std::cout/std::cerr/fprintf logging through their sources (enforced by
+// tools/tsdx_lint.py, rule `raw-log`): a server's stdout belongs to its
+// operator, and ad-hoc prints are how stray diagnostics end up interleaved
+// with bench tables. Operational diagnostics go through these macros
+// instead — one line, one level, one component tag, written atomically to
+// stderr:
+//
+//   TSDX_LOG_WARN("serve", "worker ", index, " died: ", what);
+//     -> [tsdx:warn:serve] worker 3 died: ...
+//
+// This header is the single allowlisted raw-stderr site. Keep it tiny: no
+// timestamps (operators have journald/k8s for that), no dynamic levels, no
+// sinks — a metric or a span is the right tool for anything high-rate.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace tsdx::obs {
+
+enum class LogLevel { kInfo, kWarn };
+
+namespace log_detail {
+
+template <class... Parts>
+void log_line(LogLevel level, const char* component, const Parts&... parts) {
+  std::ostringstream os;
+  static_cast<void>((os << ... << parts));
+  const std::string body = os.str();
+  // One fprintf per line so concurrent threads can't interleave fragments.
+  std::fprintf(stderr, "[tsdx:%s:%s] %s\n",
+               level == LogLevel::kWarn ? "warn" : "info", component,
+               body.c_str());
+}
+
+}  // namespace log_detail
+}  // namespace tsdx::obs
+
+#define TSDX_LOG_INFO(component, ...)                                     \
+  ::tsdx::obs::log_detail::log_line(::tsdx::obs::LogLevel::kInfo,         \
+                                    component, __VA_ARGS__)
+#define TSDX_LOG_WARN(component, ...)                                     \
+  ::tsdx::obs::log_detail::log_line(::tsdx::obs::LogLevel::kWarn,         \
+                                    component, __VA_ARGS__)

@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <string_view>
+
+#include "core/check.hpp"
+
+namespace tsdx::obs {
+
+double percentile(std::vector<double> samples, double p) {
+  TSDX_CHECK(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100], got ",
+             p);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: smallest sample with at least p% of the mass at or below.
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(samples.size()));
+  const std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+double LatencyHistogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double LatencyHistogram::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Gauge::update_max(std::int64_t v) {
+  std::int64_t seen = value_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  TSDX_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+             "Histogram: bucket bounds must be ascending");
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  TSDX_CHECK(q >= 0.0 && q <= 100.0, "Histogram::quantile: q must be in "
+             "[0,100], got ", q);
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double rank = std::ceil(q / 100.0 * static_cast<double>(n));
+  const auto target =
+      rank < 1.0 ? std::uint64_t{1} : static_cast<std::uint64_t>(rank);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      // The +Inf bucket has no finite bound; answer the largest one.
+      return i < bounds_.size() ? bounds_[i]
+                                : (bounds_.empty() ? 0.0 : bounds_.back());
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  TSDX_CHECK(i < counts_.size(), "Histogram::bucket_count: bucket ", i,
+             " out of range (", counts_.size(), " buckets)");
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_buckets_ms() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    for (double bound = 0.1; bound < 30000.0; bound *= 2.0) b.push_back(bound);
+    return b;
+  }();
+  return buckets;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::check_unique(const std::string& name, const char* kind) const {
+  // requires mutex_
+  const std::string_view want(kind);
+  const bool taken = (counters_.count(name) != 0 && want != "counter") ||
+                     (gauges_.count(name) != 0 && want != "gauge") ||
+                     (histograms_.count(name) != 0 && want != "histogram");
+  TSDX_CHECK(!taken, "Registry: metric `", name,
+             "` already registered as a different kind than ", kind);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_unique(name, "counter");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_unique(name, "gauge");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_unique(name, "histogram");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+namespace {
+
+/// JSON-safe number formatting (no locale, no exponent surprises for the
+/// magnitudes metrics carry).
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+       << h->count() << ", \"sum\": " << format_double(h->sum())
+       << ", \"buckets\": [";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "{\"le\": "
+         << (i < bounds.size() ? format_double(bounds[i])
+                               : std::string("\"+Inf\""))
+         << ", \"count\": " << h->bucket_count(i) << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " histogram\n";
+    const auto& bounds = h->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += h->bucket_count(i);
+      os << p << "_bucket{le=\"" << format_double(bounds[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    cumulative += h->bucket_count(bounds.size());
+    os << p << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << p << "_sum " << format_double(h->sum()) << "\n";
+    os << p << "_count " << cumulative << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tsdx::obs

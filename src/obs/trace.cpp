@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+#include "obs/log.hpp"
+
+namespace tsdx::obs::trace {
+
+namespace {
+
+/// kOff/kSampled/kFull plus "unset" (255): set_mode stores eagerly; mode()
+/// lazily resolves TSDX_TRACE on first read so the fast path stays one
+/// relaxed load.
+constexpr std::uint8_t kModeUnset = 255;
+std::atomic<std::uint8_t> g_mode{kModeUnset};
+
+Mode env_mode() {
+  const char* env = std::getenv("TSDX_TRACE");
+  if (env == nullptr) return Mode::kOff;
+  const std::string_view value(env);
+  if (value == "full") return Mode::kFull;
+  if (value == "sampled") return Mode::kSampled;
+  if (!value.empty() && value != "off" && value != "0") {
+    TSDX_LOG_WARN("trace", "unknown TSDX_TRACE value `", env,
+                  "` (want off|sampled|full); tracing stays off");
+  }
+  return Mode::kOff;
+}
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+thread_local Context t_context;
+
+/// Small dense thread ids for the exporter (std::thread::id doesn't print
+/// as a stable small integer).
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Every span timestamp is relative to this process-wide epoch so exported
+/// traces start near t=0.
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// Mutex-guarded ring buffer. Tracing that is ON is allowed measurable (but
+/// small) cost; the contract that matters is that OFF costs one relaxed
+/// load, which the enabled() check before any of this guarantees. A mutex
+/// keeps the buffer exact and ThreadSanitizer-clean under concurrent
+/// workers.
+struct Ring {
+  std::mutex mutex;
+  std::vector<SpanEvent> events{std::vector<SpanEvent>(kRingCapacity)};
+  std::size_t next = 0;       // write cursor
+  std::size_t size = 0;       // valid events (<= kRingCapacity)
+  std::uint64_t dropped = 0;  // overwritten since last clear()
+};
+
+Ring& ring() {
+  static Ring r;
+  return r;
+}
+
+void push_event(const char* name, std::uint64_t trace_id,
+                Clock::time_point start, Clock::time_point end) {
+  SpanEvent event;
+  event.name = name;
+  event.trace_id = trace_id;
+  event.tid = this_thread_tid();
+  event.start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                           trace_epoch())
+          .count();
+  event.duration_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.size == kRingCapacity) {
+    ++r.dropped;
+  } else {
+    ++r.size;
+  }
+  r.events[r.next] = event;
+  r.next = (r.next + 1) % kRingCapacity;
+}
+
+/// Is a span under `context` recordable right now?
+bool recordable(Mode m, const Context& context) {
+  switch (m) {
+    case Mode::kOff: return false;
+    case Mode::kSampled: return context.sampled && context.trace_id != 0;
+    case Mode::kFull: return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Mode mode() {
+  std::uint8_t m = g_mode.load(std::memory_order_relaxed);
+  if (m == kModeUnset) {
+    const Mode resolved = env_mode();
+    // Racing first readers resolve the same environment value; last store
+    // wins with an identical byte.
+    g_mode.store(static_cast<std::uint8_t>(resolved),
+                 std::memory_order_relaxed);
+    m = static_cast<std::uint8_t>(resolved);
+  }
+  return static_cast<Mode>(m);
+}
+
+void set_mode(Mode m) {
+  g_mode.store(static_cast<std::uint8_t>(m), std::memory_order_relaxed);
+}
+
+bool enabled() { return mode() != Mode::kOff; }
+
+Context current() { return t_context; }
+
+Context mint() {
+  const Mode m = mode();
+  if (m == Mode::kOff) return Context{};
+  Context context;
+  context.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  context.sampled =
+      m == Mode::kFull || context.trace_id % kSampleEvery == 0;
+  return context;
+}
+
+ContextGuard::ContextGuard(Context context) : saved_(t_context) {
+  t_context = context;
+}
+
+ContextGuard::~ContextGuard() { t_context = saved_; }
+
+void record_span(const char* name, Context context, Clock::time_point start,
+                 Clock::time_point end) {
+  if (!recordable(mode(), context)) return;
+  push_event(name, context.trace_id, start, end);
+}
+
+SpanGuard::SpanGuard(const char* name) {
+  const Mode m = mode();
+  if (m == Mode::kOff) return;  // the fast path: one relaxed load
+  if (!recordable(m, t_context)) return;
+  name_ = name;
+  trace_id_ = t_context.trace_id;
+  start_ = Clock::now();
+}
+
+SpanGuard::~SpanGuard() {
+  if (name_ == nullptr) return;
+  push_event(name_, trace_id_, start_, Clock::now());
+}
+
+std::vector<SpanEvent> snapshot() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SpanEvent> out;
+  out.reserve(r.size);
+  const std::size_t oldest = (r.next + kRingCapacity - r.size) % kRingCapacity;
+  for (std::size_t i = 0; i < r.size; ++i) {
+    out.push_back(r.events[(oldest + i) % kRingCapacity]);
+  }
+  return out;
+}
+
+std::uint64_t dropped() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.dropped;
+}
+
+void clear() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.next = 0;
+  r.size = 0;
+  r.dropped = 0;
+}
+
+std::string to_json() {
+  const std::vector<SpanEvent> events = snapshot();
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);  // microseconds with ns resolution
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"name\": \"" << e.name << "\", \"ph\": \"X\", \"pid\": 1, "
+       << "\"tid\": " << e.tid << ", \"ts\": "
+       << static_cast<double>(e.start_ns) / 1000.0 << ", \"dur\": "
+       << static_cast<double>(e.duration_ns) / 1000.0
+       << ", \"args\": {\"trace_id\": " << e.trace_id << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool flush_trace(const std::string& path) {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    TSDX_LOG_WARN("trace", "flush_trace: cannot open `", path,
+                  "` for writing");
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  if (!ok) {
+    TSDX_LOG_WARN("trace", "flush_trace: short write to `", path, "`");
+  }
+  return ok;
+}
+
+}  // namespace tsdx::obs::trace

@@ -1,0 +1,140 @@
+// trace.hpp — tsdx::obs::trace: structured span tracing with per-request
+// trace IDs and a Chrome-trace-event / Perfetto JSON exporter.
+//
+// Model (see DESIGN.md §11 "Observability model"):
+//
+// * A *span* is a named wall-clock interval on one thread. RAII spans
+//   (TSDX_TRACE_SPAN("gemm.mm")) cover the enclosing scope; completed spans
+//   with explicit endpoints (record_span) cover cross-thread intervals like
+//   a request's queue wait. Spans on one thread nest by containment, which
+//   is exactly how the Chrome trace viewer / Perfetto renders them.
+// * A *trace* is the set of spans sharing one trace ID. IDs are minted at
+//   the request boundary (InferenceServer::submit) and propagated by
+//   value: the worker adopts the context before dispatching a batch
+//   (ContextGuard), and tsdx::par carries the publisher's context onto its
+//   pool workers, so kernel spans inside a parallel_for still belong to the
+//   request that triggered them.
+// * Recording is controlled by TSDX_TRACE=off|sampled|full (read once; a
+//   programmatic set_mode wins over the environment):
+//     off      nothing is recorded. The only residual cost is one relaxed
+//              atomic load per span site — measured as unobservable in
+//              bench_k1_kernels (see DESIGN.md §11 overhead contract).
+//     sampled  spans are recorded only for sampled traces (1 in
+//              kSampleEvery minted IDs); spans with no active trace context
+//              are dropped. Always-on production setting.
+//     full     every span is recorded, including context-free ones (which
+//              carry trace ID 0).
+// * Storage is a fixed-capacity ring buffer (kRingCapacity completed
+//   spans); when it wraps, the oldest spans are overwritten and dropped()
+//   counts them. flush_trace(path) exports the buffer as Chrome trace-event
+//   JSON ("traceEvents" of "ph":"X" complete events, microsecond
+//   timestamps), loadable directly in https://ui.perfetto.dev.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsdx::obs::trace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Mode : std::uint8_t { kOff, kSampled, kFull };
+
+/// Sampled mode records 1 in this many minted trace IDs.
+inline constexpr std::uint64_t kSampleEvery = 8;
+
+/// Completed spans the ring buffer holds before overwriting the oldest.
+inline constexpr std::size_t kRingCapacity = 1 << 16;
+
+/// Current mode: the last set_mode() value, else TSDX_TRACE from the
+/// environment (read once), else kOff.
+Mode mode();
+void set_mode(Mode mode);
+
+/// Fast-path check: anything to do at span sites at all?
+bool enabled();
+
+/// The per-thread trace context spans inherit.
+struct Context {
+  std::uint64_t trace_id = 0;  ///< 0 = no active trace
+  bool sampled = false;        ///< record spans for this trace?
+};
+
+/// This thread's active context ({0, false} when none).
+Context current();
+
+/// Mint a fresh trace ID and decide its sampling fate under the current
+/// mode. Returns an inert context ({0, false}) when tracing is off, so
+/// callers can mint unconditionally.
+Context mint();
+
+/// RAII adopt/restore of the thread-local context. Workers place one at the
+/// top of a dispatch so every span below it belongs to the request's trace.
+class ContextGuard {
+ public:
+  explicit ContextGuard(Context context);
+  ~ContextGuard();
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  Context saved_;
+};
+
+/// Record a completed span with explicit endpoints under `context` (used for
+/// cross-thread intervals: queue wait, whole-request). No-op when the
+/// context isn't recordable under the current mode.
+void record_span(const char* name, Context context, Clock::time_point start,
+                 Clock::time_point end);
+
+/// RAII span: records [construction, destruction) on this thread under the
+/// current context. `name` must be a string literal (stored by pointer).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name);
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null = not recording
+  std::uint64_t trace_id_ = 0;
+  Clock::time_point start_;
+};
+
+/// One completed span, as stored in the ring buffer. Timestamps are
+/// nanoseconds since the process's trace epoch.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t trace_id = 0;
+  std::uint32_t tid = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+};
+
+/// Copy of the buffered spans, oldest first (test/debug surface).
+std::vector<SpanEvent> snapshot();
+
+/// Spans overwritten by ring wrap-around since the last clear().
+std::uint64_t dropped();
+
+/// Discard all buffered spans and reset dropped().
+void clear();
+
+/// The buffered spans as Chrome trace-event JSON.
+std::string to_json();
+
+/// Write to_json() to `path`. Returns false (and logs) on I/O failure.
+bool flush_trace(const std::string& path);
+
+}  // namespace tsdx::obs::trace
+
+// TSDX_TRACE_SPAN("serve.batch"); — a scope-long RAII span. The variable
+// name folds in __LINE__ so multiple spans can share a scope.
+#define TSDX_OBS_CONCAT_IMPL(a, b) a##b
+#define TSDX_OBS_CONCAT(a, b) TSDX_OBS_CONCAT_IMPL(a, b)
+#define TSDX_TRACE_SPAN(name) \
+  ::tsdx::obs::trace::SpanGuard TSDX_OBS_CONCAT(tsdx_obs_span_, __LINE__)(name)

@@ -13,11 +13,19 @@ const char* to_string(CircuitState state) {
   return "?";
 }
 
-CircuitBreaker::CircuitBreaker(CircuitConfig config, bool has_fallback)
-    : config_(config), has_fallback_(has_fallback) {
+CircuitBreaker::CircuitBreaker(CircuitConfig config, bool has_fallback,
+                               obs::Gauge* state_gauge,
+                               obs::Counter* trips_counter)
+    : config_(config),
+      has_fallback_(has_fallback),
+      state_gauge_(state_gauge),
+      trips_counter_(trips_counter) {
   TSDX_CHECK(config_.fault_threshold >= 1,
              "CircuitBreaker: fault_threshold must be >= 1, got ",
              config_.fault_threshold);
+  if (state_gauge_ != nullptr) {
+    state_gauge_->set(static_cast<std::int64_t>(state_));
+  }
 }
 
 CircuitBreaker::Route CircuitBreaker::route(Clock::time_point now) {
@@ -27,7 +35,7 @@ CircuitBreaker::Route CircuitBreaker::route(Clock::time_point now) {
       return Route::kPrimary;
     case CircuitState::kOpen:
       if (now - opened_at_ >= config_.cooldown) {
-        state_ = CircuitState::kHalfOpen;
+        set_state_locked(CircuitState::kHalfOpen);
         return Route::kProbe;
       }
       return Route::kDegraded;
@@ -56,7 +64,7 @@ void CircuitBreaker::on_success() {
   std::lock_guard<std::mutex> lock(mutex_);
   consecutive_faults_ = 0;
   if (state_ == CircuitState::kHalfOpen) {
-    state_ = CircuitState::kClosed;
+    set_state_locked(CircuitState::kClosed);
     saturated_ = false;
   }
 }
@@ -91,11 +99,19 @@ std::uint64_t CircuitBreaker::trips() const {
 }
 
 void CircuitBreaker::trip_locked(Clock::time_point now) {
-  state_ = CircuitState::kOpen;
+  set_state_locked(CircuitState::kOpen);
   opened_at_ = now;
   consecutive_faults_ = 0;
   saturated_ = false;
   ++trips_;
+  if (trips_counter_ != nullptr) trips_counter_->inc();
+}
+
+void CircuitBreaker::set_state_locked(CircuitState state) {
+  state_ = state;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->set(static_cast<std::int64_t>(state));
+  }
 }
 
 }  // namespace tsdx::serve

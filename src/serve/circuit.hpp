@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace tsdx::serve {
 
 enum class CircuitState { kClosed, kOpen, kHalfOpen };
@@ -54,7 +56,14 @@ class CircuitBreaker {
   /// in-flight probe and must report the outcome (on_fault / on_success).
   enum class Route { kPrimary, kDegraded, kProbe };
 
-  CircuitBreaker(CircuitConfig config, bool has_fallback);
+  /// `state_gauge` / `trips_counter` (both optional) mirror the breaker into
+  /// a metrics registry: the gauge holds the numeric state (kClosed = 0,
+  /// kOpen = 1, kHalfOpen = 2 — the enum order) and the counter counts
+  /// transitions into OPEN. The server wires these to serve.circuit_state /
+  /// serve.circuit_trips.
+  CircuitBreaker(CircuitConfig config, bool has_fallback,
+                 obs::Gauge* state_gauge = nullptr,
+                 obs::Counter* trips_counter = nullptr);
 
   /// Routing decision for one batch. Transitions OPEN -> HALF-OPEN when the
   /// cooldown has elapsed (first caller gets kProbe, the rest keep
@@ -80,9 +89,14 @@ class CircuitBreaker {
 
  private:
   void trip_locked(Clock::time_point now);
+  /// Single place every state transition goes through, so the mirror gauge
+  /// can never drift from state_.
+  void set_state_locked(CircuitState state);
 
   const CircuitConfig config_;
   const bool has_fallback_;
+  obs::Gauge* const state_gauge_;      // may be null
+  obs::Counter* const trips_counter_;  // may be null
 
   mutable std::mutex mutex_;
   CircuitState state_ = CircuitState::kClosed;

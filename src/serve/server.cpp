@@ -47,9 +47,17 @@ InferenceServer::InferenceServer(
     ServerConfig config)
     : extractor_(std::move(extractor)),
       config_(std::move(config)),
+      // Aliasing shared_ptr: global() is a process-lifetime static, so a
+      // non-owning handle is safe and keeps the two cases uniform.
+      registry_(config_.metrics != nullptr
+                    ? config_.metrics
+                    : std::shared_ptr<obs::Registry>(
+                          std::shared_ptr<void>(), &obs::Registry::global())),
       queue_(config_.queue_capacity, config_.overflow),
-      stats_(config_.queue_capacity, config_.max_batch),
-      circuit_(config_.circuit, config_.fallback != nullptr) {
+      stats_(*registry_, config_.queue_capacity, config_.max_batch),
+      circuit_(config_.circuit, config_.fallback != nullptr,
+               &registry_->gauge("serve.circuit_state"),
+               &registry_->counter("serve.circuit_trips")) {
   TSDX_CHECK(extractor_ != nullptr, "InferenceServer: extractor is null");
   TSDX_CHECK(config_.max_batch >= 1,
              "InferenceServer: max_batch must be >= 1, got ",
@@ -86,6 +94,13 @@ std::future<core::ExtractionResult> InferenceServer::submit(
   }
   Request request;
   request.clip = std::move(clip);
+  // One trace ID per request, minted at the boundary. The context rides in
+  // the Request so the worker that dispatches it can adopt it; the guard
+  // scopes it to this call so the client thread's serve.submit span (and any
+  // inline processing under drain()) records under it too.
+  request.trace = obs::trace::mint();
+  obs::trace::ContextGuard trace_guard(request.trace);
+  TSDX_TRACE_SPAN("serve.submit");
   request.submit_time = Clock::now();
   request.deadline = deadline;
   std::future<core::ExtractionResult> future = request.promise.get_future();
@@ -220,6 +235,18 @@ void InferenceServer::process_batch(const Replica& replica,
   }
   if (live.empty()) return;
 
+  // Adopt the oldest live request's trace for the whole dispatch: every span
+  // below (serve.batch -> extract.batch -> model.* -> gemm.mm, including
+  // tsdx::par workers) joins that request's trace. Per-request queue waits
+  // are recorded with explicit endpoints under each request's own context.
+  obs::trace::ContextGuard trace_guard(live.front().trace);
+  TSDX_TRACE_SPAN("serve.batch");
+  for (Request& request : live) {
+    stats_.on_dispatch(now - request.submit_time);
+    obs::trace::record_span("serve.queue_wait", request.trace,
+                            request.submit_time, now);
+  }
+
   if (circuit_.route(now) == CircuitBreaker::Route::kDegraded) {
     process_degraded(live);
     return;
@@ -321,7 +348,10 @@ bool InferenceServer::expire_if_due(Request& request, Clock::time_point now) {
 }
 
 void InferenceServer::finish_request(Request& request, DoneKind kind) {
-  stats_.on_done(Clock::now() - request.submit_time, kind);
+  const auto now = Clock::now();
+  stats_.on_done(now - request.submit_time, kind);
+  obs::trace::record_span("serve.request", request.trace, request.submit_time,
+                          now);
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     --pending_;
@@ -330,6 +360,8 @@ void InferenceServer::finish_request(Request& request, DoneKind kind) {
 }
 
 void InferenceServer::fail_request(Request& request, std::exception_ptr error) {
+  obs::trace::record_span("serve.request", request.trace, request.submit_time,
+                          Clock::now());
   request.promise.set_exception(std::move(error));
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);

@@ -51,6 +51,8 @@
 #include <vector>
 
 #include "core/extractor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/circuit.hpp"
 #include "serve/fallback.hpp"
 #include "serve/queue.hpp"
@@ -85,6 +87,12 @@ struct ServerConfig {
   /// oversubscribe the cores between them. Ignored when TSDX_NUM_THREADS is
   /// set — an explicit user choice always wins (par::env_override()).
   std::size_t intra_op_threads = 0;
+
+  /// Metrics registry this server reports into (serve.* counters, gauges
+  /// and histograms). Null means the process-wide obs::Registry::global() —
+  /// the right default for a deployment with one scrape endpoint. Tests
+  /// that assert exact process-visible counts pass a private registry.
+  std::shared_ptr<obs::Registry> metrics;
 };
 
 class InferenceServer {
@@ -131,6 +139,15 @@ class InferenceServer {
   /// Counter/gauge/histogram snapshot (thread-safe, callable live).
   ServerStats stats() const;
 
+  /// The registry this server reports into (ServerConfig::metrics, else
+  /// the process-wide obs::Registry::global()).
+  obs::Registry& metrics_registry() const { return *registry_; }
+  /// Prometheus text exposition of that registry — the response body a
+  /// GET /metrics endpoint would serve.
+  std::string metrics_text() const { return registry_->to_prometheus(); }
+  /// JSON snapshot of the same registry (tools/trace_check.py schema).
+  std::string metrics_json() const { return registry_->to_json(); }
+
   /// Live circuit-breaker state (kClosed when healthy).
   CircuitState circuit_state() const { return circuit_.state(); }
 
@@ -143,6 +160,10 @@ class InferenceServer {
     std::promise<core::ExtractionResult> promise;
     std::chrono::steady_clock::time_point submit_time;
     std::optional<Clock::time_point> deadline;
+    /// Trace context minted at submit() and carried to the worker, so the
+    /// batch's spans (serve.batch -> extract.batch -> model.*) join the
+    /// submitting request's trace.
+    obs::trace::Context trace;
   };
 
   /// Internal signal: a batch threw out of extract_batch. The worker's loop
@@ -183,6 +204,7 @@ class InferenceServer {
 
   const std::shared_ptr<const core::ScenarioExtractor> extractor_;
   const ServerConfig config_;
+  const std::shared_ptr<obs::Registry> registry_;  // never null
   BoundedQueue<Request> queue_;
   StatsCollector stats_;
   CircuitBreaker circuit_;

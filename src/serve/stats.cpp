@@ -1,7 +1,6 @@
 #include "serve/stats.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <numeric>
 
@@ -10,6 +9,23 @@
 
 namespace tsdx::serve {
 
+namespace {
+
+/// serve.batch_size histogram bounds. Registry buckets are fixed at first
+/// registration, so they cannot depend on one server's max_batch; powers of
+/// two cover every configuration and the exact per-size counts live in the
+/// collector.
+const std::vector<double>& batch_size_bounds() {
+  static const std::vector<double> bounds{1, 2, 4, 8, 16, 32, 64, 128};
+  return bounds;
+}
+
+double to_ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
 const char* to_string(OverflowPolicy policy) {
   switch (policy) {
     case OverflowPolicy::kBlock: return "block";
@@ -17,29 +33,6 @@ const char* to_string(OverflowPolicy policy) {
     case OverflowPolicy::kShedOldest: return "shed-oldest";
   }
   return "?";
-}
-
-double percentile(std::vector<double> samples, double p) {
-  TSDX_CHECK(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100], got ",
-             p);
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  // Nearest-rank: smallest sample with at least p% of the mass at or below.
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(samples.size()));
-  const std::size_t idx =
-      rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
-  return samples[std::min(idx, samples.size() - 1)];
-}
-
-double LatencyHistogram::mean() const {
-  if (samples_.empty()) return 0.0;
-  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
-         static_cast<double>(samples_.size());
-}
-
-double LatencyHistogram::max() const {
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
 }
 
 std::uint64_t ServerStats::batches() const {
@@ -96,80 +89,112 @@ std::string ServerStats::fault_summary() const {
   return buf;
 }
 
-StatsCollector::StatsCollector(std::size_t queue_capacity,
-                               std::size_t max_batch) {
-  stats_.queue_capacity = queue_capacity;
-  stats_.batch_size_counts.assign(max_batch + 1, 0);
+StatsCollector::Bound StatsCollector::bind(obs::Registry& registry,
+                                           const char* name) {
+  obs::Counter& counter = registry.counter(name);
+  return Bound{counter, counter.value()};
+}
+
+StatsCollector::StatsCollector(obs::Registry& registry,
+                               std::size_t queue_capacity,
+                               std::size_t max_batch)
+    : submitted_(bind(registry, "serve.submitted")),
+      completed_(bind(registry, "serve.completed")),
+      failed_(bind(registry, "serve.failed")),
+      rejected_(bind(registry, "serve.rejected")),
+      shed_(bind(registry, "serve.shed")),
+      cancelled_(bind(registry, "serve.cancelled")),
+      worker_faults_(bind(registry, "serve.worker_faults")),
+      deadline_expired_(bind(registry, "serve.deadline_expired")),
+      degraded_completions_(bind(registry, "serve.degraded_completions")),
+      queue_depth_gauge_(registry.gauge("serve.queue_depth")),
+      queue_depth_max_gauge_(registry.gauge("serve.queue_depth_max")),
+      latency_hist_(registry.histogram("serve.latency_ms")),
+      queue_wait_hist_(registry.histogram("serve.queue_wait_ms")),
+      batch_size_hist_(registry.histogram("serve.batch_size",
+                                          batch_size_bounds())),
+      queue_capacity_(queue_capacity) {
+  batch_size_counts_.assign(max_batch + 1, 0);
 }
 
 void StatsCollector::on_submit(std::size_t queue_depth_after) {
+  submitted_.inc();
+  queue_depth_gauge_.set(static_cast<std::int64_t>(queue_depth_after));
+  queue_depth_max_gauge_.update_max(
+      static_cast<std::int64_t>(queue_depth_after));
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.submitted;
-  stats_.queue_depth_max = std::max(stats_.queue_depth_max, queue_depth_after);
+  queue_depth_max_ = std::max(queue_depth_max_, queue_depth_after);
 }
 
-void StatsCollector::on_reject() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.rejected;
-}
+void StatsCollector::on_reject() { rejected_.inc(); }
 
-void StatsCollector::on_shed() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.shed;
-}
+void StatsCollector::on_shed() { shed_.inc(); }
 
-void StatsCollector::on_cancel(std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.cancelled += count;
+void StatsCollector::on_cancel(std::size_t count) { cancelled_.inc(count); }
+
+void StatsCollector::on_dispatch(
+    std::chrono::steady_clock::duration queue_wait) {
+  queue_wait_hist_.observe(to_ms(queue_wait));
 }
 
 void StatsCollector::on_batch(std::size_t batch_size) {
+  batch_size_hist_.observe(static_cast<double>(batch_size));
   std::lock_guard<std::mutex> lock(mutex_);
-  TSDX_CHECK(batch_size < stats_.batch_size_counts.size(),
+  TSDX_CHECK(batch_size < batch_size_counts_.size(),
              "StatsCollector::on_batch: size ", batch_size,
-             " exceeds max_batch ", stats_.batch_size_counts.size() - 1);
-  ++stats_.batch_size_counts[batch_size];
+             " exceeds max_batch ", batch_size_counts_.size() - 1);
+  ++batch_size_counts_[batch_size];
 }
 
 void StatsCollector::on_done(std::chrono::steady_clock::duration latency,
                              DoneKind kind) {
-  const double ms =
-      std::chrono::duration<double, std::milli>(latency).count();
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Relaxed counter bumps are still visible to a client that observed its
+  // future's outcome: they are sequenced before the promise resolution in
+  // server.cpp, and future.get() synchronizes with set_value/set_exception.
   switch (kind) {
     case DoneKind::kCompleted:
-      ++stats_.completed;
+      completed_.inc();
       break;
     case DoneKind::kFailed:
-      ++stats_.failed;
+      failed_.inc();
       break;
     case DoneKind::kDegraded:
-      ++stats_.completed;
-      ++stats_.degraded_completions;
+      completed_.inc();
+      degraded_completions_.inc();
       break;
   }
-  stats_.latency.record(ms);
+  const double ms = to_ms(latency);
+  latency_hist_.observe(ms);
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_samples_.record(ms);
 }
 
-void StatsCollector::on_worker_fault() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.worker_faults;
-}
+void StatsCollector::on_worker_fault() { worker_faults_.inc(); }
 
-void StatsCollector::on_deadline_expired() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.deadline_expired;
-}
+void StatsCollector::on_deadline_expired() { deadline_expired_.inc(); }
 
 ServerStats StatsCollector::snapshot(std::size_t queue_depth_now,
                                      CircuitState circuit_state,
                                      std::uint64_t circuit_trips) const {
+  ServerStats stats;
+  stats.submitted = submitted_.delta();
+  stats.completed = completed_.delta();
+  stats.failed = failed_.delta();
+  stats.rejected = rejected_.delta();
+  stats.shed = shed_.delta();
+  stats.cancelled = cancelled_.delta();
+  stats.worker_faults = worker_faults_.delta();
+  stats.deadline_expired = deadline_expired_.delta();
+  stats.degraded_completions = degraded_completions_.delta();
+  stats.circuit_state = circuit_state;
+  stats.circuit_trips = circuit_trips;
+  stats.queue_depth = queue_depth_now;
+  stats.queue_capacity = queue_capacity_;
   std::lock_guard<std::mutex> lock(mutex_);
-  ServerStats copy = stats_;
-  copy.queue_depth = queue_depth_now;
-  copy.circuit_state = circuit_state;
-  copy.circuit_trips = circuit_trips;
-  return copy;
+  stats.queue_depth_max = queue_depth_max_;
+  stats.batch_size_counts = batch_size_counts_;
+  stats.latency = latency_samples_;
+  return stats;
 }
 
 }  // namespace tsdx::serve

@@ -1,17 +1,30 @@
 // stats.hpp — observability surface of the serving runtime.
 //
-// Three layers:
-//   * percentile()        — exact percentile over a sample vector (shared
-//                           with the bench harness, see bench_common.hpp).
-//   * LatencyHistogram    — sample store with p50/p95/p99/mean accessors.
-//   * ServerStats         — immutable snapshot of one server's counters,
-//                           queue gauge, batch-size distribution and
-//                           end-to-end latency distribution, plus a
-//                           bench-table printer.
+// Since the tsdx::obs registry landed, this header is a thin serving-side
+// view over it (DESIGN.md §11):
 //
-// The live collector (StatsCollector) is mutex-guarded and updated once per
-// submit and once per processed batch, so its cost is invisible next to a
-// model forward pass.
+//   * percentile() / LatencyHistogram — aliases of the obs originals, shared
+//     with the bench harness (bench_common.hpp) so every latency column in
+//     the repo is computed identically.
+//   * ServerStats — immutable snapshot of one server's counters, queue
+//     gauge, batch-size distribution and end-to-end latency distribution,
+//     plus a bench-table printer. Unchanged shape: everything above
+//     src/serve keeps consuming it as before.
+//   * StatsCollector — the live accumulator behind InferenceServer::stats().
+//     Counters, gauges and bucketed latency/queue-wait/batch-size
+//     distributions now live in an obs::Registry (lock-cheap relaxed
+//     atomics, exported via to_json / to_prometheus); the collector captures
+//     each counter's value at construction so ServerStats stays "cumulative
+//     since construction" even when several servers share the process-wide
+//     Registry::global(). Exact latency samples and the exact per-size batch
+//     histogram stay mutex-guarded here — fixed registry buckets cannot
+//     carry them.
+//
+// Consistency note: counter bumps are relaxed atomics and the exact sample
+// store is mutex-guarded, so a snapshot taken *while workers are mid-flight*
+// may see a counter increment whose latency sample hasn't landed yet (or
+// vice versa). Quiescent snapshots — after drain()/shutdown(), which is when
+// the tests and bench tables read them — are exact.
 #pragma once
 
 #include <chrono>
@@ -21,31 +34,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/circuit.hpp"
 
 namespace tsdx::serve {
 
-/// Exact percentile (nearest-rank on a copy; `p` in [0, 100]). Returns 0 for
-/// an empty sample set so printers need no special-casing.
-double percentile(std::vector<double> samples, double p);
-
-/// Accumulates latency samples (milliseconds) and answers distribution
-/// queries. Not thread-safe on its own — owners lock around it.
-class LatencyHistogram {
- public:
-  void record(double ms) { samples_.push_back(ms); }
-
-  std::size_t count() const { return samples_.size(); }
-  double mean() const;
-  double max() const;
-  /// p in [0, 100], e.g. p50/p95/p99 tail latency.
-  double percentile(double p) const { return serve::percentile(samples_, p); }
-
-  const std::vector<double>& samples() const { return samples_; }
-
- private:
-  std::vector<double> samples_;
-};
+/// Shared implementations (see obs/metrics.hpp for the edge-case contract).
+using obs::percentile;
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// Point-in-time snapshot of a server's observable state. All counters are
 /// cumulative since construction.
@@ -100,15 +96,22 @@ enum class DoneKind {
   kDegraded,   ///< fallback extractor result (counts as completed too)
 };
 
-/// Thread-safe accumulator behind InferenceServer::stats().
+/// Thread-safe accumulator behind InferenceServer::stats(), reporting into
+/// `registry` under the serve.* namespace (counters serve.submitted …
+/// serve.degraded_completions, gauges serve.queue_depth[_max], histograms
+/// serve.latency_ms / serve.queue_wait_ms / serve.batch_size).
 class StatsCollector {
  public:
-  explicit StatsCollector(std::size_t queue_capacity, std::size_t max_batch);
+  StatsCollector(obs::Registry& registry, std::size_t queue_capacity,
+                 std::size_t max_batch);
 
   void on_submit(std::size_t queue_depth_after);
   void on_reject();
   void on_shed();
   void on_cancel(std::size_t count);
+  /// A request left the queue for a batch slot; `queue_wait` is
+  /// submit-to-dispatch.
+  void on_dispatch(std::chrono::steady_clock::duration queue_wait);
   void on_batch(std::size_t batch_size);
   void on_done(std::chrono::steady_clock::duration latency, DoneKind kind);
   void on_worker_fault();
@@ -119,8 +122,38 @@ class StatsCollector {
                        std::uint64_t circuit_trips) const;
 
  private:
+  /// A registry counter plus its value when this collector was built:
+  /// delta() is the "since construction" reading ServerStats reports, while
+  /// the registry itself keeps the process-cumulative value for scrapes.
+  struct Bound {
+    obs::Counter& counter;
+    std::uint64_t base;
+    void inc(std::uint64_t delta = 1) { counter.inc(delta); }
+    std::uint64_t delta() const { return counter.value() - base; }
+  };
+  static Bound bind(obs::Registry& registry, const char* name);
+
+  Bound submitted_;
+  Bound completed_;
+  Bound failed_;
+  Bound rejected_;
+  Bound shed_;
+  Bound cancelled_;
+  Bound worker_faults_;
+  Bound deadline_expired_;
+  Bound degraded_completions_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Gauge& queue_depth_max_gauge_;  ///< process high-water (update_max)
+  obs::Histogram& latency_hist_;
+  obs::Histogram& queue_wait_hist_;
+  obs::Histogram& batch_size_hist_;
+
+  // Exact per-server state the registry's fixed buckets can't carry.
   mutable std::mutex mutex_;
-  ServerStats stats_;
+  LatencyHistogram latency_samples_;              // guarded by mutex_
+  std::vector<std::uint64_t> batch_size_counts_;  // guarded by mutex_
+  std::size_t queue_depth_max_ = 0;               // guarded by mutex_
+  std::size_t queue_capacity_ = 0;
 };
 
 }  // namespace tsdx::serve

@@ -4,11 +4,33 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels/parallel_for.hpp"
 
 namespace tsdx::tensor::kernels {
 
 namespace {
+
+/// Registry handles resolved once per process. mm() bumps these once per
+/// call (not per row/chunk), so the relaxed adds amortize over the 2*m*k*n
+/// flops they describe.
+struct GemmMetrics {
+  obs::Counter& calls;
+  obs::Counter& flops;
+  obs::Counter& direct_path;  ///< both operands read in place (no packing)
+  obs::Counter& packed_path;  ///< at least one operand packed into panels
+};
+
+GemmMetrics& gemm_metrics() {
+  static GemmMetrics metrics = [] {
+    obs::Registry& r = obs::Registry::global();
+    return GemmMetrics{r.counter("gemm.calls"), r.counter("gemm.flops"),
+                       r.counter("gemm.direct_path"),
+                       r.counter("gemm.packed_path")};
+  }();
+  return metrics;
+}
 
 // Blocking parameters. kMR is the micro-kernel height (C rows held hot);
 // kKC x kNC is the packed op(B) panel, sized to sit in L1/L2 comfortably
@@ -146,6 +168,14 @@ std::int64_t row_grain(std::int64_t m, std::int64_t k, std::int64_t n) {
 void mm(Trans ta, Trans tb, std::int64_t m, std::int64_t k, std::int64_t n,
         const float* a, const float* b, float* c) {
   if (m <= 0 || k <= 0 || n <= 0) return;
+  TSDX_TRACE_SPAN("gemm.mm");
+  GemmMetrics& metrics = gemm_metrics();
+  metrics.calls.inc();
+  metrics.flops.inc(static_cast<std::uint64_t>(2 * m * k * n));
+  // Mirrors the a_direct/b_direct decision in mm_rows: both operands fit one
+  // kN panel means the pack buffers are never touched.
+  const bool direct = ta == Trans::kN && tb == Trans::kN && k <= kKC && n <= kNC;
+  (direct ? metrics.direct_path : metrics.packed_path).inc();
   const std::int64_t lda = (ta == Trans::kN) ? k : m;
   const std::int64_t ldb = (tb == Trans::kN) ? n : k;
   par::parallel_for(m, row_grain(m, k, n),

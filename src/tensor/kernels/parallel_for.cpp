@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tsdx::par {
 
@@ -16,6 +18,24 @@ namespace {
 
 std::int64_t chunk_count(std::int64_t total, std::int64_t grain) {
   return (total + grain - 1) / grain;
+}
+
+/// par.fanouts counts loops dispatched onto the pool workers;
+/// par.inline_fanouts counts loops that ran on the calling thread (1-thread
+/// budget, single chunk, or pool busy). Together they answer "is the pool
+/// actually parallelizing?" on a dashboard.
+struct ParMetrics {
+  obs::Counter& fanouts;
+  obs::Counter& inline_fanouts;
+};
+
+ParMetrics& par_metrics() {
+  static ParMetrics metrics = [] {
+    obs::Registry& r = obs::Registry::global();
+    return ParMetrics{r.counter("par.fanouts"),
+                      r.counter("par.inline_fanouts")};
+  }();
+  return metrics;
 }
 
 /// One fan-out: a chunk counter the participants race on plus a completion
@@ -27,6 +47,9 @@ struct Job {
   std::int64_t total = 0;
   std::int64_t grain = 0;
   std::int64_t nchunks = 0;
+  /// Publisher's trace context: pool workers adopt it while processing this
+  /// job, so kernel spans inside a fan-out stay on the request's trace.
+  obs::trace::Context ctx;
   std::atomic<std::int64_t> next{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
@@ -90,17 +113,20 @@ class Pool {
     // busy with another fan-out (including fn itself calling parallel_for).
     // Chunk boundaries are identical either way, so results are too.
     if (!job.owns_lock() || nworkers == 0 || nchunks <= 1) {
+      par_metrics().inline_fanouts.inc();
       for (std::int64_t c = 0; c < nchunks; ++c) {
         fn(c * grain, std::min(total, (c + 1) * grain));
       }
       return;
     }
 
+    par_metrics().fanouts.inc();
     auto shared = std::make_shared<Job>();
     shared->fn = &fn;
     shared->total = total;
     shared->grain = grain;
     shared->nchunks = nchunks;
+    shared->ctx = obs::trace::current();
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
       current_ = shared;
@@ -159,7 +185,12 @@ class Pool {
         seen = epoch_;
         job = current_;
       }
-      if (job) job->process();
+      if (job) {
+        // Work on behalf of the publisher's trace (if any) so spans emitted
+        // inside chunks carry the request's trace ID.
+        obs::trace::ContextGuard ctx_guard(job->ctx);
+        job->process();
+      }
     }
   }
 

@@ -16,6 +16,7 @@
 
 #include "core/extractor.hpp"
 #include "nn/layers.hpp"
+#include "obs/metrics.hpp"
 #include "nn/serialize.hpp"
 #include "sdl/description.hpp"
 #include "serve/fallback.hpp"
@@ -25,6 +26,7 @@
 
 namespace core = tsdx::core;
 namespace nn = tsdx::nn;
+namespace obs = tsdx::obs;
 namespace sdl = tsdx::sdl;
 namespace serve = tsdx::serve;
 namespace fault = tsdx::serve::fault;
@@ -185,6 +187,53 @@ TEST(ChaosTest, CircuitTripsToFallbackThenProbeHeals) {
   EXPECT_EQ(stats.degraded_completions, 1u);
   EXPECT_EQ(stats.circuit_trips, 1u);
   EXPECT_EQ(stats.circuit_state, serve::CircuitState::kClosed);
+}
+
+// The same fault story through the metrics registry: a server given a
+// private obs::Registry surfaces its fault/degraded counters there
+// (process-scrape view), with the circuit state mirrored as a gauge
+// (kClosed = 0, kOpen = 1, kHalfOpen = 2).
+TEST(ChaosTest, FaultCountersSurfaceThroughTheMetricsRegistry) {
+  auto registry = std::make_shared<obs::Registry>();
+  serve::ServerConfig cfg = sequential_config();
+  cfg.fallback = make_fallback();
+  cfg.circuit.fault_threshold = 2;
+  cfg.circuit.cooldown = std::chrono::milliseconds(50);
+  cfg.metrics = registry;
+  auto server = serve::InferenceServer(make_frozen_extractor(), cfg);
+  const auto clips = make_clips(4);
+
+  EXPECT_EQ(registry->gauge("serve.circuit_state").value(), 0);  // closed
+
+  fault::FaultPlan plan;
+  plan.throw_on_extract_calls = {1, 2};
+  fault::ScopedFaultPlan armed(plan);
+
+  EXPECT_THROW(server.submit(clips[0]).get(), fault::InjectedFaultError);
+  EXPECT_THROW(server.submit(clips[1]).get(), fault::InjectedFaultError);
+  EXPECT_EQ(registry->counter("serve.worker_faults").value(), 2u);
+  EXPECT_EQ(registry->counter("serve.circuit_trips").value(), 1u);
+  EXPECT_EQ(registry->gauge("serve.circuit_state").value(), 1);  // open
+
+  EXPECT_TRUE(is_degraded(server.submit(clips[2]).get()));
+  EXPECT_EQ(registry->counter("serve.degraded_completions").value(), 1u);
+
+  // After the cooldown the probe heals the circuit; the gauge follows.
+  std::this_thread::sleep_for(cfg.circuit.cooldown +
+                              std::chrono::milliseconds(20));
+  EXPECT_FALSE(is_degraded(server.submit(clips[3]).get()));
+  EXPECT_EQ(registry->gauge("serve.circuit_state").value(), 0);  // closed
+  server.drain();
+
+  // The registry agrees with the classic stats() surface, and the scrape
+  // exports carry the same series.
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(registry->counter("serve.worker_faults").value(),
+            stats.worker_faults);
+  EXPECT_EQ(registry->counter("serve.failed").value(), stats.failed);
+  EXPECT_EQ(registry->counter("serve.completed").value(), stats.completed);
+  EXPECT_NE(server.metrics_text().find("serve_worker_faults 2"),
+            std::string::npos);
 }
 
 // A probe that faults re-opens the circuit (and counts a second trip)

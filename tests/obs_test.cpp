@@ -1,0 +1,411 @@
+// obs_test.cpp — the observability layer's contracts: exact-percentile edge
+// cases (shared by serve stats and every bench table), the metrics registry
+// (counters/gauges/histograms + JSON/Prometheus exposition), and span
+// tracing — mode gating, context propagation across the tsdx::par pool, and
+// the end-to-end guarantee that one submitted request produces a single
+// trace ID spanning queue -> batch -> extract -> model layers -> GEMM.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/extractor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "sim/clipgen.hpp"
+#include "tensor/kernels/parallel_for.hpp"
+
+namespace core = tsdx::core;
+namespace obs = tsdx::obs;
+namespace trace = tsdx::obs::trace;
+namespace par = tsdx::par;
+namespace serve = tsdx::serve;
+namespace sim = tsdx::sim;
+
+namespace {
+
+/// Reset tracing around a test so a binary-wide run (not just ctest's
+/// one-process-per-test) can't leak spans or a mode between tests.
+struct TraceReset {
+  explicit TraceReset(trace::Mode mode) {
+    trace::set_mode(mode);
+    trace::clear();
+  }
+  ~TraceReset() {
+    trace::set_mode(trace::Mode::kOff);
+    trace::clear();
+  }
+};
+
+core::ModelConfig micro_config() {
+  core::ModelConfig cfg;
+  cfg.frames = 2;
+  cfg.image_size = 8;
+  cfg.patch_size = 4;
+  cfg.tubelet_frames = 1;
+  cfg.dim = 8;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  cfg.attention = core::AttentionKind::kDividedST;
+  return cfg;
+}
+
+std::shared_ptr<core::ScenarioExtractor> make_frozen_extractor() {
+  auto extractor =
+      std::make_shared<core::ScenarioExtractor>(micro_config(), /*seed=*/7);
+  extractor->freeze();
+  return extractor;
+}
+
+std::vector<sim::VideoClip> make_clips(std::size_t count) {
+  const core::ModelConfig cfg = micro_config();
+  sim::RenderConfig render;
+  render.height = render.width = cfg.image_size;
+  render.frames = cfg.frames;
+  sim::ClipGenerator gen(render, /*seed=*/11);
+  std::vector<sim::VideoClip> clips;
+  clips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    clips.push_back(gen.generate().video);
+  }
+  return clips;
+}
+
+std::set<std::string> span_names(const std::vector<trace::SpanEvent>& events,
+                                 std::uint64_t trace_id) {
+  std::set<std::string> names;
+  for (const trace::SpanEvent& e : events) {
+    if (e.trace_id == trace_id) names.insert(e.name);
+  }
+  return names;
+}
+
+}  // namespace
+
+// ---- percentile edge cases -------------------------------------------------------
+
+// The contract printers and bench tables rely on: no special-casing needed
+// at any sample count.
+TEST(ObsPercentileTest, EmptySampleSetReturnsZero) {
+  EXPECT_EQ(obs::percentile({}, 50.0), 0.0);
+  EXPECT_EQ(obs::percentile({}, 99.0), 0.0);
+}
+
+TEST(ObsPercentileTest, SingleSampleAnswersEveryPercentile) {
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(obs::percentile({42.5}, p), 42.5) << "p=" << p;
+  }
+}
+
+// p99 over n < 100 samples must resolve to the maximum, never index past
+// the end (nearest-rank: ceil(0.99 * 10) = 10 -> last sample).
+TEST(ObsPercentileTest, TailPercentileOverFewSamplesIsTheMaximum) {
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) ten.push_back(static_cast<double>(i));
+  EXPECT_EQ(obs::percentile(ten, 99.0), 10.0);
+  EXPECT_EQ(obs::percentile(ten, 95.0), 10.0);
+  EXPECT_EQ(obs::percentile(ten, 90.0), 9.0);
+}
+
+TEST(ObsPercentileTest, ZeroIsMinimumAndHundredIsMaximum) {
+  const std::vector<double> samples{3.0, 1.0, 2.0};  // unsorted on purpose
+  EXPECT_EQ(obs::percentile(samples, 0.0), 1.0);
+  EXPECT_EQ(obs::percentile(samples, 100.0), 3.0);
+}
+
+TEST(ObsPercentileTest, NearestRankMedianOfEvenCount) {
+  // ceil(0.5 * 4) = rank 2 -> the second-smallest sample.
+  EXPECT_EQ(obs::percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(ObsPercentileTest, OutOfRangePThrows) {
+  EXPECT_THROW(obs::percentile({1.0}, -1.0), tsdx::ValueError);
+  EXPECT_THROW(obs::percentile({1.0}, 100.5), tsdx::ValueError);
+}
+
+TEST(ObsLatencyHistogramTest, EmptyDistributionIsAllZeros) {
+  const obs::LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+  EXPECT_EQ(hist.percentile(99.0), 0.0);
+}
+
+TEST(ObsLatencyHistogramTest, RecordsAndSummarizes) {
+  obs::LatencyHistogram hist;
+  hist.record(1.0);
+  hist.record(3.0);
+  hist.record(2.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 2.0);
+  EXPECT_EQ(hist.max(), 3.0);
+  EXPECT_EQ(hist.percentile(50.0), 2.0);
+}
+
+// ---- metrics registry ------------------------------------------------------------
+
+TEST(ObsMetricsTest, CounterAccumulates) {
+  obs::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(ObsMetricsTest, GaugeSetAddAndHighWatermark) {
+  obs::Gauge gauge;
+  gauge.set(5);
+  gauge.add(-2);
+  EXPECT_EQ(gauge.value(), 3);
+  gauge.update_max(10);
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.update_max(4);  // below the watermark: no change
+  EXPECT_EQ(gauge.value(), 10);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsSumAndQuantiles) {
+  obs::Histogram hist({1.0, 2.0, 4.0});
+  EXPECT_EQ(hist.quantile(50.0), 0.0);  // empty
+  hist.observe(0.5);
+  hist.observe(1.5);
+  hist.observe(3.0);
+  hist.observe(100.0);  // +Inf overflow bucket
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 105.0);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);  // the +Inf bucket
+  // Nearest rank 2 of 4 lands in the (1, 2] bucket -> its upper bound.
+  EXPECT_EQ(hist.quantile(50.0), 2.0);
+  // The +Inf bucket answers with the largest finite bound.
+  EXPECT_EQ(hist.quantile(100.0), 4.0);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsTheSameMetricForAName) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("requests");
+  obs::Counter& b = registry.counter("requests");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(ObsMetricsTest, RegistryRejectsOneNameAsTwoKinds) {
+  obs::Registry registry;
+  registry.counter("serve.depth");
+  EXPECT_THROW(registry.gauge("serve.depth"), tsdx::ValueError);
+  EXPECT_THROW(registry.histogram("serve.depth"), tsdx::ValueError);
+}
+
+TEST(ObsMetricsTest, JsonAndPrometheusExposition) {
+  obs::Registry registry;
+  registry.counter("gemm.calls").inc(3);
+  registry.gauge("queue.depth").set(-2);
+  registry.histogram("lat.ms", {1.0, 10.0}).observe(5.0);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"gemm.calls\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue.depth\": -2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat.ms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos) << json;
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE gemm_calls counter"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("gemm_calls 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE queue_depth gauge"), std::string::npos) << prom;
+  // Histogram series: cumulative buckets with le labels plus _sum/_count.
+  EXPECT_NE(prom.find("lat_ms_bucket{le=\"+Inf\"} 1"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lat_ms_count 1"), std::string::npos) << prom;
+}
+
+// ---- span tracing ----------------------------------------------------------------
+
+TEST(ObsTraceTest, OffModeRecordsNothingAndMintsInertContexts) {
+  TraceReset reset(trace::Mode::kOff);
+  const trace::Context ctx = trace::mint();
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_FALSE(ctx.sampled);
+  trace::ContextGuard guard(ctx);
+  { TSDX_TRACE_SPAN("test.off"); }
+  trace::record_span("test.off.explicit", ctx, trace::Clock::now(),
+                     trace::Clock::now());
+  EXPECT_TRUE(trace::snapshot().empty());
+}
+
+TEST(ObsTraceTest, FullModeRecordsSpansUnderTheActiveContext) {
+  TraceReset reset(trace::Mode::kFull);
+  const trace::Context ctx = trace::mint();
+  ASSERT_GT(ctx.trace_id, 0u);
+  {
+    trace::ContextGuard guard(ctx);
+    TSDX_TRACE_SPAN("test.outer");
+    { TSDX_TRACE_SPAN("test.inner"); }
+  }
+  const auto events = trace::snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Ring order is completion order: inner closes first.
+  EXPECT_STREQ(events[0].name, "test.inner");
+  EXPECT_STREQ(events[1].name, "test.outer");
+  for (const trace::SpanEvent& e : events) {
+    EXPECT_EQ(e.trace_id, ctx.trace_id);
+    EXPECT_GE(e.duration_ns, 0);
+  }
+  // Nesting: the outer span's interval contains the inner's.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+}
+
+TEST(ObsTraceTest, SampledModeDropsUnsampledTraces) {
+  TraceReset reset(trace::Mode::kSampled);
+  {
+    trace::ContextGuard guard(trace::Context{42, /*sampled=*/false});
+    TSDX_TRACE_SPAN("test.unsampled");
+  }
+  EXPECT_TRUE(trace::snapshot().empty());
+  {
+    trace::ContextGuard guard(trace::Context{43, /*sampled=*/true});
+    TSDX_TRACE_SPAN("test.sampled");
+  }
+  const auto events = trace::snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.sampled");
+  EXPECT_EQ(events[0].trace_id, 43u);
+}
+
+TEST(ObsTraceTest, ContextGuardRestoresThePreviousContext) {
+  TraceReset reset(trace::Mode::kFull);
+  EXPECT_EQ(trace::current().trace_id, 0u);
+  {
+    trace::ContextGuard outer(trace::Context{7, true});
+    EXPECT_EQ(trace::current().trace_id, 7u);
+    {
+      trace::ContextGuard inner(trace::Context{8, true});
+      EXPECT_EQ(trace::current().trace_id, 8u);
+    }
+    EXPECT_EQ(trace::current().trace_id, 7u);
+  }
+  EXPECT_EQ(trace::current().trace_id, 0u);
+}
+
+TEST(ObsTraceTest, ParallelForCarriesTheContextOntoPoolWorkers) {
+  TraceReset reset(trace::Mode::kFull);
+  par::set_threads(3);
+  const trace::Context ctx = trace::mint();
+  {
+    trace::ContextGuard guard(ctx);
+    par::parallel_for(64, 8, [](std::int64_t, std::int64_t) {
+      TSDX_TRACE_SPAN("test.chunk");
+    });
+  }
+  const auto events = trace::snapshot();
+  ASSERT_EQ(events.size(), 8u);  // 64 / grain 8 chunks, one span each
+  for (const trace::SpanEvent& e : events) {
+    EXPECT_STREQ(e.name, "test.chunk");
+    EXPECT_EQ(e.trace_id, ctx.trace_id)
+        << "a pool worker ran a chunk outside the publisher's trace";
+  }
+}
+
+TEST(ObsTraceTest, JsonExportIsChromeTraceShaped) {
+  TraceReset reset(trace::Mode::kFull);
+  {
+    trace::ContextGuard guard(trace::mint());
+    TSDX_TRACE_SPAN("test.json");
+  }
+  const std::string json = trace::to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"test.json\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\""), std::string::npos) << json;
+}
+
+TEST(ObsTraceTest, FlushTraceWritesTheExportToDisk) {
+  TraceReset reset(trace::Mode::kFull);
+  {
+    trace::ContextGuard guard(trace::mint());
+    TSDX_TRACE_SPAN("test.flush");
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "obs_test_trace.json")
+          .string();
+  ASSERT_TRUE(trace::flush_trace(path));
+  EXPECT_GT(std::filesystem::file_size(path), 0u);
+  std::filesystem::remove(path);
+}
+
+// ---- end to end through the server ----------------------------------------------
+
+// The tentpole guarantee: one submitted clip produces one trace ID whose
+// spans cover the whole path — queue wait, batch formation, extractor,
+// model layers, GEMM kernel — even though those run on different threads.
+TEST(ObsTraceTest, OneRequestIsTracedEndToEndUnderASingleId) {
+  TraceReset reset(trace::Mode::kFull);
+  auto registry = std::make_shared<obs::Registry>();
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.batch_window = std::chrono::microseconds{0};
+  cfg.queue_capacity = 8;
+  cfg.metrics = registry;
+  serve::InferenceServer server(make_frozen_extractor(), cfg);
+  const auto clips = make_clips(2);
+  for (const auto& clip : clips) server.submit(clip).get();
+  server.drain();
+
+  const auto events = trace::snapshot();
+  const std::set<std::string> want{
+      "serve.submit",  "serve.queue_wait", "serve.batch",   "serve.request",
+      "extract.batch", "model.embed",      "model.attention", "gemm.mm"};
+  std::set<std::uint64_t> ids;
+  for (const trace::SpanEvent& e : events) ids.insert(e.trace_id);
+  std::size_t full_traces = 0;
+  for (const std::uint64_t id : ids) {
+    const std::set<std::string> names = span_names(events, id);
+    if (std::includes(names.begin(), names.end(), want.begin(), want.end())) {
+      ++full_traces;
+    }
+  }
+  // Sequential config: every request's batch adopts that request's context,
+  // so both requests must be fully traced.
+  EXPECT_EQ(full_traces, clips.size());
+
+  // The same run through the metrics surface: the private registry holds
+  // exactly this server's accounting.
+  EXPECT_EQ(registry->counter("serve.submitted").value(), clips.size());
+  EXPECT_EQ(registry->counter("serve.completed").value(), clips.size());
+  EXPECT_EQ(registry->histogram("serve.latency_ms").count(), clips.size());
+  EXPECT_GE(registry->histogram("serve.queue_wait_ms").count(), clips.size());
+  EXPECT_EQ(registry->gauge("serve.circuit_state").value(), 0);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, clips.size());
+  EXPECT_EQ(stats.completed, clips.size());
+  // And the endpoint-shaped exports mention the serve series.
+  EXPECT_NE(server.metrics_json().find("\"serve.submitted\""),
+            std::string::npos);
+  EXPECT_NE(server.metrics_text().find("serve_submitted"), std::string::npos);
+}
+
+// TSDX_TRACE=off must leave no spans behind even with a server running full
+// tilt — the "unmeasurable when off" half of the overhead contract.
+TEST(ObsTraceTest, ServerUnderOffModeRecordsNoSpans) {
+  TraceReset reset(trace::Mode::kOff);
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 2;
+  cfg.queue_capacity = 8;
+  cfg.metrics = std::make_shared<obs::Registry>();
+  serve::InferenceServer server(make_frozen_extractor(), cfg);
+  for (const auto& clip : make_clips(3)) server.submit(clip).get();
+  server.drain();
+  EXPECT_TRUE(trace::snapshot().empty());
+}

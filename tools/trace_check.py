@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""trace_check — validate the observability artifacts serve_demo dumps.
+
+CI runs `serve_demo --smoke --metrics-dump` and feeds the two JSON files it
+writes to this script:
+
+  trace_check.py tsdx_trace.json tsdx_metrics.json
+
+Checks (exit 0 = pass, 1 = fail, 2 = usage/IO error):
+
+  trace shape       tsdx_trace.json is Chrome trace-event JSON: a non-empty
+                    "traceEvents" list of complete ("ph": "X") events, each
+                    with name / tid / ts / dur and an args.trace_id.
+  end-to-end trace  At least one trace ID covers the full request path:
+                    serve.request + serve.queue_wait + serve.batch +
+                    extract.batch + model.embed + model.attention + gemm.mm
+                    all sharing that ID — i.e. one submitted clip was traced
+                    from the queue through batch formation into the model's
+                    layers and down to the GEMM kernel.
+  span nesting      For such a trace, on the dispatching worker's thread:
+                    extract.batch sits inside serve.batch, and model.* /
+                    gemm.mm sit inside extract.batch (span intervals nest,
+                    which is what makes the Perfetto rendering meaningful).
+  metrics shape     tsdx_metrics.json has counters/gauges/histograms maps;
+                    serve.submitted and serve.completed counted this run's
+                    requests, gemm.calls > 0, and the serve.latency_ms
+                    histogram holds as many samples as serve.completed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REQUIRED_SPANS = {
+    "serve.request",
+    "serve.queue_wait",
+    "serve.batch",
+    "extract.batch",
+    "model.embed",
+    "model.attention",
+    "gemm.mm",
+}
+
+# Parent -> children that must nest inside it (same thread, same trace).
+NESTING = {
+    "serve.batch": ["extract.batch"],
+    "extract.batch": ["model.embed", "model.attention", "gemm.mm"],
+}
+
+
+def fail(msg: str) -> None:
+    print(f"trace_check: FAIL: {msg}")
+    sys.exit(1)
+
+
+def load_json(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace_check: cannot read {path}: {err}")
+        sys.exit(2)
+
+
+def check_trace(trace) -> None:
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is missing or empty")
+    by_trace: dict[int, list[dict]] = {}
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "tid", "ts", "dur", "args"):
+            if key not in e:
+                fail(f"traceEvents[{i}] is missing `{key}`")
+        if e["ph"] != "X":
+            fail(f"traceEvents[{i}] has ph={e['ph']!r}, want complete 'X'")
+        if e["dur"] < 0:
+            fail(f"traceEvents[{i}] has negative duration")
+        tid = e["args"].get("trace_id")
+        if not isinstance(tid, int):
+            fail(f"traceEvents[{i}] has no integer args.trace_id")
+        by_trace.setdefault(tid, []).append(e)
+
+    full = [
+        tid
+        for tid, spans in by_trace.items()
+        if tid > 0 and REQUIRED_SPANS <= {s["name"] for s in spans}
+    ]
+    if not full:
+        seen = {s["name"] for spans in by_trace.values() for s in spans}
+        fail(
+            "no trace ID carries the full request path "
+            f"{sorted(REQUIRED_SPANS)}; span names seen: {sorted(seen)}"
+        )
+
+    # Nesting holds for at least one fully-traced request: RAII spans on the
+    # worker thread must contain their children's intervals exactly.
+    def nests(spans: list[dict]) -> bool:
+        for parent_name, children in NESTING.items():
+            parents = [s for s in spans if s["name"] == parent_name]
+            for child_name in children:
+                ok = any(
+                    p["tid"] == c["tid"]
+                    and p["ts"] <= c["ts"]
+                    and c["ts"] + c["dur"] <= p["ts"] + p["dur"]
+                    for c in spans
+                    if c["name"] == child_name
+                    for p in parents
+                )
+                if not ok:
+                    return False
+        return True
+
+    if not any(nests(by_trace[tid]) for tid in full):
+        fail(
+            "no fully-traced request has properly nested spans "
+            "(serve.batch > extract.batch > model.*/gemm.mm on one thread)"
+        )
+    print(
+        f"trace_check: trace OK — {len(events)} spans, "
+        f"{len(full)} fully-traced request(s)"
+    )
+
+
+def check_metrics(metrics) -> None:
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"metrics JSON is missing the `{section}` map")
+    counters = metrics["counters"]
+    for name in ("serve.submitted", "serve.completed", "gemm.calls"):
+        if counters.get(name, 0) <= 0:
+            fail(f"counter `{name}` is missing or zero")
+    latency = metrics["histograms"].get("serve.latency_ms")
+    if latency is None:
+        fail("histogram `serve.latency_ms` is missing")
+    if latency.get("count", 0) != counters["serve.completed"]:
+        fail(
+            f"serve.latency_ms holds {latency.get('count', 0)} samples, "
+            f"want one per completed request ({counters['serve.completed']})"
+        )
+    print(
+        f"trace_check: metrics OK — {counters['serve.completed']} completed, "
+        f"{counters['gemm.calls']} GEMM calls"
+    )
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    check_trace(load_json(sys.argv[1]))
+    check_metrics(load_json(sys.argv[2]))
+    print("trace_check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,13 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
   taxonomy-int      No floating-point literals in src/sdl/taxonomy.{hpp,cpp}.
                     The SDL slot tables are pure integral enums; a float
                     literal there means an accidental float->int narrowing.
+  raw-log           No raw std::cout / std::cerr / printf / fprintf logging
+                    in src/serve/ or src/obs/ — operational diagnostics in
+                    those layers go through TSDX_LOG_INFO / TSDX_LOG_WARN
+                    (src/obs/log.hpp, the single allowlisted raw-stderr
+                    site). A server's stdout belongs to its operator.
+                    snprintf-into-a-returned-string (stats table printers)
+                    is not logging and stays legal.
   op-shape-check    Every public op declared in src/tensor/ops.hpp and
                     src/tensor/nn_ops.hpp validates its input shapes: its
                     definition must use TSDX_CHECK / TSDX_SHAPE_ASSERT, go
@@ -209,6 +216,28 @@ class Linter:
                 self.error(path, 1, "bench-common",
                            "bench translation unit must use bench_common.hpp")
 
+    # ---- raw-log ------------------------------------------------------------
+
+    def check_raw_log(self) -> None:
+        # obs/log.hpp is the one place allowed to touch stderr directly; the
+        # macros it defines are what everyone else uses.
+        allow = {self.root / "src" / "obs" / "log.hpp"}
+        # cout/cerr as streams, printf/fprintf as calls. The lookbehind keeps
+        # snprintf (formatting into a returned buffer, not logging) legal.
+        pat = re.compile(
+            r"std::cout|std::cerr|\bfprintf\s*\(|(?<!\w)printf\s*\(")
+        for sub in ("src/serve", "src/obs"):
+            for path in sorted((self.root / sub).rglob("*")):
+                if path.suffix not in (".hpp", ".cpp") or path in allow:
+                    continue
+                clean = strip_comments_and_strings(path.read_text())
+                for lineno, line in enumerate(clean.splitlines(), 1):
+                    if pat.search(line):
+                        self.error(path, lineno, "raw-log",
+                                   "raw stdout/stderr logging in the serving/"
+                                   "observability layers — use TSDX_LOG_INFO /"
+                                   " TSDX_LOG_WARN from obs/log.hpp")
+
     # ---- taxonomy-int -------------------------------------------------------
 
     def check_taxonomy_tables(self) -> None:
@@ -305,6 +334,7 @@ class Linter:
         self.check_raw_thread()
         self.check_catch_all_swallow()
         self.check_bench_common()
+        self.check_raw_log()
         self.check_taxonomy_tables()
         self.check_op_shape_validation()
         if self.errors:
