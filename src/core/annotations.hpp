@@ -1,0 +1,229 @@
+// annotations.hpp — Clang Thread Safety Analysis macros and the annotated
+// synchronization wrappers the concurrent layers are required to use.
+//
+// Two enforcement mechanisms meet in this header (DESIGN.md §12):
+//
+//   * Static: the TSDX_* macros expand to Clang's thread-safety attributes,
+//     so a clang build with -Wthread-safety -Werror (the `clang-analysis`
+//     CI job) refuses to compile any access to a TSDX_GUARDED_BY field
+//     without its mutex held, any call to a TSDX_REQUIRES function without
+//     the named capability, and any mismatched acquire/release. Under GCC
+//     (the tier-1 toolchain) every macro expands to nothing — annotations
+//     are free documentation there.
+//   * Dynamic: tsdx::Mutex carries a lockorder::Rank and reports every
+//     acquire/release to the lock-order validator (core/lockorder.hpp), so
+//     the hierarchy the annotations document is also checked at runtime
+//     under the chaos/stress suites.
+//
+// Usage rules (enforced by tools/tsdx_lint.py rules `raw-mutex` and
+// `unannotated-shared`):
+//   * src/serve and src/obs must not use std::mutex / std::lock_guard /
+//     std::unique_lock / std::condition_variable directly — always these
+//     wrappers, so every lock is both annotated and rank-checked.
+//   * every mutable field declared after a tsdx::Mutex member must carry
+//     TSDX_GUARDED_BY (or be an atomic / another sync primitive).
+//   * condition-variable predicates are written as explicit while-loops at
+//     the wait site, not as lambda predicates: the analysis checks lambda
+//     bodies as independent functions without the caller's lock set, so a
+//     `cv.wait(lock, [&]{ return guarded_; })` would (correctly) be flagged
+//     even though the protocol is sound. The explicit loop keeps the
+//     guarded reads inside the function that visibly holds the capability.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/lockorder.hpp"
+
+#if defined(__clang__)
+#define TSDX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TSDX_THREAD_ANNOTATION(x)  // no-op off Clang (GCC, MSVC)
+#endif
+
+/// Type is a lockable capability (mutexes; `x` names it in diagnostics).
+#define TSDX_CAPABILITY(x) TSDX_THREAD_ANNOTATION(capability(x))
+/// Type is an RAII object that acquires on construction, releases on
+/// destruction (LockGuard / UniqueLock).
+#define TSDX_SCOPED_CAPABILITY TSDX_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be touched while holding the named mutex.
+#define TSDX_GUARDED_BY(x) TSDX_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be touched while holding the named mutex.
+#define TSDX_PT_GUARDED_BY(x) TSDX_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function must be called with the named mutex(es) already held.
+#define TSDX_REQUIRES(...) \
+  TSDX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the named mutex(es) (or `this` when empty).
+#define TSDX_ACQUIRE(...) \
+  TSDX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function attempts acquisition; first arg is the success return value.
+#define TSDX_TRY_ACQUIRE(...) \
+  TSDX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function releases the named mutex(es) (or `this` when empty).
+#define TSDX_RELEASE(...) \
+  TSDX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function must NOT be called with the named mutex(es) held (deadlock
+/// documentation for public entry points that take the lock themselves).
+#define TSDX_EXCLUDES(...) TSDX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Static hierarchy hints mirroring the lockorder::Rank ordering.
+#define TSDX_ACQUIRED_BEFORE(...) \
+  TSDX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TSDX_ACQUIRED_AFTER(...) \
+  TSDX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define TSDX_RETURN_CAPABILITY(x) TSDX_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch — use only with a comment explaining why the analysis
+/// cannot see the protocol (there are currently no uses in src/).
+#define TSDX_NO_THREAD_SAFETY_ANALYSIS \
+  TSDX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace tsdx {
+
+class CondVar;
+
+/// Annotated, rank-checked mutex. Construction names the lock (diagnostics)
+/// and places it in the lock hierarchy (lockorder::Rank); every acquire is
+/// reported to the lock-order validator *before* the underlying lock, so an
+/// inversion is caught even on interleavings that didn't deadlock this run.
+class TSDX_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name,
+                 lockorder::Rank rank = lockorder::Rank::kLeaf)
+      : name_(name), rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TSDX_ACQUIRE() {
+    lockorder::on_acquire(this, name_, rank_);
+    mutex_.lock();
+  }
+
+  void unlock() TSDX_RELEASE() {
+    mutex_.unlock();
+    lockorder::on_release(this);
+  }
+
+  /// Non-blocking acquisition. A failed try is not an order violation (it
+  /// cannot deadlock), so the validator only records successes.
+  bool try_lock() TSDX_TRY_ACQUIRE(true) {
+    if (!mutex_.try_lock()) return false;
+    lockorder::on_acquire(this, name_, rank_);
+    return true;
+  }
+
+  const char* name() const { return name_; }
+  lockorder::Rank rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mutex_;
+  const char* const name_;
+  const lockorder::Rank rank_;
+};
+
+/// std::lock_guard equivalent over tsdx::Mutex.
+class TSDX_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) TSDX_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() TSDX_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Adopts a mutex the thread already holds — the RAII tail of a successful
+/// try_lock() — and releases it on scope exit. The constructor's
+/// TSDX_REQUIRES is the adoption contract: the analysis verifies the caller
+/// really holds the capability it is handing over.
+class TSDX_SCOPED_CAPABILITY AdoptLock {
+ public:
+  explicit AdoptLock(Mutex& mutex) TSDX_REQUIRES(mutex) : mutex_(mutex) {}
+  ~AdoptLock() TSDX_RELEASE() { mutex_.unlock(); }
+
+  AdoptLock(const AdoptLock&) = delete;
+  AdoptLock& operator=(const AdoptLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// The lock handle CondVar waits on (std::unique_lock's role, minus the
+/// modes nothing here needs: no defer/adopt/try constructors, no early
+/// unlock, no re-lock — every extra mode is another state the analysis
+/// would have to trust). Scope-for-scope it is exactly a LockGuard; the
+/// separate type exists so only CV-capable call sites can be waited on.
+class TSDX_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) TSDX_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~UniqueLock() TSDX_RELEASE() { mutex_.unlock(); }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+
+  Mutex& mutex_;
+};
+
+/// Condition variable over tsdx::Mutex. Waits release and re-acquire the
+/// lock-order tracker entry around the underlying wait (the thread really
+/// does drop the mutex while parked), and the re-acquisition runs the full
+/// rank check. The thread-safety analysis models a wait as the capability
+/// being continuously held — which is exactly the caller-visible contract:
+/// guarded reads before and after the wait are equally protected.
+///
+/// No predicate overloads on purpose: write the `while (!condition) wait;`
+/// loop at the call site (see the header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) {
+    Mutex& mutex = lock.mutex_;
+    lockorder::on_release(&mutex);
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+    lockorder::on_acquire(&mutex, mutex.name_, mutex.rank_);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    Mutex& mutex = lock.mutex_;
+    lockorder::on_release(&mutex);
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    lockorder::on_acquire(&mutex, mutex.name_, mutex.rank_);
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return wait_until(lock, std::chrono::steady_clock::now() + timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tsdx

@@ -105,7 +105,6 @@ Registry& Registry::global() {
 }
 
 void Registry::check_unique(const std::string& name, const char* kind) const {
-  // requires mutex_
   const std::string_view want(kind);
   const bool taken = (counters_.count(name) != 0 && want != "counter") ||
                      (gauges_.count(name) != 0 && want != "gauge") ||
@@ -115,7 +114,7 @@ void Registry::check_unique(const std::string& name, const char* kind) const {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   check_unique(name, "counter");
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -123,7 +122,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   check_unique(name, "gauge");
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -132,7 +131,7 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name,
                                const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   check_unique(name, "histogram");
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(bounds);
@@ -160,7 +159,7 @@ std::string prom_name(const std::string& name) {
 }  // namespace
 
 std::string Registry::to_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::ostringstream os;
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -195,7 +194,7 @@ std::string Registry::to_json() const {
 }
 
 std::string Registry::to_prometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
     const std::string p = prom_name(name);

@@ -34,9 +34,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace tsdx::obs {
 
@@ -141,26 +142,31 @@ class Registry {
   /// The process-wide default registry.
   static Registry& global();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) TSDX_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) TSDX_EXCLUDES(mutex_);
   Histogram& histogram(
       const std::string& name,
-      const std::vector<double>& bounds = default_latency_buckets_ms());
+      const std::vector<double>& bounds = default_latency_buckets_ms())
+      TSDX_EXCLUDES(mutex_);
 
   /// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms":
   /// {name: {count, sum, buckets: [{le, count}...]}}}.
-  std::string to_json() const;
+  std::string to_json() const TSDX_EXCLUDES(mutex_);
   /// Prometheus text exposition ('.' in names becomes '_'; histogram buckets
   /// are cumulative with an +Inf le, plus _sum and _count series).
-  std::string to_prometheus() const;
+  std::string to_prometheus() const TSDX_EXCLUDES(mutex_);
 
  private:
-  void check_unique(const std::string& name, const char* kind) const;
+  void check_unique(const std::string& name, const char* kind) const
+      TSDX_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_{"obs.registry", lockorder::Rank::kRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      TSDX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      TSDX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      TSDX_GUARDED_BY(mutex_);
 };
 
 }  // namespace tsdx::obs

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <sstream>
 #include <string_view>
 
+#include "core/annotations.hpp"
 #include "obs/log.hpp"
 
 namespace tsdx::obs::trace {
@@ -58,11 +58,12 @@ Clock::time_point trace_epoch() {
 /// keeps the buffer exact and ThreadSanitizer-clean under concurrent
 /// workers.
 struct Ring {
-  std::mutex mutex;
-  std::vector<SpanEvent> events{std::vector<SpanEvent>(kRingCapacity)};
-  std::size_t next = 0;       // write cursor
-  std::size_t size = 0;       // valid events (<= kRingCapacity)
-  std::uint64_t dropped = 0;  // overwritten since last clear()
+  Mutex mutex{"obs.trace_ring", lockorder::Rank::kTraceRing};
+  std::vector<SpanEvent> events TSDX_GUARDED_BY(mutex){
+      std::vector<SpanEvent>(kRingCapacity)};
+  std::size_t next TSDX_GUARDED_BY(mutex) = 0;   // write cursor
+  std::size_t size TSDX_GUARDED_BY(mutex) = 0;   // valid (<= kRingCapacity)
+  std::uint64_t dropped TSDX_GUARDED_BY(mutex) = 0;  // since last clear()
 };
 
 Ring& ring() {
@@ -84,7 +85,7 @@ void push_event(const char* name, std::uint64_t trace_id,
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
           .count();
   Ring& r = ring();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  LockGuard lock(r.mutex);
   if (r.size == kRingCapacity) {
     ++r.dropped;
   } else {
@@ -165,7 +166,7 @@ SpanGuard::~SpanGuard() {
 
 std::vector<SpanEvent> snapshot() {
   Ring& r = ring();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  LockGuard lock(r.mutex);
   std::vector<SpanEvent> out;
   out.reserve(r.size);
   const std::size_t oldest = (r.next + kRingCapacity - r.size) % kRingCapacity;
@@ -177,13 +178,13 @@ std::vector<SpanEvent> snapshot() {
 
 std::uint64_t dropped() {
   Ring& r = ring();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  LockGuard lock(r.mutex);
   return r.dropped;
 }
 
 void clear() {
   Ring& r = ring();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  LockGuard lock(r.mutex);
   r.next = 0;
   r.size = 0;
   r.dropped = 0;

@@ -29,7 +29,7 @@ CircuitBreaker::CircuitBreaker(CircuitConfig config, bool has_fallback,
 }
 
 CircuitBreaker::Route CircuitBreaker::route(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   switch (state_) {
     case CircuitState::kClosed:
       return Route::kPrimary;
@@ -47,7 +47,7 @@ CircuitBreaker::Route CircuitBreaker::route(Clock::time_point now) {
 }
 
 void CircuitBreaker::on_fault(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ == CircuitState::kHalfOpen) {
     // The probe failed: the primary is still sick. Restart the cooldown.
     trip_locked(now);
@@ -61,7 +61,7 @@ void CircuitBreaker::on_fault(Clock::time_point now) {
 }
 
 void CircuitBreaker::on_success() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   consecutive_faults_ = 0;
   if (state_ == CircuitState::kHalfOpen) {
     set_state_locked(CircuitState::kClosed);
@@ -72,7 +72,7 @@ void CircuitBreaker::on_success() {
 void CircuitBreaker::on_queue_depth(std::size_t depth, std::size_t capacity,
                                     Clock::time_point now) {
   if (config_.saturation_window.count() == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (depth < capacity) {
     saturated_ = false;
     return;
@@ -89,12 +89,12 @@ void CircuitBreaker::on_queue_depth(std::size_t depth, std::size_t capacity,
 }
 
 CircuitState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return state_;
 }
 
 std::uint64_t CircuitBreaker::trips() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return trips_;
 }
 

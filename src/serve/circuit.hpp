@@ -25,8 +25,8 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
+#include "core/annotations.hpp"
 #include "obs/metrics.hpp"
 
 namespace tsdx::serve {
@@ -68,43 +68,43 @@ class CircuitBreaker {
   /// Routing decision for one batch. Transitions OPEN -> HALF-OPEN when the
   /// cooldown has elapsed (first caller gets kProbe, the rest keep
   /// degrading until the probe resolves).
-  Route route(Clock::time_point now);
+  Route route(Clock::time_point now) TSDX_EXCLUDES(mutex_);
 
   /// A batch dispatched to the primary threw. Trips CLOSED -> OPEN at the
   /// fault threshold; re-opens a HALF-OPEN probe.
-  void on_fault(Clock::time_point now);
+  void on_fault(Clock::time_point now) TSDX_EXCLUDES(mutex_);
 
   /// A batch dispatched to the primary succeeded. Resets the consecutive-
   /// fault streak; heals HALF-OPEN -> CLOSED.
-  void on_success();
+  void on_success() TSDX_EXCLUDES(mutex_);
 
   /// Queue-depth observation from submit(). Saturation that persists past
   /// `saturation_window` trips the breaker just like faults do.
   void on_queue_depth(std::size_t depth, std::size_t capacity,
-                      Clock::time_point now);
+                      Clock::time_point now) TSDX_EXCLUDES(mutex_);
 
-  CircuitState state() const;
+  CircuitState state() const TSDX_EXCLUDES(mutex_);
   /// Times the breaker has transitioned into OPEN.
-  std::uint64_t trips() const;
+  std::uint64_t trips() const TSDX_EXCLUDES(mutex_);
 
  private:
-  void trip_locked(Clock::time_point now);
+  void trip_locked(Clock::time_point now) TSDX_REQUIRES(mutex_);
   /// Single place every state transition goes through, so the mirror gauge
   /// can never drift from state_.
-  void set_state_locked(CircuitState state);
+  void set_state_locked(CircuitState state) TSDX_REQUIRES(mutex_);
 
   const CircuitConfig config_;
   const bool has_fallback_;
   obs::Gauge* const state_gauge_;      // may be null
   obs::Counter* const trips_counter_;  // may be null
 
-  mutable std::mutex mutex_;
-  CircuitState state_ = CircuitState::kClosed;
-  std::size_t consecutive_faults_ = 0;
-  std::uint64_t trips_ = 0;
-  Clock::time_point opened_at_{};
-  bool saturated_ = false;
-  Clock::time_point saturated_since_{};
+  mutable Mutex mutex_{"serve.circuit", lockorder::Rank::kCircuit};
+  CircuitState state_ TSDX_GUARDED_BY(mutex_) = CircuitState::kClosed;
+  std::size_t consecutive_faults_ TSDX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t trips_ TSDX_GUARDED_BY(mutex_) = 0;
+  Clock::time_point opened_at_ TSDX_GUARDED_BY(mutex_){};
+  bool saturated_ TSDX_GUARDED_BY(mutex_) = false;
+  Clock::time_point saturated_since_ TSDX_GUARDED_BY(mutex_){};
 };
 
 }  // namespace tsdx::serve

@@ -23,11 +23,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace tsdx::serve::fault {
 
@@ -74,37 +75,37 @@ class Injector {
     return injector;
   }
 
-  void arm(FaultPlan plan) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void arm(FaultPlan plan) TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     plan_ = std::move(plan);
     armed_ = true;
     extract_calls_ = 0;
   }
 
-  void disarm() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void disarm() TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     armed_ = false;
     plan_ = FaultPlan{};
   }
 
-  bool armed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool armed() const TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     return armed_;
   }
 
   /// Dispatches observed since the plan was armed.
-  std::uint64_t extract_calls() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t extract_calls() const TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     return extract_calls_;
   }
 
   /// Hook: call immediately before an extract_batch dispatch. May sleep
   /// (injected latency) and/or throw InjectedFaultError per the armed plan.
-  void on_extract_batch() {
+  void on_extract_batch() TSDX_EXCLUDES(mutex_) {
     std::chrono::microseconds delay{0};
     std::uint64_t call = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (!armed_) return;
       call = ++extract_calls_;
       for (std::uint64_t d : plan_.delay_on_extract_calls) {
@@ -114,7 +115,7 @@ class Injector {
     // Sleep outside the lock so a stalled worker cannot block arm()/stats.
     if (delay.count() > 0) sleep_for(delay);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (!armed_) return;
       for (std::uint64_t t : plan_.throw_on_extract_calls) {
         if (t == call) {
@@ -128,8 +129,9 @@ class Injector {
   /// Hook: checkpoint save asks whether to corrupt this write. One-shot —
   /// consuming clears the flag so only a single save is affected. Returns
   /// the plan seed through `seed_out` when corruption is due.
-  bool consume_checkpoint_corruption(std::uint64_t& seed_out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool consume_checkpoint_corruption(std::uint64_t& seed_out)
+      TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     if (!armed_ || !plan_.corrupt_next_checkpoint) return false;
     plan_.corrupt_next_checkpoint = false;
     seed_out = plan_.seed;
@@ -142,10 +144,11 @@ class Injector {
     std::this_thread::sleep_for(delay);
   }
 
-  mutable std::mutex mutex_;
-  FaultPlan plan_;
-  bool armed_ = false;
-  std::uint64_t extract_calls_ = 0;
+  mutable Mutex mutex_{"serve.fault_injector",
+                       lockorder::Rank::kFaultInjector};
+  FaultPlan plan_ TSDX_GUARDED_BY(mutex_);
+  bool armed_ TSDX_GUARDED_BY(mutex_) = false;
+  std::uint64_t extract_calls_ TSDX_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII armer for tests: arms on construction, disarms on scope exit so a

@@ -16,15 +16,18 @@
 // All operations are mutex + condition-variable based: simple, portable, and
 // clean under ThreadSanitizer. The serving workload is dominated by model
 // forward passes (milliseconds), so lock contention on the queue is noise.
+// The mutex is a tsdx::Mutex (rank kQueue, outermost of the worker-side
+// hierarchy — see DESIGN.md §12), every shared field is TSDX_GUARDED_BY it,
+// and CV waits are explicit loops so the guarded reads stay inside the
+// function that visibly holds the capability.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/check.hpp"
 #include "serve/error.hpp"
 
@@ -47,16 +50,16 @@ class BoundedQueue {
   /// Returns the evicted item under kShedOldest (the caller must fail it);
   /// std::nullopt otherwise. Throws QueueFullError under kReject when full
   /// and ServerStoppedError if the queue has been closed.
-  std::optional<T> push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  std::optional<T> push(T item) TSDX_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     if (closed_) throw ServerStoppedError("push on closed queue");
     std::optional<T> shed;
     if (items_.size() >= capacity_) {
       switch (policy_) {
         case OverflowPolicy::kBlock:
-          not_full_.wait(lock, [&] {
-            return items_.size() < capacity_ || closed_;
-          });
+          while (items_.size() >= capacity_ && !closed_) {
+            not_full_.wait(lock);
+          }
           if (closed_) throw ServerStoppedError("push on closed queue");
           break;
         case OverflowPolicy::kReject:
@@ -76,9 +79,11 @@ class BoundedQueue {
   /// Blocking pop: waits until an item is available or the queue is closed.
   /// After close(), keeps returning remaining items until empty, then
   /// std::nullopt (so a graceful drain can finish queued work).
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> pop() TSDX_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (items_.empty() && !closed_) {
+      not_empty_.wait(lock);
+    }
     return pop_locked();
   }
 
@@ -96,8 +101,9 @@ class BoundedQueue {
   /// or (c) the deadline genuinely elapsing.
   template <typename Clock, typename Duration>
   std::optional<T> try_pop_until(
-      const std::chrono::time_point<Clock, Duration>& deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
+      const std::chrono::time_point<Clock, Duration>& deadline)
+      TSDX_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     while (items_.empty() && !closed_) {
       if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout &&
           items_.empty() && !closed_) {
@@ -108,15 +114,15 @@ class BoundedQueue {
   }
 
   /// Non-waiting pop: an item if immediately available, else std::nullopt.
-  std::optional<T> try_pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  std::optional<T> try_pop() TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     return pop_locked();
   }
 
   /// Close the queue: pushes fail from now on; blocked producers and
   /// consumers wake. Queued items stay poppable (graceful drain).
-  void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void close() TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -124,8 +130,8 @@ class BoundedQueue {
 
   /// Close and remove every queued item in FIFO order (hard shutdown: the
   /// caller fails the returned items' futures).
-  std::vector<T> close_and_drain() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<T> close_and_drain() TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     closed_ = true;
     std::vector<T> leftover;
     leftover.reserve(items_.size());
@@ -136,8 +142,8 @@ class BoundedQueue {
     return leftover;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     return items_.size();
   }
 
@@ -145,7 +151,7 @@ class BoundedQueue {
   OverflowPolicy policy() const { return policy_; }
 
  private:
-  std::optional<T> pop_locked() {
+  std::optional<T> pop_locked() TSDX_REQUIRES(mutex_) {
     if (items_.empty()) return std::nullopt;
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
@@ -155,11 +161,11 @@ class BoundedQueue {
 
   const std::size_t capacity_;
   const OverflowPolicy policy_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_{"serve.queue", lockorder::Rank::kQueue};
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ TSDX_GUARDED_BY(mutex_);
+  bool closed_ TSDX_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tsdx::serve

@@ -117,7 +117,7 @@ std::future<core::ExtractionResult> InferenceServer::submit(
   }
 
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     ++pending_;
   }
   std::optional<Request> shed;
@@ -126,7 +126,7 @@ std::future<core::ExtractionResult> InferenceServer::submit(
   } catch (const QueueFullError&) {
     stats_.on_reject();
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
+      LockGuard lock(pending_mutex_);
       --pending_;
     }
     pending_cv_.notify_all();
@@ -134,7 +134,7 @@ std::future<core::ExtractionResult> InferenceServer::submit(
   } catch (const ServerStoppedError&) {
     // A kBlock push parked on a full queue can be woken by shutdown().
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
+      LockGuard lock(pending_mutex_);
       --pending_;
     }
     pending_cv_.notify_all();
@@ -171,10 +171,10 @@ void InferenceServer::supervisor_loop() {
   while (true) {
     std::vector<std::size_t> dead;
     {
-      std::unique_lock<std::mutex> lock(supervisor_mutex_);
-      supervisor_cv_.wait(lock, [&] {
-        return supervisor_stop_ || !dead_workers_.empty();
-      });
+      UniqueLock lock(supervisor_mutex_);
+      while (!supervisor_stop_ && dead_workers_.empty()) {
+        supervisor_cv_.wait(lock);
+      }
       if (supervisor_stop_) return;
       dead.swap(dead_workers_);
     }
@@ -186,7 +186,7 @@ void InferenceServer::supervisor_loop() {
 
 void InferenceServer::report_worker_death(std::size_t worker_index) {
   {
-    std::lock_guard<std::mutex> lock(supervisor_mutex_);
+    LockGuard lock(supervisor_mutex_);
     dead_workers_.push_back(worker_index);
   }
   supervisor_cv_.notify_one();
@@ -194,7 +194,7 @@ void InferenceServer::report_worker_death(std::size_t worker_index) {
 
 void InferenceServer::stop_supervisor() {
   {
-    std::lock_guard<std::mutex> lock(supervisor_mutex_);
+    LockGuard lock(supervisor_mutex_);
     supervisor_stop_ = true;
   }
   supervisor_cv_.notify_all();
@@ -353,7 +353,7 @@ void InferenceServer::finish_request(Request& request, DoneKind kind) {
   obs::trace::record_span("serve.request", request.trace, request.submit_time,
                           now);
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     --pending_;
   }
   pending_cv_.notify_all();
@@ -364,7 +364,7 @@ void InferenceServer::fail_request(Request& request, std::exception_ptr error) {
                           Clock::now());
   request.promise.set_exception(std::move(error));
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     --pending_;
   }
   pending_cv_.notify_all();
@@ -383,7 +383,7 @@ void InferenceServer::process_inline() {
 }
 
 void InferenceServer::drain() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  LockGuard lifecycle(lifecycle_mutex_);
   if (stopped_) return;
   accepting_.store(false, std::memory_order_release);
   if (config_.workers == 0) {
@@ -392,15 +392,17 @@ void InferenceServer::drain() {
     // kBlock push) has been resolved.
     while (true) {
       process_inline();
-      std::unique_lock<std::mutex> lock(pending_mutex_);
+      UniqueLock lock(pending_mutex_);
       if (pending_ == 0) break;
       pending_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
   } else {
     // Workers (restarted by the supervisor if they fault) finish every
     // accepted request before we tear anything down.
-    std::unique_lock<std::mutex> lock(pending_mutex_);
-    pending_cv_.wait(lock, [&] { return pending_ == 0; });
+    UniqueLock lock(pending_mutex_);
+    while (pending_ != 0) {
+      pending_cv_.wait(lock);
+    }
   }
   queue_.close();
   stop_supervisor();
@@ -409,7 +411,7 @@ void InferenceServer::drain() {
 }
 
 void InferenceServer::shutdown() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  LockGuard lifecycle(lifecycle_mutex_);
   if (stopped_) return;
   accepting_.store(false, std::memory_order_release);
   // Stop the supervisor first: a worker that faults during teardown is not

@@ -42,14 +42,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/extractor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -130,11 +129,11 @@ class InferenceServer {
   }
 
   /// Stop intake, complete every accepted request, stop workers.
-  void drain();
+  void drain() TSDX_EXCLUDES(lifecycle_mutex_);
 
   /// Stop intake, fail queued requests with ServerStoppedError, finish
   /// in-flight batches, stop workers.
-  void shutdown();
+  void shutdown() TSDX_EXCLUDES(lifecycle_mutex_);
 
   /// Counter/gauge/histogram snapshot (thread-safe, callable live).
   ServerStats stats() const;
@@ -182,9 +181,10 @@ class InferenceServer {
 
   void worker_loop(std::size_t worker_index);
   /// Restart-on-fault loop: waits for dead-worker notices and respawns.
-  void supervisor_loop();
-  void report_worker_death(std::size_t worker_index);
-  void stop_supervisor();
+  void supervisor_loop() TSDX_EXCLUDES(supervisor_mutex_);
+  void report_worker_death(std::size_t worker_index)
+      TSDX_EXCLUDES(supervisor_mutex_);
+  void stop_supervisor() TSDX_EXCLUDES(supervisor_mutex_);
   /// Assemble one micro-batch starting from `first` (max_batch / batch
   /// window, whichever first), scrubbing expired requests as it goes. May
   /// return an empty batch if everything it saw had expired.
@@ -198,8 +198,10 @@ class InferenceServer {
   /// If the request's deadline has passed, fail it with
   /// DeadlineExceededError and return true.
   bool expire_if_due(Request& request, Clock::time_point now);
-  void finish_request(Request& request, DoneKind kind);
-  void fail_request(Request& request, std::exception_ptr error);
+  void finish_request(Request& request, DoneKind kind)
+      TSDX_EXCLUDES(pending_mutex_);
+  void fail_request(Request& request, std::exception_ptr error)
+      TSDX_EXCLUDES(pending_mutex_);
   void process_inline();  // workers == 0 path, used by drain()
 
   const std::shared_ptr<const core::ScenarioExtractor> extractor_;
@@ -212,20 +214,25 @@ class InferenceServer {
   ThreadPool supervisor_;
 
   std::atomic<bool> accepting_{true};
-  bool stopped_ = false;          // guarded by lifecycle_mutex_
-  std::mutex lifecycle_mutex_;    // serializes drain()/shutdown()
+
+  /// Serializes drain()/shutdown(). Rank kServerLifecycle: the outermost
+  /// lock of the server — teardown holds it while walking the pending /
+  /// queue / supervisor locks below it (DESIGN.md §12).
+  Mutex lifecycle_mutex_{"serve.lifecycle",
+                         lockorder::Rank::kServerLifecycle};
+  bool stopped_ TSDX_GUARDED_BY(lifecycle_mutex_) = false;
 
   // Dead-worker mailbox: workers push their index on a fault, the
   // supervisor pops and respawns (unless stopping).
-  std::mutex supervisor_mutex_;
-  std::condition_variable supervisor_cv_;
-  std::vector<std::size_t> dead_workers_;
-  bool supervisor_stop_ = false;
+  Mutex supervisor_mutex_{"serve.supervisor", lockorder::Rank::kSupervisor};
+  CondVar supervisor_cv_;
+  std::vector<std::size_t> dead_workers_ TSDX_GUARDED_BY(supervisor_mutex_);
+  bool supervisor_stop_ TSDX_GUARDED_BY(supervisor_mutex_) = false;
 
   // Accepted-but-unresolved request count; drain() waits for it to hit 0.
-  std::mutex pending_mutex_;
-  std::condition_variable pending_cv_;
-  std::size_t pending_ = 0;
+  Mutex pending_mutex_{"serve.pending", lockorder::Rank::kServerPending};
+  CondVar pending_cv_;
+  std::size_t pending_ TSDX_GUARDED_BY(pending_mutex_) = 0;
 };
 
 }  // namespace tsdx::serve

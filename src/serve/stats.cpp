@@ -122,7 +122,7 @@ void StatsCollector::on_submit(std::size_t queue_depth_after) {
   queue_depth_gauge_.set(static_cast<std::int64_t>(queue_depth_after));
   queue_depth_max_gauge_.update_max(
       static_cast<std::int64_t>(queue_depth_after));
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   queue_depth_max_ = std::max(queue_depth_max_, queue_depth_after);
 }
 
@@ -139,7 +139,7 @@ void StatsCollector::on_dispatch(
 
 void StatsCollector::on_batch(std::size_t batch_size) {
   batch_size_hist_.observe(static_cast<double>(batch_size));
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   TSDX_CHECK(batch_size < batch_size_counts_.size(),
              "StatsCollector::on_batch: size ", batch_size,
              " exceeds max_batch ", batch_size_counts_.size() - 1);
@@ -165,7 +165,7 @@ void StatsCollector::on_done(std::chrono::steady_clock::duration latency,
   }
   const double ms = to_ms(latency);
   latency_hist_.observe(ms);
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   latency_samples_.record(ms);
 }
 
@@ -190,7 +190,7 @@ ServerStats StatsCollector::snapshot(std::size_t queue_depth_now,
   stats.circuit_trips = circuit_trips;
   stats.queue_depth = queue_depth_now;
   stats.queue_capacity = queue_capacity_;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   stats.queue_depth_max = queue_depth_max_;
   stats.batch_size_counts = batch_size_counts_;
   stats.latency = latency_samples_;

@@ -30,10 +30,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "obs/metrics.hpp"
 #include "serve/circuit.hpp"
 
@@ -105,21 +105,23 @@ class StatsCollector {
   StatsCollector(obs::Registry& registry, std::size_t queue_capacity,
                  std::size_t max_batch);
 
-  void on_submit(std::size_t queue_depth_after);
+  void on_submit(std::size_t queue_depth_after) TSDX_EXCLUDES(mutex_);
   void on_reject();
   void on_shed();
   void on_cancel(std::size_t count);
   /// A request left the queue for a batch slot; `queue_wait` is
   /// submit-to-dispatch.
   void on_dispatch(std::chrono::steady_clock::duration queue_wait);
-  void on_batch(std::size_t batch_size);
-  void on_done(std::chrono::steady_clock::duration latency, DoneKind kind);
+  void on_batch(std::size_t batch_size) TSDX_EXCLUDES(mutex_);
+  void on_done(std::chrono::steady_clock::duration latency, DoneKind kind)
+      TSDX_EXCLUDES(mutex_);
   void on_worker_fault();
   void on_deadline_expired();
 
   ServerStats snapshot(std::size_t queue_depth_now,
                        CircuitState circuit_state,
-                       std::uint64_t circuit_trips) const;
+                       std::uint64_t circuit_trips) const
+      TSDX_EXCLUDES(mutex_);
 
  private:
   /// A registry counter plus its value when this collector was built:
@@ -149,11 +151,11 @@ class StatsCollector {
   obs::Histogram& batch_size_hist_;
 
   // Exact per-server state the registry's fixed buckets can't carry.
-  mutable std::mutex mutex_;
-  LatencyHistogram latency_samples_;              // guarded by mutex_
-  std::vector<std::uint64_t> batch_size_counts_;  // guarded by mutex_
-  std::size_t queue_depth_max_ = 0;               // guarded by mutex_
-  std::size_t queue_capacity_ = 0;
+  mutable Mutex mutex_{"serve.stats", lockorder::Rank::kStats};
+  LatencyHistogram latency_samples_ TSDX_GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> batch_size_counts_ TSDX_GUARDED_BY(mutex_);
+  std::size_t queue_depth_max_ TSDX_GUARDED_BY(mutex_) = 0;
+  const std::size_t queue_capacity_;  // set once at construction
 };
 
 }  // namespace tsdx::serve

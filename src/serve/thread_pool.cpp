@@ -9,7 +9,7 @@ namespace tsdx::serve {
 ThreadPool::~ThreadPool() { join(); }
 
 void ThreadPool::spawn(std::size_t count, std::function<void(std::size_t)> fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   TSDX_CHECK(threads_.empty(), "ThreadPool::spawn: pool already spawned (",
              threads_.size(), " threads)");
   threads_.reserve(count);
@@ -19,7 +19,7 @@ void ThreadPool::spawn(std::size_t count, std::function<void(std::size_t)> fn) {
 }
 
 void ThreadPool::spawn_one(std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   threads_.emplace_back(std::move(fn));
 }
 
@@ -31,7 +31,7 @@ void ThreadPool::join() {
   while (true) {
     std::vector<std::thread> batch;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (threads_.empty()) return;
       batch.swap(threads_);
     }
@@ -42,7 +42,7 @@ void ThreadPool::join() {
 }
 
 std::size_t ThreadPool::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return threads_.size();
 }
 

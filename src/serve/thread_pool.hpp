@@ -11,9 +11,10 @@
 
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace tsdx::serve {
 
@@ -31,18 +32,19 @@ class ThreadPool {
   /// Launch `count` threads, each running fn(worker_index). May be called
   /// once per pool lifetime (a pool is a batch of workers, not a task queue
   /// — the InferenceServer's request queue plays that role).
-  void spawn(std::size_t count, std::function<void(std::size_t)> fn);
+  void spawn(std::size_t count, std::function<void(std::size_t)> fn)
+      TSDX_EXCLUDES(mutex_);
 
   /// Launch one additional thread running fn(). Used by the InferenceServer
   /// supervisor to restart a worker that died on a fault; safe to call
   /// concurrently with join() (the new thread is picked up by the join loop).
-  void spawn_one(std::function<void()> fn);
+  void spawn_one(std::function<void()> fn) TSDX_EXCLUDES(mutex_);
 
   /// Block until every spawned thread — including any spawned concurrently
   /// with this call — has returned. Idempotent.
-  void join();
+  void join() TSDX_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const TSDX_EXCLUDES(mutex_);
 
   /// Spawn-run-join in one call: run fn(i) on `count` concurrent threads and
   /// wait for all of them. This is the sanctioned primitive for producer
@@ -51,8 +53,8 @@ class ThreadPool {
                   const std::function<void(std::size_t)>& fn);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::thread> threads_;
+  mutable Mutex mutex_{"serve.thread_pool", lockorder::Rank::kThreadPool};
+  std::vector<std::thread> threads_ TSDX_GUARDED_BY(mutex_);
 };
 
 }  // namespace tsdx::serve

@@ -1,13 +1,12 @@
 #include "tensor/kernels/parallel_for.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -38,6 +37,25 @@ ParMetrics& par_metrics() {
   return metrics;
 }
 
+/// True while this thread is executing inside a fan-out — as the publisher
+/// running Job::process(), or as a pool worker running a job's chunks. A
+/// chunk fn that itself calls parallel_for re-enters Pool::run on such a
+/// thread; for the publisher, a try_lock on job_mutex_ — a non-recursive
+/// mutex this thread already owns — would be undefined behaviour, so nested
+/// fan-outs check this flag and go inline before ever touching the lock
+/// (regression: kernel_test's ParallelForNestedReentry).
+thread_local bool t_in_fanout = false;
+
+struct FanoutScope {
+  FanoutScope() : previous_(t_in_fanout) { t_in_fanout = true; }
+  ~FanoutScope() { t_in_fanout = previous_; }
+  FanoutScope(const FanoutScope&) = delete;
+  FanoutScope& operator=(const FanoutScope&) = delete;
+
+ private:
+  const bool previous_;  // save/restore: inline runs nest inside fan-outs
+};
+
 /// One fan-out: a chunk counter the participants race on plus a completion
 /// latch. Heap-allocated and shared so a worker that wakes late (or finishes
 /// after the caller has already moved on) can only ever touch its own job's
@@ -51,27 +69,30 @@ struct Job {
   /// job, so kernel spans inside a fan-out stay on the request's trace.
   obs::trace::Context ctx;
   std::atomic<std::int64_t> next{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::int64_t done = 0;  // guarded by done_mutex
+  Mutex done_mutex{"par.job_done", lockorder::Rank::kPoolDone};
+  CondVar done_cv;
+  std::int64_t done TSDX_GUARDED_BY(done_mutex) = 0;
 
   /// Claim and run chunks until none are left. Called by pool workers and by
   /// the thread that published the job.
-  void process() {
+  void process() TSDX_EXCLUDES(done_mutex) {
+    FanoutScope in_fanout;
     for (;;) {
       const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= nchunks) return;
       const std::int64_t begin = c * grain;
       const std::int64_t end = std::min(total, begin + grain);
       (*fn)(begin, end);
-      std::lock_guard<std::mutex> lock(done_mutex);
+      LockGuard lock(done_mutex);
       if (++done == nchunks) done_cv.notify_all();
     }
   }
 
-  void wait() {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done == nchunks; });
+  void wait() TSDX_EXCLUDES(done_mutex) {
+    UniqueLock lock(done_mutex);
+    while (done != nchunks) {
+      done_cv.wait(lock);
+    }
   }
 };
 
@@ -82,41 +103,59 @@ class Pool {
     return pool;
   }
 
-  ~Pool() { stop_workers(); }
+  ~Pool() {
+    // stop_workers() requires config_mutex_; the destructor used to call it
+    // bare, racing a concurrent set_threads()/threads() during process
+    // teardown. Static-destruction order makes the window narrow, but the
+    // annotation made the hole visible — take the lock like everyone else.
+    LockGuard lock(config_mutex_);
+    stop_workers();
+  }
 
-  std::size_t threads() {
-    std::lock_guard<std::mutex> lock(config_mutex_);
+  std::size_t threads() TSDX_EXCLUDES(config_mutex_) {
+    LockGuard lock(config_mutex_);
     ensure_init();
     return workers_.size() + 1;
   }
 
-  void set_threads(std::size_t n) {
+  void set_threads(std::size_t n)
+      TSDX_EXCLUDES(job_mutex_, config_mutex_) {
     if (n == 0) n = 1;
     // Taking job_mutex_ first means no fan-out is in flight while workers
     // are torn down and respawned.
-    std::lock_guard<std::mutex> job(job_mutex_);
-    std::lock_guard<std::mutex> lock(config_mutex_);
+    LockGuard job(job_mutex_);
+    LockGuard lock(config_mutex_);
     initialized_ = true;
     resize(n - 1);
   }
 
-  void run(std::int64_t total, std::int64_t grain, const ChunkFn& fn) {
+  void run(std::int64_t total, std::int64_t grain, const ChunkFn& fn)
+      TSDX_EXCLUDES(job_mutex_, config_mutex_, state_mutex_) {
     const std::int64_t nchunks = chunk_count(total, grain);
+    // Nested parallel_for (fn inside a fan-out calling back in): go inline
+    // without touching job_mutex_. The publisher thread *owns* job_mutex_
+    // here, and try_lock on a non-recursive mutex the caller already holds
+    // is undefined behaviour — this flag check is the fix, not an
+    // optimization (see t_in_fanout above).
+    if (t_in_fanout || nchunks <= 1) {
+      run_inline(total, grain, fn, nchunks);
+      return;
+    }
+    // A pool already busy with another thread's fan-out: fall back inline.
+    // Chunk boundaries are identical either way, so results are too.
+    if (!job_mutex_.try_lock()) {
+      run_inline(total, grain, fn, nchunks);
+      return;
+    }
+    AdoptLock job(job_mutex_);
     std::size_t nworkers = 0;
-    std::unique_lock<std::mutex> job(job_mutex_, std::try_to_lock);
-    if (job.owns_lock()) {
-      std::lock_guard<std::mutex> lock(config_mutex_);
+    {
+      LockGuard lock(config_mutex_);
       ensure_init();
       nworkers = workers_.size();
     }
-    // Inline path: single-chunk loops, a 1-thread budget, or a pool already
-    // busy with another fan-out (including fn itself calling parallel_for).
-    // Chunk boundaries are identical either way, so results are too.
-    if (!job.owns_lock() || nworkers == 0 || nchunks <= 1) {
-      par_metrics().inline_fanouts.inc();
-      for (std::int64_t c = 0; c < nchunks; ++c) {
-        fn(c * grain, std::min(total, (c + 1) * grain));
-      }
+    if (nworkers == 0) {  // 1-thread budget
+      run_inline(total, grain, fn, nchunks);
       return;
     }
 
@@ -128,7 +167,7 @@ class Pool {
     shared->nchunks = nchunks;
     shared->ctx = obs::trace::current();
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      LockGuard lock(state_mutex_);
       current_ = shared;
       ++epoch_;
     }
@@ -136,13 +175,25 @@ class Pool {
     shared->process();
     shared->wait();
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      LockGuard lock(state_mutex_);
       current_.reset();
     }
   }
 
  private:
-  void ensure_init() {  // requires config_mutex_
+  static void run_inline(std::int64_t total, std::int64_t grain,
+                         const ChunkFn& fn, std::int64_t nchunks) {
+    // The flag also covers the nworkers == 0 caller, which runs fn while
+    // still owning job_mutex_ — a nested parallel_for there must not reach
+    // the try_lock either.
+    FanoutScope in_fanout;
+    par_metrics().inline_fanouts.inc();
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      fn(c * grain, std::min(total, (c + 1) * grain));
+    }
+  }
+
+  void ensure_init() TSDX_REQUIRES(config_mutex_) {
     if (initialized_) return;
     initialized_ = true;
     std::size_t n = std::thread::hardware_concurrency();
@@ -155,18 +206,21 @@ class Pool {
     resize(n - 1);
   }
 
-  void resize(std::size_t nworkers) {  // requires config_mutex_
+  void resize(std::size_t nworkers) TSDX_REQUIRES(config_mutex_) {
     stop_workers();
-    stop_ = false;
+    {
+      LockGuard lock(state_mutex_);
+      stop_ = false;
+    }
     workers_.reserve(nworkers);
     for (std::size_t i = 0; i < nworkers; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
     }
   }
 
-  void stop_workers() {  // requires config_mutex_ (or destruction)
+  void stop_workers() TSDX_REQUIRES(config_mutex_) {
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      LockGuard lock(state_mutex_);
       stop_ = true;
     }
     state_cv_.notify_all();
@@ -174,13 +228,15 @@ class Pool {
     workers_.clear();
   }
 
-  void worker_loop() {
+  void worker_loop() TSDX_EXCLUDES(state_mutex_) {
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(state_mutex_);
-        state_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        UniqueLock lock(state_mutex_);
+        while (!stop_ && epoch_ == seen) {
+          state_cv_.wait(lock);
+        }
         if (stop_) return;
         seen = epoch_;
         job = current_;
@@ -195,20 +251,21 @@ class Pool {
   }
 
   // Serializes fan-outs: at most one job uses the workers at a time;
-  // concurrent callers fall back to inline execution.
-  std::mutex job_mutex_;
+  // concurrent callers fall back to inline execution. Guards no fields —
+  // it is an exclusion capability, which is why nothing is GUARDED_BY it.
+  Mutex job_mutex_{"par.job", lockorder::Rank::kPoolJob};
 
   // Pool sizing (workers_, initialized_).
-  std::mutex config_mutex_;
-  bool initialized_ = false;
-  std::vector<std::thread> workers_;
+  Mutex config_mutex_{"par.config", lockorder::Rank::kPoolConfig};
+  bool initialized_ TSDX_GUARDED_BY(config_mutex_) = false;
+  std::vector<std::thread> workers_ TSDX_GUARDED_BY(config_mutex_);
 
   // Job publication: workers sleep on state_cv_ until epoch_ moves.
-  std::mutex state_mutex_;
-  std::condition_variable state_cv_;
-  std::shared_ptr<Job> current_;
-  std::uint64_t epoch_ = 0;
-  bool stop_ = false;
+  Mutex state_mutex_{"par.state", lockorder::Rank::kPoolState};
+  CondVar state_cv_;
+  std::shared_ptr<Job> current_ TSDX_GUARDED_BY(state_mutex_);
+  std::uint64_t epoch_ TSDX_GUARDED_BY(state_mutex_) = 0;
+  bool stop_ TSDX_GUARDED_BY(state_mutex_) = false;
 };
 
 }  // namespace

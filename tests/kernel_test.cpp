@@ -156,6 +156,47 @@ TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
   par::set_threads(1);
 }
 
+// Regression for the publisher-thread re-entry hole: the thread that
+// publishes a fan-out owns the pool's job mutex while running its own
+// chunks, and on the 1-thread budget it still owns it inside the inline
+// path. A chunk fn that calls parallel_for again used to reach try_lock on
+// that owned (non-recursive) mutex — undefined behaviour. The fix routes
+// any nested call inline via a thread-local in-fanout flag before the lock
+// is ever touched; this test drives both re-entry paths, three levels deep,
+// and checks every index is covered exactly once at every level.
+TEST(ParallelForTest, ParallelForNestedReentry) {
+  for (std::size_t threads : {1u, 4u}) {
+    par::set_threads(threads);
+    constexpr std::int64_t kOuter = 6;
+    constexpr std::int64_t kMid = 8;
+    constexpr std::int64_t kInner = 5;
+    std::vector<std::atomic<int>> hits(
+        static_cast<std::size_t>(kOuter * kMid * kInner));
+    for (auto& h : hits) h.store(0);
+    // kMid/kInner chunk counts are > 1 so the nested calls would take the
+    // pool path (and hit the owned mutex) if the in-fanout check regressed.
+    par::parallel_for(kOuter, 1, [&](std::int64_t ob, std::int64_t oe) {
+      for (std::int64_t o = ob; o < oe; ++o) {
+        par::parallel_for(kMid, 2, [&](std::int64_t mb, std::int64_t me) {
+          for (std::int64_t m = mb; m < me; ++m) {
+            par::parallel_for(kInner, 1, [&](std::int64_t ib, std::int64_t ie) {
+              for (std::int64_t i = ib; i < ie; ++i) {
+                hits[static_cast<std::size_t>((o * kMid + m) * kInner + i)]
+                    .fetch_add(1);
+              }
+            });
+          }
+        });
+      }
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1)
+          << "threads=" << threads << " flat index " << i;
+    }
+  }
+  par::set_threads(1);
+}
+
 TEST(ParallelForTest, TreeSumIsDeterministicAndAccurate) {
   const auto v = random_vec(10001, 7);
   double seq = 0.0;

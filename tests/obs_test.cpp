@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <future>
@@ -18,9 +20,11 @@
 
 #include "core/check.hpp"
 #include "core/extractor.hpp"
+#include "core/lockorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
+#include "serve/thread_pool.hpp"
 #include "sim/clipgen.hpp"
 #include "tensor/kernels/parallel_for.hpp"
 
@@ -205,6 +209,42 @@ TEST(ObsMetricsTest, RegistryRejectsOneNameAsTwoKinds) {
   registry.counter("serve.depth");
   EXPECT_THROW(registry.gauge("serve.depth"), tsdx::ValueError);
   EXPECT_THROW(registry.histogram("serve.depth"), tsdx::ValueError);
+}
+
+// First-touch registration under contention: 8 threads race to create the
+// same metric names on a fresh registry and then hammer them. Exactly one
+// object per name may exist (everyone's increments land in it) and the maps
+// must survive concurrent mutation — the scenario TSan replays with this
+// whole suite under the tsan preset. This is the regression test for the
+// registry's lock discipline: its mutex is annotated and rank-checked, so
+// the validator (enabled here) would also flag any ordering hole.
+TEST(ObsMetricsTest, RegistryFirstTouchStress) {
+  tsdx::lockorder::ScopedEnable lock_order;
+  obs::Registry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kIncrements = 200;
+  std::array<obs::Counter*, kThreads> seen{};
+  serve::ThreadPool::run(kThreads, [&](std::size_t t) {
+    // Every thread first-touches all three kinds plus a per-thread name, so
+    // the maps rehash while other threads are resolving references.
+    obs::Counter& counter = registry.counter("stress.shared");
+    seen[t] = &counter;
+    obs::Gauge& gauge = registry.gauge("stress.gauge");
+    obs::Histogram& histogram = registry.histogram("stress.hist", {1.0, 8.0});
+    registry.counter("stress.thread." + std::to_string(t)).inc();
+    for (std::uint64_t i = 0; i < kIncrements; ++i) {
+      counter.inc();
+      gauge.update_max(static_cast<std::int64_t>(i));
+      histogram.observe(static_cast<double>(t));
+    }
+  });
+  for (std::size_t t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(registry.counter("stress.shared").value(), kThreads * kIncrements);
+  EXPECT_EQ(registry.histogram("stress.hist").count(), kThreads * kIncrements);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter("stress.thread." + std::to_string(t)).value(),
+              1u);
+  }
 }
 
 TEST(ObsMetricsTest, JsonAndPrometheusExposition) {

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""tidy_gate.py — enforced clang-tidy gate with a committed baseline.
+
+Runs clang-tidy (via run-clang-tidy when available, else sequentially) over
+every .cpp under src/ using the compile database of a clang configure
+(`cmake --preset clang-analysis`), normalizes the findings, and compares
+them against tools/tidy_baseline.txt:
+
+  * a finding not in the baseline fails the gate (exit 1) — new warnings are
+    build breaks, exactly like -Werror;
+  * a baseline entry that no longer fires is reported as stale so the
+    baseline can be shrunk (tidy debt only ratchets down);
+  * `--update` rewrites the baseline from the current run.
+
+Findings are normalized to `<repo-relative-file> [<check>]` — no line
+numbers or message text, so unrelated edits and clang version drift do not
+invalidate the baseline. The committed baseline is empty: the tree is
+tidy-clean and must stay that way.
+
+Exit 0 with a skip message when clang-tidy or the compile database is
+missing (developer containers without clang); the clang-analysis CI job is
+the enforcement point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "tidy_baseline.txt"
+
+# `/abs/path/file.cpp:12:3: warning: text [check-name]`
+FINDING_RE = re.compile(
+    r"^(?P<file>/[^:]+\.(?:cpp|hpp|h|cc)):\d+:\d+:\s+"
+    r"(?:warning|error):\s+.*\[(?P<checks>[A-Za-z0-9.,_-]+)\]\s*$"
+)
+
+
+def compile_db_sources(build_dir: Path) -> list[Path]:
+    """The src/ .cpp files clang-tidy can analyze (present in the db)."""
+    db = build_dir / "compile_commands.json"
+    entries = json.loads(db.read_text())
+    sources = set()
+    for entry in entries:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = (Path(entry["directory"]) / path).resolve()
+        try:
+            rel = path.resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            continue
+        if rel.parts and rel.parts[0] == "src":
+            sources.add(path.resolve())
+    return sorted(sources)
+
+
+def run_tidy(build_dir: Path, sources: list[Path]) -> str:
+    """Run clang-tidy over `sources`, returning combined stdout."""
+    runner = shutil.which("run-clang-tidy") or shutil.which(
+        "run-clang-tidy-14"
+    )
+    if runner:
+        # run-clang-tidy parallelizes and takes regex file filters.
+        proc = subprocess.run(
+            [runner, "-quiet", "-p", str(build_dir), r"^.*/src/.*\.cpp$"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        return proc.stdout + proc.stderr
+    out = []
+    for source in sources:
+        proc = subprocess.run(
+            ["clang-tidy", "--quiet", "-p", str(build_dir), str(source)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        out.append(proc.stdout)
+        out.append(proc.stderr)
+    return "".join(out)
+
+
+def normalize(output: str) -> set[str]:
+    findings = set()
+    for line in output.splitlines():
+        match = FINDING_RE.match(line.strip())
+        if not match:
+            continue
+        path = Path(match.group("file"))
+        try:
+            rel = path.resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # a system header leaked through the header filter
+        for check in match.group("checks").split(","):
+            findings.add(f"{rel.as_posix()} [{check}]")
+    return findings
+
+
+def read_baseline() -> set[str]:
+    if not BASELINE.exists():
+        return set()
+    entries = set()
+    for line in BASELINE.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(findings: set[str]) -> None:
+    lines = [
+        "# tidy_baseline.txt — accepted clang-tidy findings, one",
+        "# `<file> [<check>]` per line. Maintained by tools/tidy_gate.py",
+        "# (--update); the gate fails on any finding not listed here, so",
+        "# this file only ever shrinks. An empty list means src/ is",
+        "# tidy-clean.",
+    ]
+    lines.extend(sorted(findings))
+    BASELINE.write_text("\n".join(lines) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--build-dir",
+        type=Path,
+        default=REPO_ROOT / "build-clang",
+        help="build dir with compile_commands.json (default: build-clang)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    args = parser.parse_args()
+
+    if not (shutil.which("clang-tidy") or shutil.which("run-clang-tidy")):
+        print("tidy_gate: clang-tidy not found; skipping (CI enforces)")
+        return 0
+    build_dir = args.build_dir.resolve()
+    if not (build_dir / "compile_commands.json").exists():
+        print(
+            f"tidy_gate: no compile_commands.json in {build_dir}; "
+            "configure with `cmake --preset clang-analysis` first"
+        )
+        return 0
+
+    sources = compile_db_sources(build_dir)
+    if not sources:
+        print("tidy_gate: compile database lists no src/ sources",
+              file=sys.stderr)
+        return 1
+    print(f"tidy_gate: analyzing {len(sources)} src/ files ...")
+    findings = normalize(run_tidy(build_dir, sources))
+
+    if args.update:
+        write_baseline(findings)
+        print(f"tidy_gate: baseline rewritten with {len(findings)} entries")
+        return 0
+
+    baseline = read_baseline()
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+    if stale:
+        print("tidy_gate: stale baseline entries (fixed — remove them):")
+        for entry in stale:
+            print(f"  {entry}")
+    if new:
+        print("tidy_gate: NEW clang-tidy findings (not in baseline):",
+              file=sys.stderr)
+        for entry in new:
+            print(f"  {entry}", file=sys.stderr)
+        print(
+            "tidy_gate: fix them or (for accepted debt) re-baseline with "
+            "tools/tidy_gate.py --update",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"tidy_gate: OK ({len(findings)} findings, all baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

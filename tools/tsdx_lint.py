@@ -46,8 +46,25 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     through a validating helper (binary_op / unary_op /
                     classify / shape_error), or delegate to another validated
                     op. Genuinely shape-agnostic ops are allowlisted below.
+  raw-mutex         No bare std::mutex / std::lock_guard / std::unique_lock /
+                    std::condition_variable in src/serve/ or src/obs/ — those
+                    layers lock through tsdx::Mutex / LockGuard / UniqueLock /
+                    CondVar (src/core/annotations.hpp) so every lock carries
+                    thread-safety annotations and a lockorder::Rank. The
+                    wrappers themselves (src/core/) are the one place the raw
+                    primitives live.
+  unannotated-shared  A mutable data member declared after a tsdx::Mutex
+                    member in the same class must carry TSDX_GUARDED_BY (or
+                    be a const / static / atomic / another sync primitive).
+                    Positional convention: guarded state sits below its lock,
+                    so an unannotated member next to a Mutex is either a
+                    missing annotation or state whose locking story is
+                    undocumented. Checked in src/serve/, src/obs/ and
+                    src/tensor/kernels/.
 
 Usage: tsdx_lint.py [repo_root]      (exit 0 = clean, 1 = violations)
+If repo_root is omitted it is derived from this script's location, so the
+linter gives identical results from any working directory.
 """
 
 from __future__ import annotations
@@ -326,6 +343,108 @@ class Linter:
                                f"public op `{name}` does not validate its "
                                "input shapes (TSDX_CHECK / TSDX_SHAPE_ASSERT)")
 
+    # ---- raw-mutex ----------------------------------------------------------
+
+    def check_raw_mutex(self) -> None:
+        # std::mutex and friends as types; tsdx::Mutex wraps them exactly
+        # once, in src/core/annotations.hpp (outside this rule's scope).
+        pat = re.compile(
+            r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
+            r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+            r"condition_variable(?:_any)?)\b")
+        for sub in ("src/serve", "src/obs"):
+            for path in sorted((self.root / sub).rglob("*")):
+                if path.suffix not in (".hpp", ".cpp"):
+                    continue
+                clean = strip_comments_and_strings(path.read_text())
+                for lineno, line in enumerate(clean.splitlines(), 1):
+                    if pat.search(line):
+                        self.error(path, lineno, "raw-mutex",
+                                   "raw std sync primitive in an annotated "
+                                   "layer — use tsdx::Mutex / LockGuard / "
+                                   "UniqueLock / CondVar from "
+                                   "core/annotations.hpp so the lock is "
+                                   "thread-safety-annotated and rank-checked")
+
+    # ---- unannotated-shared -------------------------------------------------
+
+    # Declarations that never need TSDX_GUARDED_BY: other sync primitives,
+    # immutables, nested types, functions and access specifiers.
+    _SHARED_EXEMPT = re.compile(
+        r"^(?:mutable\s+)?(?:Mutex|CondVar)\b"
+        r"|^(?:static|constexpr|using|friend|enum|struct|class|template"
+        r"|public|private|protected|explicit|virtual|~)\b"
+        r"|^const\b"
+        r"|\bstd::atomic\b")
+
+    def _member_statements(self, lines: list[str], start: int,
+                           indent: int) -> list[tuple[int, str]]:
+        """Joined `;`-terminated statements after `start` until the
+        enclosing scope closes (a `}` at indentation below `indent`)."""
+        statements: list[tuple[int, str]] = []
+        buf: list[str] = []
+        first = 0
+        depth = 0  # nested scopes (function bodies, nested types) are skipped
+        for lineno in range(start, len(lines)):
+            line = lines[lineno]
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if depth > 0:
+                depth += stripped.count("{") - stripped.count("}")
+                continue
+            line_indent = len(line) - len(line.lstrip())
+            if stripped.startswith("}") and line_indent < indent:
+                break
+            if not buf:
+                first = lineno
+            buf.append(stripped)
+            net = stripped.count("{") - stripped.count("}")
+            if net > 0:
+                # Entering a nested scope: drop the opener and everything
+                # inside — members of nested types get their own pass when
+                # their own Mutex declaration matches.
+                depth = net
+                buf = []
+            elif stripped.endswith(";"):
+                statements.append((first + 1, " ".join(buf)))
+                buf = []
+        return statements
+
+    def check_unannotated_shared(self) -> None:
+        mutex_decl = re.compile(r"^(\s*)(?:mutable\s+)?Mutex\s+\w+")
+        for sub in ("src/serve", "src/obs", "src/tensor/kernels"):
+            for path in sorted((self.root / sub).rglob("*")):
+                if path.suffix not in (".hpp", ".cpp"):
+                    continue
+                clean = strip_comments_and_strings(path.read_text())
+                lines = clean.splitlines()
+                for i, line in enumerate(lines):
+                    m = mutex_decl.match(line)
+                    if not m:
+                        continue
+                    # Find the end of the Mutex member's own statement.
+                    j = i
+                    while j < len(lines) and ";" not in lines[j]:
+                        j += 1
+                    for lineno, stmt in self._member_statements(
+                            lines, j + 1, len(m.group(1))):
+                        if "TSDX_GUARDED_BY" in stmt:
+                            continue
+                        if self._SHARED_EXEMPT.search(stmt):
+                            continue
+                        # Strip initializers, then treat a remaining `(` as
+                        # a function declaration (data members only carry
+                        # parens inside initializers or annotations).
+                        head = re.split(r"=|\{", stmt, maxsplit=1)[0]
+                        if "(" in head:
+                            continue
+                        self.error(path, lineno, "unannotated-shared",
+                                   "mutable member below a tsdx::Mutex "
+                                   "lacks TSDX_GUARDED_BY — annotate it "
+                                   "(or move it above the lock if it is "
+                                   f"not shared state): `{stmt}`")
+
     # ---- driver -------------------------------------------------------------
 
     def run(self) -> int:
@@ -337,17 +456,28 @@ class Linter:
         self.check_raw_log()
         self.check_taxonomy_tables()
         self.check_op_shape_validation()
+        self.check_raw_mutex()
+        self.check_unannotated_shared()
         if self.errors:
             for e in self.errors:
                 print(e)
-            print(f"tsdx_lint: {len(self.errors)} violation(s)")
+            by_rule: dict[str, int] = {}
+            for e in self.errors:
+                rule = e.split("[", 1)[1].split("]", 1)[0]
+                by_rule[rule] = by_rule.get(rule, 0) + 1
+            summary = "  ".join(f"{rule}={count}" for rule, count in
+                                sorted(by_rule.items()))
+            print(f"tsdx_lint: {len(self.errors)} violation(s)  [{summary}]")
             return 1
         print("tsdx_lint: clean")
         return 0
 
 
 def main() -> int:
-    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    # Default the root to this script's parent repo (not the CWD) so the
+    # linter behaves identically from the repo root, a build dir, or CI.
+    root = (Path(sys.argv[1]).resolve() if len(sys.argv) > 1
+            else Path(__file__).resolve().parent.parent)
     if not (root / "CMakeLists.txt").exists():
         print(f"tsdx_lint: {root} does not look like the repo root",
               file=sys.stderr)
