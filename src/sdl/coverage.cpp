@@ -1,7 +1,5 @@
 #include "sdl/coverage.hpp"
 
-#include <mutex>
-
 namespace tsdx::sdl {
 
 namespace {
