@@ -10,10 +10,12 @@
 #include <numeric>
 
 #include "bench_common.hpp"
+#include "index/flat.hpp"
 #include "sdl/embedding.hpp"
 
 using namespace tsdx;
 using namespace tsdx::bench;
+namespace ix = tsdx::index;  // alias: POSIX ::index() shadows the namespace
 
 namespace {
 
@@ -65,6 +67,38 @@ RankingScores evaluate_ranking(const data::Dataset& queries,
   return out;
 }
 
+/// SDL variant: rank through a tsdx::index::FlatIndex holding the library
+/// (DocId == library position, k == library size: the full exact ranking).
+///
+/// This reproduces the pre-index score-function path bit for bit: the index
+/// stores the same scenario_to_vector embeddings, scores with the same
+/// float accumulation order as sdl::cosine_similarity, and breaks score
+/// ties by ascending DocId — exactly what stable_sort over (double)score
+/// with ascending insertion order produced.
+RankingScores evaluate_index_ranking(const data::Dataset& queries,
+                                     const data::Dataset& library,
+                                     const ix::FlatIndex& index) {
+  std::vector<std::vector<bool>> rankings;
+  double p1 = 0, p5 = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::vector<ix::Hit> hits =
+        index.search({queries[q].description, {}, library.size()});
+    std::vector<bool> rel;
+    for (const ix::Hit& hit : hits) {
+      rel.push_back(relevant(queries[q].description,
+                             library[hit.id].description));
+    }
+    p1 += data::precision_at_k(rel, 1);
+    p5 += data::precision_at_k(rel, 5);
+    rankings.push_back(std::move(rel));
+  }
+  RankingScores out;
+  out.p1 = p1 / static_cast<double>(queries.size());
+  out.p5 = p5 / static_cast<double>(queries.size());
+  out.map = data::mean_average_precision(rankings);
+  return out;
+}
+
 void print_scores(const char* name, const RankingScores& s) {
   std::printf("%-22s %6.3f %6.3f %6.3f\n", name, s.p1, s.p5, s.map);
 }
@@ -94,27 +128,19 @@ int main() {
   for (std::size_t i = 0; i < library.size(); ++i) {
     extracted.push_back(extractor.extract(library[i].video).description);
   }
-  std::vector<std::vector<float>> extracted_vecs, truth_vecs;
+  // The SDL rankings run through the scenario index: one FlatIndex per
+  // description source, library position as the DocId.
+  ix::FlatIndex truth_index, extracted_index;
   for (std::size_t i = 0; i < library.size(); ++i) {
-    extracted_vecs.push_back(sdl::scenario_to_vector(extracted[i]));
-    truth_vecs.push_back(sdl::scenario_to_vector(library[i].description));
+    truth_index.insert(i, library[i].description);
+    extracted_index.insert(i, extracted[i]);
   }
 
   std::printf("\n%-22s %6s %6s %6s\n", "ranking method", "P@1", "P@5", "mAP");
   print_scores("sdl_truth (oracle)",
-               evaluate_ranking(queries, library, [&](std::size_t q,
-                                                      std::size_t i) {
-                 return static_cast<double>(sdl::cosine_similarity(
-                     sdl::scenario_to_vector(queries[q].description),
-                     truth_vecs[i]));
-               }));
+               evaluate_index_ranking(queries, library, truth_index));
   print_scores("sdl_extracted (ours)",
-               evaluate_ranking(queries, library, [&](std::size_t q,
-                                                      std::size_t i) {
-                 return static_cast<double>(sdl::cosine_similarity(
-                     sdl::scenario_to_vector(queries[q].description),
-                     extracted_vecs[i]));
-               }));
+               evaluate_index_ranking(queries, library, extracted_index));
   print_scores("raw_pixels",
                evaluate_ranking(queries, library, [&](std::size_t q,
                                                       std::size_t i) {

@@ -1,0 +1,228 @@
+// R-I1 — Scenario index at scale: build a million-description corpus, then
+// measure the IVF index against the exact flat scan — recall@10 and
+// queries/s across the nprobe sweep, plus build time for both backends.
+//
+// Acceptance (EXPERIMENTS.md R-I1): at >= 1M documents there must exist an
+// nprobe setting with recall@10 >= 0.9 at >= 5x the flat scan's
+// throughput; the summary line prints both numbers and the pass/fail
+// verdict. --smoke runs a reduced corpus and writes BENCH_I1.json for the
+// CI gate (tools/bench_gate.py vs bench/BENCH_I1_baseline.json, which
+// gates recall_at_10 and speedup_vs_flat per nprobe shape).
+//
+// Documents are sim::sample_description draws — the same distribution the
+// clip generator renders, minus the rendering, which is what makes a
+// million of them cheap. The corpus is heavily duplicated (the SDL label
+// space is finite), which is exactly the regime the paper's retrieval story
+// lives in: near-duplicate scenarios quantize to the same inverted list, so
+// small nprobe keeps high recall.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "index/flat.hpp"
+#include "index/ivf.hpp"
+#include "sim/world.hpp"
+#include "tensor/rng.hpp"
+
+using namespace tsdx;
+using namespace tsdx::bench;
+namespace ix = tsdx::index;  // alias: POSIX ::index() shadows the namespace
+
+namespace {
+
+constexpr std::size_t kTopK = 10;
+
+struct ProbeResult {
+  std::size_t nprobe = 0;
+  double recall = 0;
+  double queries_per_s = 0;
+  double speedup = 0;
+};
+
+struct Scale {
+  std::size_t docs;
+  std::size_t nlist;
+  std::size_t train_size;
+  std::size_t queries;
+  std::vector<std::size_t> nprobe_sweep;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void write_json(const char* path, const Scale& scale, double flat_build_s,
+                double ivf_build_s, double flat_qps,
+                const std::vector<ProbeResult>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_i1_index: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_i1_index\",\n");
+  std::fprintf(f, "  \"docs\": %zu,\n  \"nlist\": %zu,\n", scale.docs,
+               scale.nlist);
+  std::fprintf(f, "  \"gated_metrics\": [\"recall_at_10\", "
+                  "\"speedup_vs_flat\"],\n");
+  std::fprintf(f, "  \"shapes\": [\n");
+  std::fprintf(f,
+               "    {\"name\": \"flat_d%zu\", \"build_s\": %.3f, "
+               "\"queries_per_s\": %.3f},\n",
+               scale.docs, flat_build_s, flat_qps);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ProbeResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"ivf_d%zu_p%zu\", \"nprobe\": %zu, "
+                 "\"build_s\": %.3f, \"recall_at_10\": %.4f, "
+                 "\"queries_per_s\": %.3f, \"speedup_vs_flat\": %.4f}%s\n",
+                 scale.docs, r.nprobe, r.nprobe, ivf_build_s, r.recall,
+                 r.queries_per_s, r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (smoke && json_path == nullptr) json_path = "BENCH_I1.json";
+
+  print_banner("R-I1", "scenario index: IVF recall/speed vs exact scan");
+
+  const Scale scale = smoke ? Scale{50'000, 64, 8'192, 50, {1, 2, 4, 8, 16}}
+                            : Scale{1'000'000, 256, 32'768, 200,
+                                    {1, 2, 4, 8, 16, 32}};
+
+  // ---- corpus ---------------------------------------------------------------
+  std::printf("sampling %zu descriptions...\n", scale.docs);
+  tensor::Rng rng(kDataSeed);
+  std::vector<sdl::ScenarioDescription> corpus;
+  corpus.reserve(scale.docs);
+  for (std::size_t i = 0; i < scale.docs; ++i) {
+    corpus.push_back(sim::sample_description(rng));
+  }
+  tensor::Rng query_rng(kDataSeed + 1);
+  std::vector<std::vector<float>> query_vecs;
+  query_vecs.reserve(scale.queries);
+  for (std::size_t i = 0; i < scale.queries; ++i) {
+    query_vecs.push_back(
+        sdl::scenario_to_vector(sim::sample_description(query_rng)));
+  }
+
+  // ---- build both indexes ---------------------------------------------------
+  auto start = std::chrono::steady_clock::now();
+  ix::FlatIndex flat;
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    flat.insert(id, corpus[id]);
+  }
+  const double flat_build_s = seconds_since(start);
+  std::printf("flat:  built %zu docs in %.2fs (%.1f MB)\n", flat.size(),
+              flat_build_s,
+              static_cast<double>(flat.memory_bytes()) / (1024.0 * 1024.0));
+
+  ix::IvfConfig ivf_cfg;
+  ivf_cfg.nlist = scale.nlist;
+  ivf_cfg.train_size = scale.train_size;
+  start = std::chrono::steady_clock::now();
+  ix::IvfIndex ivf(ivf_cfg);
+  {
+    constexpr std::size_t kChunk = 65'536;
+    std::vector<std::pair<ix::DocId, sdl::ScenarioDescription>> chunk;
+    for (std::size_t begin = 0; begin < corpus.size(); begin += kChunk) {
+      const std::size_t end = std::min(begin + kChunk, corpus.size());
+      chunk.clear();
+      chunk.reserve(end - begin);
+      for (std::size_t id = begin; id < end; ++id) {
+        chunk.emplace_back(id, corpus[id]);
+      }
+      ivf.insert_batch(chunk);
+    }
+  }
+  const double ivf_build_s = seconds_since(start);
+  std::printf("ivf:   built %zu docs in %.2fs (nlist=%zu, train=%zu, "
+              "%.1f MB)\n",
+              ivf.size(), ivf_build_s, scale.nlist, scale.train_size,
+              static_cast<double>(ivf.memory_bytes()) / (1024.0 * 1024.0));
+
+  // ---- exact ground truth + flat throughput ---------------------------------
+  start = std::chrono::steady_clock::now();
+  std::vector<std::vector<ix::Hit>> exact;
+  exact.reserve(query_vecs.size());
+  for (const auto& qv : query_vecs) {
+    exact.push_back(flat.search_vector(qv, kTopK));
+  }
+  const double flat_qps =
+      static_cast<double>(query_vecs.size()) / seconds_since(start);
+  std::printf("flat:  %.1f queries/s (exact ground truth)\n\n", flat_qps);
+
+  // ---- nprobe sweep ---------------------------------------------------------
+  std::printf("%8s %12s %14s %10s\n", "nprobe", "recall@10", "queries/s",
+              "speedup");
+  std::vector<ProbeResult> rows;
+  for (const std::size_t nprobe : scale.nprobe_sweep) {
+    start = std::chrono::steady_clock::now();
+    std::size_t found = 0, total = 0;
+    for (std::size_t q = 0; q < query_vecs.size(); ++q) {
+      const auto approx = ivf.search_vector(query_vecs[q], kTopK, {}, nprobe);
+      for (const auto& want : exact[q]) {
+        ++total;
+        for (const auto& got : approx) {
+          if (got.id == want.id) {
+            ++found;
+            break;
+          }
+        }
+      }
+    }
+    const double elapsed = seconds_since(start);
+    ProbeResult r;
+    r.nprobe = nprobe;
+    r.recall = static_cast<double>(found) / static_cast<double>(total);
+    r.queries_per_s = static_cast<double>(query_vecs.size()) / elapsed;
+    r.speedup = r.queries_per_s / flat_qps;
+    rows.push_back(r);
+    std::printf("%8zu %12.4f %14.1f %9.1fx\n", r.nprobe, r.recall,
+                r.queries_per_s, r.speedup);
+  }
+
+  // ---- acceptance -----------------------------------------------------------
+  // Best speedup among settings that clear the recall bar.
+  const ProbeResult* best = nullptr;
+  for (const ProbeResult& r : rows) {
+    if (r.recall >= 0.9 && (best == nullptr || r.speedup > best->speedup)) {
+      best = &r;
+    }
+  }
+  if (best != nullptr) {
+    std::printf("\nACCEPTANCE: pass — recall@10=%.4f (>= 0.9) at nprobe=%zu "
+                "with %.1fx speedup over the flat scan (>= 5x: %s)\n",
+                best->recall, best->nprobe, best->speedup,
+                best->speedup >= 5.0 ? "yes" : "NO");
+  } else {
+    std::printf("\nACCEPTANCE: FAIL — no nprobe setting reached "
+                "recall@10 >= 0.9\n");
+  }
+
+  if (json_path != nullptr) {
+    write_json(json_path, scale, flat_build_s, ivf_build_s, flat_qps, rows);
+    std::printf("wrote %s\n", json_path);
+  }
+  const bool accepted =
+      !smoke ? (best != nullptr && best->speedup >= 5.0) : true;
+  return accepted ? 0 : 1;
+}

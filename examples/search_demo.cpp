@@ -1,0 +1,193 @@
+// search_demo — the full retrieval loop behind DESIGN.md §14: extract
+// scenario descriptions from a clip library through the InferenceServer,
+// stream every completion into an IVF scenario index via the bounded
+// ingestion hand-off (serve::CompletionInfo -> index::IndexIngestor), then
+// answer three canned structured queries — slot predicates narrowing the
+// candidate set, Scenario2Vector similarity ranking what remains.
+//
+// The printed hits show the *ground-truth* sentence of each returned clip so
+// the reader can judge retrieval quality; the index itself only ever saw
+// extracted descriptions.
+//
+// Flags:
+//   --smoke   tiny model/library, for CI (seconds, not minutes).
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "data/dataset.hpp"
+#include "index/ingest.hpp"
+#include "index/ivf.hpp"
+#include "sdl/description.hpp"
+#include "serve/server.hpp"
+#include "sim/clipgen.hpp"
+
+namespace core = tsdx::core;
+namespace data = tsdx::data;
+namespace ix = tsdx::index;  // alias: POSIX ::index() shadows the namespace
+namespace sdl = tsdx::sdl;
+namespace serve = tsdx::serve;
+namespace sim = tsdx::sim;
+
+namespace {
+
+std::size_t cls(auto value) { return static_cast<std::size_t>(value); }
+
+void run_query(const char* intent, const ix::IvfIndex& index,
+               const ix::StructuredQuery& query,
+               const std::vector<sdl::ScenarioDescription>& truths) {
+  std::printf("Query: %s\n  like: %s\n", intent,
+              sdl::to_sentence(query.like).c_str());
+  std::vector<ix::Hit> hits = index.search(query);
+  if (hits.empty()) {
+    // Predicates filter on *extracted* labels, so a weak extractor can
+    // filter everything out. The embedding ranking still works without
+    // them — fall back so the demo always shows the neighborhood.
+    std::printf("  (no extracted description matches every predicate — "
+                "similarity-only ranking instead)\n");
+    hits = index.search({query.like, {}, query.k});
+  }
+  for (const ix::Hit& hit : hits) {
+    std::printf("  %.3f clip_%03llu  %s\n", hit.score,
+                static_cast<unsigned long long>(hit.id),
+                sdl::to_sentence(truths[hit.id]).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // 1. A quickly-trained extractor (examples/quickstart.cpp walks through
+  //    training in detail; serve_demo.cpp through the serving runtime).
+  sim::RenderConfig render;
+  render.height = render.width = smoke ? 16 : 32;
+  render.frames = smoke ? 4 : 8;
+
+  core::ModelConfig mc;
+  mc.frames = render.frames;
+  mc.image_size = render.height;
+  mc.patch_size = 8;
+  mc.dim = smoke ? 16 : 32;
+  mc.depth = smoke ? 1 : 2;
+  mc.heads = 4;
+  mc.attention = core::AttentionKind::kDividedST;
+
+  std::printf("training a small extractor...\n");
+  const data::Dataset train =
+      data::Dataset::synthesize(render, smoke ? 24 : 192, 1);
+  const data::Dataset val =
+      data::Dataset::synthesize(render, smoke ? 8 : 24, 2);
+  auto extractor = std::make_shared<core::ScenarioExtractor>(mc, /*seed=*/7);
+  core::TrainConfig tc;
+  tc.epochs = smoke ? 1 : 8;
+  tc.batch_size = 8;
+  extractor->train(train, val, tc);
+  extractor->freeze();
+
+  // 2. The index and its ingestion hand-off. The IVF quantizer trains itself
+  //    once train_size documents arrive; sized so both modes cross it and
+  //    queries exercise the inverted-list path, not the pending buffer.
+  ix::IvfConfig ivf_cfg;
+  ivf_cfg.nlist = smoke ? 8 : 16;
+  ivf_cfg.train_size = smoke ? 16 : 64;
+  ivf_cfg.nprobe = smoke ? 4 : 8;
+  ix::IvfIndex index(ivf_cfg);
+  ix::IndexIngestor ingestor(index);
+
+  // 3. The server, with the ingestor as its completion sink: every
+  //    successful extraction is pushed into the index keyed by admission
+  //    order, so DocId i is the i-th submitted clip.
+  serve::ServerConfig sc;
+  sc.workers = 2;
+  sc.max_batch = 8;
+  sc.queue_capacity = 64;
+  sc.overflow = serve::OverflowPolicy::kBlock;
+  sc.on_result = ingestor.sink();
+  serve::InferenceServer server(extractor, sc);
+
+  // 4. An unlabeled clip library, extracted through the server. Ground
+  //    truth is kept only to print alongside the hits.
+  const std::size_t library_size = smoke ? 32 : 240;
+  std::printf("extracting %zu clips through the server...\n", library_size);
+  sim::ClipGenerator gen(render, /*seed=*/999);
+  std::vector<sdl::ScenarioDescription> truths;
+  std::vector<std::future<core::ExtractionResult>> futures;
+  truths.reserve(library_size);
+  futures.reserve(library_size);
+  for (std::size_t i = 0; i < library_size; ++i) {
+    sim::LabeledClip clip = gen.generate();
+    truths.push_back(clip.description);
+    futures.push_back(server.submit(clip.video));
+  }
+  for (auto& f : futures) f.get();
+  server.drain();
+  ingestor.close();  // flush the hand-off queue before querying
+  std::printf("indexed %zu extracted descriptions (%zu dropped)\n\n",
+              index.size(), ingestor.dropped());
+
+  // 5. Three canned structured queries: predicates hard-filter, the
+  //    embedding ranks. Each `like` is the example scenario whose
+  //    neighborhood we want; predicates pin the slots that must hold.
+  {
+    sdl::ScenarioDescription like;
+    like.environment.road_layout = sdl::RoadLayout::kIntersection4;
+    like.environment.time_of_day = sdl::TimeOfDay::kNight;
+    like.ego_action = sdl::EgoAction::kStop;
+    like.salient_actor = {sdl::ActorType::kPedestrian,
+                          sdl::ActorAction::kCross,
+                          sdl::RelativePosition::kAhead};
+    run_query("pedestrian crossing at night", index,
+              {like,
+               {ix::SlotPredicate::equals(sdl::Slot::kActorType,
+                                          cls(sdl::ActorType::kPedestrian)),
+                ix::SlotPredicate::equals(sdl::Slot::kActorAction,
+                                          cls(sdl::ActorAction::kCross)),
+                ix::SlotPredicate::equals(sdl::Slot::kTimeOfDay,
+                                          cls(sdl::TimeOfDay::kNight))},
+               5},
+              truths);
+  }
+  {
+    sdl::ScenarioDescription like;
+    like.environment.weather = sdl::Weather::kRain;
+    like.environment.road_layout = sdl::RoadLayout::kIntersection4;
+    like.ego_action = sdl::EgoAction::kTurnLeft;
+    run_query("ego turning left in the rain", index,
+              {like,
+               {ix::SlotPredicate::equals(sdl::Slot::kEgoAction,
+                                          cls(sdl::EgoAction::kTurnLeft)),
+                ix::SlotPredicate::equals(sdl::Slot::kWeather,
+                                          cls(sdl::Weather::kRain))},
+               5},
+              truths);
+  }
+  {
+    sdl::ScenarioDescription like;
+    like.environment.density = sdl::TrafficDensity::kDense;
+    like.environment.road_layout = sdl::RoadLayout::kTJunction;
+    run_query("dense traffic at any intersection", index,
+              {like,
+               {ix::SlotPredicate::equals(sdl::Slot::kTrafficDensity,
+                                          cls(sdl::TrafficDensity::kDense)),
+                ix::SlotPredicate::any_of(
+                    sdl::Slot::kRoadLayout,
+                    {cls(sdl::RoadLayout::kIntersection4),
+                     cls(sdl::RoadLayout::kTJunction)})},
+               5},
+              truths);
+  }
+  return 0;
+}

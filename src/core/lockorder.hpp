@@ -45,6 +45,9 @@ enum class Rank : std::uint32_t {
   kQueue = 20,            ///< BoundedQueue request queue
   kServerPending = 30,    ///< InferenceServer accepted-request count
   kSupervisor = 40,       ///< InferenceServer dead-worker mailbox
+  kIndex = 45,            ///< tsdx::index vector stores (flat / IVF lists);
+                          ///< below the par ranks because index scans fan
+                          ///< out through tsdx::par while holding it
   kPoolJob = 50,          ///< tsdx::par fan-out serialization
   kPoolConfig = 60,       ///< tsdx::par pool sizing
   kPoolState = 70,        ///< tsdx::par job publication

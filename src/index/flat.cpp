@@ -1,0 +1,82 @@
+#include "index/flat.hpp"
+
+#include "core/check.hpp"
+#include "obs/trace.hpp"
+
+namespace tsdx::index {
+
+namespace {
+
+std::shared_ptr<obs::Registry> resolve_registry(
+    const std::shared_ptr<obs::Registry>& configured) {
+  if (configured != nullptr) return configured;
+  // Aliasing shared_ptr onto the process-lifetime global (same idiom as
+  // InferenceServer): non-owning, keeps both cases uniform.
+  return std::shared_ptr<obs::Registry>(std::shared_ptr<void>(),
+                                        &obs::Registry::global());
+}
+
+}  // namespace
+
+const std::vector<double>& scan_rows_buckets() {
+  static const std::vector<double> bounds = {
+      256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304};
+  return bounds;
+}
+
+FlatIndex::FlatIndex(FlatConfig config)
+    : config_(std::move(config)),
+      dim_(sdl::scenario_vector_dim()),
+      registry_(resolve_registry(config_.metrics)),
+      inserts_(registry_->counter("index.inserts")),
+      queries_(registry_->counter("index.queries")),
+      size_gauge_(registry_->gauge("index.size")),
+      scanned_rows_(
+          registry_->histogram("index.scanned_rows", scan_rows_buckets())),
+      store_(dim_) {}
+
+void FlatIndex::insert(DocId id, const sdl::ScenarioDescription& d) {
+  const std::vector<float> vec = sdl::scenario_to_vector(d, config_.weights);
+  const PackedLabels labels = pack_labels(d);
+  {
+    LockGuard lock(mutex_);
+    store_.append(id, vec.data(), labels);
+    size_gauge_.set(static_cast<std::int64_t>(store_.size()));
+  }
+  inserts_.inc();
+}
+
+std::vector<Hit> FlatIndex::search(const StructuredQuery& query) const {
+  return search_vector(sdl::scenario_to_vector(query.like, config_.weights),
+                       query.k, query.predicates);
+}
+
+std::vector<Hit> FlatIndex::search_vector(
+    const std::vector<float>& query_vec, std::size_t k,
+    const std::vector<SlotPredicate>& predicates) const {
+  TSDX_CHECK(query_vec.size() == dim_, "FlatIndex: query vector has ",
+             query_vec.size(), " dims, index has ", dim_);
+  TSDX_TRACE_SPAN("index.flat.query");
+  queries_.inc();
+  std::vector<Candidate> candidates;
+  std::size_t scanned = 0;
+  {
+    LockGuard lock(mutex_);
+    scanned = store_.size();
+    scan_topk(store_, query_vec.data(), k, predicates, candidates);
+  }
+  scanned_rows_.observe(static_cast<double>(scanned));
+  return finalize_topk(std::move(candidates), k);
+}
+
+std::size_t FlatIndex::size() const {
+  LockGuard lock(mutex_);
+  return store_.size();
+}
+
+std::size_t FlatIndex::memory_bytes() const {
+  LockGuard lock(mutex_);
+  return store_.memory_bytes();
+}
+
+}  // namespace tsdx::index

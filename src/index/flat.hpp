@@ -1,0 +1,76 @@
+// flat.hpp — exact brute-force cosine index over scenario embeddings.
+//
+// The ground-truth backend: every query scans every stored vector (through
+// the deterministic parallel scan in store.hpp), so its top-k is exact by
+// construction. It is the recall reference the IVF index is measured
+// against (bench_i1_index, EXPERIMENTS.md R-I1), the retrieval engine
+// behind bench_f3_retrieval, and the right choice outright below a few
+// hundred thousand documents, where a full scan is a handful of
+// milliseconds.
+//
+// Concurrency: one tsdx::Mutex (rank kIndex) guards the store. Insert and
+// search both take it; the parallel scan runs *under* the lock, which is
+// safe because the par ranks (kPoolJob..kPoolDone) sit above kIndex in the
+// hierarchy (DESIGN.md §12). Metric handles are registered at construction
+// and updated lock-free.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "index/store.hpp"
+#include "obs/metrics.hpp"
+#include "sdl/embedding.hpp"
+
+namespace tsdx::index {
+
+/// Histogram bounds for rows-touched-per-query (powers of four; a flat scan
+/// of 1M docs and an IVF probe of a few thousand land in clearly separate
+/// buckets).
+const std::vector<double>& scan_rows_buckets();
+
+struct FlatConfig {
+  /// Per-slot importance weights of the embedding (sdl/embedding.hpp).
+  sdl::EmbeddingWeights weights{};
+  /// Registry for index.* metrics. Null means obs::Registry::global().
+  std::shared_ptr<obs::Registry> metrics;
+};
+
+class FlatIndex : public ScenarioIndexBackend {
+ public:
+  explicit FlatIndex(FlatConfig config = {});
+
+  void insert(DocId id, const sdl::ScenarioDescription& d) override
+      TSDX_EXCLUDES(mutex_);
+
+  std::vector<Hit> search(const StructuredQuery& query) const override
+      TSDX_EXCLUDES(mutex_);
+
+  /// Rank against a caller-supplied embedding vector (dim() floats). The
+  /// vector surface exists so callers that already hold embeddings — the
+  /// retrieval bench, recall evaluation — skip re-embedding per query.
+  std::vector<Hit> search_vector(
+      const std::vector<float>& query_vec, std::size_t k,
+      const std::vector<SlotPredicate>& predicates = {}) const
+      TSDX_EXCLUDES(mutex_);
+
+  std::size_t size() const override TSDX_EXCLUDES(mutex_);
+  std::size_t dim() const { return dim_; }
+  const sdl::EmbeddingWeights& weights() const { return config_.weights; }
+  std::size_t memory_bytes() const TSDX_EXCLUDES(mutex_);
+
+ private:
+  const FlatConfig config_;
+  const std::size_t dim_;
+  const std::shared_ptr<obs::Registry> registry_;  // never null
+  obs::Counter& inserts_;
+  obs::Counter& queries_;
+  obs::Gauge& size_gauge_;
+  obs::Histogram& scanned_rows_;
+
+  mutable Mutex mutex_{"index.flat", lockorder::Rank::kIndex};
+  VectorStore store_ TSDX_GUARDED_BY(mutex_);
+};
+
+}  // namespace tsdx::index

@@ -1,0 +1,48 @@
+#include "index/ingest.hpp"
+
+#include "serve/error.hpp"
+
+namespace tsdx::index {
+
+IndexIngestor::IndexIngestor(ScenarioIndexBackend& backend,
+                             IngestConfig config)
+    : backend_(backend),
+      queue_(config.queue_capacity, config.overflow) {
+  consumer_.spawn(1, [this](std::size_t) { consumer_loop(); });
+}
+
+IndexIngestor::~IndexIngestor() { close(); }
+
+void IndexIngestor::push(DocId id, const sdl::ScenarioDescription& d) {
+  if (closed_.load(std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  try {
+    if (queue_.push(Item{id, d})) {
+      // kShedOldest evicted the oldest unindexed item to make room.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const serve::QueueFullError&) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const serve::ServerStoppedError&) {
+    // close() raced this push; same outcome as the closed_ check above.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void IndexIngestor::close() {
+  closed_.store(true, std::memory_order_release);
+  queue_.close();
+  consumer_.join();
+}
+
+void IndexIngestor::consumer_loop() {
+  // pop() returns items until closed-and-empty (BoundedQueue's graceful
+  // drain), so everything accepted before close() reaches the index.
+  while (std::optional<Item> item = queue_.pop()) {
+    backend_.insert(item->id, item->description);
+  }
+}
+
+}  // namespace tsdx::index

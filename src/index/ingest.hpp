@@ -1,0 +1,95 @@
+// ingest.hpp — bounded hand-off between the serving path and an index.
+//
+// The InferenceServer's on_result sink runs on worker threads, on the
+// serving path, so it must cost next to nothing. IndexIngestor gives it a
+// serve::BoundedQueue to push into and moves the actual index work —
+// embedding, quantization, locked appends — onto one consumer thread
+// (serve::ThreadPool, the sanctioned thread constructor). The queue's
+// OverflowPolicy decides what a slow index does to a fast server: kBlock
+// propagates backpressure into the workers (lossless), kShedOldest keeps
+// the server fast and drops the oldest unindexed results (`dropped()`
+// counts them — search results go stale-by-omission, the server does not
+// slow down).
+//
+// Shutdown is a graceful drain: close() stops intake, the consumer pops
+// the queue dry (BoundedQueue's close semantics), and join guarantees that
+// everything pushed before close() is searchable after it. The destructor
+// calls close(), so scope exit is a flush.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "index/types.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace tsdx::index {
+
+struct IngestConfig {
+  /// Bound on results accepted but not yet inserted into the index.
+  std::size_t queue_capacity = 256;
+  /// What a full queue does to the producer (see serve/queue.hpp). kReject
+  /// is remapped to a drop-and-count here: throwing out of the server's
+  /// completion sink would just be swallowed, so an explicit counter is the
+  /// honest version of that policy.
+  serve::OverflowPolicy overflow = serve::OverflowPolicy::kBlock;
+};
+
+/// Streams (DocId, ScenarioDescription) pairs into a ScenarioIndexBackend
+/// through a bounded queue and a single consumer thread. The backend must
+/// outlive the ingestor.
+class IndexIngestor {
+ public:
+  IndexIngestor(ScenarioIndexBackend& backend, IngestConfig config = {});
+
+  /// Flushes and stops (close()).
+  ~IndexIngestor();
+
+  IndexIngestor(const IndexIngestor&) = delete;
+  IndexIngestor& operator=(const IndexIngestor&) = delete;
+
+  /// Enqueue one document. Thread-safe. After close(), pushes are counted
+  /// as dropped instead of throwing — a completion sink has no one to
+  /// report an error to.
+  void push(DocId id, const sdl::ScenarioDescription& d);
+
+  /// Adapter for ServerConfig::on_result: uses CompletionInfo::sequence as
+  /// the DocId, so ids reflect admission order no matter which worker
+  /// finished first. Copies the description out of the callback (the
+  /// CompletionInfo reference dies with the call).
+  std::function<void(const serve::CompletionInfo&)> sink() {
+    return [this](const serve::CompletionInfo& info) {
+      push(info.sequence, info.result.description);
+    };
+  }
+
+  /// Stop intake, drain the queue into the index, join the consumer.
+  /// Everything pushed before close() is in the index when it returns.
+  /// Idempotent.
+  void close();
+
+  /// Documents dropped instead of indexed: shed under kShedOldest, refused
+  /// under a full kReject queue, or pushed after close().
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Item {
+    DocId id;
+    sdl::ScenarioDescription description;
+  };
+
+  void consumer_loop();
+
+  ScenarioIndexBackend& backend_;
+  serve::BoundedQueue<Item> queue_;
+  serve::ThreadPool consumer_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace tsdx::index

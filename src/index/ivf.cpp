@@ -1,0 +1,324 @@
+#include "index/ivf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.hpp"
+#include "index/flat.hpp"  // scan_rows_buckets — shared metric bounds
+#include "obs/trace.hpp"
+#include "tensor/kernels/parallel_for.hpp"
+#include "tensor/rng.hpp"
+
+namespace tsdx::index {
+
+namespace {
+
+std::shared_ptr<obs::Registry> resolve_registry(
+    const std::shared_ptr<obs::Registry>& configured) {
+  if (configured != nullptr) return configured;
+  return std::shared_ptr<obs::Registry>(std::shared_ptr<void>(),
+                                        &obs::Registry::global());
+}
+
+float dot(const float* a, const float* b, std::size_t dim) {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// L2-normalize `dim` floats in place; leaves all-zero rows untouched (an
+/// all-zero centroid can only arise from an all-zero cluster, which the
+/// reseed path replaces anyway).
+void normalize(float* v, std::size_t dim) {
+  float norm_sq = 0.0f;
+  for (std::size_t i = 0; i < dim; ++i) norm_sq += v[i] * v[i];
+  if (norm_sq <= 0.0f) return;
+  const float inv = 1.0f / std::sqrt(norm_sq);
+  for (std::size_t i = 0; i < dim; ++i) v[i] *= inv;
+}
+
+/// Argmax-dot assignment of one vector against nlist unit-norm centroids,
+/// ties to the lower centroid index. The single quantization rule used by
+/// training, flushing, and inserts — a vector always lands in the same list.
+std::size_t assign_one(const float* vec, const std::vector<float>& centroids,
+                       std::size_t nlist, std::size_t dim) {
+  std::size_t best = 0;
+  float best_dot = dot(vec, centroids.data(), dim);
+  for (std::size_t c = 1; c < nlist; ++c) {
+    const float d = dot(vec, centroids.data() + c * dim, dim);
+    if (d > best_dot) {
+      best_dot = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const std::vector<double>& probe_lists_buckets() {
+  static const std::vector<double> bounds = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  return bounds;
+}
+
+IvfIndex::IvfIndex(IvfConfig config)
+    : config_(std::move(config)),
+      dim_(sdl::scenario_vector_dim()),
+      registry_(resolve_registry(config_.metrics)),
+      inserts_(registry_->counter("index.inserts")),
+      queries_(registry_->counter("index.queries")),
+      size_gauge_(registry_->gauge("index.size")),
+      scanned_rows_(
+          registry_->histogram("index.scanned_rows", scan_rows_buckets())),
+      probed_lists_(
+          registry_->histogram("index.probe_lists", probe_lists_buckets())),
+      pending_(dim_) {
+  TSDX_CHECK(config_.nlist >= 1, "IvfIndex: nlist must be >= 1, got ",
+             config_.nlist);
+  TSDX_CHECK(config_.nprobe >= 1, "IvfIndex: nprobe must be >= 1, got ",
+             config_.nprobe);
+  TSDX_CHECK(config_.train_size >= config_.nlist,
+             "IvfIndex: train_size (", config_.train_size,
+             ") must be >= nlist (", config_.nlist,
+             ") — k-means needs at least one sample per centroid");
+  TSDX_CHECK(config_.kmeans_iters >= 1,
+             "IvfIndex: kmeans_iters must be >= 1, got ", config_.kmeans_iters);
+}
+
+std::size_t IvfIndex::nearest_centroid_locked(const float* vec) const {
+  return assign_one(vec, centroids_, config_.nlist, dim_);
+}
+
+void IvfIndex::train_locked() {
+  const std::size_t n = pending_.size();
+  const std::size_t sample_n = std::min(n, config_.train_size);
+  const std::size_t nlist = config_.nlist;
+
+  // --- init: nlist distinct sample rows, chosen by partial Fisher-Yates so
+  // the draw is a pure function of the seed.
+  tensor::Rng rng(config_.seed);
+  std::vector<std::size_t> perm(sample_n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = 0; i < nlist; ++i) {
+    const std::size_t j = i + rng.uniform_index(sample_n - i);
+    std::swap(perm[i], perm[j]);
+  }
+  centroids_.assign(nlist * dim_, 0.0f);
+  for (std::size_t c = 0; c < nlist; ++c) {
+    const float* row = pending_.vec(perm[c]);
+    std::copy(row, row + dim_, centroids_.begin() + c * dim_);
+    normalize(centroids_.data() + c * dim_, dim_);
+  }
+
+  // --- spherical k-means: assign by max dot (parallel, disjoint writes),
+  // recompute means sequentially in row order (deterministic float sums),
+  // renormalize, reseed empty clusters from the sample.
+  std::vector<std::size_t> assign(sample_n, 0);
+  const std::int64_t grain = par::suggest_grain(
+      static_cast<std::int64_t>(sample_n),
+      static_cast<std::int64_t>(2 * nlist * dim_));
+  for (std::size_t iter = 0; iter < config_.kmeans_iters; ++iter) {
+    par::parallel_for(static_cast<std::int64_t>(sample_n), grain,
+                      [&](std::int64_t begin, std::int64_t end) {
+                        for (std::int64_t row = begin; row < end; ++row) {
+                          const std::size_t r = static_cast<std::size_t>(row);
+                          assign[r] = assign_one(pending_.vec(r), centroids_,
+                                                 nlist, dim_);
+                        }
+                      });
+    std::vector<float> sums(nlist * dim_, 0.0f);
+    std::vector<std::size_t> counts(nlist, 0);
+    for (std::size_t r = 0; r < sample_n; ++r) {
+      const float* row = pending_.vec(r);
+      float* sum = sums.data() + assign[r] * dim_;
+      for (std::size_t i = 0; i < dim_; ++i) sum[i] += row[i];
+      ++counts[assign[r]];
+    }
+    for (std::size_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) {
+        // Reseed from a deterministic draw so no list goes permanently dead.
+        const float* row = pending_.vec(rng.uniform_index(sample_n));
+        std::copy(row, row + dim_, centroids_.begin() + c * dim_);
+      } else {
+        const float inv = 1.0f / static_cast<float>(counts[c]);
+        float* centroid = centroids_.data() + c * dim_;
+        const float* sum = sums.data() + c * dim_;
+        for (std::size_t i = 0; i < dim_; ++i) centroid[i] = sum[i] * inv;
+      }
+      normalize(centroids_.data() + c * dim_, dim_);
+    }
+  }
+
+  // --- flush: quantize every pending row (parallel) and scatter into the
+  // lists in row order.
+  lists_.assign(nlist, VectorStore(dim_));
+  std::vector<std::size_t> flush_assign(n, 0);
+  par::parallel_for(static_cast<std::int64_t>(n), grain,
+                    [&](std::int64_t begin, std::int64_t end) {
+                      for (std::int64_t row = begin; row < end; ++row) {
+                        const std::size_t r = static_cast<std::size_t>(row);
+                        flush_assign[r] = assign_one(pending_.vec(r),
+                                                     centroids_, nlist, dim_);
+                      }
+                    });
+  for (std::size_t r = 0; r < n; ++r) {
+    lists_[flush_assign[r]].append(pending_.id(r), pending_.vec(r),
+                                   pending_.labels(r));
+  }
+  pending_ = VectorStore(dim_);
+  trained_ = true;
+}
+
+void IvfIndex::insert(DocId id, const sdl::ScenarioDescription& d) {
+  const std::vector<float> vec = sdl::scenario_to_vector(d, config_.weights);
+  const PackedLabels labels = pack_labels(d);
+  {
+    LockGuard lock(mutex_);
+    if (trained_) {
+      lists_[nearest_centroid_locked(vec.data())].append(id, vec.data(),
+                                                         labels);
+    } else {
+      pending_.append(id, vec.data(), labels);
+      if (pending_.size() >= config_.train_size) train_locked();
+    }
+    size_gauge_.set(static_cast<std::int64_t>(size_locked()));
+  }
+  inserts_.inc();
+}
+
+void IvfIndex::insert_batch(
+    const std::vector<std::pair<DocId, sdl::ScenarioDescription>>& docs) {
+  const std::size_t n = docs.size();
+  if (n == 0) return;
+  // Embed outside the lock; embedding one doc is independent of the rest.
+  std::vector<float> vecs(n * dim_);
+  std::vector<PackedLabels> labels(n);
+  const std::int64_t grain = par::suggest_grain(
+      static_cast<std::int64_t>(n), static_cast<std::int64_t>(8 * dim_));
+  par::parallel_for(static_cast<std::int64_t>(n), grain,
+                    [&](std::int64_t begin, std::int64_t end) {
+                      for (std::int64_t row = begin; row < end; ++row) {
+                        const std::size_t r = static_cast<std::size_t>(row);
+                        const std::vector<float> v = sdl::scenario_to_vector(
+                            docs[r].second, config_.weights);
+                        std::copy(v.begin(), v.end(),
+                                  vecs.begin() + r * dim_);
+                        labels[r] = pack_labels(docs[r].second);
+                      }
+                    });
+  {
+    LockGuard lock(mutex_);
+    std::size_t next = 0;
+    if (!trained_) {
+      // Buffer until the training threshold, then train on what's there;
+      // the remainder of the batch takes the trained path below.
+      while (next < n && pending_.size() < config_.train_size) {
+        pending_.append(docs[next].first, vecs.data() + next * dim_,
+                        labels[next]);
+        ++next;
+      }
+      if (pending_.size() >= config_.train_size) train_locked();
+    }
+    if (trained_ && next < n) {
+      // Quantize the remainder in one parallel pass (reads centroids_ under
+      // the lock — the par ranks sit above kIndex), scatter in row order.
+      const std::size_t rest = n - next;
+      std::vector<std::size_t> assign(rest, 0);
+      const std::int64_t agrain = par::suggest_grain(
+          static_cast<std::int64_t>(rest),
+          static_cast<std::int64_t>(2 * config_.nlist * dim_));
+      par::parallel_for(
+          static_cast<std::int64_t>(rest), agrain,
+          [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t row = begin; row < end; ++row) {
+              const std::size_t r = static_cast<std::size_t>(row);
+              assign[r] = assign_one(vecs.data() + (next + r) * dim_,
+                                     centroids_, config_.nlist, dim_);
+            }
+          });
+      for (std::size_t r = 0; r < rest; ++r) {
+        lists_[assign[r]].append(docs[next + r].first,
+                                 vecs.data() + (next + r) * dim_,
+                                 labels[next + r]);
+      }
+    }
+    size_gauge_.set(static_cast<std::int64_t>(size_locked()));
+  }
+  inserts_.inc(static_cast<std::uint64_t>(n));
+}
+
+std::vector<Hit> IvfIndex::search(const StructuredQuery& query) const {
+  return search_vector(sdl::scenario_to_vector(query.like, config_.weights),
+                       query.k, query.predicates, config_.nprobe);
+}
+
+std::vector<Hit> IvfIndex::search_vector(
+    const std::vector<float>& query_vec, std::size_t k,
+    const std::vector<SlotPredicate>& predicates, std::size_t nprobe) const {
+  TSDX_CHECK(query_vec.size() == dim_, "IvfIndex: query vector has ",
+             query_vec.size(), " dims, index has ", dim_);
+  TSDX_CHECK(nprobe >= 1, "IvfIndex: nprobe must be >= 1, got ", nprobe);
+  TSDX_TRACE_SPAN("index.ivf.query");
+  queries_.inc();
+  std::vector<Candidate> candidates;
+  std::size_t scanned = 0;
+  std::size_t probed = 0;
+  {
+    LockGuard lock(mutex_);
+    if (!trained_) {
+      // Before training everything lives in the flat pending buffer, so the
+      // search is exact — slower per query, never wrong.
+      scanned = pending_.size();
+      scan_topk(pending_, query_vec.data(), k, predicates, candidates);
+    } else {
+      const std::size_t nlist = config_.nlist;
+      probed = std::min(nprobe, nlist);
+      // Rank centroids by (cosine desc, index asc) — the same strict-order
+      // convention as document ranking, so probe order is deterministic.
+      std::vector<Candidate> order(nlist);
+      for (std::size_t c = 0; c < nlist; ++c) {
+        order[c] = Candidate{
+            exact_cosine(query_vec.data(), centroids_.data() + c * dim_, dim_),
+            static_cast<DocId>(c)};
+      }
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(probed),
+                        order.end(), better);
+      for (std::size_t p = 0; p < probed; ++p) {
+        const VectorStore& list = lists_[static_cast<std::size_t>(order[p].id)];
+        scanned += list.size();
+        scan_topk(list, query_vec.data(), k, predicates, candidates);
+      }
+    }
+  }
+  scanned_rows_.observe(static_cast<double>(scanned));
+  probed_lists_.observe(static_cast<double>(probed));
+  return finalize_topk(std::move(candidates), k);
+}
+
+std::size_t IvfIndex::size_locked() const {
+  std::size_t total = pending_.size();
+  for (const VectorStore& list : lists_) total += list.size();
+  return total;
+}
+
+std::size_t IvfIndex::size() const {
+  LockGuard lock(mutex_);
+  return size_locked();
+}
+
+bool IvfIndex::trained() const {
+  LockGuard lock(mutex_);
+  return trained_;
+}
+
+std::size_t IvfIndex::memory_bytes() const {
+  LockGuard lock(mutex_);
+  std::size_t total =
+      pending_.memory_bytes() + centroids_.capacity() * sizeof(float);
+  for (const VectorStore& list : lists_) total += list.memory_bytes();
+  return total;
+}
+
+}  // namespace tsdx::index

@@ -1,0 +1,103 @@
+#include "index/store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+#include "tensor/kernels/parallel_for.hpp"
+
+namespace tsdx::index {
+
+float exact_cosine(const float* a, const float* b, std::size_t dim) {
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (std::size_t i = 0; i < dim; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const float denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0f ? dot / denom : 0.0f;
+}
+
+VectorStore::VectorStore(std::size_t dim) : dim_(dim) {
+  TSDX_CHECK(dim_ >= 1, "VectorStore: dim must be >= 1, got ", dim_);
+}
+
+std::size_t VectorStore::append(DocId id, const float* vec,
+                                const PackedLabels& labels) {
+  data_.insert(data_.end(), vec, vec + dim_);
+  ids_.push_back(id);
+  labels_.push_back(labels);
+  return ids_.size() - 1;
+}
+
+void VectorStore::reserve(std::size_t docs) {
+  data_.reserve(docs * dim_);
+  ids_.reserve(docs);
+  labels_.reserve(docs);
+}
+
+std::size_t VectorStore::memory_bytes() const {
+  return data_.capacity() * sizeof(float) + ids_.capacity() * sizeof(DocId) +
+         labels_.capacity() * sizeof(PackedLabels);
+}
+
+std::size_t scan_topk(const VectorStore& store, const float* query,
+                      std::size_t k,
+                      const std::vector<SlotPredicate>& predicates,
+                      std::vector<Candidate>& out) {
+  const std::int64_t n = static_cast<std::int64_t>(store.size());
+  if (n == 0 || k == 0) return 0;
+  const std::size_t dim = store.dim();
+
+  // Grain from the problem shape alone (the tsdx::par determinism
+  // contract): ~3 multiply-adds per vector element plus the label check.
+  const std::int64_t grain =
+      par::suggest_grain(n, static_cast<std::int64_t>(4 * dim));
+  const std::size_t chunks =
+      static_cast<std::size_t>((n + grain - 1) / grain);
+  std::vector<std::vector<Candidate>> chunk_top(chunks);
+  std::vector<std::size_t> chunk_matched(chunks, 0);
+
+  par::parallel_for(n, grain, [&](std::int64_t begin, std::int64_t end) {
+    const std::size_t chunk = static_cast<std::size_t>(begin / grain);
+    std::vector<Candidate> local;
+    local.reserve(static_cast<std::size_t>(end - begin));
+    for (std::int64_t row = begin; row < end; ++row) {
+      const std::size_t r = static_cast<std::size_t>(row);
+      if (!matches_all(predicates, store.labels(r))) continue;
+      local.push_back(
+          Candidate{exact_cosine(query, store.vec(r), dim), store.id(r)});
+    }
+    chunk_matched[chunk] = local.size();
+    if (local.size() > k) {
+      // The k best form a unique set under the strict total order `better`,
+      // so nth_element's unspecified internal ordering cannot leak into the
+      // (sorted-later) results.
+      std::nth_element(local.begin(),
+                       local.begin() + static_cast<std::ptrdiff_t>(k),
+                       local.end(), better);
+      local.resize(k);
+    }
+    chunk_top[chunk] = std::move(local);
+  });
+
+  std::size_t matched = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    matched += chunk_matched[c];
+    out.insert(out.end(), chunk_top[c].begin(), chunk_top[c].end());
+  }
+  return matched;
+}
+
+std::vector<Hit> finalize_topk(std::vector<Candidate> candidates,
+                               std::size_t k) {
+  std::sort(candidates.begin(), candidates.end(), better);
+  if (candidates.size() > k) candidates.resize(k);
+  std::vector<Hit> hits;
+  hits.reserve(candidates.size());
+  for (const Candidate& c : candidates) hits.push_back(Hit{c.id, c.score});
+  return hits;
+}
+
+}  // namespace tsdx::index

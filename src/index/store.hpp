@@ -1,0 +1,84 @@
+// store.hpp — contiguous SoA document storage and the shared top-k scan.
+//
+// A VectorStore holds n documents as three parallel arrays: the embedding
+// vectors (one flat row-major float block, cache-friendly for brute-force
+// scans), the DocIds, and the packed slot labels (8 bytes/doc, consulted
+// before the float row so predicate-filtered scans skip non-matching
+// documents without touching their vectors). It is deliberately not
+// thread-safe: FlatIndex and IvfIndex each guard their stores with one
+// tsdx::Mutex (rank kIndex), and the k-means trainer works on private
+// copies.
+//
+// scan_topk is the one scan kernel both backends use. It partitions the
+// rows with tsdx::par::parallel_for (chunk boundaries a pure function of
+// the row count, never the thread count), keeps a per-chunk top-k under the
+// total order (score desc, DocId asc), and merges chunks in fixed chunk
+// order — so results are bit-identical at any thread count, the same
+// contract the compute kernels honor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/types.hpp"
+
+namespace tsdx::index {
+
+/// One scored candidate row, ordered by (score desc, id asc) everywhere.
+struct Candidate {
+  float score = 0.0f;
+  DocId id = 0;
+};
+
+/// The strict total order every ranked surface of the index uses. Strictness
+/// (ids are compared, not just scores) is what makes top-k selection
+/// deterministic without relying on sort stability.
+inline bool better(const Candidate& a, const Candidate& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// Exact cosine similarity over `dim` contiguous floats — the same
+/// arithmetic, in the same accumulation order, as sdl::cosine_similarity,
+/// so index scores are bit-identical to direct embedding-space scans.
+float exact_cosine(const float* a, const float* b, std::size_t dim);
+
+class VectorStore {
+ public:
+  explicit VectorStore(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return ids_.size(); }
+
+  /// Append one document (vec must hold dim() floats). Returns its row.
+  std::size_t append(DocId id, const float* vec, const PackedLabels& labels);
+
+  const float* vec(std::size_t row) const { return data_.data() + row * dim_; }
+  DocId id(std::size_t row) const { return ids_[row]; }
+  const PackedLabels& labels(std::size_t row) const { return labels_[row]; }
+
+  void reserve(std::size_t docs);
+  /// Bytes held across the three arrays (capacity, not size).
+  std::size_t memory_bytes() const;
+
+ private:
+  std::size_t dim_;
+  std::vector<float> data_;  ///< row-major size() x dim()
+  std::vector<DocId> ids_;
+  std::vector<PackedLabels> labels_;
+};
+
+/// Append the store's top-k predicate-matching rows to `out` (unsorted
+/// across calls; callers merge and sort). Deterministic at any thread
+/// count. Returns the number of rows that passed the predicate filter.
+std::size_t scan_topk(const VectorStore& store, const float* query,
+                      std::size_t k,
+                      const std::vector<SlotPredicate>& predicates,
+                      std::vector<Candidate>& out);
+
+/// Sort candidates by (score desc, id asc), truncate to k, convert to Hits.
+std::vector<Hit> finalize_topk(std::vector<Candidate> candidates,
+                               std::size_t k);
+
+}  // namespace tsdx::index

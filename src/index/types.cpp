@@ -1,0 +1,43 @@
+#include "index/types.hpp"
+
+#include "core/check.hpp"
+
+namespace tsdx::index {
+
+PackedLabels pack_labels(const sdl::ScenarioDescription& d) {
+  const sdl::SlotLabels labels = sdl::to_slot_labels(d);
+  PackedLabels packed{};
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    packed[s] = static_cast<std::uint8_t>(labels[s]);
+  }
+  return packed;
+}
+
+SlotPredicate SlotPredicate::equals(sdl::Slot slot, std::size_t cls) {
+  TSDX_CHECK(cls < sdl::kSlotCardinality[static_cast<std::size_t>(slot)],
+             "SlotPredicate: class ", cls, " out of range for slot ",
+             sdl::to_string(slot));
+  return SlotPredicate{slot, 1u << cls};
+}
+
+SlotPredicate SlotPredicate::any_of(sdl::Slot slot,
+                                    std::initializer_list<std::size_t> classes) {
+  SlotPredicate p{slot, 0};
+  for (const std::size_t cls : classes) {
+    TSDX_CHECK(cls < sdl::kSlotCardinality[static_cast<std::size_t>(slot)],
+               "SlotPredicate: class ", cls, " out of range for slot ",
+               sdl::to_string(slot));
+    p.allowed |= 1u << cls;
+  }
+  return p;
+}
+
+bool matches_all(const std::vector<SlotPredicate>& predicates,
+                 const PackedLabels& labels) {
+  for (const SlotPredicate& p : predicates) {
+    if (!p.matches(labels)) return false;
+  }
+  return true;
+}
+
+}  // namespace tsdx::index

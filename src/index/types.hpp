@@ -1,0 +1,89 @@
+// types.hpp — shared vocabulary of the scenario index subsystem.
+//
+// tsdx::index answers the paper's end-goal query shape ("find all videos
+// where a pedestrian crosses at an intersection at night") over millions of
+// extracted ScenarioDescriptions. A document is (DocId, embedding vector,
+// packed slot labels); a query is a StructuredQuery — an example description
+// to rank against (nearest-neighbor under the Scenario2Vector embedding,
+// sdl/embedding.hpp) plus zero or more SlotPredicates that hard-filter the
+// candidate set before ranking. Two backends implement it: FlatIndex (exact,
+// brute-force, the recall ground truth) and IvfIndex (approximate, inverted
+// lists behind a k-means coarse quantizer, the at-scale path); both push
+// predicates into their scans instead of post-filtering.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "sdl/description.hpp"
+
+namespace tsdx::index {
+
+/// Caller-visible document handle. The ingestion path (ingest.hpp) assigns
+/// them in server acceptance order; standalone users pick their own.
+using DocId = std::uint64_t;
+
+/// One byte per SDL slot: the class index of that slot, in sdl::Slot order.
+/// 8 bytes per document — small enough to keep resident next to the vectors
+/// so predicate filtering never touches the float data.
+using PackedLabels = std::array<std::uint8_t, sdl::kNumSlots>;
+
+PackedLabels pack_labels(const sdl::ScenarioDescription& d);
+
+/// Hard filter on one SDL slot: the document's class must be in `allowed`
+/// (a bitmask over the slot's classes; slot cardinalities are <= 8, well
+/// within 32 bits).
+struct SlotPredicate {
+  sdl::Slot slot = sdl::Slot::kRoadLayout;
+  std::uint32_t allowed = 0;
+
+  /// slot == cls
+  static SlotPredicate equals(sdl::Slot slot, std::size_t cls);
+  /// slot ∈ classes
+  static SlotPredicate any_of(sdl::Slot slot,
+                              std::initializer_list<std::size_t> classes);
+
+  bool matches(const PackedLabels& labels) const {
+    return (allowed >> labels[static_cast<std::size_t>(slot)]) & 1u;
+  }
+};
+
+/// AND of all predicates (an empty list matches everything).
+bool matches_all(const std::vector<SlotPredicate>& predicates,
+                 const PackedLabels& labels);
+
+/// A structured search: rank by similarity to `like` among documents passing
+/// every predicate. This is the Chat2Scenario-style query shape: categorical
+/// constraints narrow the set, the embedding orders what remains.
+struct StructuredQuery {
+  sdl::ScenarioDescription like;
+  std::vector<SlotPredicate> predicates;
+  std::size_t k = 10;
+};
+
+/// One ranked answer. `score` is the exact cosine similarity between the
+/// query vector and the stored vector (identical arithmetic to
+/// sdl::cosine_similarity, so index results are bit-comparable with direct
+/// embedding-space scans). Ties rank by ascending id, deterministically.
+struct Hit {
+  DocId id = 0;
+  float score = 0.0f;
+};
+
+/// What both backends implement; the ingestion pipeline targets this.
+class ScenarioIndexBackend {
+ public:
+  virtual ~ScenarioIndexBackend() = default;
+
+  /// Thread-safe. DocIds are caller-chosen and not deduplicated.
+  virtual void insert(DocId id, const sdl::ScenarioDescription& d) = 0;
+
+  /// Thread-safe. Top-k by (score desc, id asc) among predicate matches.
+  virtual std::vector<Hit> search(const StructuredQuery& query) const = 0;
+
+  virtual std::size_t size() const = 0;
+};
+
+}  // namespace tsdx::index

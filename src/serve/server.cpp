@@ -94,6 +94,7 @@ std::future<core::ExtractionResult> InferenceServer::submit(
   }
   Request request;
   request.clip = std::move(clip);
+  request.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   // One trace ID per request, minted at the boundary. The context rides in
   // the Request so the worker that dispatches it can adopt it; the guard
   // scopes it to this call so the client thread's serve.submit span (and any
@@ -291,6 +292,7 @@ void InferenceServer::process_batch(const Replica& replica,
       circuit_.on_success();
       for (; resolved < group.size(); ++resolved) {
         Request& request = live[group[resolved]];
+        notify_result(request, results[resolved], /*degraded=*/false);
         finish_request(request, DoneKind::kCompleted);
         request.promise.set_value(std::move(results[resolved]));
       }
@@ -327,6 +329,7 @@ void InferenceServer::process_degraded(std::vector<Request>& requests) {
       // Accounting before resolution (same visibility contract as
       // process_batch): a client that got a degraded answer can rely on
       // degraded_completions already counting it.
+      notify_result(request, result, /*degraded=*/true);
       finish_request(request, DoneKind::kDegraded);
       request.promise.set_value(std::move(result));
     } catch (...) {
@@ -345,6 +348,19 @@ bool InferenceServer::expire_if_due(Request& request, Clock::time_point now) {
                std::make_exception_ptr(DeadlineExceededError(
                    "request deadline expired before dispatch")));
   return true;
+}
+
+void InferenceServer::notify_result(const Request& request,
+                                    const core::ExtractionResult& result,
+                                    bool degraded) {
+  if (!config_.on_result) return;
+  try {
+    config_.on_result(CompletionInfo{request.sequence, result, degraded});
+  } catch (...) {
+    // The sink's contract (ServerConfig::on_result): a throwing sink is a
+    // consumer bug, not a serving failure — the client still gets its
+    // successfully extracted result.
+  }
 }
 
 void InferenceServer::finish_request(Request& request, DoneKind kind) {

@@ -43,6 +43,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -59,6 +61,20 @@
 #include "serve/thread_pool.hpp"
 
 namespace tsdx::serve {
+
+/// One successfully answered request, as seen by ServerConfig::on_result.
+/// `result` is a reference into the serving path and is valid only for the
+/// duration of the callback — copy what you keep.
+struct CompletionInfo {
+  /// Admission order: the value of a per-server counter at submit(). Dense
+  /// and unique across the server's lifetime, which makes it a ready-made
+  /// document id for downstream consumers (tsdx::index ingestion) even
+  /// though *completion* order is whatever the worker pool produced.
+  std::uint64_t sequence = 0;
+  const core::ExtractionResult& result;
+  /// True when the answer came from the fallback extractor (circuit open).
+  bool degraded = false;
+};
 
 struct ServerConfig {
   /// Worker (consumer) threads. 0 is a deterministic test/debug mode: no
@@ -92,6 +108,16 @@ struct ServerConfig {
   /// the right default for a deployment with one scrape endpoint. Tests
   /// that assert exact process-visible counts pass a private registry.
   std::shared_ptr<obs::Registry> metrics;
+
+  /// Completion sink: invoked once per *successfully* answered request
+  /// (primary or degraded), on the worker thread, just before the request's
+  /// future resolves. Failed requests (faults, deadlines, sheds, shutdown)
+  /// are not reported — the sink sees exactly the results clients got.
+  /// Called concurrently from every worker, so it must be thread-safe; keep
+  /// it cheap (a queue push — see index::IndexIngestor::sink()), because it
+  /// runs on the serving path. Exceptions it throws are swallowed: a broken
+  /// sink must not convert a successful extraction into a failed future.
+  std::function<void(const CompletionInfo&)> on_result;
 };
 
 class InferenceServer {
@@ -156,6 +182,8 @@ class InferenceServer {
  private:
   struct Request {
     sim::VideoClip clip;
+    /// Admission counter value (see CompletionInfo::sequence).
+    std::uint64_t sequence = 0;
     std::promise<core::ExtractionResult> promise;
     std::chrono::steady_clock::time_point submit_time;
     std::optional<Clock::time_point> deadline;
@@ -198,6 +226,10 @@ class InferenceServer {
   /// If the request's deadline has passed, fail it with
   /// DeadlineExceededError and return true.
   bool expire_if_due(Request& request, Clock::time_point now);
+  /// Deliver a successful result to ServerConfig::on_result (if set),
+  /// swallowing any exception the sink throws.
+  void notify_result(const Request& request,
+                     const core::ExtractionResult& result, bool degraded);
   void finish_request(Request& request, DoneKind kind)
       TSDX_EXCLUDES(pending_mutex_);
   void fail_request(Request& request, std::exception_ptr error)
@@ -214,6 +246,8 @@ class InferenceServer {
   ThreadPool supervisor_;
 
   std::atomic<bool> accepting_{true};
+  /// Mints Request::sequence at submit() (admission order).
+  std::atomic<std::uint64_t> next_sequence_{0};
 
   /// Serializes drain()/shutdown(). Rank kServerLifecycle: the outermost
   /// lock of the server — teardown holds it while walking the pending /

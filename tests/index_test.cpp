@@ -1,0 +1,534 @@
+// index_test.cpp — the tsdx::index subsystem: packed labels and predicates,
+// the exact flat index against a hand-rolled brute-force reference, the IVF
+// index's exact-degeneration and training lifecycle, determinism at any
+// tsdx::par thread count, the bounded ingestion hand-off, and the
+// server -> ingestor -> index streaming path end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/extractor.hpp"
+#include "core/lockorder.hpp"
+#include "index/flat.hpp"
+#include "index/ingest.hpp"
+#include "index/ivf.hpp"
+#include "index/store.hpp"
+#include "index/types.hpp"
+#include "obs/metrics.hpp"
+#include "sdl/embedding.hpp"
+#include "serve/server.hpp"
+#include "sim/clipgen.hpp"
+#include "sim/world.hpp"
+#include "tensor/kernels/parallel_for.hpp"
+#include "tensor/rng.hpp"
+
+namespace core = tsdx::core;
+namespace ix = tsdx::index;
+namespace lockorder = tsdx::lockorder;
+namespace obs = tsdx::obs;
+namespace par = tsdx::par;
+namespace sdl = tsdx::sdl;
+namespace serve = tsdx::serve;
+namespace sim = tsdx::sim;
+namespace tensor = tsdx::tensor;
+
+namespace {
+
+sdl::ScenarioDescription night_crossing() {
+  sdl::ScenarioDescription d;
+  d.environment.road_layout = sdl::RoadLayout::kIntersection4;
+  d.environment.time_of_day = sdl::TimeOfDay::kNight;
+  d.environment.weather = sdl::Weather::kClear;
+  d.environment.density = sdl::TrafficDensity::kSparse;
+  d.ego_action = sdl::EgoAction::kStop;
+  d.salient_actor = {sdl::ActorType::kPedestrian, sdl::ActorAction::kCross,
+                     sdl::RelativePosition::kAhead};
+  return d;
+}
+
+std::vector<sdl::ScenarioDescription> sample_corpus(std::size_t n,
+                                                    std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  std::vector<sdl::ScenarioDescription> corpus;
+  corpus.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    corpus.push_back(sim::sample_description(rng));
+  }
+  return corpus;
+}
+
+/// Brute-force reference: score every corpus entry with the *public*
+/// sdl::cosine_similarity, filter, rank by (score desc, id asc). The index
+/// must reproduce this bit-for-bit.
+std::vector<ix::Hit> reference_topk(
+    const std::vector<sdl::ScenarioDescription>& corpus,
+    const sdl::ScenarioDescription& query, std::size_t k,
+    const std::vector<ix::SlotPredicate>& predicates = {}) {
+  const std::vector<float> qv = sdl::scenario_to_vector(query);
+  std::vector<ix::Hit> scored;
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    if (!ix::matches_all(predicates, ix::pack_labels(corpus[id]))) {
+      continue;
+    }
+    scored.push_back(ix::Hit{
+        id, sdl::cosine_similarity(qv, sdl::scenario_to_vector(corpus[id]))});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ix::Hit& a, const ix::Hit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+void expect_same_hits(const std::vector<ix::Hit>& got,
+                      const std::vector<ix::Hit>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+}  // namespace
+
+// ---- packed labels & predicates ---------------------------------------------------
+
+TEST(IndexTypesTest, PackLabelsMatchesSlotLabels) {
+  const auto corpus = sample_corpus(32, /*seed=*/101);
+  for (const auto& d : corpus) {
+    const ix::PackedLabels packed = ix::pack_labels(d);
+    const sdl::SlotLabels labels = sdl::to_slot_labels(d);
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      EXPECT_EQ(packed[s], labels[s]) << "slot " << s;
+    }
+  }
+}
+
+TEST(IndexTypesTest, EqualsPredicateMatchesExactClass) {
+  const auto pred = ix::SlotPredicate::equals(
+      sdl::Slot::kTimeOfDay,
+      static_cast<std::size_t>(sdl::TimeOfDay::kNight));
+  sdl::ScenarioDescription d = night_crossing();
+  EXPECT_TRUE(pred.matches(ix::pack_labels(d)));
+  d.environment.time_of_day = sdl::TimeOfDay::kDay;
+  EXPECT_FALSE(pred.matches(ix::pack_labels(d)));
+}
+
+TEST(IndexTypesTest, AnyOfPredicateMatchesUnion) {
+  const auto pred = ix::SlotPredicate::any_of(
+      sdl::Slot::kActorType,
+      {static_cast<std::size_t>(sdl::ActorType::kPedestrian),
+       static_cast<std::size_t>(sdl::ActorType::kCyclist)});
+  sdl::ScenarioDescription d = night_crossing();
+  EXPECT_TRUE(pred.matches(ix::pack_labels(d)));
+  d.salient_actor.type = sdl::ActorType::kCyclist;
+  EXPECT_TRUE(pred.matches(ix::pack_labels(d)));
+  d.salient_actor.type = sdl::ActorType::kTruck;
+  EXPECT_FALSE(pred.matches(ix::pack_labels(d)));
+}
+
+TEST(IndexTypesTest, PredicateClassRangeChecked) {
+  EXPECT_THROW(ix::SlotPredicate::equals(sdl::Slot::kTimeOfDay,
+                                            sdl::kNumTimesOfDay),
+               tsdx::ValueError);
+  EXPECT_THROW(ix::SlotPredicate::any_of(sdl::Slot::kWeather,
+                                            {0, sdl::kNumWeathers}),
+               tsdx::ValueError);
+}
+
+TEST(IndexTypesTest, EmptyPredicateListMatchesEverything) {
+  EXPECT_TRUE(ix::matches_all({}, ix::pack_labels(night_crossing())));
+}
+
+// ---- flat index -------------------------------------------------------------------
+
+TEST(FlatIndexTest, MatchesBruteForceReference) {
+  const auto corpus = sample_corpus(400, /*seed=*/21);
+  ix::FlatIndex flat;
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    flat.insert(id, corpus[id]);
+  }
+  EXPECT_EQ(flat.size(), corpus.size());
+
+  const auto queries = sample_corpus(8, /*seed=*/22);
+  for (const auto& q : queries) {
+    expect_same_hits(flat.search({q, {}, 10}), reference_topk(corpus, q, 10));
+  }
+}
+
+TEST(FlatIndexTest, TiesRankByAscendingDocId) {
+  ix::FlatIndex flat;
+  const sdl::ScenarioDescription d = night_crossing();
+  // Insert in descending-id order: ties must come back ascending anyway.
+  for (std::uint64_t id : {40u, 30u, 20u, 10u}) flat.insert(id, d);
+  const auto hits = flat.search({d, {}, 4});
+  ASSERT_EQ(hits.size(), 4u);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].id, 10 * (i + 1));
+    EXPECT_FLOAT_EQ(hits[i].score, 1.0f);
+  }
+}
+
+TEST(FlatIndexTest, ResultsInvariantUnderThreadCount) {
+  const auto corpus = sample_corpus(600, /*seed=*/31);
+  ix::FlatIndex flat;
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    flat.insert(id, corpus[id]);
+  }
+  const auto queries = sample_corpus(4, /*seed=*/32);
+
+  const std::size_t original = par::threads();
+  std::vector<std::vector<ix::Hit>> per_thread_count;
+  for (const std::size_t t : {std::size_t{1}, std::size_t{3}}) {
+    par::set_threads(t);
+    for (const auto& q : queries) {
+      per_thread_count.push_back(flat.search({q, {}, 12}));
+    }
+  }
+  par::set_threads(original);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_same_hits(per_thread_count[i], per_thread_count[queries.size() + i]);
+  }
+}
+
+TEST(FlatIndexTest, PredicatePushdownEqualsPostFilter) {
+  const auto corpus = sample_corpus(500, /*seed=*/41);
+  ix::FlatIndex flat;
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    flat.insert(id, corpus[id]);
+  }
+  const std::vector<ix::SlotPredicate> predicates = {
+      ix::SlotPredicate::equals(
+          sdl::Slot::kActorAction,
+          static_cast<std::size_t>(sdl::ActorAction::kCross)),
+      ix::SlotPredicate::equals(
+          sdl::Slot::kTimeOfDay,
+          static_cast<std::size_t>(sdl::TimeOfDay::kNight)),
+  };
+  const sdl::ScenarioDescription q = night_crossing();
+  const auto hits = flat.search({q, predicates, 10});
+  expect_same_hits(hits, reference_topk(corpus, q, 10, predicates));
+  // And every returned document really satisfies the predicates.
+  for (const auto& hit : hits) {
+    EXPECT_TRUE(ix::matches_all(
+        predicates, ix::pack_labels(corpus[hit.id])));
+  }
+}
+
+TEST(FlatIndexTest, KLargerThanIndexReturnsAll) {
+  ix::FlatIndex flat;
+  const auto corpus = sample_corpus(5, /*seed=*/51);
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    flat.insert(id, corpus[id]);
+  }
+  EXPECT_EQ(flat.search({corpus[0], {}, 50}).size(), 5u);
+  EXPECT_TRUE(flat.search({corpus[0], {}, 0}).empty());
+}
+
+// ---- IVF index --------------------------------------------------------------------
+
+TEST(IvfIndexTest, UntrainedSearchIsExact) {
+  ix::IvfConfig cfg;
+  cfg.train_size = 1000;  // corpus smaller than this: stays untrained
+  ix::IvfIndex ivf(cfg);
+  const auto corpus = sample_corpus(200, /*seed=*/61);
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    ivf.insert(id, corpus[id]);
+  }
+  EXPECT_FALSE(ivf.trained());
+  EXPECT_EQ(ivf.size(), corpus.size());
+  const auto queries = sample_corpus(4, /*seed=*/62);
+  for (const auto& q : queries) {
+    expect_same_hits(ivf.search({q, {}, 10}), reference_topk(corpus, q, 10));
+  }
+}
+
+TEST(IvfIndexTest, FullProbeMatchesFlatExactly) {
+  ix::IvfConfig cfg;
+  cfg.nlist = 16;
+  cfg.nprobe = 16;  // probe everything: partition cannot lose a candidate
+  cfg.train_size = 128;
+  ix::IvfIndex ivf(cfg);
+  ix::FlatIndex flat;
+  const auto corpus = sample_corpus(800, /*seed=*/71);
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    ivf.insert(id, corpus[id]);
+    flat.insert(id, corpus[id]);
+  }
+  EXPECT_TRUE(ivf.trained());
+  EXPECT_EQ(ivf.size(), corpus.size());
+  const auto queries = sample_corpus(6, /*seed=*/72);
+  for (const auto& q : queries) {
+    expect_same_hits(ivf.search({q, {}, 10}), flat.search({q, {}, 10}));
+  }
+}
+
+TEST(IvfIndexTest, PartialProbeKeepsUsefulRecall) {
+  ix::IvfConfig cfg;
+  cfg.nlist = 32;
+  cfg.nprobe = 8;
+  cfg.train_size = 256;
+  ix::IvfIndex ivf(cfg);
+  ix::FlatIndex flat;
+  const auto corpus = sample_corpus(2000, /*seed=*/81);
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    ivf.insert(id, corpus[id]);
+    flat.insert(id, corpus[id]);
+  }
+  const auto queries = sample_corpus(20, /*seed=*/82);
+  std::size_t found = 0, total = 0;
+  for (const auto& q : queries) {
+    const auto exact = flat.search({q, {}, 10});
+    const auto approx = ivf.search({q, {}, 10});
+    for (const auto& want : exact) {
+      ++total;
+      for (const auto& got : approx) {
+        if (got.id == want.id) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  // Everything is seeded, so this is a fixed number — the bound just leaves
+  // headroom against embedding-weight tweaks upstream.
+  EXPECT_GE(static_cast<double>(found) / static_cast<double>(total), 0.6);
+}
+
+TEST(IvfIndexTest, InsertBatchEquivalentToSequentialInserts) {
+  ix::IvfConfig cfg;
+  cfg.nlist = 8;
+  cfg.train_size = 64;
+  const auto corpus = sample_corpus(300, /*seed=*/91);
+
+  ix::IvfIndex one_by_one(cfg);
+  ix::IvfIndex batched(cfg);
+  std::vector<std::pair<ix::DocId, sdl::ScenarioDescription>> docs;
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    one_by_one.insert(id, corpus[id]);
+    docs.emplace_back(id, corpus[id]);
+  }
+  batched.insert_batch(docs);
+
+  EXPECT_TRUE(one_by_one.trained());
+  EXPECT_TRUE(batched.trained());
+  EXPECT_EQ(one_by_one.size(), batched.size());
+  const auto queries = sample_corpus(5, /*seed=*/92);
+  for (const auto& q : queries) {
+    expect_same_hits(batched.search({q, {}, 10}),
+                     one_by_one.search({q, {}, 10}));
+  }
+}
+
+TEST(IvfIndexTest, RebuildFromSameStreamIsIdentical) {
+  ix::IvfConfig cfg;
+  cfg.nlist = 16;
+  cfg.nprobe = 4;
+  cfg.train_size = 128;
+  const auto corpus = sample_corpus(700, /*seed=*/111);
+  ix::IvfIndex a(cfg);
+  ix::IvfIndex b(cfg);
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    a.insert(id, corpus[id]);
+    b.insert(id, corpus[id]);
+  }
+  const auto queries = sample_corpus(6, /*seed=*/112);
+  for (const auto& q : queries) {
+    expect_same_hits(a.search({q, {}, 10}), b.search({q, {}, 10}));
+  }
+}
+
+TEST(IvfIndexTest, PredicatePushdownFiltersProbedLists) {
+  ix::IvfConfig cfg;
+  cfg.nlist = 16;
+  cfg.nprobe = 16;
+  cfg.train_size = 128;
+  ix::IvfIndex ivf(cfg);
+  const auto corpus = sample_corpus(600, /*seed=*/121);
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    ivf.insert(id, corpus[id]);
+  }
+  const std::vector<ix::SlotPredicate> predicates = {
+      ix::SlotPredicate::equals(
+          sdl::Slot::kTimeOfDay,
+          static_cast<std::size_t>(sdl::TimeOfDay::kNight)),
+  };
+  const sdl::ScenarioDescription q = night_crossing();
+  const auto hits = ivf.search({q, predicates, 10});
+  expect_same_hits(hits, reference_topk(corpus, q, 10, predicates));
+}
+
+TEST(IvfIndexTest, ConfigValidated) {
+  ix::IvfConfig bad;
+  bad.nlist = 64;
+  bad.train_size = 32;  // fewer samples than centroids
+  EXPECT_THROW(ix::IvfIndex{bad}, tsdx::ValueError);
+}
+
+// ---- metrics ----------------------------------------------------------------------
+
+TEST(IndexMetricsTest, CountersAndGaugeTrackOperations) {
+  auto registry = std::make_shared<obs::Registry>();
+  ix::FlatConfig cfg;
+  cfg.metrics = registry;
+  ix::FlatIndex flat(cfg);
+  const auto corpus = sample_corpus(25, /*seed=*/131);
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    flat.insert(id, corpus[id]);
+  }
+  flat.search({corpus[0], {}, 5});
+  flat.search({corpus[1], {}, 5});
+  EXPECT_EQ(registry->counter("index.inserts").value(), 25u);
+  EXPECT_EQ(registry->counter("index.queries").value(), 2u);
+  EXPECT_EQ(registry->gauge("index.size").value(), 25);
+  EXPECT_EQ(registry->histogram("index.scanned_rows",
+                                ix::scan_rows_buckets()).count(), 2u);
+}
+
+TEST(IndexMetricsTest, IvfReportsProbedLists) {
+  auto registry = std::make_shared<obs::Registry>();
+  ix::IvfConfig cfg;
+  cfg.nlist = 8;
+  cfg.nprobe = 3;
+  cfg.train_size = 64;
+  cfg.metrics = registry;
+  ix::IvfIndex ivf(cfg);
+  const auto corpus = sample_corpus(128, /*seed=*/141);
+  for (std::size_t id = 0; id < corpus.size(); ++id) {
+    ivf.insert(id, corpus[id]);
+  }
+  ASSERT_TRUE(ivf.trained());
+  ivf.search({corpus[0], {}, 5});
+  auto& probes =
+      registry->histogram("index.probe_lists", ix::probe_lists_buckets());
+  EXPECT_EQ(probes.count(), 1u);
+  EXPECT_EQ(probes.sum(), 3.0);
+}
+
+// ---- locking discipline -----------------------------------------------------------
+
+namespace {
+void fail_on_violation(const lockorder::Violation& v) {
+  GTEST_FAIL() << "lock-order violation: " << v.report;
+}
+}  // namespace
+
+TEST(IndexLockOrderTest, ScanUnderIndexLockRespectsHierarchy) {
+  lockorder::ScopedEnable enable;
+  const auto previous = lockorder::set_violation_handler(fail_on_violation);
+  {
+    // The parallel scan acquires the tsdx::par pool locks (ranks 50..80)
+    // while the kIndex (45) mutex is held — that must be a legal nesting.
+    const std::size_t original = par::threads();
+    par::set_threads(3);
+    ix::IvfConfig cfg;
+    cfg.nlist = 8;
+    cfg.train_size = 64;
+    ix::IvfIndex ivf(cfg);
+    ix::FlatIndex flat;
+    const auto corpus = sample_corpus(300, /*seed=*/151);
+    for (std::size_t id = 0; id < corpus.size(); ++id) {
+      ivf.insert(id, corpus[id]);
+      flat.insert(id, corpus[id]);
+    }
+    flat.search({corpus[0], {}, 10});
+    ivf.search({corpus[0], {}, 10});
+    par::set_threads(original);
+  }
+  lockorder::set_violation_handler(previous);
+}
+
+// ---- ingestion --------------------------------------------------------------------
+
+TEST(IngestTest, DrainsEverythingPushedBeforeClose) {
+  ix::FlatIndex flat;
+  const auto corpus = sample_corpus(150, /*seed=*/161);
+  {
+    ix::IndexIngestor ingestor(flat);
+    for (std::size_t id = 0; id < corpus.size(); ++id) {
+      ingestor.push(id, corpus[id]);
+    }
+    ingestor.close();
+    EXPECT_EQ(ingestor.dropped(), 0u);
+  }
+  EXPECT_EQ(flat.size(), corpus.size());
+}
+
+TEST(IngestTest, PushAfterCloseCountsAsDropped) {
+  ix::FlatIndex flat;
+  ix::IndexIngestor ingestor(flat);
+  ingestor.push(0, night_crossing());
+  ingestor.close();
+  ingestor.push(1, night_crossing());
+  EXPECT_EQ(ingestor.dropped(), 1u);
+  EXPECT_EQ(flat.size(), 1u);
+}
+
+// ---- server -> index streaming ----------------------------------------------------
+
+namespace {
+
+core::ModelConfig micro_config() {
+  core::ModelConfig cfg;
+  cfg.frames = 2;
+  cfg.image_size = 8;
+  cfg.patch_size = 4;
+  cfg.tubelet_frames = 1;
+  cfg.dim = 8;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  cfg.attention = core::AttentionKind::kDividedST;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ServerIndexStreamingTest, CompletedExtractionsBecomeSearchable) {
+  auto extractor =
+      std::make_shared<core::ScenarioExtractor>(micro_config(), /*seed=*/7);
+  extractor->freeze();
+
+  ix::FlatIndex flat;
+  ix::IndexIngestor ingestor(flat);
+
+  serve::ServerConfig cfg;
+  cfg.workers = 0;  // deterministic inline mode; drain() processes the queue
+  cfg.max_batch = 4;
+  cfg.on_result = ingestor.sink();
+  serve::InferenceServer server(extractor, cfg);
+
+  const core::ModelConfig model_cfg = micro_config();
+  sim::RenderConfig render;
+  render.height = render.width = model_cfg.image_size;
+  render.frames = model_cfg.frames;
+  sim::ClipGenerator gen(render, /*seed=*/13);
+
+  constexpr std::size_t kClips = 10;
+  std::vector<std::future<core::ExtractionResult>> futures;
+  for (std::size_t i = 0; i < kClips; ++i) {
+    futures.push_back(server.submit(gen.generate().video));
+  }
+  server.drain();
+  std::vector<core::ExtractionResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  ingestor.close();
+
+  // Every completed request is searchable under its admission-order DocId.
+  ASSERT_EQ(flat.size(), kClips);
+  EXPECT_EQ(ingestor.dropped(), 0u);
+  for (std::size_t i = 0; i < kClips; ++i) {
+    const auto hits = flat.search({results[i].description, {}, 1});
+    ASSERT_EQ(hits.size(), 1u);
+    // The top hit for result i's own description scores exactly 1.0 —
+    // either doc i itself or an identical extraction with a smaller id.
+    EXPECT_FLOAT_EQ(hits[0].score, 1.0f);
+    EXPECT_LE(hits[0].id, i);
+  }
+}

@@ -331,6 +331,47 @@ TEST(EmbeddingTest, ActionWeightDominatesWeather) {
             sdl::scenario_similarity(base, action_diff));
 }
 
+TEST(EmbeddingTest, ZeroActorDescriptionIsUnitNorm) {
+  // The all-kNone actor slots are valid labels, not missing data: they embed
+  // as ordinary one-hot entries and the vector still normalizes.
+  sdl::ScenarioDescription d;
+  d.ego_action = sdl::EgoAction::kCruise;
+  d.salient_actor = {};
+  d.background_actors.clear();
+  const auto v = sdl::scenario_to_vector(d);
+  double norm = 0;
+  for (float x : v) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  EXPECT_NEAR(sdl::scenario_similarity(d, d), 1.0f, 1e-5f);
+}
+
+TEST(EmbeddingTest, BackgroundBlockSaturatesOnPresence) {
+  // The background block is multi-hot over *presence*: three parked cars
+  // embed identically to one (multiplicity must not inflate the weight).
+  sdl::ScenarioDescription one = example_description();
+  sdl::ScenarioDescription many = one;
+  many.background_actors.push_back(many.background_actors.front());
+  many.background_actors.push_back(many.background_actors.front());
+  EXPECT_EQ(sdl::scenario_to_vector(one), sdl::scenario_to_vector(many));
+}
+
+TEST(EmbeddingTest, ZeroedSlotWeightStillNormalizes) {
+  // A weights profile that zeroes a slot removes it from the metric but must
+  // not break normalization — the remaining blocks carry the norm.
+  sdl::EmbeddingWeights w;
+  w.weather = 0.0f;
+  const auto v = sdl::scenario_to_vector(example_description(), w);
+  double norm = 0;
+  for (float x : v) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  // And the weather block really is zero: scenarios differing only in
+  // weather become indistinguishable under this profile.
+  sdl::ScenarioDescription other = example_description();
+  other.environment.weather = sdl::Weather::kFog;
+  EXPECT_NEAR(sdl::scenario_similarity(example_description(), other, w), 1.0f,
+              1e-6f);
+}
+
 TEST(ScenarioIndexTest, QueryRanksExactMatchFirst) {
   sdl::ScenarioIndex index;
   const sdl::ScenarioDescription a = example_description();

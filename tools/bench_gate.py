@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
 """bench_gate — perf-regression gate for the bench-smoke CI job.
 
-Compares a fresh bench_k1_kernels JSON report against the committed baseline
-(bench/BENCH_K1_baseline.json) and fails (exit 1) if forward GEMM throughput
-dropped more than the threshold (default 25%) on any shape, for either the
-blocked single-thread kernel or the parallel path.
+Compares a fresh bench JSON report against its committed baseline and fails
+(exit 1) if any gated metric dropped more than the threshold (default 25%)
+on any shape. Which metrics are gated is part of the report itself: a
+top-level "gated_metrics" array names per-shape keys (all higher-is-better);
+reports without the field get the historical bench_k1_kernels defaults
+(blocked_gflops / parallel_gflops), so existing baselines keep working.
+
+Gated benches and their committed baselines:
+
+    bench_k1_kernels --smoke --json  ->  bench/BENCH_K1_baseline.json
+    bench_i1_index   --smoke --json  ->  bench/BENCH_I1_baseline.json
 
 The baseline is recorded on a reference run and then derated (multiplied by
 0.8) before committing, so the gate tolerates runner-to-runner variance on
 top of the explicit threshold; it exists to catch order-of-magnitude
 regressions (a dropped fast path, an accidental de-vectorization, a pool that
-stopped parallelizing), not single-digit noise. Refresh it with:
+stopped parallelizing, an index scanning everything), not single-digit noise.
+Refresh with e.g.:
 
     build/bench/bench_k1_kernels --json /tmp/k1.json
     python3 tools/bench_gate.py --derate 0.8 /tmp/k1.json \
@@ -30,9 +38,8 @@ import argparse
 import json
 import os
 import sys
-from pathlib import Path
 
-GATED_METRICS = ("blocked_gflops", "parallel_gflops")
+DEFAULT_GATED_METRICS = ("blocked_gflops", "parallel_gflops")
 
 
 def load(path: str) -> dict:
@@ -40,13 +47,20 @@ def load(path: str) -> dict:
         return json.load(f)
 
 
+def gated_metrics(report: dict) -> tuple[str, ...]:
+    return tuple(report.get("gated_metrics", DEFAULT_GATED_METRICS))
+
+
 def derate(report: dict, factor: float) -> dict:
     out = dict(report)
     out["derated_by"] = factor
     out["shapes"] = []
+    # scalar_gflops is ungated context in the K1 report but derated alongside
+    # so the baseline file reads consistently.
+    derated_keys = ("scalar_gflops",) + gated_metrics(report)
     for shape in report["shapes"]:
         row = dict(shape)
-        for key in ("scalar_gflops",) + GATED_METRICS:
+        for key in derated_keys:
             if key in row:
                 row[key] = round(row[key] * factor, 4)
         out["shapes"].append(row)
@@ -63,7 +77,7 @@ def compare(current: dict, baseline: dict, threshold: float) -> tuple[str, list[
     base_by_name = {s["name"]: s for s in baseline["shapes"]}
     failures: list[str] = []
     lines = [
-        "| shape | metric | baseline GFLOP/s | current GFLOP/s | ratio | status |",
+        "| shape | metric | baseline | current | ratio | status |",
         "|---|---|---:|---:|---:|---|",
     ]
     for shape in current["shapes"]:
@@ -72,7 +86,7 @@ def compare(current: dict, baseline: dict, threshold: float) -> tuple[str, list[
         if base is None:
             lines.append(f"| {name} | — | — | — | — | no baseline (new shape) |")
             continue
-        for metric in GATED_METRICS:
+        for metric in gated_metrics(current):
             cur_v, base_v = shape.get(metric), base.get(metric)
             if cur_v is None or base_v is None or base_v <= 0:
                 continue
@@ -81,10 +95,10 @@ def compare(current: dict, baseline: dict, threshold: float) -> tuple[str, list[
             status = "ok" if ok else f"**FAIL** (>{threshold:.0%} drop)"
             if not ok:
                 failures.append(
-                    f"{name}/{metric}: {cur_v:.2f} GFLOP/s vs baseline "
+                    f"{name}/{metric}: {cur_v:.2f} vs baseline "
                     f"{base_v:.2f} ({ratio:.2f}x, floor {1.0 - threshold:.2f}x)")
             lines.append(
-                f"| {name} | {metric.removesuffix('_gflops')} | {base_v:.2f} "
+                f"| {name} | {metric} | {base_v:.2f} "
                 f"| {cur_v:.2f} | {ratio:.2f}x | {status} |")
     missing = set(base_by_name) - {s["name"] for s in current["shapes"]}
     for name in sorted(missing):
@@ -95,7 +109,7 @@ def compare(current: dict, baseline: dict, threshold: float) -> tuple[str, list[
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="fresh bench_k1_kernels JSON")
+    parser.add_argument("current", help="fresh bench JSON report")
     parser.add_argument("baseline", nargs="?",
                         help="committed baseline JSON to gate against")
     parser.add_argument("--threshold", type=float, default=0.25,
@@ -116,7 +130,8 @@ def main() -> int:
     baseline = load(args.baseline)
     table, failures = compare(current, baseline, args.threshold)
 
-    header = "## bench-smoke: kernel throughput vs baseline\n"
+    bench_name = current.get("bench", "bench")
+    header = f"## bench-smoke: {bench_name} vs baseline\n"
     verdict = ("\n**Gate: FAIL**\n" + "\n".join(f"- {f}" for f in failures)
                if failures else "\n**Gate: pass** — no metric dropped more "
                                 f"than {args.threshold:.0%}.")
