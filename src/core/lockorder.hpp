@@ -41,6 +41,18 @@ namespace tsdx::lockorder {
 /// than R; two locks of equal rank may never be held together. See
 /// DESIGN.md §12 for the prose version and the reasoning per level.
 enum class Rank : std::uint32_t {
+  kRouter = 2,            ///< Router lifecycle + pending count + probe mailbox;
+                          ///< outermost of the whole hierarchy — the router
+                          ///< drains/kills whole replica servers (rank 10+)
+                          ///< while holding it
+  kAdmission = 4,         ///< AdmissionController token buckets + in-flight
+                          ///< shares (below kRouter: admission is consulted
+                          ///< on the submit path, never the other way round)
+  kReplica = 6,           ///< per-ManagedReplica health state machine; above
+                          ///< kAdmission, below every InferenceServer lock so
+                          ///< a probe may submit into a replica while holding
+                          ///< its state lock. One replica lock at a time —
+                          ///< equal ranks may never nest.
   kServerLifecycle = 10,  ///< InferenceServer lifecycle (drain/shutdown)
   kQueue = 20,            ///< BoundedQueue request queue
   kServerPending = 30,    ///< InferenceServer accepted-request count

@@ -1,0 +1,150 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsdx::serve {
+
+const char* to_string(AdmitVerdict verdict) {
+  switch (verdict) {
+    case AdmitVerdict::kAdmitted:
+      return "admitted";
+    case AdmitVerdict::kRateLimited:
+      return "rate-limited";
+    case AdmitVerdict::kOverFairShare:
+      return "over-fair-share";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         obs::Registry& registry)
+    : config_(std::move(config)),
+      registry_(registry),
+      admitted_total_(registry.counter("route.admitted")),
+      rejected_total_(registry.counter("route.shed")),
+      inflight_gauge_(registry.gauge("route.inflight")) {
+  LockGuard lock(mutex_);
+  for (const TenantConfig& tc : config_.tenants) {
+    Tenant& tenant = tenants_[tc.name];
+    if (tenant.admitted != nullptr) continue;  // duplicate declaration
+    tenant.weight = tc.weight > 0.0 ? tc.weight : config_.default_weight;
+    tenant.admitted =
+        &registry_.counter("route.tenant." + tc.name + ".admitted");
+    tenant.rejected =
+        &registry_.counter("route.tenant." + tc.name + ".rejected");
+    total_weight_ += tenant.weight;
+  }
+}
+
+AdmissionController::Tenant& AdmissionController::tenant_locked(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second;
+  Tenant& tenant = tenants_[name];
+  tenant.weight = config_.default_weight > 0.0 ? config_.default_weight : 1.0;
+  tenant.admitted = &registry_.counter("route.tenant." + name + ".admitted");
+  tenant.rejected = &registry_.counter("route.tenant." + name + ".rejected");
+  total_weight_ += tenant.weight;
+  return tenant;
+}
+
+double AdmissionController::rate_locked(const Tenant& tenant) const {
+  if (config_.aggregate_rate_per_s <= 0.0 || total_weight_ <= 0.0) return 0.0;
+  return config_.aggregate_rate_per_s * tenant.weight / total_weight_;
+}
+
+double AdmissionController::bucket_depth_locked(const Tenant& tenant) const {
+  const double rate = rate_locked(tenant);
+  return std::max(1.0, rate * config_.burst_seconds);
+}
+
+AdmitVerdict AdmissionController::admit(const std::string& tenant_name,
+                                        Clock::time_point now) {
+  AdmitVerdict verdict = AdmitVerdict::kAdmitted;
+  obs::Counter* tenant_admitted = nullptr;
+  obs::Counter* tenant_rejected = nullptr;
+  {
+    LockGuard lock(mutex_);
+    Tenant& tenant = tenant_locked(tenant_name);
+    tenant_admitted = tenant.admitted;
+    tenant_rejected = tenant.rejected;
+
+    // Gate 2 first: the congestion cap. Checking it before spending a token
+    // means a fair-share rejection does not also drain the tenant's bucket.
+    if (config_.congestion_window > 0 &&
+        total_in_flight_ >= config_.congestion_window) {
+      const double share = total_weight_ > 0.0
+                               ? tenant.weight / total_weight_
+                               : 1.0;
+      const auto cap = static_cast<std::size_t>(std::max(
+          1.0, share * static_cast<double>(config_.congestion_window)));
+      if (tenant.in_flight >= cap) verdict = AdmitVerdict::kOverFairShare;
+    }
+
+    // Gate 1: the token bucket. Refill is computed from the caller's clock
+    // reading, so a test feeding synthetic `now` values gets exact token
+    // arithmetic with no wall-clock dependence.
+    const double rate = rate_locked(tenant);
+    if (verdict == AdmitVerdict::kAdmitted && rate > 0.0) {
+      const double depth = bucket_depth_locked(tenant);
+      if (!tenant.bucket_primed) {
+        tenant.tokens = depth;
+        tenant.bucket_primed = true;
+      } else if (now > tenant.last_refill) {
+        const double elapsed_s =
+            std::chrono::duration<double>(now - tenant.last_refill).count();
+        tenant.tokens = std::min(depth, tenant.tokens + rate * elapsed_s);
+      }
+      tenant.last_refill = now;
+      if (tenant.tokens >= 1.0) {
+        tenant.tokens -= 1.0;
+      } else {
+        verdict = AdmitVerdict::kRateLimited;
+      }
+    }
+
+    if (verdict == AdmitVerdict::kAdmitted) {
+      ++tenant.in_flight;
+      ++total_in_flight_;
+      inflight_gauge_.set(static_cast<std::int64_t>(total_in_flight_));
+    }
+  }
+  if (verdict == AdmitVerdict::kAdmitted) {
+    admitted_total_.inc();
+    tenant_admitted->inc();
+  } else {
+    rejected_total_.inc();
+    tenant_rejected->inc();
+  }
+  return verdict;
+}
+
+void AdmissionController::on_done(const std::string& tenant_name) {
+  LockGuard lock(mutex_);
+  Tenant& tenant = tenant_locked(tenant_name);
+  if (tenant.in_flight > 0) --tenant.in_flight;
+  if (total_in_flight_ > 0) --total_in_flight_;
+  inflight_gauge_.set(static_cast<std::int64_t>(total_in_flight_));
+}
+
+std::size_t AdmissionController::in_flight() const {
+  LockGuard lock(mutex_);
+  return total_in_flight_;
+}
+
+std::uint64_t AdmissionController::tenant_admitted(
+    const std::string& tenant) const {
+  LockGuard lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.admitted->value();
+}
+
+std::uint64_t AdmissionController::tenant_rejected(
+    const std::string& tenant) const {
+  LockGuard lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.rejected->value();
+}
+
+}  // namespace tsdx::serve

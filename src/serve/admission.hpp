@@ -1,0 +1,127 @@
+// admission.hpp — per-tenant admission control for the replica router.
+//
+// Two independent gates, both deterministic given the caller-supplied clock
+// readings (tests drive them with synthetic time points):
+//
+//   1. Token-bucket rate limiting. The fleet-wide refill budget
+//      (aggregate_rate_per_s) is split across tenants in proportion to their
+//      weights; each tenant owns a bucket of depth rate x burst_seconds
+//      (min 1) and one admit spends one token. A tenant that bursts past its
+//      share is rejected (AdmitVerdict::kRateLimited) without touching any
+//      replica queue — shedding at the front door is cheaper than shedding
+//      after the clip has occupied queue capacity.
+//
+//   2. Weighted fair in-flight shares. When total admitted-but-unresolved
+//      requests reach congestion_window, each tenant is capped at its
+//      weighted share of the window (min 1). Below the threshold tenants
+//      may freely borrow each other's idle capacity — the cap only bites
+//      under contention, which is what makes it work-conserving weighted
+//      fair queuing rather than a static partition.
+//
+// Unknown tenants are admitted with default_weight — the router does not
+// require pre-registration, it just guarantees registered heavyweights their
+// share.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "obs/metrics.hpp"
+
+namespace tsdx::serve {
+
+struct TenantConfig {
+  std::string name;
+  /// Fair-share weight: a tenant with weight 2 gets twice the refill rate
+  /// and twice the congestion in-flight cap of a tenant with weight 1.
+  double weight = 1.0;
+};
+
+struct AdmissionConfig {
+  /// Fleet-wide token refill rate (requests/s) split across tenants by
+  /// weight. 0 disables rate limiting entirely.
+  double aggregate_rate_per_s = 0.0;
+  /// Bucket depth as seconds of refill (depth = rate x burst_seconds,
+  /// floored at 1 token so a positive rate always admits singletons).
+  double burst_seconds = 1.0;
+  /// In-flight total at which per-tenant fair-share caps activate.
+  /// 0 disables the congestion gate.
+  std::size_t congestion_window = 0;
+  /// Declared tenants (weights). Tenants not listed here get default_weight.
+  std::vector<TenantConfig> tenants;
+  double default_weight = 1.0;
+};
+
+enum class AdmitVerdict { kAdmitted, kRateLimited, kOverFairShare };
+
+const char* to_string(AdmitVerdict verdict);
+
+/// Thread-safe admission gate, one per Router. Exports route.admitted /
+/// route.shed totals (shed = refused at the front door), a route.inflight
+/// gauge, and per-tenant route.tenant.<name>.admitted / .rejected counters
+/// into the registry.
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  AdmissionController(AdmissionConfig config, obs::Registry& registry);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Decide one request at time `now` (caller supplies the clock reading so
+  /// tests are deterministic). kAdmitted charges one token and one in-flight
+  /// slot to the tenant; the caller must balance each admit with exactly one
+  /// on_done() when the request resolves (success or failure).
+  AdmitVerdict admit(const std::string& tenant, Clock::time_point now)
+      TSDX_EXCLUDES(mutex_);
+
+  /// Release the in-flight slot charged by an admitted request.
+  void on_done(const std::string& tenant) TSDX_EXCLUDES(mutex_);
+
+  std::size_t in_flight() const TSDX_EXCLUDES(mutex_);
+  std::uint64_t admitted() const { return admitted_total_.value(); }
+  std::uint64_t rejected() const { return rejected_total_.value(); }
+  std::uint64_t tenant_admitted(const std::string& tenant) const
+      TSDX_EXCLUDES(mutex_);
+  std::uint64_t tenant_rejected(const std::string& tenant) const
+      TSDX_EXCLUDES(mutex_);
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  struct Tenant {
+    double weight = 1.0;
+    double tokens = 0.0;
+    bool bucket_primed = false;  // first admit seeds a full bucket
+    Clock::time_point last_refill{};
+    std::size_t in_flight = 0;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected = nullptr;
+  };
+
+  Tenant& tenant_locked(const std::string& name) TSDX_REQUIRES(mutex_);
+  /// This tenant's refill rate right now: weight / total_weight x aggregate.
+  double rate_locked(const Tenant& tenant) const TSDX_REQUIRES(mutex_);
+  double bucket_depth_locked(const Tenant& tenant) const
+      TSDX_REQUIRES(mutex_);
+
+  const AdmissionConfig config_;
+  obs::Registry& registry_;
+  obs::Counter& admitted_total_;
+  obs::Counter& rejected_total_;
+  obs::Gauge& inflight_gauge_;
+
+  mutable Mutex mutex_{"route.admission", lockorder::Rank::kAdmission};
+  std::map<std::string, Tenant> tenants_ TSDX_GUARDED_BY(mutex_);
+  /// Sum of weights of every tenant seen so far (declared + dynamic).
+  double total_weight_ TSDX_GUARDED_BY(mutex_) = 0.0;
+  std::size_t total_in_flight_ TSDX_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace tsdx::serve

@@ -30,6 +30,27 @@ class ServerStoppedError : public std::runtime_error {
       : std::runtime_error(what_arg) {}
 };
 
+/// The router's admission controller refused the request before it reached
+/// any replica queue: the tenant is over its token-bucket rate, or the fleet
+/// is congested and the tenant is already using its weighted fair share of
+/// in-flight slots. Thrown synchronously from Router::submit — the caller
+/// owns backoff, exactly like QueueFullError under OverflowPolicy::kReject.
+class AdmissionRejectedError : public std::runtime_error {
+ public:
+  explicit AdmissionRejectedError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Every replica of the fleet is DOWN and no fleet-level fallback is
+/// configured: there is nothing left to answer from. Delivered through the
+/// future (or thrown from Router::submit when dispatch fails synchronously).
+/// With a fallback configured the router degrades instead of raising this.
+class NoReplicaAvailableError : public std::runtime_error {
+ public:
+  explicit NoReplicaAvailableError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
 /// The request's deadline passed before a worker dispatched it: delivered
 /// through the future, either at submit() time (deadline already in the
 /// past) or when the micro-batcher scrubbed the expired request instead of

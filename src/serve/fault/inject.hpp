@@ -23,6 +23,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -50,6 +51,34 @@ class InjectedFaultError : public std::runtime_error {
       : std::runtime_error(what_arg) {}
 };
 
+/// The fault a killed replica throws out of every dispatch from its kill
+/// point on. Derives from InjectedFaultError so generic "was this injected?"
+/// assertions keep working; typed separately so router tests can tell a
+/// hard-down replica from a one-shot fault.
+class ReplicaKilledError : public InjectedFaultError {
+ public:
+  explicit ReplicaKilledError(const std::string& what_arg)
+      : InjectedFaultError(what_arg) {}
+};
+
+/// A replica-scoped fault script. `domain` matches the dispatching server's
+/// ServerConfig::fault_domain (the Router wires it to the replica index), so
+/// chaos tests can murder replica 2 of a fleet without touching its
+/// neighbours. Call indices are 1-based and count only that domain's
+/// dispatches since the plan was armed.
+struct ReplicaPlan {
+  int domain = 0;
+  /// Hard-down from this per-domain dispatch index on: every dispatch with
+  /// index >= kill_from_call throws ReplicaKilledError until the plan is
+  /// disarmed (the replica stays dead — unlike throw_on_extract_calls, which
+  /// is a one-dispatch fault). 0 disables.
+  std::uint64_t kill_from_call = 0;
+  /// Per-domain dispatch indices that stall for `stall` before proceeding
+  /// (a wedged-but-alive replica: the dispatch then completes normally).
+  std::vector<std::uint64_t> stall_on_calls;
+  std::chrono::microseconds stall{0};
+};
+
 /// A deterministic script of faults. Call indices are 1-based and count
 /// every extract_batch dispatch process-wide from the moment the plan is
 /// armed (arming resets the counter).
@@ -61,6 +90,9 @@ struct FaultPlan {
   /// extract_batch dispatches that stall for `extract_delay` first.
   std::vector<std::uint64_t> delay_on_extract_calls;
   std::chrono::microseconds extract_delay{0};
+  /// Replica-scoped kill/stall scripts, keyed by fault domain. Domains are
+  /// counted independently of the process-wide indices above; both apply.
+  std::vector<ReplicaPlan> replica_plans;
   /// Flip one seed-chosen byte of the next checkpoint save (after its CRC
   /// footer is computed, so the corruption is CRC-detectable on load).
   bool corrupt_next_checkpoint = false;
@@ -75,11 +107,16 @@ class Injector {
     return injector;
   }
 
+  /// A server with no assigned fault domain (ServerConfig::fault_domain's
+  /// default): its dispatches count process-wide but match no ReplicaPlan.
+  static constexpr int kNoDomain = -1;
+
   void arm(FaultPlan plan) TSDX_EXCLUDES(mutex_) {
     LockGuard lock(mutex_);
     plan_ = std::move(plan);
     armed_ = true;
     extract_calls_ = 0;
+    domain_calls_.clear();
   }
 
   void disarm() TSDX_EXCLUDES(mutex_) {
@@ -99,17 +136,36 @@ class Injector {
     return extract_calls_;
   }
 
+  /// Dispatches observed on one fault domain since the plan was armed.
+  std::uint64_t domain_calls(int domain) const TSDX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
+    const auto it = domain_calls_.find(domain);
+    return it == domain_calls_.end() ? 0 : it->second;
+  }
+
   /// Hook: call immediately before an extract_batch dispatch. May sleep
   /// (injected latency) and/or throw InjectedFaultError per the armed plan.
-  void on_extract_batch() TSDX_EXCLUDES(mutex_) {
+  /// `domain` identifies the dispatching replica (ServerConfig::fault_domain;
+  /// kNoDomain for standalone servers) for the replica-scoped plans.
+  void on_extract_batch(int domain = kNoDomain) TSDX_EXCLUDES(mutex_) {
     std::chrono::microseconds delay{0};
     std::uint64_t call = 0;
+    std::uint64_t dcall = 0;
     {
       LockGuard lock(mutex_);
       if (!armed_) return;
       call = ++extract_calls_;
+      if (domain != kNoDomain) dcall = ++domain_calls_[domain];
       for (std::uint64_t d : plan_.delay_on_extract_calls) {
         if (d == call) delay = plan_.extract_delay;
+      }
+      if (domain != kNoDomain) {
+        for (const ReplicaPlan& rp : plan_.replica_plans) {
+          if (rp.domain != domain) continue;
+          for (std::uint64_t s : rp.stall_on_calls) {
+            if (s == dcall && rp.stall > delay) delay = rp.stall;
+          }
+        }
       }
     }
     // Sleep outside the lock so a stalled worker cannot block arm()/stats.
@@ -117,6 +173,17 @@ class Injector {
     {
       LockGuard lock(mutex_);
       if (!armed_) return;
+      if (domain != kNoDomain) {
+        for (const ReplicaPlan& rp : plan_.replica_plans) {
+          if (rp.domain == domain && rp.kill_from_call != 0 &&
+              dcall >= rp.kill_from_call) {
+            throw ReplicaKilledError(
+                "replica domain " + std::to_string(domain) +
+                " killed from dispatch #" + std::to_string(rp.kill_from_call) +
+                " (this is dispatch #" + std::to_string(dcall) + ")");
+          }
+        }
+      }
       for (std::uint64_t t : plan_.throw_on_extract_calls) {
         if (t == call) {
           throw InjectedFaultError("injected fault on extract_batch call #" +
@@ -149,6 +216,8 @@ class Injector {
   FaultPlan plan_ TSDX_GUARDED_BY(mutex_);
   bool armed_ TSDX_GUARDED_BY(mutex_) = false;
   std::uint64_t extract_calls_ TSDX_GUARDED_BY(mutex_) = 0;
+  /// Per-domain dispatch counters for the replica-scoped plans.
+  std::map<int, std::uint64_t> domain_calls_ TSDX_GUARDED_BY(mutex_);
 };
 
 /// RAII armer for tests: arms on construction, disarms on scope exit so a

@@ -55,9 +55,16 @@ InferenceServer::InferenceServer(
                           std::shared_ptr<void>(), &obs::Registry::global())),
       queue_(config_.queue_capacity, config_.overflow),
       stats_(*registry_, config_.queue_capacity, config_.max_batch),
+      // Per-shard series when the server is named (Router replicas), the
+      // historical flat names otherwise — see ServerConfig::name.
       circuit_(config_.circuit, config_.fallback != nullptr,
-               &registry_->gauge("serve.circuit_state"),
-               &registry_->counter("serve.circuit_trips")) {
+               &registry_->gauge(config_.name.empty()
+                                     ? "serve.circuit_state"
+                                     : "serve.circuit_state." + config_.name),
+               &registry_->counter(
+                   config_.name.empty()
+                       ? "serve.circuit_trips"
+                       : "serve.circuit_trips." + config_.name)) {
   TSDX_CHECK(extractor_ != nullptr, "InferenceServer: extractor is null");
   TSDX_CHECK(config_.max_batch >= 1,
              "InferenceServer: max_batch must be >= 1, got ",
@@ -278,7 +285,7 @@ void InferenceServer::process_batch(const Replica& replica,
       for (std::size_t i : group) clips.push_back(&live[i].clip);
       data::Batch batch;
       batch.video = stack_clips(clips);
-      fault::Injector::instance().on_extract_batch();
+      fault::Injector::instance().on_extract_batch(config_.fault_domain);
       std::vector<core::ExtractionResult> results =
           replica.extractor->extract_batch(batch);
       TSDX_CHECK(results.size() == group.size(),

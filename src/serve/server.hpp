@@ -109,6 +109,19 @@ struct ServerConfig {
   /// that assert exact process-visible counts pass a private registry.
   std::shared_ptr<obs::Registry> metrics;
 
+  /// Instance name for per-shard metric series. Empty (a standalone server)
+  /// keeps the historical names serve.circuit_state / serve.circuit_trips;
+  /// non-empty (the Router names each replica "replica<i>") appends
+  /// ".<name>" so N breakers sharing one registry don't fight over a gauge.
+  std::string name;
+
+  /// Identity for replica-scoped fault injection (fault::ReplicaPlan). The
+  /// Router sets it to the replica index; kNoDomain (-1, the default) makes
+  /// the server immune to replica-scoped plans while still counting toward
+  /// the process-wide fault script.
+  int fault_domain = fault_domain_none();
+  static constexpr int fault_domain_none() { return -1; }
+
   /// Completion sink: invoked once per *successfully* answered request
   /// (primary or degraded), on the worker thread, just before the request's
   /// future resolves. Failed requests (faults, deadlines, sheds, shutdown)

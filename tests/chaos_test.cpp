@@ -21,7 +21,9 @@
 #include "sdl/description.hpp"
 #include "serve/fallback.hpp"
 #include "serve/fault/inject.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
+#include "serve/thread_pool.hpp"
 #include "sim/clipgen.hpp"
 
 namespace core = tsdx::core;
@@ -407,4 +409,79 @@ TEST(ChaosTest, CorruptedCheckpointIsRejectedAndWeightsKept) {
             nn::CheckpointLoad::kLoaded);
   EXPECT_EQ(flat_weights(target), flat_weights(source));
   std::filesystem::remove(path);
+}
+
+// ---- replica router under scripted replica death --------------------------------
+
+// Concurrent producers stream requests through a 3-replica router while a
+// replica-scoped plan hard-kills replica 1 after its 3rd dispatch. The
+// contract under test: every admitted request resolves EXACTLY once (a
+// double-set promise would throw std::future_error inside the router; a
+// lost ticket would leave pending > 0 and hang drain()), and with retry
+// budget available the death costs zero answers — the killed replica's
+// queued requests fail over to its siblings.
+TEST(ChaosTest, RouterLosesNoRequestsWhenReplicaDiesMidStream) {
+  serve::RouterConfig rc;
+  rc.replicas = 3;
+  rc.server = sequential_config();
+  // Deep queues: the two survivors must absorb the whole burst. With the
+  // default capacity of 8 the siblings can fill under the 4-producer burst,
+  // and a retry that finds both full falls through to the (excluded) dying
+  // replica as a last resort — a legitimate shed, but not what this test
+  // pins. Capacity is not under test; losing zero requests is.
+  rc.server.queue_capacity = 64;
+  rc.relay_threads = 3;
+  rc.max_attempts = 4;
+  rc.retry_budget_floor = 32.0;  // failover capacity is not under test here
+  rc.down_after_failures = 2;
+  rc.heal_backoff = std::chrono::seconds(30);  // no passive heal mid-test
+  rc.metrics = std::make_shared<obs::Registry>();
+  serve::Router router(make_frozen_extractor(), rc);
+  const auto clips = make_clips(1);
+
+  fault::FaultPlan plan;
+  fault::ReplicaPlan death;
+  death.domain = 1;
+  death.kill_from_call = 3;  // two good dispatches, then hard-down
+  plan.replica_plans = {death};
+  fault::ScopedFaultPlan armed(plan);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 8;
+  std::vector<std::future<core::ExtractionResult>> futures(kProducers *
+                                                           kPerProducer);
+  // Each producer writes only its own slot range: no synchronization needed.
+  serve::ThreadPool::run(kProducers, [&](std::size_t producer) {
+    for (std::size_t i = 0; i < kPerProducer; ++i) {
+      futures[producer * kPerProducer + i] = router.submit(clips[0]);
+    }
+  });
+  // Settle before drain: retried tickets sleeping out their backoff must
+  // wake to a live fleet — drain() tears replicas down first (the inline
+  // server contract) and would resolve a late retry fleet-dark.
+  while (router.stats().pending != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  router.drain();
+
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  for (auto& future : futures) {
+    try {
+      EXPECT_FALSE(is_degraded(future.get()));
+      ++ok;
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(ok, kProducers * kPerProducer);  // nothing lost to the death
+  EXPECT_EQ(failed, 0u);
+
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.admitted, kProducers * kPerProducer);
+  EXPECT_EQ(stats.completed + stats.failed, kProducers * kPerProducer);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_EQ(router.replica_state(1), serve::ReplicaState::kDown);
+  EXPECT_GE(fault::Injector::instance().domain_calls(1), 3u);
 }

@@ -16,8 +16,9 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     src/serve/ and the intra-op pool implementation
                     (src/tensor/kernels/parallel_for.{hpp,cpp}) — every
                     thread in a tsdx process must go through the serve layer
-                    (ThreadPool / InferenceServer) or tsdx::par, which own
-                    spawning and deterministic joining. Inside src/tensor/
+                    (ThreadPool / InferenceServer / the Router's relay and
+                    probe pools, src/serve/router.cpp) or tsdx::par, which
+                    own spawning and deterministic joining. Inside src/tensor/
                     specifically, compute code must use tsdx::par so results
                     stay deterministic at any thread count. Static members
                     like std::thread::hardware_concurrency() are fine.
@@ -28,8 +29,10 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     layer (`fault::`). A catch-all that swallows is how
                     recovery bugs hide: the serve layer is the one place with
                     a contract for translating arbitrary failures (worker
-                    supervision, circuit breaker, degraded fallback); every
-                    other layer must let unknown exceptions propagate to it.
+                    supervision, circuit breaker, degraded fallback, the
+                    Router's failover retries in src/serve/router.cpp);
+                    every other layer must let unknown exceptions propagate
+                    to it.
   taxonomy-int      No floating-point literals in src/sdl/taxonomy.{hpp,cpp}.
                     The SDL slot tables are pure integral enums; a float
                     literal there means an accidental float->int narrowing.
@@ -52,7 +55,10 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     src/index/ — those
                     layers lock through tsdx::Mutex / LockGuard / UniqueLock /
                     CondVar (src/core/annotations.hpp) so every lock carries
-                    thread-safety annotations and a lockorder::Rank. The
+                    thread-safety annotations and a lockorder::Rank (the
+                    router stack — src/serve/router.cpp, admission.cpp,
+                    replica.cpp — sits at the bottom ranks kRouter <
+                    kAdmission < kReplica of that hierarchy). The
                     wrappers themselves (src/core/) are the one place the raw
                     primitives live.
   unannotated-shared  A mutable data member declared after a tsdx::Mutex
