@@ -12,6 +12,10 @@
 //                   (the registry) and tsdx_trace.json (Perfetto-loadable
 //                   span trace). Forces full tracing unless TSDX_TRACE was
 //                   set explicitly, so the dumped trace is never empty.
+//   --compiled      serve through compiled inference plans
+//                   (ServerConfig::use_compiled_plan): one traced plan per
+//                   clip geometry, fused ops, per-worker arenas. Results are
+//                   bit-identical to the dynamic path.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -53,13 +57,17 @@ bool write_file(const std::string& path, const std::string& body) {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool metrics_dump = false;
+  bool compiled = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
       metrics_dump = true;
+    } else if (std::strcmp(argv[i], "--compiled") == 0) {
+      compiled = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-dump]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-dump] [--compiled]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -121,6 +129,11 @@ int main(int argc, char** argv) {
   sc.fallback = serve::MajorityFallback::fit(train);
   sc.circuit.fault_threshold = 3;
   sc.circuit.cooldown = std::chrono::milliseconds(250);
+  sc.use_compiled_plan = compiled;
+  if (compiled) {
+    std::printf("compiled-plan execution on: each geometry traces once, "
+                "then runs fused from a per-worker arena\n");
+  }
   serve::InferenceServer server(extractor, sc);
 
   // 4. Concurrent clients, every request carrying a half-second deadline

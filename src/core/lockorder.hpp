@@ -57,6 +57,9 @@ enum class Rank : std::uint32_t {
   kQueue = 20,            ///< BoundedQueue request queue
   kServerPending = 30,    ///< InferenceServer accepted-request count
   kSupervisor = 40,       ///< InferenceServer dead-worker mailbox
+  kPlan = 43,             ///< tsdx::plan compiled-plan cache; below the par
+                          ///< ranks because compilation traces a forward that
+                          ///< fans out through tsdx::par while holding it
   kIndex = 45,            ///< tsdx::index vector stores (flat / IVF lists);
                           ///< below the par ranks because index scans fan
                           ///< out through tsdx::par while holding it

@@ -1,56 +1,50 @@
-#include "tensor/kernels/gemm.hpp"
+// gemm_wide.cpp — AVX2 build of the blocked GEMM for compiled plans.
+//
+// Compiled with -mavx2 -mno-fma -ffp-contract=off on x86-64 (see
+// src/plan/CMakeLists.txt); every function here may therefore contain AVX2
+// instructions and must only run after wide::cpu_supported() returned true
+// (cpu_supported() itself lives in plan.cpp, a portable TU). The loop
+// nests are a line-for-line replica of src/tensor/kernels/gemm.cpp so the
+// per-element float operation sequence — ascending k, one multiply and one
+// add per step — is identical; only the vector width the compiler applies
+// across independent output columns differs, which cannot change any
+// element's value. Keep the two files in sync: a blocking or ordering
+// change in one without the other breaks the bit-exactness contract that
+// plan_test enforces.
+
+#include "plan/gemm_wide.hpp"
 
 #include <algorithm>
 #include <cstring>
 #include <vector>
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "tensor/kernels/parallel_for.hpp"
 
-namespace tsdx::tensor::kernels {
+namespace tsdx::plan::wide {
+
+namespace kernels = tsdx::tensor::kernels;
+using kernels::Trans;
+
+#if defined(__AVX2__) && !defined(__FMA__)
+
+const bool kCompiledWide = true;
 
 namespace {
 
-/// Registry handles resolved once per process. mm() bumps these once per
-/// call (not per row/chunk), so the relaxed adds amortize over the 2*m*k*n
-/// flops they describe.
-struct GemmMetrics {
-  obs::Counter& calls;
-  obs::Counter& flops;
-  obs::Counter& direct_path;  ///< both operands read in place (no packing)
-  obs::Counter& packed_path;  ///< at least one operand packed into panels
-};
-
-GemmMetrics& gemm_metrics() {
-  static GemmMetrics metrics = [] {
-    obs::Registry& r = obs::Registry::global();
-    return GemmMetrics{r.counter("gemm.calls"), r.counter("gemm.flops"),
-                       r.counter("gemm.direct_path"),
-                       r.counter("gemm.packed_path")};
-  }();
-  return metrics;
-}
-
-// Blocking parameters. kMR is the micro-kernel height (C rows held hot);
-// kKC x kNC is the packed op(B) panel, sized to sit in L1/L2 comfortably
-// (256 * 128 floats = 128 KiB worst case, typically far smaller).
+// Mirror of the portable kernel's blocking (gemm.cpp): same panel sizes,
+// same micro-kernel height, so chunk-internal traversal order matches.
 constexpr std::int64_t kMR = 4;
 constexpr std::int64_t kKC = 256;
 constexpr std::int64_t kNC = 128;
 
-/// Pack op(B)[pc:pc+kc, jc:jc+nc] into a contiguous [kc, nc] panel.
 void pack_b(Trans tb, const float* b, std::int64_t ldb, std::int64_t pc,
             std::int64_t jc, std::int64_t kc, std::int64_t nc, float* panel) {
   if (tb == Trans::kN) {
-    // b stored [k, n]: each panel row is a contiguous slice of a B row.
     for (std::int64_t p = 0; p < kc; ++p) {
       std::memcpy(panel + p * nc, b + (pc + p) * ldb + jc,
                   static_cast<std::size_t>(nc) * sizeof(float));
     }
   } else {
-    // b stored [n, k]: gather the transpose so the micro kernel still walks
-    // unit stride.
     for (std::int64_t p = 0; p < kc; ++p) {
       float* dst = panel + p * nc;
       for (std::int64_t j = 0; j < nc; ++j) {
@@ -60,7 +54,6 @@ void pack_b(Trans tb, const float* b, std::int64_t ldb, std::int64_t pc,
   }
 }
 
-/// Pack op(A)[r0:r1, pc:pc+kc] into a contiguous [r1-r0, kc] panel.
 void pack_a(Trans ta, const float* a, std::int64_t lda, std::int64_t r0,
             std::int64_t r1, std::int64_t pc, std::int64_t kc, float* panel) {
   if (ta == Trans::kN) {
@@ -69,7 +62,6 @@ void pack_a(Trans ta, const float* a, std::int64_t lda, std::int64_t r0,
                   static_cast<std::size_t>(kc) * sizeof(float));
     }
   } else {
-    // a stored [k, m]: gather the transpose row-wise.
     for (std::int64_t i = r0; i < r1; ++i) {
       float* dst = panel + (i - r0) * kc;
       for (std::int64_t p = 0; p < kc; ++p) {
@@ -79,28 +71,16 @@ void pack_a(Trans ta, const float* a, std::int64_t lda, std::int64_t r0,
   }
 }
 
-/// Reusable pack buffers: one pair per mm() call, or one pair per CHUNK of
-/// an mm_batched() call (resize() past the first slice is a no-op), so a
-/// batch of small transposed products costs two allocations, not two per
-/// slice.
 struct PackScratch {
   std::vector<float> a, b;
 };
 
-/// C rows [r0, r1) of the full product, using packed panels. Accumulation
-/// per C element runs in ascending k order: pc panels ascend, p within a
-/// panel ascends, and each step is a single multiply-add into the C row.
 void mm_rows(Trans ta, Trans tb, std::int64_t r0, std::int64_t r1,
              std::int64_t k, std::int64_t n, const float* a, std::int64_t lda,
              const float* b, std::int64_t ldb, float* c,
              PackScratch& scratch) {
   const std::int64_t kc_max = std::min(kKC, k);
   const std::int64_t nc_max = std::min(kNC, n);
-  // When a single panel spans the whole operand and it is already stored in
-  // the panel's layout (kN), packing would be a byte-for-byte copy: read the
-  // source directly instead. The extractor's per-layer GEMMs (k <= 256,
-  // n <= 128) all take this path; packing still kicks in for transposed
-  // operands and for shapes that genuinely need cache blocking.
   const bool a_direct = (ta == Trans::kN) && kc_max == k;
   const bool b_direct = (tb == Trans::kN) && nc_max == n;
   std::vector<float>& apack = scratch.a;
@@ -112,18 +92,18 @@ void mm_rows(Trans ta, Trans tb, std::int64_t r0, std::int64_t r1,
 
   for (std::int64_t pc = 0; pc < k; pc += kKC) {
     const std::int64_t kc = std::min(kKC, k - pc);
-    const float* apanel;  // rows r0..r1 of op(A)[:, pc:pc+kc], row stride kc
+    const float* apanel;
     if (a_direct) {
-      apanel = a + r0 * lda;  // lda == k == kc
+      apanel = a + r0 * lda;
     } else {
       pack_a(ta, a, lda, r0, r1, pc, kc, apack.data());
       apanel = apack.data();
     }
     for (std::int64_t jc = 0; jc < n; jc += kNC) {
       const std::int64_t nc = std::min(kNC, n - jc);
-      const float* bpanel;  // op(B)[pc:pc+kc, jc:jc+nc], row stride nc
+      const float* bpanel;
       if (b_direct) {
-        bpanel = b + pc * ldb;  // ldb == n == nc
+        bpanel = b + pc * ldb;
       } else {
         pack_b(tb, b, ldb, pc, jc, kc, nc, bpack.data());
         bpanel = bpack.data();
@@ -167,62 +147,30 @@ void mm_rows(Trans ta, Trans tb, std::int64_t r0, std::int64_t r1,
 
 }  // namespace
 
-std::int64_t row_grain(std::int64_t m, std::int64_t k, std::int64_t n) {
-  // Target ~128k flops per chunk so chunk dispatch overhead stays invisible,
-  // growing in micro-kernel multiples. Depends on the shape only.
-  constexpr std::int64_t kTargetFlops = 131072;
-  const std::int64_t per_row = std::max<std::int64_t>(1, 2 * k * n);
-  std::int64_t grain = kMR;
-  while (grain < m && grain * per_row < kTargetFlops) grain *= 2;
-  return grain;
-}
-
-void mm(Trans ta, Trans tb, std::int64_t m, std::int64_t k, std::int64_t n,
-        const float* a, const float* b, float* c) {
-  if (m <= 0 || k <= 0 || n <= 0) return;
-  TSDX_TRACE_SPAN("gemm.mm");
-  GemmMetrics& metrics = gemm_metrics();
-  metrics.calls.inc();
-  metrics.flops.inc(static_cast<std::uint64_t>(2 * m * k * n));
-  // Mirrors the a_direct/b_direct decision in mm_rows: both operands fit one
-  // kN panel means the pack buffers are never touched.
-  const bool direct = ta == Trans::kN && tb == Trans::kN && k <= kKC && n <= kNC;
-  (direct ? metrics.direct_path : metrics.packed_path).inc();
-  const std::int64_t lda = (ta == Trans::kN) ? k : m;
-  const std::int64_t ldb = (tb == Trans::kN) ? n : k;
-  par::parallel_for(m, row_grain(m, k, n),
-                    [&](std::int64_t r0, std::int64_t r1) {
-                      PackScratch scratch;
-                      mm_rows(ta, tb, r0, r1, k, n, a, lda, b, ldb, c,
-                              scratch);
-                    });
-}
-
 void mm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
                 std::int64_t k, std::int64_t n, const float* a,
                 const float* b, std::int64_t b_stride, float* c) {
   if (batch <= 0 || m <= 0 || k <= 0 || n <= 0) return;
   if (batch == 1 || (b_stride == 0 && ta == Trans::kN)) {
-    // One slice, or a shared weight under row-dense A: the flat [batch*m]
-    // product runs the identical row-by-row computation.
-    mm(ta, tb, batch == 1 ? m : batch * m, k, n, a, b, c);
+    // One slice, or a shared weight under row-dense A: flatten to a single
+    // [rows, n] product, exactly as the portable mm_batched does (it
+    // forwards to mm(), whose grain is derived from the flattened row
+    // count).
+    const std::int64_t rows = (batch == 1) ? m : batch * m;
+    const std::int64_t flat_lda = (ta == Trans::kN) ? k : rows;
+    par::parallel_for(rows, kernels::row_grain(rows, k, n),
+                      [&](std::int64_t r0, std::int64_t r1) {
+                        PackScratch scratch;
+                        mm_rows(ta, tb, r0, r1, k, n, a, flat_lda, b,
+                                (tb == Trans::kN) ? n : k, c, scratch);
+                      });
     return;
   }
-  TSDX_TRACE_SPAN("gemm.mm_batched");
-  GemmMetrics& metrics = gemm_metrics();
-  metrics.calls.inc();
-  metrics.flops.inc(static_cast<std::uint64_t>(2 * batch * m * k * n));
-  const bool direct = ta == Trans::kN && tb == Trans::kN && k <= kKC && n <= kNC;
-  (direct ? metrics.direct_path : metrics.packed_path).inc();
   const std::int64_t lda = (ta == Trans::kN) ? k : m;
   const std::int64_t ldb = (tb == Trans::kN) ? n : k;
   const std::int64_t a_stride = m * k;
   const std::int64_t c_stride = m * n;
-  // Rows of the whole batch are partitioned with the per-slice grain (a pure
-  // function of the slice shape, as always); a chunk that spans slices just
-  // walks them. Chunk boundaries never change what any C row accumulates,
-  // so this is bit-identical to per-slice mm() calls.
-  par::parallel_for(batch * m, row_grain(m, k, n),
+  par::parallel_for(batch * m, kernels::row_grain(m, k, n),
                     [&](std::int64_t r0, std::int64_t r1) {
                       PackScratch scratch;
                       while (r0 < r1) {
@@ -237,4 +185,16 @@ void mm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
                     });
 }
 
-}  // namespace tsdx::tensor::kernels
+#else  // !__AVX2__ (or FMA leaked in): portable fallback, never dispatched
+
+const bool kCompiledWide = false;
+
+void mm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
+                std::int64_t k, std::int64_t n, const float* a,
+                const float* b, std::int64_t b_stride, float* c) {
+  kernels::mm_batched(ta, tb, batch, m, k, n, a, b, b_stride, c);
+}
+
+#endif
+
+}  // namespace tsdx::plan::wide

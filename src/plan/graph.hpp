@@ -1,0 +1,124 @@
+// graph.hpp — the static op graph tsdx::plan compiles a frozen forward into.
+//
+// A Graph is born from one traced dynamic forward (trace.hpp): every tensor
+// the forward created becomes a Value, every hooked tensor op becomes an Op
+// in execution order. Passes (passes.hpp) then rewrite it — constants fold,
+// reshapes collapse into aliases, adjacent ops fuse — and the memory planner
+// (memory.hpp) assigns every surviving intermediate an offset in a single
+// per-worker arena. The result executes through Plan (plan.hpp) with zero
+// heap allocation per forward.
+//
+// Design invariants:
+//   * Ops stay in trace order. The dynamic path executed them in exactly
+//     this order, so replaying them with the same kernels and the same
+//     grains reproduces the dynamic output bit for bit (DESIGN.md §16).
+//   * All op geometry (matmul dims, broadcast extents, row counts) is
+//     resolved at compile time from the traced node shapes. Values only
+//     carry storage facts; an aliased Value (reshape) shares its root's
+//     buffer even though the traced shapes differed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sdl/description.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsdx::plan {
+
+using ValueId = std::int32_t;
+inline constexpr ValueId kNoValue = -1;
+
+/// Where a Value's bytes live at execution time.
+enum class ValueKind : std::uint8_t {
+  kInput,     ///< the video batch, bound per call (caller's buffer, no copy)
+  kExternal,  ///< frozen weight/table: the plan holds the model node alive
+              ///< and reads its storage in place
+  kConstant,  ///< folded at compile time; storage owned by the plan
+  kArena,     ///< intermediate, placed in the per-worker arena
+};
+
+struct Value {
+  ValueKind kind = ValueKind::kArena;
+  std::int64_t numel = 0;
+  ValueId alias_of = kNoValue;  ///< reshape/in-place alias: share root buffer
+
+  /// Compile-time handle on the traced node: data source for constant
+  /// folding, and (for kExternal) shared ownership of the weight storage.
+  /// Released for kArena values once compilation finishes.
+  tensor::NodePtr traced;
+
+  std::vector<float> constant;  ///< kConstant payload
+  std::size_t offset = 0;       ///< kArena byte offset (memory.hpp)
+};
+
+/// Executable op kinds: the traced set plus the three fusions. Reshape and
+/// embedding_lookup never appear — the tracer resolves them into aliases
+/// and folded constants respectively.
+enum class OpType : std::uint8_t {
+  kAdd,
+  kMulScalar,
+  kGelu,
+  kMatmul,
+  kMatmulNt,
+  kPermute,
+  kSumDim,
+  kSoftmax,
+  kLogSoftmax,
+  kLayerNorm,
+  // fused (passes.hpp):
+  kBiasGelu,         ///< gelu(x + bias), bias suffix-broadcast
+  kScaledSoftmaxNt,  ///< softmax(scale * (Q·Kᵀ)) in one buffer
+  kAddLayerNorm,     ///< out = LN(x + y), out2 = x + y (residual kept)
+};
+
+const char* to_string(OpType type);
+
+/// Suffix-broadcast layout of kAdd (mirrors the dynamic binary_op).
+enum class Bcast : std::uint8_t { kSame, kBSmall, kASmall };
+
+struct Op {
+  OpType type;
+  std::vector<ValueId> inputs;
+  ValueId out = kNoValue;
+  ValueId out2 = kNoValue;  ///< kAddLayerNorm: the residual sum
+
+  // Attributes, resolved from traced shapes (unused fields stay 0).
+  float scalar = 0.0f;  ///< kMulScalar factor / kScaledSoftmaxNt scale
+  float eps = 0.0f;     ///< layer-norm epsilon
+  Bcast bcast = Bcast::kSame;
+  std::int64_t bcast_m = 0;  ///< small operand numel for kBSmall/kASmall
+  std::int64_t rows = 0;     ///< row-local ops: row count
+  std::int64_t cols = 0;     ///< row-local ops: row width
+  // matmul family
+  std::int64_t batch = 1, m = 0, k = 0, n = 0;
+  bool shared_rhs = false;
+  // kSumDim extents
+  std::int64_t outer = 0, red = 0, inner = 0;
+  // kPermute: output extents + input stride per output axis
+  std::vector<std::int64_t> out_extents;
+  std::vector<std::int64_t> gather;
+};
+
+struct Graph {
+  std::vector<Value> values;
+  std::vector<Op> ops;  ///< trace order == execution order
+
+  ValueId input = kNoValue;
+  tensor::Shape input_shape;
+  std::array<ValueId, sdl::kNumSlots> logits{};  ///< per-slot output values
+
+  std::size_t arena_bytes = 0;  ///< set by plan_memory
+  int fused_ops = 0;            ///< set by the fusion passes
+
+  /// Follow alias_of links to the value that owns the storage.
+  ValueId root(ValueId id) const {
+    while (values[static_cast<std::size_t>(id)].alias_of != kNoValue) {
+      id = values[static_cast<std::size_t>(id)].alias_of;
+    }
+    return id;
+  }
+};
+
+}  // namespace tsdx::plan

@@ -1,0 +1,46 @@
+// passes.hpp — compile-time rewrites over plan::Graph.
+//
+// Every pass preserves bit-exact equivalence with the dynamic path: fused
+// kernels replay the same per-element arithmetic in the same order as the
+// op pair they replace, constants are snapshots of values the dynamic
+// forward actually computed, and op order never changes (DESIGN.md §16
+// spells out the per-fusion argument).
+//
+// Pass order in compile(): fold_constants → fuse_* (each gated by
+// CompileOptions) → plan_memory (memory.hpp).
+#pragma once
+
+#include "plan/graph.hpp"
+
+namespace tsdx::plan {
+
+/// Which fusions to apply. All on by default; tests toggle one at a time to
+/// pin each fusion's equivalence independently.
+struct CompileOptions {
+  bool fuse_bias_gelu = true;
+  bool fuse_attention_softmax = true;
+  bool fuse_residual_norm = true;
+};
+
+/// Ops whose inputs are all frozen (externals or earlier constants) compute
+/// the same value every forward: snapshot the traced result and drop the
+/// op. Folds the positional-embedding arithmetic out of the hot path.
+void fold_constants(Graph& graph);
+
+/// add(x, bias) → gelu  ⇒  kBiasGelu (the Linear-into-GELU seam in Mlp).
+/// Fires when the add is a suffix broadcast and the gelu is its only
+/// consumer; counts into graph.fused_ops.
+void fuse_bias_gelu(Graph& graph);
+
+/// matmul_nt(q, k) → mul_scalar → softmax  ⇒  kScaledSoftmaxNt: attention
+/// scores, scaling and row softmax in one arena buffer. Fires when each
+/// intermediate has exactly one consumer.
+void fuse_attention_softmax(Graph& graph);
+
+/// add(x, y) (same shape) → layer_norm  ⇒  kAddLayerNorm producing both the
+/// normed result and the residual sum (out2), since pre-LN blocks reuse the
+/// sum. Fires only when the layer_norm is the *first* consumer of the sum —
+/// later consumers read out2 after the fused op wrote it.
+void fuse_residual_norm(Graph& graph);
+
+}  // namespace tsdx::plan

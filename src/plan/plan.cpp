@@ -1,0 +1,484 @@
+#include "plan/plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "core/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "plan/gemm_wide.hpp"
+#include "plan/memory.hpp"
+#include "plan/trace.hpp"
+#include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/parallel_for.hpp"
+
+namespace tsdx::plan {
+
+namespace wide {
+// Portable-TU definition: the wide kernels themselves may only execute on
+// hosts that pass this check, so the check must not live in the AVX2 TU.
+bool cpu_supported() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+}  // namespace wide
+
+namespace tt = tsdx::tensor;
+namespace kernels = tsdx::tensor::kernels;
+
+const char* to_string(OpType type) {
+  switch (type) {
+    case OpType::kAdd: return "add";
+    case OpType::kMulScalar: return "mul_scalar";
+    case OpType::kGelu: return "gelu";
+    case OpType::kMatmul: return "matmul";
+    case OpType::kMatmulNt: return "matmul_nt";
+    case OpType::kPermute: return "permute";
+    case OpType::kSumDim: return "sum_dim";
+    case OpType::kSoftmax: return "softmax";
+    case OpType::kLogSoftmax: return "log_softmax";
+    case OpType::kLayerNorm: return "layer_norm";
+    case OpType::kBiasGelu: return "bias_gelu";
+    case OpType::kScaledSoftmaxNt: return "scaled_softmax_nt";
+    case OpType::kAddLayerNorm: return "add_layer_norm";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Mixed-radix permute ranks are bounded by the tubelet reshape (rank 8);
+/// a fixed counter keeps the kernel allocation-free.
+constexpr std::size_t kMaxRank = 16;
+
+// Same constants as tensor::gelu — the fused kernel must reproduce its
+// arithmetic exactly.
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+inline float gelu_one(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(u));
+}
+
+/// GEMM entry for compiled execution: the wide (AVX2) clone when both the
+/// binary and the running CPU support it, the portable kernel otherwise.
+/// Identical results either way — see gemm_wide.hpp for the contract.
+inline void plan_mm(kernels::Trans ta, kernels::Trans tb, std::int64_t batch,
+                    std::int64_t m, std::int64_t k, std::int64_t n,
+                    const float* a, const float* b, std::int64_t b_stride,
+                    float* c) {
+  static const bool use_wide = wide::kCompiledWide && wide::cpu_supported();
+  if (use_wide) {
+    wide::mm_batched(ta, tb, batch, m, k, n, a, b, b_stride, c);
+  } else {
+    kernels::mm_batched(ta, tb, batch, m, k, n, a, b, b_stride, c);
+  }
+}
+
+/// Per-run pointer resolution: value id -> buffer.
+struct Binding {
+  const Graph& graph;
+  const float* input;
+  float* arena;
+
+  const float* ptr(ValueId id) const {
+    const ValueId r = graph.root(id);
+    const Value& v = graph.values[static_cast<std::size_t>(r)];
+    switch (v.kind) {
+      case ValueKind::kInput:
+        return input;
+      case ValueKind::kExternal:
+        return v.traced->data.data();
+      case ValueKind::kConstant:
+        return v.constant.data();
+      case ValueKind::kArena:
+        return arena + v.offset / sizeof(float);
+    }
+    return nullptr;
+  }
+
+  float* wptr(ValueId id) const {
+    const ValueId r = graph.root(id);
+    const Value& v = graph.values[static_cast<std::size_t>(r)];
+    return arena + v.offset / sizeof(float);
+  }
+};
+
+/// Row softmax, in place: exactly tensor::softmax_lastdim's per-row loop.
+inline void softmax_row(float* y, const float* x, std::int64_t d) {
+  float mx = x[0];
+  for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (std::int64_t i = 0; i < d; ++i) {
+    y[i] = std::exp(x[i] - mx);
+    sum += y[i];
+  }
+  const float inv = 1.0f / sum;
+  for (std::int64_t i = 0; i < d; ++i) y[i] *= inv;
+}
+
+/// Broadcast add with the modulo hoisted out: out[i] = big[i] + small[i % m]
+/// computed block-by-block so the inner loop is a plain vectorizable
+/// addition. i % m walks 0..m-1 cyclically, which is exactly what the
+/// (block, j) decomposition produces — same elements, same order, same
+/// float sums as the dynamic path's per-element-modulo loop.
+inline void add_bcast_rows(float* out, const float* big, const float* small,
+                           std::int64_t n, std::int64_t m) {
+  for (std::int64_t i0 = 0; i0 < n; i0 += m) {
+    const std::int64_t len = std::min(m, n - i0);
+    const float* xr = big + i0;
+    float* yr = out + i0;
+    for (std::int64_t j = 0; j < len; ++j) yr[j] = xr[j] + small[j];
+  }
+}
+
+void run_op(const Op& op, const Binding& b) {
+  switch (op.type) {
+    case OpType::kAdd: {
+      const float* x = b.ptr(op.inputs[0]);
+      const float* y = b.ptr(op.inputs[1]);
+      float* out = b.wptr(op.out);
+      const std::int64_t n = op.rows;
+      const std::int64_t m = op.bcast_m;
+      switch (op.bcast) {
+        case Bcast::kSame:
+          for (std::int64_t i = 0; i < n; ++i) out[i] = x[i] + y[i];
+          break;
+        case Bcast::kBSmall:
+          add_bcast_rows(out, x, y, n, m);
+          break;
+        case Bcast::kASmall:
+          add_bcast_rows(out, y, x, n, m);
+          break;
+      }
+      return;
+    }
+    case OpType::kMulScalar: {
+      const float* x = b.ptr(op.inputs[0]);
+      float* out = b.wptr(op.out);
+      const float s = op.scalar;
+      for (std::int64_t i = 0; i < op.rows; ++i) out[i] = x[i] * s;
+      return;
+    }
+    case OpType::kGelu: {
+      const float* x = b.ptr(op.inputs[0]);
+      float* out = b.wptr(op.out);
+      for (std::int64_t i = 0; i < op.rows; ++i) out[i] = gelu_one(x[i]);
+      return;
+    }
+    case OpType::kBiasGelu: {
+      const float* x = b.ptr(op.inputs[0]);
+      const float* bias = b.ptr(op.inputs[1]);
+      float* out = b.wptr(op.out);
+      const std::int64_t n = op.rows;
+      const std::int64_t m = op.bcast_m;
+      // Same values as add-then-gelu: the sum is a float either way. The
+      // bias index cycles 0..m-1, so walk it blockwise like add_bcast_rows.
+      for (std::int64_t i0 = 0; i0 < n; i0 += m) {
+        const std::int64_t len = std::min(m, n - i0);
+        const float* xr = x + i0;
+        float* yr = out + i0;
+        for (std::int64_t j = 0; j < len; ++j) {
+          yr[j] = gelu_one(xr[j] + bias[j]);
+        }
+      }
+      return;
+    }
+    case OpType::kMatmul:
+    case OpType::kMatmulNt: {
+      const float* x = b.ptr(op.inputs[0]);
+      const float* y = b.ptr(op.inputs[1]);
+      float* out = b.wptr(op.out);
+      const std::int64_t batch = op.batch, m = op.m, k = op.k, n = op.n;
+      std::fill_n(out, batch * m * n, 0.0f);  // kernels accumulate
+      const bool nt = op.type == OpType::kMatmulNt;
+      // One dispatch for the whole batch — attention's per-(clip, head)
+      // products are tiny, and per-slice mm() calls would pay the span /
+      // metrics / pool / pack-buffer cost `batch` times (the dynamic
+      // interpreter does; the compiled path is where the win comes from).
+      const std::int64_t bstride =
+          op.shared_rhs ? 0 : (nt ? n * k : k * n);
+      plan_mm(kernels::Trans::kN,
+              nt ? kernels::Trans::kT : kernels::Trans::kN, batch, m, k, n, x,
+              y, bstride, out);
+      return;
+    }
+    case OpType::kPermute: {
+      const float* x = b.ptr(op.inputs[0]);
+      float* out = b.wptr(op.out);
+      const std::size_t r = op.out_extents.size();
+      const std::size_t n = static_cast<std::size_t>(op.rows);
+      if (r <= 1) {  // rank-0/1 permutes are copies
+        std::memcpy(out, x, n * sizeof(float));
+        return;
+      }
+      // Mixed-radix walk over the outer axes only; the innermost output
+      // axis becomes a strided inner loop (or a memcpy when the source is
+      // contiguous). Same element mapping as the dynamic path's
+      // per-element counter — the counter bookkeeping just runs once per
+      // row instead of once per element.
+      const std::int64_t ie = op.out_extents[r - 1];
+      const std::int64_t is = op.gather[r - 1];
+      std::array<std::int64_t, kMaxRank> counter{};
+      std::int64_t src = 0;
+      for (std::size_t oi = 0; oi < n; oi += static_cast<std::size_t>(ie)) {
+        if (is == 1) {
+          std::memcpy(out + oi, x + src,
+                      static_cast<std::size_t>(ie) * sizeof(float));
+        } else {
+          for (std::int64_t j = 0; j < ie; ++j) {
+            out[oi + j] = x[src + j * is];
+          }
+        }
+        for (std::size_t ax = r - 1; ax-- > 0;) {
+          ++counter[ax];
+          src += op.gather[ax];
+          if (counter[ax] < op.out_extents[ax]) break;
+          src -= op.gather[ax] * op.out_extents[ax];
+          counter[ax] = 0;
+        }
+      }
+      return;
+    }
+    case OpType::kSumDim: {
+      const float* x = b.ptr(op.inputs[0]);
+      float* out = b.wptr(op.out);
+      std::fill_n(out, op.outer * op.inner, 0.0f);
+      for (std::int64_t o = 0; o < op.outer; ++o) {
+        for (std::int64_t j = 0; j < op.red; ++j) {
+          const float* src = x + (o * op.red + j) * op.inner;
+          float* dst = out + o * op.inner;
+          for (std::int64_t i = 0; i < op.inner; ++i) dst[i] += src[i];
+        }
+      }
+      return;
+    }
+    case OpType::kSoftmax: {
+      const float* x = b.ptr(op.inputs[0]);
+      float* out = b.wptr(op.out);
+      const std::int64_t rows = op.rows, d = op.cols;
+      const std::int64_t grain = par::suggest_grain(rows, d);
+      par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          softmax_row(out + r * d, x + r * d, d);
+        }
+      });
+      return;
+    }
+    case OpType::kLogSoftmax: {
+      const float* x = b.ptr(op.inputs[0]);
+      float* out = b.wptr(op.out);
+      const std::int64_t rows = op.rows, d = op.cols;
+      const std::int64_t grain = par::suggest_grain(rows, d);
+      par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* xr = x + r * d;
+          float* yr = out + r * d;
+          float mx = xr[0];
+          for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, xr[i]);
+          float sum = 0.0f;
+          for (std::int64_t i = 0; i < d; ++i) sum += std::exp(xr[i] - mx);
+          const float lse = mx + std::log(sum);
+          for (std::int64_t i = 0; i < d; ++i) yr[i] = xr[i] - lse;
+        }
+      });
+      return;
+    }
+    case OpType::kLayerNorm: {
+      const float* x = b.ptr(op.inputs[0]);
+      const float* gamma = b.ptr(op.inputs[1]);
+      const float* beta = b.ptr(op.inputs[2]);
+      float* out = b.wptr(op.out);
+      const std::int64_t rows = op.rows, d = op.cols;
+      const float eps = op.eps;
+      const std::int64_t grain = par::suggest_grain(rows, d);
+      par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* xr = x + r * d;
+          float* yr = out + r * d;
+          float mean = 0.0f;
+          for (std::int64_t i = 0; i < d; ++i) mean += xr[i];
+          mean /= static_cast<float>(d);
+          float var = 0.0f;
+          for (std::int64_t i = 0; i < d; ++i) {
+            const float c = xr[i] - mean;
+            var += c * c;
+          }
+          var /= static_cast<float>(d);
+          const float istd = 1.0f / std::sqrt(var + eps);
+          for (std::int64_t i = 0; i < d; ++i) {
+            const float xh = (xr[i] - mean) * istd;
+            yr[i] = xh * gamma[i] + beta[i];
+          }
+        }
+      });
+      return;
+    }
+    case OpType::kAddLayerNorm: {
+      const float* x = b.ptr(op.inputs[0]);
+      const float* y = b.ptr(op.inputs[1]);
+      const float* gamma = b.ptr(op.inputs[2]);
+      const float* beta = b.ptr(op.inputs[3]);
+      float* sum_out = b.wptr(op.out2);
+      float* out = b.wptr(op.out);
+      const std::int64_t rows = op.rows, d = op.cols;
+      const float eps = op.eps;
+      const std::int64_t grain = par::suggest_grain(rows, d);
+      par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* xr = x + r * d;
+          const float* yr = y + r * d;
+          float* sr = sum_out + r * d;
+          float* nr = out + r * d;
+          // The residual sum is materialized (later ops read it), so the
+          // normalization below sees the identical float values the
+          // standalone add would have produced.
+          for (std::int64_t i = 0; i < d; ++i) sr[i] = xr[i] + yr[i];
+          float mean = 0.0f;
+          for (std::int64_t i = 0; i < d; ++i) mean += sr[i];
+          mean /= static_cast<float>(d);
+          float var = 0.0f;
+          for (std::int64_t i = 0; i < d; ++i) {
+            const float c = sr[i] - mean;
+            var += c * c;
+          }
+          var /= static_cast<float>(d);
+          const float istd = 1.0f / std::sqrt(var + eps);
+          for (std::int64_t i = 0; i < d; ++i) {
+            const float xh = (sr[i] - mean) * istd;
+            nr[i] = xh * gamma[i] + beta[i];
+          }
+        }
+      });
+      return;
+    }
+    case OpType::kScaledSoftmaxNt: {
+      const float* q = b.ptr(op.inputs[0]);
+      const float* k = b.ptr(op.inputs[1]);
+      float* out = b.wptr(op.out);
+      const std::int64_t batch = op.batch, m = op.m, kk = op.k, n = op.n;
+      std::fill_n(out, batch * m * n, 0.0f);
+      plan_mm(kernels::Trans::kN, kernels::Trans::kT, batch, m, kk, n, q, k,
+              op.shared_rhs ? 0 : n * kk, out);
+      const std::int64_t rows = batch * m;
+      const float scale = op.scalar;
+      const std::int64_t grain = par::suggest_grain(rows, n);
+      par::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          float* row = out + r * n;
+          // Scale first, then softmax over the scaled row — the same float
+          // stream as mul_scalar + softmax_lastdim, one buffer instead of
+          // three.
+          for (std::int64_t i = 0; i < n; ++i) row[i] *= scale;
+          softmax_row(row, row, n);
+        }
+      });
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const Plan> Plan::compile(const core::ScenarioModel& model,
+                                          const tensor::Shape& input_shape,
+                                          const CompileOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  TSDX_TRACE_SPAN("plan.compile");
+
+  Graph graph = trace_model(model, input_shape);
+  fold_constants(graph);
+  if (options.fuse_attention_softmax) fuse_attention_softmax(graph);
+  if (options.fuse_bias_gelu) fuse_bias_gelu(graph);
+  if (options.fuse_residual_norm) fuse_residual_norm(graph);
+  plan_memory(graph);
+
+  // Drop compile-only node handles: arena/constant values no longer need
+  // the traced storage (externals keep theirs — that *is* the weight).
+  for (Value& v : graph.values) {
+    if (v.kind != ValueKind::kExternal) v.traced.reset();
+  }
+
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  auto& reg = obs::Registry::global();
+  reg.histogram("plan.compile_ms").observe(ms);
+  reg.gauge("plan.arena_bytes")
+      .update_max(static_cast<std::int64_t>(graph.arena_bytes));
+  reg.counter("plan.fused_ops")
+      .inc(static_cast<std::uint64_t>(graph.fused_ops));
+  reg.counter("plan.compiled").inc();
+
+  return std::shared_ptr<const Plan>(new Plan(std::move(graph)));
+}
+
+void Plan::run(const float* input, float* arena) const {
+  const Binding binding{graph_, input, arena};
+  for (const Op& op : graph_.ops) run_op(op, binding);
+}
+
+const float* Plan::logits_ptr(std::size_t slot, const float* arena) const {
+  const ValueId r = graph_.root(graph_.logits[slot]);
+  const Value& v = graph_.values[static_cast<std::size_t>(r)];
+  TSDX_CHECK(v.kind == ValueKind::kArena,
+             "plan: slot logits folded to a constant — nothing to serve");
+  return arena + v.offset / sizeof(float);
+}
+
+std::string Plan::debug_dump() const {
+  std::ostringstream out;
+  out << "plan: input " << tt::to_string(graph_.input_shape) << ", "
+      << graph_.ops.size() << " ops, " << graph_.values.size() << " values, "
+      << graph_.arena_bytes << " arena bytes, " << graph_.fused_ops
+      << " fused\n";
+  out << "values:\n";
+  for (std::size_t i = 0; i < graph_.values.size(); ++i) {
+    const Value& v = graph_.values[i];
+    out << "  v" << i << " numel=" << v.numel;
+    switch (v.kind) {
+      case ValueKind::kInput: out << " input"; break;
+      case ValueKind::kExternal: out << " external"; break;
+      case ValueKind::kConstant: out << " constant"; break;
+      case ValueKind::kArena:
+        if (v.alias_of != kNoValue) {
+          out << " alias->v" << graph_.root(static_cast<ValueId>(i));
+        } else {
+          out << " arena+" << v.offset;
+        }
+        break;
+    }
+    out << "\n";
+  }
+  out << "ops:\n";
+  for (std::size_t i = 0; i < graph_.ops.size(); ++i) {
+    const Op& op = graph_.ops[i];
+    out << "  #" << i << " " << to_string(op.type) << "(";
+    for (std::size_t j = 0; j < op.inputs.size(); ++j) {
+      out << (j ? ", " : "") << "v" << op.inputs[j];
+    }
+    out << ") -> v" << op.out;
+    if (op.out2 != kNoValue) out << ", v" << op.out2;
+    if (op.type == OpType::kMatmul || op.type == OpType::kMatmulNt ||
+        op.type == OpType::kScaledSoftmaxNt) {
+      out << " [batch=" << op.batch << " m=" << op.m << " k=" << op.k
+          << " n=" << op.n << (op.shared_rhs ? " shared_rhs" : "") << "]";
+    }
+    out << "\n";
+  }
+  out << "logits:";
+  for (ValueId id : graph_.logits) out << " v" << id;
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace tsdx::plan

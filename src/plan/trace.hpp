@@ -1,0 +1,39 @@
+// trace.hpp — build a plan::Graph by observing one dynamic forward.
+//
+// trace_model() runs `model.forward(zeros(input_shape))` with a
+// tensor::trace::Sink installed on the calling thread and converts the
+// recorded op stream into a Graph. The zero input is sound because nothing
+// input-dependent is ever folded: constant folding only fires on ops whose
+// inputs are frozen weights or other folded constants (passes.hpp).
+//
+// Coverage contract: make_tensor reports every node created while the sink
+// is installed. Any node that no hooked op claimed as its output was
+// produced by an op the compiler does not understand (conv, pooling,
+// dropout-in-training, ...) — trace_model throws TraceError instead of
+// guessing, and callers fall back to the dynamic path (executor.hpp).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/model.hpp"
+#include "plan/graph.hpp"
+
+namespace tsdx::plan {
+
+/// The forward used an op the tracer has no hook for, or violated a
+/// structural assumption (e.g. non-suffix broadcast). Never fatal: the
+/// executor catches it and serves dynamically.
+class TraceError : public std::runtime_error {
+ public:
+  explicit TraceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Trace one frozen forward of `model` at the given input geometry
+/// [B, T, C, H, W] into a Graph (ops in execution order, no passes run yet).
+/// The model must be in eval mode; the caller guarantees the weights do not
+/// change for the lifetime of any plan compiled from the result.
+Graph trace_model(const core::ScenarioModel& model,
+                  const tensor::Shape& input_shape);
+
+}  // namespace tsdx::plan

@@ -47,6 +47,9 @@ InferenceServer::InferenceServer(
     ServerConfig config)
     : extractor_(std::move(extractor)),
       config_(std::move(config)),
+      plan_cache_(config_.use_compiled_plan
+                      ? std::make_shared<plan::PlanCache>()
+                      : nullptr),
       // Aliasing shared_ptr: global() is a process-lifetime static, so a
       // non-owning handle is safe and keeps the two cases uniform.
       registry_(config_.metrics != nullptr
@@ -161,8 +164,18 @@ std::future<core::ExtractionResult> InferenceServer::submit(
   return future;
 }
 
+InferenceServer::Replica InferenceServer::make_replica(
+    std::size_t worker_index) const {
+  Replica replica{extractor_, worker_index, nullptr};
+  if (plan_cache_ != nullptr) {
+    replica.plan_executor =
+        std::make_shared<plan::PlanExecutor>(extractor_, plan_cache_);
+  }
+  return replica;
+}
+
 void InferenceServer::worker_loop(std::size_t worker_index) {
-  Replica replica{extractor_, worker_index};
+  Replica replica = make_replica(worker_index);
   while (std::optional<Request> first = queue_.pop()) {
     try {
       process_batch(replica, fill_batch(std::move(*first)));
@@ -286,8 +299,12 @@ void InferenceServer::process_batch(const Replica& replica,
       data::Batch batch;
       batch.video = stack_clips(clips);
       fault::Injector::instance().on_extract_batch(config_.fault_domain);
+      // Compiled execution when configured — bit-identical results (see
+      // plan.hpp), with per-batch dynamic fallback inside the executor.
       std::vector<core::ExtractionResult> results =
-          replica.extractor->extract_batch(batch);
+          replica.plan_executor != nullptr
+              ? replica.plan_executor->extract_batch(batch)
+              : replica.extractor->extract_batch(batch);
       TSDX_CHECK(results.size() == group.size(),
                  "InferenceServer: extract_batch returned ", results.size(),
                  " results for a batch of ", group.size());
@@ -394,7 +411,7 @@ void InferenceServer::fail_request(Request& request, std::exception_ptr error) {
 }
 
 void InferenceServer::process_inline() {
-  Replica replica{extractor_, /*worker_index=*/0};
+  Replica replica = make_replica(/*worker_index=*/0);
   while (std::optional<Request> first = queue_.try_pop()) {
     try {
       process_batch(replica, fill_batch(std::move(*first)));

@@ -53,6 +53,7 @@
 #include "core/annotations.hpp"
 #include "core/extractor.hpp"
 #include "obs/metrics.hpp"
+#include "plan/executor.hpp"
 #include "obs/trace.hpp"
 #include "serve/circuit.hpp"
 #include "serve/fallback.hpp"
@@ -96,6 +97,14 @@ struct ServerConfig {
   std::shared_ptr<const FallbackExtractor> fallback;
   /// Trip/heal thresholds for the circuit breaker (see circuit.hpp).
   CircuitConfig circuit;
+
+  /// Execute batches through compiled inference plans (tsdx::plan): one
+  /// forward trace per clip geometry, fused ops, a per-worker arena instead
+  /// of per-op heap tensors. Output is bit-identical to the dynamic path
+  /// (plan.hpp's equivalence contract), so this flag is purely a perf
+  /// switch. Geometries (or models) the compiler cannot trace fall back to
+  /// the dynamic path per batch — flipping this on can never lose requests.
+  bool use_compiled_plan = false;
 
   /// Intra-op (tsdx::par) thread budget each worker's kernels may use. 0
   /// picks hardware_concurrency / workers (min 1) so inter-op workers don't
@@ -218,7 +227,15 @@ class InferenceServer {
   struct Replica {
     std::shared_ptr<const core::ScenarioExtractor> extractor;
     std::size_t worker_index = 0;
+    /// Compiled execution (ServerConfig::use_compiled_plan). Worker-owned —
+    /// it wraps this worker's arena — while the plans themselves live in the
+    /// server-wide PlanCache so each geometry compiles once.
+    std::shared_ptr<plan::PlanExecutor> plan_executor;
   };
+
+  /// Build the per-worker replica (attaching a PlanExecutor when compiled
+  /// execution is on).
+  Replica make_replica(std::size_t worker_index) const;
 
   void worker_loop(std::size_t worker_index);
   /// Restart-on-fault loop: waits for dead-worker notices and respawns.
@@ -251,6 +268,10 @@ class InferenceServer {
 
   const std::shared_ptr<const core::ScenarioExtractor> extractor_;
   const ServerConfig config_;
+  /// Non-null iff config_.use_compiled_plan: geometry -> compiled plan,
+  /// shared by every worker (and by restarted workers, which keep the
+  /// already-compiled plans).
+  const std::shared_ptr<plan::PlanCache> plan_cache_;
   const std::shared_ptr<obs::Registry> registry_;  // never null
   BoundedQueue<Request> queue_;
   StatsCollector stats_;

@@ -53,6 +53,23 @@ inline void mm_tn(std::int64_t m, std::int64_t k, std::int64_t n,
   mm(Trans::kT, Trans::kN, m, k, n, a, b, c);
 }
 
+/// Batched product through ONE dispatch: for every g in [0, batch),
+///
+///     C[g][m, n] += op(A[g])[m, k] · op(B[g])[k, n]
+///
+/// over dense slices (A advances m*k floats per slice, C advances m*n; B
+/// advances `b_stride` floats — pass 0 to share one op(B) across the batch,
+/// the weight-matrix case). Per C element the accumulation is the exact
+/// ascending-k multiply-add sequence of a per-slice mm() loop, so results
+/// are bit-identical to that loop at any thread count; what changes is the
+/// dispatch cost: one trace span, one metrics update, one pool invocation
+/// and one set of pack buffers for the whole batch, instead of one each per
+/// slice. The plan runtime (src/plan) leans on this for attention's many
+/// tiny per-(clip, head) products.
+void mm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
+                std::int64_t k, std::int64_t n, const float* a,
+                const float* b, std::int64_t b_stride, float* c);
+
 /// Row-partition grain for an (m, k, n) product: a pure function of the
 /// shape (never the thread count), a multiple of the micro-kernel height.
 std::int64_t row_grain(std::int64_t m, std::int64_t k, std::int64_t n);

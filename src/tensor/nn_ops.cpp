@@ -7,6 +7,7 @@
 #include "core/check.hpp"
 #include "tensor/kernels/gemm.hpp"
 #include "tensor/kernels/parallel_for.hpp"
+#include "tensor/trace_hook.hpp"
 
 namespace tsdx::tensor {
 
@@ -138,7 +139,7 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   NodePtr xn = x.node();
   NodePtr gn = gamma.node();
   NodePtr bn = beta.node();
-  return make_op_result(
+  Tensor result = make_op_result(
       x.shape(), std::move(out), {xn, gn, bn},
       [xn, gn, bn, xhat, inv_std, rows, d, grain](Node& self) {
         const auto& g = self.grad;
@@ -184,6 +185,13 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           });
         }
       });
+  if (trace::active()) {
+    trace::OpRecord rec{trace::OpKind::kLayerNorm, "layer_norm", {xn, gn, bn},
+                        result.node()};
+    rec.scalar = eps;
+    trace::record(std::move(rec));
+  }
+  return result;
 }
 
 Tensor cross_entropy_logits(const Tensor& logits,
@@ -255,19 +263,28 @@ Tensor embedding_lookup(const Tensor& weight,
   }
   NodePtr wn = weight.node();
   auto idxs = std::make_shared<std::vector<std::int64_t>>(indices);
-  return make_op_result(Shape{n, d}, std::move(out), {wn},
-                        [wn, idxs, d](Node& self) {
-                          if (!wn->requires_grad) return;
-                          auto& gw = wn->ensure_grad();
-                          const auto& g = self.grad;
-                          for (std::size_t i = 0; i < idxs->size(); ++i) {
-                            const std::int64_t idx = (*idxs)[i];
-                            const float* src =
-                                g.data() + static_cast<std::int64_t>(i) * d;
-                            float* dst = gw.data() + idx * d;
-                            for (std::int64_t j = 0; j < d; ++j) dst[j] += src[j];
-                          }
-                        });
+  Tensor result =
+      make_op_result(Shape{n, d}, std::move(out), {wn},
+                     [wn, idxs, d](Node& self) {
+                       if (!wn->requires_grad) return;
+                       auto& gw = wn->ensure_grad();
+                       const auto& g = self.grad;
+                       for (std::size_t i = 0; i < idxs->size(); ++i) {
+                         const std::int64_t idx = (*idxs)[i];
+                         const float* src =
+                             g.data() + static_cast<std::int64_t>(i) * d;
+                         float* dst = gw.data() + idx * d;
+                         for (std::int64_t j = 0; j < d; ++j) dst[j] += src[j];
+                       }
+                     });
+  if (trace::active()) {
+    // The index list is an op attribute, not a tensor input: the compiled
+    // plan re-runs the same gather, so it only needs the weight node. The
+    // result is constant when the weight is (positional-index lookups).
+    trace::record({trace::OpKind::kEmbeddingLookup, "embedding_lookup", {wn},
+                   result.node()});
+  }
+  return result;
 }
 
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,

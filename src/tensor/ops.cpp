@@ -6,6 +6,7 @@
 #include "core/check.hpp"
 #include "tensor/kernels/gemm.hpp"
 #include "tensor/kernels/parallel_for.hpp"
+#include "tensor/trace_hook.hpp"
 
 namespace tsdx::tensor {
 
@@ -106,9 +107,14 @@ Tensor unary_op(const Tensor& a, F fwd, Dx dfdx) {
 // ---- elementwise binary -----------------------------------------------------
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary_op(
+  Tensor out = binary_op(
       "add", a, b, [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+  if (trace::active()) {
+    trace::record(
+        {trace::OpKind::kAdd, "add", {a.node(), b.node()}, out.node()});
+  }
+  return out;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
@@ -138,8 +144,13 @@ Tensor add_scalar(const Tensor& a, float s) {
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
-  return unary_op(
+  Tensor out = unary_op(
       a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+  if (trace::active()) {
+    trace::record(
+        {trace::OpKind::kMulScalar, "mul_scalar", {a.node()}, out.node(), s});
+  }
+  return out;
 }
 
 // ---- unary --------------------------------------------------------------------
@@ -177,7 +188,7 @@ Tensor gelu(const Tensor& a) {
   // 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
   constexpr float kA = 0.044715f;
-  return unary_op(
+  Tensor out = unary_op(
       a,
       [](float x) {
         const float u = kC * (x + kA * x * x * x);
@@ -189,6 +200,10 @@ Tensor gelu(const Tensor& a) {
         const float du = kC * (1.0f + 3.0f * kA * x * x);
         return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
       });
+  if (trace::active()) {
+    trace::record({trace::OpKind::kGelu, "gelu", {a.node()}, out.node()});
+  }
+  return out;
 }
 
 Tensor tanh(const Tensor& a) {
@@ -295,7 +310,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
   NodePtr an = a.node();
   NodePtr bn = b.node();
-  return make_op_result(
+  Tensor result = make_op_result(
       std::move(d.out_shape), std::move(out), {an, bn},
       [an, bn, batch, m, k, n, shared_rhs](Node& self) {
         const float* g = self.grad.data();
@@ -328,6 +343,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
           }
         }
       });
+  if (trace::active()) {
+    trace::record({trace::OpKind::kMatmul, "matmul", {an, bn}, result.node()});
+  }
+  return result;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
@@ -350,7 +369,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 
   NodePtr an = a.node();
   NodePtr bn = b.node();
-  return make_op_result(
+  Tensor result = make_op_result(
       std::move(d.out_shape), std::move(out), {an, bn},
       [an, bn, batch, m, k, n, shared_rhs](Node& self) {
         const float* g = self.grad.data();
@@ -381,6 +400,11 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
           }
         }
       });
+  if (trace::active()) {
+    trace::record(
+        {trace::OpKind::kMatmulNt, "matmul_nt", {an, bn}, result.node()});
+  }
+  return result;
 }
 
 // ---- reductions -------------------------------------------------------------------
@@ -438,20 +462,28 @@ Tensor sum_dim(const Tensor& a, std::size_t dim) {
     }
   }
   NodePtr an = a.node();
-  return make_op_result(std::move(out_shape), std::move(out), {an},
-                        [an, outer, d, inner](Node& self) {
-                          if (!an->requires_grad) return;
-                          auto& ga = an->ensure_grad();
-                          const auto& g = self.grad;
-                          for (std::int64_t o = 0; o < outer; ++o) {
-                            for (std::int64_t j = 0; j < d; ++j) {
-                              float* dst = ga.data() + (o * d + j) * inner;
-                              const float* src = g.data() + o * inner;
-                              for (std::int64_t i = 0; i < inner; ++i)
-                                dst[i] += src[i];
-                            }
-                          }
-                        });
+  Tensor result =
+      make_op_result(std::move(out_shape), std::move(out), {an},
+                     [an, outer, d, inner](Node& self) {
+                       if (!an->requires_grad) return;
+                       auto& ga = an->ensure_grad();
+                       const auto& g = self.grad;
+                       for (std::int64_t o = 0; o < outer; ++o) {
+                         for (std::int64_t j = 0; j < d; ++j) {
+                           float* dst = ga.data() + (o * d + j) * inner;
+                           const float* src = g.data() + o * inner;
+                           for (std::int64_t i = 0; i < inner; ++i)
+                             dst[i] += src[i];
+                         }
+                       }
+                     });
+  if (trace::active()) {
+    trace::OpRecord rec{trace::OpKind::kSumDim, "sum_dim", {an},
+                        result.node()};
+    rec.dim = dim;
+    trace::record(std::move(rec));
+  }
+  return result;
 }
 
 Tensor mean_dim(const Tensor& a, std::size_t dim) {
@@ -525,13 +557,19 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
                     to_string(a.shape()), " -> ", to_string(new_shape));
   NodePtr an = a.node();
   std::vector<float> out(a.data().begin(), a.data().end());
-  return make_op_result(std::move(new_shape), std::move(out), {an},
-                        [an](Node& self) {
-                          if (!an->requires_grad) return;
-                          auto& ga = an->ensure_grad();
-                          for (std::size_t i = 0; i < ga.size(); ++i)
-                            ga[i] += self.grad[i];
-                        });
+  Tensor result =
+      make_op_result(std::move(new_shape), std::move(out), {an},
+                     [an](Node& self) {
+                       if (!an->requires_grad) return;
+                       auto& ga = an->ensure_grad();
+                       for (std::size_t i = 0; i < ga.size(); ++i)
+                         ga[i] += self.grad[i];
+                     });
+  if (trace::active()) {
+    trace::record(
+        {trace::OpKind::kReshape, "reshape", {an}, result.node()});
+  }
+  return result;
 }
 
 Tensor permute(const Tensor& a, const std::vector<std::size_t>& perm) {
@@ -572,7 +610,7 @@ Tensor permute(const Tensor& a, const std::vector<std::size_t>& perm) {
 
   NodePtr an = a.node();
   Shape out_shape_copy = out_shape;
-  return make_op_result(
+  Tensor result = make_op_result(
       std::move(out_shape), std::move(out), {an},
       [an, gather, out_shape_copy, r](Node& self) {
         if (!an->requires_grad) return;
@@ -591,6 +629,13 @@ Tensor permute(const Tensor& a, const std::vector<std::size_t>& perm) {
           }
         }
       });
+  if (trace::active()) {
+    trace::OpRecord rec{trace::OpKind::kPermute, "permute", {an},
+                        result.node()};
+    rec.perm = perm;
+    trace::record(std::move(rec));
+  }
+  return result;
 }
 
 Tensor transpose_last2(const Tensor& a) {
@@ -772,7 +817,7 @@ Tensor softmax_lastdim(const Tensor& a) {
   });
   NodePtr an = a.node();
   auto saved = std::make_shared<std::vector<float>>(out);
-  return make_op_result(
+  Tensor result = make_op_result(
       a.shape(), std::move(out), {an}, [an, saved, rows, d, grain](Node& self) {
         if (!an->requires_grad) return;
         auto& ga = an->ensure_grad();
@@ -789,6 +834,11 @@ Tensor softmax_lastdim(const Tensor& a) {
           }
         });
       });
+  if (trace::active()) {
+    trace::record(
+        {trace::OpKind::kSoftmax, "softmax_lastdim", {an}, result.node()});
+  }
+  return result;
 }
 
 Tensor log_softmax_lastdim(const Tensor& a) {
@@ -812,7 +862,7 @@ Tensor log_softmax_lastdim(const Tensor& a) {
   });
   NodePtr an = a.node();
   auto saved = std::make_shared<std::vector<float>>(out);
-  return make_op_result(
+  Tensor result = make_op_result(
       a.shape(), std::move(out), {an}, [an, saved, rows, d, grain](Node& self) {
         if (!an->requires_grad) return;
         auto& ga = an->ensure_grad();
@@ -830,6 +880,11 @@ Tensor log_softmax_lastdim(const Tensor& a) {
           }
         });
       });
+  if (trace::active()) {
+    trace::record({trace::OpKind::kLogSoftmax, "log_softmax_lastdim", {an},
+                   result.node()});
+  }
+  return result;
 }
 
 std::vector<std::int64_t> argmax_lastdim(const Tensor& a) {

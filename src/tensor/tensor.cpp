@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/check.hpp"
+#include "tensor/trace_hook.hpp"
 
 namespace tsdx::tensor {
 
@@ -24,6 +25,9 @@ Tensor make_tensor(Shape shape, std::vector<float> data, bool requires_grad) {
   node->shape = std::move(shape);
   node->data = std::move(data);
   node->requires_grad = requires_grad && !NoGradGuard::active();
+  // Report every created node to an installed plan tracer so untraced ops
+  // surface as unclaimed nodes instead of miscompiled plans (trace_hook.hpp).
+  if (trace::active()) trace::note_node(node);
   return Tensor(std::move(node));
 }
 

@@ -1,0 +1,23 @@
+#include "tensor/trace_hook.hpp"
+
+#include <utility>
+
+namespace tsdx::tensor::trace {
+
+namespace {
+thread_local Sink* g_sink = nullptr;
+}  // namespace
+
+Sink* sink() { return g_sink; }
+
+Sink* set_sink(Sink* s) { return std::exchange(g_sink, s); }
+
+void record(OpRecord record) {
+  if (g_sink != nullptr) g_sink->on_op(record);
+}
+
+void note_node(const NodePtr& node) {
+  if (g_sink != nullptr) g_sink->on_node(node);
+}
+
+}  // namespace tsdx::tensor::trace

@@ -117,6 +117,56 @@ TEST(GemmKernelTest, ThreadCountDoesNotChangeBits) {
   }
 }
 
+TEST(GemmKernelTest, BatchedMatchesPerSliceLoopBitExact) {
+  // mm_batched's contract: one dispatch, same bits as calling mm() per
+  // slice — for strided B (per-head attention products), shared B (weight
+  // matrices, b_stride 0) and both orientations of B, at several thread
+  // counts (chunks may straddle slice boundaries only when the pool
+  // partitions the row space, so thread count is part of the matrix).
+  struct Case {
+    kn::Trans tb;
+    std::int64_t batch, m, k, n;
+    bool shared;
+  };
+  // Attention-like tiny slices, a weight-like shared slice, and shapes that
+  // leave partial chunks (m not a multiple of the micro-kernel height).
+  const Case cases[] = {
+      {kn::Trans::kT, 32, 17, 12, 17, false},
+      {kn::Trans::kN, 32, 17, 17, 12, false},
+      {kn::Trans::kN, 8, 33, 48, 48, true},
+      {kn::Trans::kT, 8, 33, 48, 48, true},
+      {kn::Trans::kT, 5, 129, 65, 77, false},
+  };
+  for (const Case& c : cases) {
+    const std::int64_t b_slice = c.k * c.n;
+    const auto a = random_vec(static_cast<std::size_t>(c.batch * c.m * c.k),
+                              51 + static_cast<std::uint64_t>(c.batch));
+    const auto b = random_vec(
+        static_cast<std::size_t>((c.shared ? 1 : c.batch) * b_slice),
+        52 + static_cast<std::uint64_t>(c.n));
+    std::vector<float> want(static_cast<std::size_t>(c.batch * c.m * c.n),
+                            0.0f);
+    const std::int64_t b_stride = c.shared ? 0 : b_slice;
+    for (std::int64_t g = 0; g < c.batch; ++g) {
+      kn::mm(kn::Trans::kN, c.tb, c.m, c.k, c.n, a.data() + g * c.m * c.k,
+             b.data() + g * b_stride, want.data() + g * c.m * c.n);
+    }
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      par::set_threads(threads);
+      std::vector<float> got(want.size(), 0.0f);
+      kn::mm_batched(kn::Trans::kN, c.tb, c.batch, c.m, c.k, c.n, a.data(),
+                     b.data(), b_stride, got.data());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << "batch=" << c.batch << " m=" << c.m << " k=" << c.k
+            << " n=" << c.n << " shared=" << c.shared
+            << " threads=" << threads << " at flat index " << i;
+      }
+    }
+    par::set_threads(1);
+  }
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   for (std::size_t threads : {1u, 4u}) {
     par::set_threads(threads);

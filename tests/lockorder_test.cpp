@@ -19,6 +19,7 @@
 #include "core/extractor.hpp"
 #include "core/lockorder.hpp"
 #include "obs/metrics.hpp"
+#include "plan/executor.hpp"
 #include "serve/server.hpp"
 #include "sim/clipgen.hpp"
 #include "tensor/kernels/parallel_for.hpp"
@@ -255,6 +256,48 @@ TEST(LockOrderTest, ServerWorkloadObeysTheHierarchy) {
   par::parallel_for(8, 2, [](std::int64_t b, std::int64_t e) {
     par::parallel_for(e - b, 1, [](std::int64_t, std::int64_t) {});
   });
+  par::set_threads(1);
+
+  EXPECT_EQ(capture.count(), 0u) << capture.at(0).report;
+  EXPECT_EQ(lockorder::held_count(), 0u);
+}
+
+// The plan cache compiles while *holding* its kPlan (43) mutex, and
+// compilation runs a full traced forward that fans out through tsdx::par
+// (ranks 50+). kPlan therefore has to sit below every pool rank — this test
+// pins that ordering: a multi-threaded compile under the validator must be
+// silent, and so must compiled execution through a served workload.
+TEST(LockOrderTest, PlanCacheCompileUnderCacheLockObeysTheHierarchy) {
+  CaptureViolations capture;
+
+  auto extractor =
+      std::make_shared<core::ScenarioExtractor>(micro_config(), /*seed=*/7);
+  extractor->freeze();
+
+  // Compile with the intra-op pool live so the traced forward's kernels
+  // acquire the kPool* locks while get_or_compile holds plan.cache (kPlan).
+  par::set_threads(2);
+  auto cache = std::make_shared<tsdx::plan::PlanCache>();
+  const auto plan = cache->get_or_compile(
+      extractor->model(),
+      {1, micro_config().frames, micro_config().channels,
+       micro_config().image_size, micro_config().image_size});
+  EXPECT_NE(plan, nullptr);
+
+  // And the full serving stack with compiled plans on.
+  serve::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 2;
+  cfg.queue_capacity = 4;
+  cfg.use_compiled_plan = true;
+  cfg.metrics = std::make_shared<obs::Registry>();
+  serve::InferenceServer server(extractor, cfg);
+  const auto clips = make_clips(4);
+  std::vector<std::future<core::ExtractionResult>> pending;
+  pending.reserve(clips.size());
+  for (const auto& clip : clips) pending.push_back(server.submit(clip));
+  for (auto& f : pending) f.get();
+  server.drain();
   par::set_threads(1);
 
   EXPECT_EQ(capture.count(), 0u) << capture.at(0).report;

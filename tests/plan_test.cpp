@@ -1,0 +1,422 @@
+// plan_test.cpp — the inference plan compiler's contract (src/plan/):
+//
+// * Trace coverage: every supported architecture (4 attention kinds,
+//   both poolings, all positional kinds) compiles — no TraceError — and
+//   the compiled logits are BIT-IDENTICAL to the dynamic forward's. The
+//   comparison is memcmp, not a tolerance: plan.hpp's equivalence contract
+//   is exact equality, because every plan kernel replays the dynamic
+//   kernel's arithmetic element for element.
+// * Each fusion (bias+GELU, QK^T+scale+softmax, residual+LayerNorm) stays
+//   bit-exact when enabled alone, and the all-off plan matches too.
+// * Thread-count invariance: the same plan produces identical bytes at 1,
+//   2 and 8 intra-op threads (the kernels split rows at the same grains as
+//   the dynamic path, whose determinism contract is thread-invariant).
+// * Arena discipline: repeated executions reuse one allocation
+//   (Arena::growths() stays at 1) and produce identical results — the
+//   liveness planner's in-place aliasing is exercised on every run, and the
+//   suite runs under ASan in CI (`ctest -L sanitize`), so an offset overlap
+//   or out-of-bounds write fails loudly.
+// * Fallback contract: constrained decoding and unfrozen models take the
+//   dynamic path (same results, plan.fallbacks counted); a trace failure is
+//   negatively cached (one plan.trace_errors bump, not one per batch).
+// * End-to-end: an InferenceServer with use_compiled_plan on answers every
+//   request identically to the dynamic server.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "plan/executor.hpp"
+#include "plan/plan.hpp"
+#include "plan/trace.hpp"
+#include "sdl/description.hpp"
+#include "serve/server.hpp"
+#include "sim/clipgen.hpp"
+#include "tensor/kernels/parallel_for.hpp"
+#include "tensor/ops.hpp"
+
+namespace core = tsdx::core;
+namespace data = tsdx::data;
+namespace obs = tsdx::obs;
+namespace par = tsdx::par;
+namespace plan = tsdx::plan;
+namespace sdl = tsdx::sdl;
+namespace serve = tsdx::serve;
+namespace sim = tsdx::sim;
+namespace tt = tsdx::tensor;
+
+namespace {
+
+/// CI failure artifacts. When TSDX_PLAN_ARTIFACT_DIR is set, a bit-exactness
+/// mismatch writes the offending plan's debug_dump() there, and the span
+/// trace of the whole run is flushed alongside it on teardown — the uploaded
+/// artifact then shows exactly which ops the compiler built, where the arena
+/// placed them, and what executed. Unset (the normal local run), this is all
+/// inert.
+const char* artifact_dir() {
+  static const char* dir = std::getenv("TSDX_PLAN_ARTIFACT_DIR");
+  return dir;
+}
+
+void write_plan_artifact(const std::string& what, const plan::Plan& compiled) {
+  const char* dir = artifact_dir();
+  if (dir == nullptr) return;
+  std::filesystem::create_directories(dir);
+  std::string name = what;
+  for (char& c : name) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  std::ofstream out(std::filesystem::path(dir) / (name + ".plan.txt"));
+  out << compiled.debug_dump();
+}
+
+class ArtifactEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    if (artifact_dir() != nullptr) {
+      tsdx::obs::trace::set_mode(tsdx::obs::trace::Mode::kFull);
+    }
+  }
+  void TearDown() override {
+    const char* dir = artifact_dir();
+    if (dir == nullptr) return;
+    std::filesystem::create_directories(dir);
+    tsdx::obs::trace::flush_trace(
+        (std::filesystem::path(dir) / "plan_trace.json").string());
+  }
+};
+
+const auto* const kArtifactEnv =
+    ::testing::AddGlobalTestEnvironment(new ArtifactEnvironment);
+
+/// Small but structurally complete geometry: 2 clips, 4 frames, 16x16.
+constexpr std::int64_t kBatch = 2;
+
+core::ModelConfig small_config(core::AttentionKind kind) {
+  core::ModelConfig mc;
+  mc.frames = 4;
+  mc.image_size = 16;
+  mc.patch_size = 8;
+  mc.dim = 16;
+  mc.depth = 2;  // two layers so kDividedST alternates spatial/temporal
+  mc.heads = 4;
+  mc.attention = kind;
+  return mc;
+}
+
+tt::Shape input_shape(const core::ModelConfig& mc) {
+  return {kBatch, mc.frames, mc.channels, mc.image_size, mc.image_size};
+}
+
+/// Deterministic non-trivial input (zeros would mask accumulation-order
+/// differences).
+std::vector<float> probe_values(const tt::Shape& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) n *= d;
+  std::vector<float> values(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 0.001f * static_cast<float>(i % 997) - 0.3f;
+  }
+  return values;
+}
+
+/// Dynamic-forward logits for `values` at `shape`.
+std::array<tt::Tensor, sdl::kNumSlots> dynamic_logits(
+    const core::ScenarioModel& model, const tt::Shape& shape,
+    const std::vector<float>& values) {
+  const tt::Tensor input = tt::Tensor::from_vector(shape, values);
+  tt::NoGradGuard no_grad;
+  return model.forward(input);
+}
+
+/// Compile at `options`, run, and require bit-identical logits for every
+/// slot. Returns the plan for further inspection.
+std::shared_ptr<const plan::Plan> expect_bit_identical(
+    const core::ScenarioExtractor& extractor, const tt::Shape& shape,
+    const plan::CompileOptions& options, const std::string& what) {
+  const std::vector<float> values = probe_values(shape);
+  const auto dynamic =
+      dynamic_logits(extractor.model(), shape, values);
+  std::shared_ptr<const plan::Plan> compiled;
+  try {
+    compiled = plan::Plan::compile(extractor.model(), shape, options);
+  } catch (const plan::TraceError& e) {
+    ADD_FAILURE() << what << ": TraceError: " << e.what();
+    return nullptr;
+  }
+  std::vector<float> arena(compiled->arena_bytes() / sizeof(float));
+  compiled->run(values.data(), arena.data());
+  bool mismatch = false;
+  for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+    const float* got = compiled->logits_ptr(s, arena.data());
+    const std::vector<float>& want = dynamic[s].node()->data;
+    const int diff =
+        std::memcmp(got, want.data(), want.size() * sizeof(float));
+    mismatch = mismatch || diff != 0;
+    EXPECT_EQ(0, diff)
+        << what << ": slot " << s << " logits differ from the dynamic path";
+  }
+  if (mismatch) write_plan_artifact(what, *compiled);
+  return compiled;
+}
+
+core::ScenarioExtractor frozen_extractor(const core::ModelConfig& mc,
+                                         std::uint64_t seed = 7) {
+  core::ScenarioExtractor extractor(mc, seed);
+  extractor.freeze();
+  return extractor;
+}
+
+data::Batch probe_batch(const core::ModelConfig& mc) {
+  data::Batch batch;
+  const tt::Shape shape = input_shape(mc);
+  batch.video = tt::Tensor::from_vector(shape, probe_values(shape));
+  return batch;
+}
+
+void expect_same_results(const std::vector<core::ExtractionResult>& a,
+                         const std::vector<core::ExtractionResult>& b,
+                         const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(sdl::to_slot_labels(a[i].description),
+              sdl::to_slot_labels(b[i].description))
+        << what << ": labels differ at clip " << i;
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      EXPECT_EQ(a[i].confidence[s], b[i].confidence[s])
+          << what << ": confidence differs at clip " << i << " slot " << s;
+    }
+    EXPECT_EQ(a[i].warnings, b[i].warnings) << what << ": clip " << i;
+  }
+}
+
+}  // namespace
+
+TEST(PlanTest, EveryAttentionKindCompilesBitIdentical) {
+  for (const auto kind :
+       {core::AttentionKind::kJoint, core::AttentionKind::kDividedST,
+        core::AttentionKind::kFactorizedEncoder,
+        core::AttentionKind::kSpaceOnly}) {
+    const core::ModelConfig mc = small_config(kind);
+    const auto extractor = frozen_extractor(mc);
+    const auto compiled = expect_bit_identical(
+        extractor, input_shape(mc), plan::CompileOptions{},
+        core::to_string(kind));
+    if (compiled == nullptr) continue;
+    EXPECT_GT(compiled->fused_ops(), 0) << core::to_string(kind);
+    EXPECT_GT(compiled->arena_bytes(), 0u) << core::to_string(kind);
+  }
+}
+
+TEST(PlanTest, PoolingAndPositionalVariantsCompileBitIdentical) {
+  for (const auto pooling : {core::Pooling::kMean, core::Pooling::kAttention}) {
+    for (const auto positional :
+         {core::PositionalKind::kLearned, core::PositionalKind::kSinusoidal,
+          core::PositionalKind::kNone}) {
+      core::ModelConfig mc = small_config(core::AttentionKind::kJoint);
+      mc.pooling = pooling;
+      mc.positional = positional;
+      const auto extractor = frozen_extractor(mc);
+      expect_bit_identical(extractor, input_shape(mc), plan::CompileOptions{},
+                           core::to_string(pooling) + "/" +
+                               core::to_string(positional));
+    }
+  }
+}
+
+TEST(PlanTest, EachFusionAloneStaysBitIdentical) {
+  const core::ModelConfig mc = small_config(core::AttentionKind::kJoint);
+  const auto extractor = frozen_extractor(mc);
+  const tt::Shape shape = input_shape(mc);
+
+  plan::CompileOptions none;
+  none.fuse_bias_gelu = false;
+  none.fuse_attention_softmax = false;
+  none.fuse_residual_norm = false;
+  const auto unfused = expect_bit_identical(extractor, shape, none, "no-fuse");
+  ASSERT_NE(unfused, nullptr);
+  EXPECT_EQ(unfused->fused_ops(), 0);
+
+  struct Case {
+    const char* name;
+    plan::CompileOptions options;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"bias_gelu", none};
+    c.options.fuse_bias_gelu = true;
+    cases.push_back(c);
+  }
+  {
+    Case c{"attention_softmax", none};
+    c.options.fuse_attention_softmax = true;
+    cases.push_back(c);
+  }
+  {
+    Case c{"residual_norm", none};
+    c.options.fuse_residual_norm = true;
+    cases.push_back(c);
+  }
+  for (const Case& c : cases) {
+    const auto compiled =
+        expect_bit_identical(extractor, shape, c.options, c.name);
+    ASSERT_NE(compiled, nullptr) << c.name;
+    EXPECT_GT(compiled->fused_ops(), 0) << c.name;
+    // Fusing strictly shrinks the op list relative to the unfused plan.
+    EXPECT_LT(compiled->graph().ops.size(), unfused->graph().ops.size())
+        << c.name;
+  }
+}
+
+TEST(PlanTest, ThreadCountInvariance) {
+  const core::ModelConfig mc = small_config(core::AttentionKind::kDividedST);
+  const auto extractor = frozen_extractor(mc);
+  const tt::Shape shape = input_shape(mc);
+  const std::vector<float> values = probe_values(shape);
+  const auto dynamic = dynamic_logits(extractor.model(), shape, values);
+  const auto compiled =
+      plan::Plan::compile(extractor.model(), shape, plan::CompileOptions{});
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    par::set_threads(threads);
+    std::vector<float> arena(compiled->arena_bytes() / sizeof(float));
+    compiled->run(values.data(), arena.data());
+    for (std::size_t s = 0; s < sdl::kNumSlots; ++s) {
+      const float* got = compiled->logits_ptr(s, arena.data());
+      const std::vector<float>& want = dynamic[s].node()->data;
+      EXPECT_EQ(0,
+                std::memcmp(got, want.data(), want.size() * sizeof(float)))
+          << "slot " << s << " differs at " << threads << " threads";
+    }
+  }
+  par::set_threads(1);
+}
+
+TEST(PlanTest, ExecutorReusesArenaAndMatchesDynamicPath) {
+  const core::ModelConfig mc = small_config(core::AttentionKind::kJoint);
+  auto extractor =
+      std::make_shared<core::ScenarioExtractor>(mc, /*seed=*/7);
+  extractor->freeze();
+  auto cache = std::make_shared<plan::PlanCache>();
+  plan::PlanExecutor executor(extractor, cache);
+
+  const data::Batch batch = probe_batch(mc);
+  const auto expected = extractor->extract_batch(batch);
+
+  obs::Counter& executions =
+      obs::Registry::global().counter("plan.executions");
+  const std::uint64_t executions_before = executions.value();
+
+  std::vector<core::ExtractionResult> last;
+  for (int round = 0; round < 3; ++round) {
+    last = executor.extract_batch(batch);
+    expect_same_results(last, expected,
+                        "round " + std::to_string(round));
+  }
+  // One geometry -> one arena allocation, reused by every later run: the
+  // compiled hot path stops allocating after warm-up.
+  EXPECT_EQ(executor.arena().growths(), 1u);
+  EXPECT_EQ(executions.value(), executions_before + 3);
+}
+
+TEST(PlanTest, ConstrainedDecodingFallsBackToDynamic) {
+  const core::ModelConfig mc = small_config(core::AttentionKind::kJoint);
+  auto extractor =
+      std::make_shared<core::ScenarioExtractor>(mc, /*seed=*/7);
+  extractor->freeze();
+  extractor->set_constrained_decoding(true);
+  auto cache = std::make_shared<plan::PlanCache>();
+  plan::PlanExecutor executor(extractor, cache);
+
+  obs::Counter& fallbacks = obs::Registry::global().counter("plan.fallbacks");
+  const std::uint64_t fallbacks_before = fallbacks.value();
+
+  const data::Batch batch = probe_batch(mc);
+  const auto via_executor = executor.extract_batch(batch);
+  const auto via_dynamic = extractor->extract_batch(batch);
+  expect_same_results(via_executor, via_dynamic, "constrained");
+  EXPECT_EQ(fallbacks.value(), fallbacks_before + 1);
+  // The constrained path never compiled anything; the arena is untouched.
+  EXPECT_EQ(executor.arena().growths(), 0u);
+}
+
+TEST(PlanTest, CacheRemembersTraceFailure) {
+  // A model left in training mode is untraceable (TraceError at compile).
+  const core::ModelConfig mc = small_config(core::AttentionKind::kJoint);
+  core::ScenarioExtractor extractor(mc, /*seed=*/7);
+  ASSERT_TRUE(extractor.model().training());
+
+  obs::Counter& errors =
+      obs::Registry::global().counter("plan.trace_errors");
+  const std::uint64_t errors_before = errors.value();
+
+  plan::PlanCache cache;
+  const tt::Shape shape = input_shape(mc);
+  EXPECT_EQ(cache.get_or_compile(extractor.model(), shape), nullptr);
+  EXPECT_EQ(cache.get_or_compile(extractor.model(), shape), nullptr);
+  // Negative caching: the second lookup hits the remembered failure, it
+  // does not re-trace.
+  EXPECT_EQ(errors.value(), errors_before + 1);
+}
+
+TEST(PlanTest, DebugDumpListsOpsAndOffsets) {
+  const core::ModelConfig mc = small_config(core::AttentionKind::kJoint);
+  const auto extractor = frozen_extractor(mc);
+  const auto compiled = plan::Plan::compile(
+      extractor.model(), input_shape(mc), plan::CompileOptions{});
+  const std::string dump = compiled->debug_dump();
+  EXPECT_NE(dump.find("matmul"), std::string::npos);
+  EXPECT_NE(dump.find("layer_norm"), std::string::npos);
+  EXPECT_NE(dump.find("arena"), std::string::npos);
+  // At least one fusion fired on a transformer forward, and the dump names
+  // the fused op so a CI artifact shows what the compiler did.
+  EXPECT_NE(dump.find("scaled_softmax_nt"), std::string::npos);
+}
+
+TEST(PlanTest, ServerAnswersIdenticallyWithCompiledPlans) {
+  sim::RenderConfig render;
+  render.height = render.width = 16;
+  render.frames = 4;
+  core::ModelConfig mc = small_config(core::AttentionKind::kDividedST);
+
+  auto extractor =
+      std::make_shared<core::ScenarioExtractor>(mc, /*seed=*/7);
+  extractor->freeze();
+
+  sim::ClipGenerator gen(render, /*seed=*/42);
+  std::vector<sim::VideoClip> clips;
+  for (int i = 0; i < 6; ++i) clips.push_back(gen.generate().video);
+
+  // workers = 0: deterministic inline processing on drain(), no thread
+  // scheduling noise in the comparison.
+  const auto run_server = [&](bool compiled) {
+    serve::ServerConfig sc;
+    sc.workers = 0;
+    sc.max_batch = 4;
+    sc.use_compiled_plan = compiled;
+    sc.metrics = std::make_shared<obs::Registry>();
+    serve::InferenceServer server(extractor, sc);
+    std::vector<std::future<core::ExtractionResult>> futures;
+    for (const sim::VideoClip& clip : clips) {
+      futures.push_back(server.submit(clip));
+    }
+    server.drain();
+    std::vector<core::ExtractionResult> results;
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  };
+
+  const auto dynamic = run_server(/*compiled=*/false);
+  const auto compiled = run_server(/*compiled=*/true);
+  expect_same_results(compiled, dynamic, "server");
+}

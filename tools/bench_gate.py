@@ -12,6 +12,12 @@ Gated benches and their committed baselines:
 
     bench_k1_kernels --smoke --json  ->  bench/BENCH_K1_baseline.json
     bench_i1_index   --smoke --json  ->  bench/BENCH_I1_baseline.json
+    bench_k2_plan    --smoke --json  ->  bench/BENCH_K2_baseline.json
+
+A gated metric that is present on one side but missing from the other (a
+stale baseline, or a bench that stopped emitting a metric it is supposed to
+defend) is a gate FAILURE with an expected-vs-found message, never a silent
+skip.
 
 The baseline is recorded on a reference run and then derated (multiplied by
 0.8) before committing, so the gate tolerates runner-to-runner variance on
@@ -88,7 +94,27 @@ def compare(current: dict, baseline: dict, threshold: float) -> tuple[str, list[
             continue
         for metric in gated_metrics(current):
             cur_v, base_v = shape.get(metric), base.get(metric)
-            if cur_v is None or base_v is None or base_v <= 0:
+            # A gated metric absent from either side is a gate failure, not a
+            # skip: a silently-missing metric is exactly how a regression
+            # hides (a stale baseline file, or a bench that stopped emitting
+            # the metric it is supposed to defend).
+            if cur_v is None or base_v is None:
+                present = sorted(k for k in (base if cur_v is not None
+                                             else shape) if k != "name")
+                side = "baseline" if cur_v is not None else "current report"
+                failures.append(
+                    f"{name}/{metric}: gated metric missing from {side} "
+                    f"(expected '{metric}', found only: {', '.join(present)})")
+                lines.append(f"| {name} | {metric} | — | — | — "
+                             f"| **FAIL** (missing from {side}) |")
+                continue
+            if base_v <= 0:
+                failures.append(
+                    f"{name}/{metric}: baseline value {base_v} is not a "
+                    f"positive number — regenerate the baseline "
+                    f"(tools/bench_gate.py --derate)")
+                lines.append(f"| {name} | {metric} | {base_v} | {cur_v:.2f} "
+                             f"| — | **FAIL** (bad baseline) |")
                 continue
             ratio = cur_v / base_v
             ok = ratio >= 1.0 - threshold
@@ -128,6 +154,12 @@ def main() -> int:
         parser.error("BASELINE is required unless --derate is given")
 
     baseline = load(args.baseline)
+    for label, report in (("current", current), ("baseline", baseline)):
+        if not isinstance(report.get("shapes"), list):
+            print(f"bench_gate: {label} report has no 'shapes' array "
+                  f"(top-level keys: {', '.join(sorted(report))})",
+                  file=sys.stderr)
+            return 2
     table, failures = compare(current, baseline, args.threshold)
 
     bench_name = current.get("bench", "bench")

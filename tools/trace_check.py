@@ -4,7 +4,7 @@
 CI runs `serve_demo --smoke --metrics-dump` and feeds the two JSON files it
 writes to this script:
 
-  trace_check.py tsdx_trace.json tsdx_metrics.json
+  trace_check.py [--plan] tsdx_trace.json tsdx_metrics.json
 
 Checks (exit 0 = pass, 1 = fail, 2 = usage/IO error):
 
@@ -25,6 +25,25 @@ Checks (exit 0 = pass, 1 = fail, 2 = usage/IO error):
                     serve.submitted and serve.completed counted this run's
                     requests, gemm.calls > 0, and the serve.latency_ms
                     histogram holds as many samples as serve.completed.
+
+With --plan, the run under test served through compiled inference plans
+(`serve_demo --smoke --metrics-dump --compiled`) and the checks change to
+the plan-level span structure instead:
+
+  plan trace        At least one trace ID covers serve.request +
+                    serve.queue_wait + serve.batch + plan.execute — a
+                    request batch executed through a compiled plan, not the
+                    dynamic interpreter. (model.*/gemm.* spans are NOT
+                    required: the compiled hot path may dispatch to the
+                    plan's wide kernels, which trade per-op spans for the
+                    single plan.execute span.)
+  plan nesting      plan.execute sits inside serve.batch on the worker's
+                    thread, and a plan.compile span exists somewhere in the
+                    buffer (compilation happens once per clip geometry, on
+                    the first batch that sees it).
+  plan metrics      counters plan.compiled and plan.executions are positive
+                    — plans were built and actually used, not silently
+                    fallen back from (the serve.* checks still apply).
 """
 
 from __future__ import annotations
@@ -48,6 +67,19 @@ NESTING = {
     "extract.batch": ["model.embed", "model.attention", "gemm.mm"],
 }
 
+# --plan mode: the compiled-path equivalents. One span covers the whole
+# fused execution, so the request path bottoms out at plan.execute.
+PLAN_REQUIRED_SPANS = {
+    "serve.request",
+    "serve.queue_wait",
+    "serve.batch",
+    "plan.execute",
+}
+
+PLAN_NESTING = {
+    "serve.batch": ["plan.execute"],
+}
+
 
 def fail(msg: str) -> None:
     print(f"trace_check: FAIL: {msg}")
@@ -63,7 +95,9 @@ def load_json(path: str):
         sys.exit(2)
 
 
-def check_trace(trace) -> None:
+def check_trace(trace, plan_mode: bool) -> None:
+    required = PLAN_REQUIRED_SPANS if plan_mode else REQUIRED_SPANS
+    nesting = PLAN_NESTING if plan_mode else NESTING
     events = trace.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("traceEvents is missing or empty")
@@ -84,19 +118,23 @@ def check_trace(trace) -> None:
     full = [
         tid
         for tid, spans in by_trace.items()
-        if tid > 0 and REQUIRED_SPANS <= {s["name"] for s in spans}
+        if tid > 0 and required <= {s["name"] for s in spans}
     ]
     if not full:
         seen = {s["name"] for spans in by_trace.values() for s in spans}
         fail(
             "no trace ID carries the full request path "
-            f"{sorted(REQUIRED_SPANS)}; span names seen: {sorted(seen)}"
+            f"{sorted(required)}; span names seen: {sorted(seen)}"
         )
+    if plan_mode and not any(
+        s["name"] == "plan.compile" for spans in by_trace.values() for s in spans
+    ):
+        fail("no plan.compile span — nothing was compiled this run")
 
     # Nesting holds for at least one fully-traced request: RAII spans on the
     # worker thread must contain their children's intervals exactly.
     def nests(spans: list[dict]) -> bool:
-        for parent_name, children in NESTING.items():
+        for parent_name, children in nesting.items():
             parents = [s for s in spans if s["name"] == parent_name]
             for child_name in children:
                 ok = any(
@@ -112,22 +150,28 @@ def check_trace(trace) -> None:
         return True
 
     if not any(nests(by_trace[tid]) for tid in full):
-        fail(
-            "no fully-traced request has properly nested spans "
-            "(serve.batch > extract.batch > model.*/gemm.mm on one thread)"
+        want = (
+            "serve.batch > plan.execute on one thread"
+            if plan_mode
+            else "serve.batch > extract.batch > model.*/gemm.mm on one thread"
         )
+        fail(f"no fully-traced request has properly nested spans ({want})")
     print(
         f"trace_check: trace OK — {len(events)} spans, "
         f"{len(full)} fully-traced request(s)"
     )
 
 
-def check_metrics(metrics) -> None:
+def check_metrics(metrics, plan_mode: bool) -> None:
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(metrics.get(section), dict):
             fail(f"metrics JSON is missing the `{section}` map")
     counters = metrics["counters"]
-    for name in ("serve.submitted", "serve.completed", "gemm.calls"):
+    # gemm.calls is not required in plan mode: the compiled hot path may run
+    # the plan's own wide kernels, which the dynamic GEMM counters never see.
+    required = ["serve.submitted", "serve.completed"]
+    required += ["plan.compiled", "plan.executions"] if plan_mode else ["gemm.calls"]
+    for name in required:
         if counters.get(name, 0) <= 0:
             fail(f"counter `{name}` is missing or zero")
     latency = metrics["histograms"].get("serve.latency_ms")
@@ -138,19 +182,29 @@ def check_metrics(metrics) -> None:
             f"serve.latency_ms holds {latency.get('count', 0)} samples, "
             f"want one per completed request ({counters['serve.completed']})"
         )
+    if plan_mode:
+        detail = (
+            f"{counters['plan.compiled']} plan(s) compiled, "
+            f"{counters['plan.executions']} compiled execution(s)"
+        )
+    else:
+        detail = f"{counters['gemm.calls']} GEMM calls"
     print(
         f"trace_check: metrics OK — {counters['serve.completed']} completed, "
-        f"{counters['gemm.calls']} GEMM calls"
+        + detail
     )
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    argv = sys.argv[1:]
+    plan_mode = "--plan" in argv
+    argv = [a for a in argv if a != "--plan"]
+    if len(argv) != 2:
         print(__doc__)
         return 2
-    check_trace(load_json(sys.argv[1]))
-    check_metrics(load_json(sys.argv[2]))
-    print("trace_check: PASS")
+    check_trace(load_json(argv[0]), plan_mode)
+    check_metrics(load_json(argv[1]), plan_mode)
+    print("trace_check: PASS" + (" (plan mode)" if plan_mode else ""))
     return 0
 
 

@@ -37,8 +37,8 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     The SDL slot tables are pure integral enums; a float
                     literal there means an accidental float->int narrowing.
   raw-log           No raw std::cout / std::cerr / printf / fprintf logging
-                    in src/serve/, src/obs/ or src/index/ — operational
-                    diagnostics in
+                    in src/serve/, src/obs/, src/index/ or src/plan/ —
+                    operational diagnostics in
                     those layers go through TSDX_LOG_INFO / TSDX_LOG_WARN
                     (src/obs/log.hpp, the single allowlisted raw-stderr
                     site). A server's stdout belongs to its operator.
@@ -51,8 +51,8 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     classify / shape_error), or delegate to another validated
                     op. Genuinely shape-agnostic ops are allowlisted below.
   raw-mutex         No bare std::mutex / std::lock_guard / std::unique_lock /
-                    std::condition_variable in src/serve/, src/obs/ or
-                    src/index/ — those
+                    std::condition_variable in src/serve/, src/obs/,
+                    src/index/ or src/plan/ — those
                     layers lock through tsdx::Mutex / LockGuard / UniqueLock /
                     CondVar (src/core/annotations.hpp) so every lock carries
                     thread-safety annotations and a lockorder::Rank (the
@@ -68,7 +68,7 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     so an unannotated member next to a Mutex is either a
                     missing annotation or state whose locking story is
                     undocumented. Checked in src/serve/, src/obs/,
-                    src/index/ and src/tensor/kernels/.
+                    src/index/, src/plan/ and src/tensor/kernels/.
 
 Usage: tsdx_lint.py [repo_root]      (exit 0 = clean, 1 = violations)
 If repo_root is omitted it is derived from this script's location, so the
@@ -251,7 +251,7 @@ class Linter:
         # snprintf (formatting into a returned buffer, not logging) legal.
         pat = re.compile(
             r"std::cout|std::cerr|\bfprintf\s*\(|(?<!\w)printf\s*\(")
-        for sub in ("src/serve", "src/obs", "src/index"):
+        for sub in ("src/serve", "src/obs", "src/index", "src/plan"):
             for path in sorted((self.root / sub).rglob("*")):
                 if path.suffix not in (".hpp", ".cpp") or path in allow:
                     continue
@@ -360,7 +360,7 @@ class Linter:
             r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
             r"lock_guard|unique_lock|scoped_lock|shared_lock|"
             r"condition_variable(?:_any)?)\b")
-        for sub in ("src/serve", "src/obs", "src/index"):
+        for sub in ("src/serve", "src/obs", "src/index", "src/plan"):
             for path in sorted((self.root / sub).rglob("*")):
                 if path.suffix not in (".hpp", ".cpp"):
                     continue
@@ -421,7 +421,7 @@ class Linter:
 
     def check_unannotated_shared(self) -> None:
         mutex_decl = re.compile(r"^(\s*)(?:mutable\s+)?Mutex\s+\w+")
-        for sub in ("src/serve", "src/obs", "src/index",
+        for sub in ("src/serve", "src/obs", "src/index", "src/plan",
                     "src/tensor/kernels"):
             for path in sorted((self.root / sub).rglob("*")):
                 if path.suffix not in (".hpp", ".cpp"):
