@@ -16,6 +16,10 @@
 //                   (ServerConfig::use_compiled_plan): one traced plan per
 //                   clip geometry, fused ops, per-worker arenas. Results are
 //                   bit-identical to the dynamic path.
+//   --out-dir DIR   where --metrics-dump writes its files (created if
+//                   missing; default: the working directory). Also writes
+//                   tsdx_recorder.json, the flight-recorder ring, so
+//                   tools/obs_report.py can attribute per-request latency.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +33,7 @@
 #include "core/extractor.hpp"
 #include "data/dataset.hpp"
 #include "nn/serialize.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sdl/description.hpp"
 #include "serve/fallback.hpp"
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool metrics_dump = false;
   bool compiled = false;
+  std::string out_dir = ".";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -65,8 +71,12 @@ int main(int argc, char** argv) {
       metrics_dump = true;
     } else if (std::strcmp(argv[i], "--compiled") == 0) {
       compiled = true;
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-dump] [--compiled]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--metrics-dump] [--compiled] "
+                   "[--out-dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -182,15 +192,25 @@ int main(int argc, char** argv) {
   //    serve) and the span trace, loadable in https://ui.perfetto.dev.
   //    CI feeds all three to tools/trace_check.py.
   if (metrics_dump) {
-    bool ok = write_file("tsdx_metrics.json", server.metrics_json());
-    ok = write_file("tsdx_metrics.prom", server.metrics_text()) && ok;
-    ok = obs::trace::flush_trace("tsdx_trace.json") && ok;
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const auto in_dir = [&out_dir](const char* name) {
+      return (std::filesystem::path(out_dir) / name).string();
+    };
+    bool ok = write_file(in_dir("tsdx_metrics.json"), server.metrics_json());
+    ok = write_file(in_dir("tsdx_metrics.prom"), server.metrics_text()) && ok;
+    ok = obs::trace::flush_trace(in_dir("tsdx_trace.json")) && ok;
+    ok = write_file(in_dir("tsdx_recorder.json"),
+                    obs::Recorder::global().to_json()) &&
+         ok;
     if (!ok) {
       std::fprintf(stderr, "serve_demo: --metrics-dump failed to write\n");
       return 1;
     }
     std::printf(
-        "\nwrote tsdx_metrics.json, tsdx_metrics.prom, tsdx_trace.json\n");
+        "\nwrote tsdx_metrics.{json,prom}, tsdx_trace.json, "
+        "tsdx_recorder.json under %s\n",
+        out_dir.c_str());
   }
   return 0;
 }

@@ -71,6 +71,11 @@ enum class Rank : std::uint32_t {
   kStats = 100,           ///< StatsCollector exact sample store
   kThreadPool = 110,      ///< serve::ThreadPool thread list
   kFaultInjector = 120,   ///< fault::Injector armed plan
+  kSlo = 122,             ///< obs::SloEngine rolling windows + dump budget;
+                          ///< below kRecorder/kRegistry/kTraceRing because an
+                          ///< anomaly dump snapshots the recorder ring and
+                          ///< span buffer while holding it
+  kRecorder = 126,        ///< obs::Recorder flight-recorder ring
   kRegistry = 130,        ///< obs::Registry metric maps
   kTraceRing = 140,       ///< obs::trace span ring buffer
   kLeaf = 1000,           ///< default: must be the innermost lock held

@@ -22,15 +22,48 @@ double percentile(std::vector<double> samples, double p) {
   return samples[std::min(idx, samples.size() - 1)];
 }
 
-double LatencyHistogram::mean() const {
-  if (samples_.empty()) return 0.0;
-  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
-         static_cast<double>(samples_.size());
+namespace {
+
+/// splitmix64 — the deterministic stand-in for Algorithm R's random draw.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
-double LatencyHistogram::max() const {
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
+}  // namespace
+
+void LatencyHistogram::record(double ms) {
+  if (count_ == 0) {
+    min_ = max_ = ms;
+  } else {
+    min_ = std::min(min_, ms);
+    max_ = std::max(max_, ms);
+  }
+  sum_ += ms;
+  if (samples_.size() < kReservoirCapacity) {
+    samples_.push_back(ms);
+  } else {
+    // Algorithm R: the (count_+1)-th sample replaces a uniform slot with
+    // probability capacity/(count_+1) — here "uniform" is a hash of the
+    // running count, so the kept subset is a pure function of the sequence.
+    const std::uint64_t j =
+        mix64(static_cast<std::uint64_t>(count_)) %
+        static_cast<std::uint64_t>(count_ + 1);
+    if (j < kReservoirCapacity) samples_[static_cast<std::size_t>(j)] = ms;
+  }
+  ++count_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  TSDX_CHECK(p >= 0.0 && p <= 100.0,
+             "LatencyHistogram::percentile: p must be in [0,100], got ", p);
+  if (count_ == 0) return 0.0;
+  // The running extremes survive reservoir replacement; answer them exactly.
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  return obs::percentile(samples_, p);
 }
 
 void Gauge::update_max(std::int64_t v) {
@@ -41,16 +74,23 @@ void Gauge::update_max(std::int64_t v) {
 }
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1),
+      exemplar_ids_(bounds_.size() + 1),
+      exemplar_values_(bounds_.size() + 1) {
   TSDX_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
              "Histogram: bucket bounds must be ascending");
 }
 
-void Histogram::observe(double x) {
+void Histogram::observe(double x, std::uint64_t exemplar_trace_id) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
-  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
-      1, std::memory_order_relaxed);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(x, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplar_values_[bucket].store(x, std::memory_order_relaxed);
+    exemplar_ids_[bucket].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t Histogram::count() const {
@@ -88,6 +128,15 @@ std::uint64_t Histogram::bucket_count(std::size_t i) const {
   TSDX_CHECK(i < counts_.size(), "Histogram::bucket_count: bucket ", i,
              " out of range (", counts_.size(), " buckets)");
   return counts_[i].load(std::memory_order_relaxed);
+}
+
+Histogram::Exemplar Histogram::exemplar(std::size_t i) const {
+  TSDX_CHECK(i < exemplar_ids_.size(), "Histogram::exemplar: bucket ", i,
+             " out of range (", exemplar_ids_.size(), " buckets)");
+  Exemplar ex;
+  ex.trace_id = exemplar_ids_[i].load(std::memory_order_relaxed);
+  ex.value = exemplar_values_[i].load(std::memory_order_relaxed);
+  return ex;
 }
 
 const std::vector<double>& default_latency_buckets_ms() {
@@ -208,14 +257,29 @@ std::string Registry::to_prometheus() const {
     const std::string p = prom_name(name);
     os << "# TYPE " << p << " histogram\n";
     const auto& bounds = h->bounds();
+    // OpenMetrics exemplars: a traced observation in the bucket is appended
+    // as `# {trace_id="<id>"} <value>` so the slowest buckets link straight
+    // to a flight-recorder / span trace (validated by trace_check.py
+    // --prom).
+    const auto append_exemplar = [&](std::size_t i) {
+      const Histogram::Exemplar ex = h->exemplar(i);
+      if (ex.trace_id != 0) {
+        os << " # {trace_id=\"" << ex.trace_id << "\"} "
+           << format_double(ex.value);
+      }
+    };
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < bounds.size(); ++i) {
       cumulative += h->bucket_count(i);
       os << p << "_bucket{le=\"" << format_double(bounds[i]) << "\"} "
-         << cumulative << "\n";
+         << cumulative;
+      append_exemplar(i);
+      os << "\n";
     }
     cumulative += h->bucket_count(bounds.size());
-    os << p << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << p << "_bucket{le=\"+Inf\"} " << cumulative;
+    append_exemplar(bounds.size());
+    os << "\n";
     os << p << "_sum " << format_double(h->sum()) << "\n";
     os << p << "_count " << cumulative << "\n";
   }

@@ -51,20 +51,41 @@ double percentile(std::vector<double> samples, double p);
 
 /// Accumulates raw samples (milliseconds by convention) and answers exact
 /// distribution queries. Not thread-safe on its own — owners lock around it.
+///
+/// Storage is bounded: the first kReservoirCapacity samples are kept
+/// verbatim (every query below the cap is exact), after which Algorithm R
+/// reservoir sampling keeps a uniform subset — with the random draw replaced
+/// by a splitmix64 hash of the running count, so two runs observing the same
+/// sequence hold bit-identical reservoirs. count()/mean()/min()/max() are
+/// running aggregates over *all* samples ever recorded; percentile() answers
+/// from the reservoir, with p == 0 / p == 100 pinned to the exact running
+/// extremes.
 class LatencyHistogram {
  public:
-  void record(double ms) { samples_.push_back(ms); }
+  /// Samples retained before reservoir replacement kicks in.
+  static constexpr std::size_t kReservoirCapacity = 4096;
 
-  std::size_t count() const { return samples_.size(); }
-  double mean() const;
-  double max() const;
-  /// p in [0, 100], e.g. p50/p95/p99 tail latency.
-  double percentile(double p) const { return obs::percentile(samples_, p); }
+  void record(double ms);
+
+  /// Total samples ever recorded (not the reservoir size).
+  std::size_t count() const { return count_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  /// p in [0, 100], e.g. p50/p95/p99 tail latency. Exact while count() <=
+  /// kReservoirCapacity; a uniform-reservoir estimate beyond.
+  double percentile(double p) const;
 
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  std::vector<double> samples_;
+  std::vector<double> samples_;  ///< the reservoir
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// Monotone event count. All operations are relaxed atomics: counters are
@@ -105,9 +126,20 @@ class Gauge {
 /// fixed at construction.
 class Histogram {
  public:
+  /// A per-bucket exemplar: the most recent observation in that bucket that
+  /// carried a trace ID, linking the bucket to a concrete request. trace_id
+  /// 0 = the bucket has no exemplar.
+  struct Exemplar {
+    std::uint64_t trace_id = 0;
+    double value = 0.0;
+  };
+
   explicit Histogram(std::vector<double> bounds);
 
-  void observe(double x);
+  /// Count `x` into its bucket. A nonzero `exemplar_trace_id` additionally
+  /// stamps the bucket's exemplar (latest writer wins; the id/value pair is
+  /// two relaxed stores — statistical, like the counts).
+  void observe(double x, std::uint64_t exemplar_trace_id = 0);
 
   std::uint64_t count() const;
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -121,10 +153,14 @@ class Histogram {
   /// Per-bucket counts: bucket_count(i) counts observations <= bounds()[i];
   /// bucket_count(bounds().size()) is the +Inf overflow bucket.
   std::uint64_t bucket_count(std::size_t i) const;
+  /// Bucket i's exemplar ({0, 0} when no traced observation landed there).
+  Exemplar exemplar(std::size_t i) const;
 
  private:
   std::vector<double> bounds_;  // ascending upper bounds
   std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::vector<std::atomic<std::uint64_t>> exemplar_ids_;  // parallel to counts_
+  std::vector<std::atomic<double>> exemplar_values_;
   std::atomic<double> sum_{0.0};
 };
 

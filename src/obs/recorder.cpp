@@ -1,0 +1,235 @@
+#include "obs/recorder.hpp"
+
+#include <sstream>
+
+namespace tsdx::obs {
+
+namespace {
+
+constexpr const char* kSegmentAdmission = "obs.segment_ms.admission";
+constexpr const char* kSegmentQueue = "obs.segment_ms.queue";
+constexpr const char* kSegmentBatchWait = "obs.segment_ms.batch_wait";
+constexpr const char* kSegmentExecute = "obs.segment_ms.execute";
+constexpr const char* kSegmentRetryBackoff = "obs.segment_ms.retry_backoff";
+constexpr const char* kE2e = "obs.e2e_ms";
+
+double ns_to_ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+const char* to_string(Recorder::Kind kind) {
+  switch (kind) {
+    case Recorder::Kind::kServer: return "server";
+    case Recorder::Kind::kRouter: return "router";
+  }
+  return "?";
+}
+
+const char* to_string(Recorder::Outcome outcome) {
+  switch (outcome) {
+    case Recorder::Outcome::kInFlight: return "in_flight";
+    case Recorder::Outcome::kCompleted: return "completed";
+    case Recorder::Outcome::kDegraded: return "degraded";
+    case Recorder::Outcome::kFailed: return "failed";
+    case Recorder::Outcome::kDeadlineExpired: return "deadline_expired";
+    case Recorder::Outcome::kShed: return "shed";
+    case Recorder::Outcome::kRejected: return "rejected";
+    case Recorder::Outcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+const char* to_string(Recorder::Path path) {
+  switch (path) {
+    case Recorder::Path::kUnknown: return "unknown";
+    case Recorder::Path::kDynamic: return "dynamic";
+    case Recorder::Path::kPlan: return "plan";
+    case Recorder::Path::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+Recorder::Recorder()
+    : records_(kRingCapacity), epoch_(std::chrono::steady_clock::now()) {}
+
+Recorder& Recorder::global() {
+  static Recorder recorder;
+  return recorder;
+}
+
+std::int64_t Recorder::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Recorder::Record* Recorder::slot_for(std::uint64_t handle) {
+  if (handle == 0) return nullptr;
+  Record& record = records_[handle & (kRingCapacity - 1)];
+  // A lapped handle's slot now belongs to a younger record: drop the update.
+  return record.id == handle ? &record : nullptr;
+}
+
+std::uint64_t Recorder::begin(Kind kind, std::uint64_t trace_id) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::int64_t now = now_ns();
+  LockGuard lock(mutex_);
+  Record& record = records_[id & (kRingCapacity - 1)];
+  record = Record{};
+  record.id = id;
+  record.kind = kind;
+  record.trace_id = trace_id;
+  record.submit_ns = now;
+  return id;
+}
+
+void Recorder::on_admission(std::uint64_t handle, const char* verdict) {
+  LockGuard lock(mutex_);
+  if (Record* record = slot_for(handle)) record->admission = verdict;
+}
+
+void Recorder::on_enqueued(std::uint64_t handle) {
+  const std::int64_t now = now_ns();
+  LockGuard lock(mutex_);
+  if (Record* record = slot_for(handle)) record->enqueue_ns = now;
+}
+
+void Recorder::on_dispatch(std::uint64_t handle) {
+  const std::int64_t now = now_ns();
+  LockGuard lock(mutex_);
+  if (Record* record = slot_for(handle)) record->dispatch_ns = now;
+}
+
+void Recorder::on_execute(std::uint64_t handle, std::uint64_t batch_id,
+                          std::uint32_t batch_size, std::int32_t worker) {
+  const std::int64_t now = now_ns();
+  LockGuard lock(mutex_);
+  Record* record = slot_for(handle);
+  if (record == nullptr) return;
+  record->execute_ns = now;
+  record->batch_id = batch_id;
+  record->batch_size = batch_size;
+  record->worker = worker;
+}
+
+void Recorder::set_path(std::uint64_t handle, Path path) {
+  LockGuard lock(mutex_);
+  if (Record* record = slot_for(handle)) record->path = path;
+}
+
+void Recorder::set_replica(std::uint64_t handle, std::int32_t replica) {
+  LockGuard lock(mutex_);
+  if (Record* record = slot_for(handle)) record->replica = replica;
+}
+
+void Recorder::on_retry(std::uint64_t handle, std::int64_t backoff_ns,
+                        bool failover) {
+  LockGuard lock(mutex_);
+  Record* record = slot_for(handle);
+  if (record == nullptr) return;
+  ++record->attempts;
+  if (failover) ++record->failovers;
+  record->backoff_ns += backoff_ns;
+}
+
+void Recorder::finish(std::uint64_t handle, Outcome outcome,
+                      Registry* registry) {
+  const std::int64_t now = now_ns();
+  Record copy;
+  {
+    LockGuard lock(mutex_);
+    Record* record = slot_for(handle);
+    if (record == nullptr) return;
+    record->outcome = outcome;
+    record->done_ns = now;
+    copy = *record;
+  }
+  if (registry == nullptr) return;
+  const bool terminal_served = outcome == Outcome::kCompleted ||
+                               outcome == Outcome::kDegraded ||
+                               outcome == Outcome::kFailed;
+  if (copy.kind == Kind::kServer && terminal_served) {
+    // Segment derivation: a milestone the request never reached contributes
+    // a zero-length segment so the per-segment counts stay equal and the
+    // sums still add up to e2e.
+    const std::int64_t enqueue =
+        copy.enqueue_ns != 0 ? copy.enqueue_ns : copy.submit_ns;
+    const std::int64_t dispatch =
+        copy.dispatch_ns != 0 ? copy.dispatch_ns : enqueue;
+    const std::int64_t execute =
+        copy.execute_ns != 0 ? copy.execute_ns : dispatch;
+    const std::uint64_t ex = copy.trace_id;
+    registry->histogram(kSegmentAdmission)
+        .observe(ns_to_ms(enqueue - copy.submit_ns), ex);
+    registry->histogram(kSegmentQueue).observe(ns_to_ms(dispatch - enqueue),
+                                               ex);
+    registry->histogram(kSegmentBatchWait)
+        .observe(ns_to_ms(execute - dispatch), ex);
+    registry->histogram(kSegmentExecute)
+        .observe(ns_to_ms(copy.done_ns - execute), ex);
+    registry->histogram(kE2e).observe(ns_to_ms(copy.done_ns - copy.submit_ns),
+                                      ex);
+  } else if (copy.kind == Kind::kRouter && copy.backoff_ns > 0) {
+    registry->histogram(kSegmentRetryBackoff)
+        .observe(ns_to_ms(copy.backoff_ns), copy.trace_id);
+  }
+}
+
+std::vector<Recorder::Record> Recorder::snapshot() const {
+  std::vector<Record> out;
+  LockGuard lock(mutex_);
+  const std::uint64_t newest = next_id_.load(std::memory_order_relaxed);
+  out.reserve(records_.size());
+  // Oldest live id is newest - capacity + 1 (clamped to 1): walk ids in
+  // order so the copy comes out oldest-first regardless of ring position.
+  const std::uint64_t oldest =
+      newest > kRingCapacity ? newest - kRingCapacity + 1 : 1;
+  for (std::uint64_t id = oldest; id <= newest; ++id) {
+    const Record& record = records_[id & (kRingCapacity - 1)];
+    if (record.id == id) out.push_back(record);
+  }
+  return out;
+}
+
+void Recorder::clear() {
+  LockGuard lock(mutex_);
+  for (Record& record : records_) record = Record{};
+}
+
+namespace {
+
+void append_record_json(std::ostringstream& os, const Recorder::Record& r) {
+  os << "{\"id\": " << r.id << ", \"trace_id\": " << r.trace_id
+     << ", \"kind\": \"" << to_string(r.kind) << "\", \"outcome\": \""
+     << to_string(r.outcome) << "\", \"path\": \"" << to_string(r.path)
+     << "\"";
+  if (r.admission != nullptr) os << ", \"admission\": \"" << r.admission
+                                 << "\"";
+  os << ", \"batch_id\": " << r.batch_id << ", \"batch_size\": "
+     << r.batch_size << ", \"worker\": " << r.worker << ", \"replica\": "
+     << r.replica << ", \"attempts\": " << r.attempts << ", \"failovers\": "
+     << r.failovers << ", \"submit_ns\": " << r.submit_ns
+     << ", \"enqueue_ns\": " << r.enqueue_ns << ", \"dispatch_ns\": "
+     << r.dispatch_ns << ", \"execute_ns\": " << r.execute_ns
+     << ", \"done_ns\": " << r.done_ns << ", \"backoff_ns\": " << r.backoff_ns
+     << "}";
+}
+
+}  // namespace
+
+std::string records_json_array(const std::vector<Recorder::Record>& records) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    os << (i == 0 ? "\n  " : ",\n  ");
+    append_record_json(os, records[i]);
+  }
+  os << "\n]";
+  return os.str();
+}
+
+std::string Recorder::to_json() const {
+  return "{\"records\": " + records_json_array(snapshot()) + "}\n";
+}
+
+}  // namespace tsdx::obs

@@ -1,0 +1,183 @@
+// recorder.hpp — tsdx::obs flight recorder: an always-on ring of structured
+// per-request records keyed by the span-tracing trace ID.
+//
+// Spans (trace.hpp) answer "where did time go inside this process" but are
+// sampled and name-oriented; aggregate metrics (metrics.hpp) answer "how is
+// the fleet doing" but forget individual requests. The recorder fills the
+// gap between them: for the last kRingCapacity requests it keeps *one record
+// each* carrying the request's full serving story — admission verdict,
+// queue-wait, batch id/size, worker, replica, retry/failover counts,
+// plan-vs-dynamic execution path, and a per-segment timestamp timeline —
+// cheap enough to leave on even with tracing off (TSDX_TRACE=off mints
+// trace id 0; the record is still written, it just cannot be joined against
+// spans).
+//
+// Hooks are keyed by an opaque handle returned from begin(). Handles are
+// dense, so a slot in the ring is overwritten exactly when its id has been
+// lapped; hooks against a lapped (stale) handle are silently dropped — the
+// recorder is a diagnostic ring, not a ledger. Handle 0 is the inert
+// no-record handle: every hook is a no-op on it, which lets callers thread
+// the handle unconditionally.
+//
+// Segment model (DESIGN.md §17): each record carries nanosecond timestamps
+// (relative to the recorder's construction) for submit / enqueue / dispatch
+// (picked out of the queue into a batch) / execute (batch extraction began)
+// / done, plus accumulated retry backoff for router-level records. finish()
+// derives the named segments —
+//
+//   admission   = enqueue  - submit     (submit-side checks + queue push)
+//   queue       = dispatch - enqueue    (waiting in the bounded queue)
+//   batch_wait  = execute  - dispatch   (batch window fill + scrub + setup)
+//   execute     = done     - execute    (extractor / plan / fallback)
+//   retry_backoff                        (router backoff sleeps, accumulated)
+//
+// — and observes them into obs.segment_ms.* histograms (with the record's
+// trace ID as the exemplar) plus obs.e2e_ms for the total, so
+// admission + queue + batch_wait + execute ≈ e2e by construction; the
+// attribution gate in tools/obs_report.py holds the residue under 5%.
+// Server-side records with terminal outcomes completed/failed/degraded feed
+// the histograms; expired/shed/rejected/cancelled records keep their
+// timeline for dumps but are excluded so obs.e2e_ms stays comparable to
+// serve.latency_ms (which only sees dispatched work).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "obs/metrics.hpp"
+
+namespace tsdx::obs {
+
+class Recorder {
+ public:
+  /// Which hop of the serving stack wrote the record. A routed request has
+  /// two records under one trace ID: the router's (admission, retries,
+  /// backoff) and the replica server's (queue, batch, execute).
+  enum class Kind : std::uint8_t { kServer, kRouter };
+
+  /// Terminal state of the request. kInFlight is the initial value; finish()
+  /// is the only writer of the others.
+  enum class Outcome : std::uint8_t {
+    kInFlight,
+    kCompleted,
+    kDegraded,
+    kFailed,
+    kDeadlineExpired,
+    kShed,
+    kRejected,
+    kCancelled,
+  };
+
+  /// Which execution path answered the request.
+  enum class Path : std::uint8_t { kUnknown, kDynamic, kPlan, kFallback };
+
+  /// One request's flight record. POD-ish by design: snapshot() copies the
+  /// ring wholesale.
+  struct Record {
+    std::uint64_t id = 0;  ///< dense handle; 0 = empty slot
+    std::uint64_t trace_id = 0;
+    Kind kind = Kind::kServer;
+    Outcome outcome = Outcome::kInFlight;
+    Path path = Path::kUnknown;
+    const char* admission = nullptr;  ///< static verdict string, router only
+    std::uint64_t batch_id = 0;       ///< 0 = never batched
+    std::uint32_t batch_size = 0;
+    std::int32_t worker = -1;
+    std::int32_t replica = -1;
+    std::uint32_t attempts = 0;   ///< dispatch attempts (router)
+    std::uint32_t failovers = 0;  ///< retries that changed replica
+    // Timeline: ns since the recorder's epoch; 0 = milestone not reached.
+    std::int64_t submit_ns = 0;
+    std::int64_t enqueue_ns = 0;
+    std::int64_t dispatch_ns = 0;
+    std::int64_t execute_ns = 0;
+    std::int64_t done_ns = 0;
+    std::int64_t backoff_ns = 0;  ///< accumulated retry backoff (router)
+  };
+
+  /// Records retained before the ring laps. Power of two so slot selection
+  /// is a mask.
+  static constexpr std::size_t kRingCapacity = 4096;
+
+  Recorder();
+
+  /// The process-wide recorder every serving layer reports into.
+  static Recorder& global();
+
+  /// Open a record; returns its handle (never 0). The milestone clock starts
+  /// here (submit_ns).
+  std::uint64_t begin(Kind kind, std::uint64_t trace_id)
+      TSDX_EXCLUDES(mutex_);
+
+  /// Router: the admission verdict, as the static string from
+  /// serve::to_string(AdmitVerdict).
+  void on_admission(std::uint64_t handle, const char* verdict)
+      TSDX_EXCLUDES(mutex_);
+  /// Server: the request entered the bounded queue.
+  void on_enqueued(std::uint64_t handle) TSDX_EXCLUDES(mutex_);
+  /// Server: the request was picked out of the queue into a forming batch.
+  void on_dispatch(std::uint64_t handle) TSDX_EXCLUDES(mutex_);
+  /// Server: batch execution is starting; identifies the batch and worker.
+  void on_execute(std::uint64_t handle, std::uint64_t batch_id,
+                  std::uint32_t batch_size, std::int32_t worker)
+      TSDX_EXCLUDES(mutex_);
+  /// Server: which execution path produced the answer.
+  void set_path(std::uint64_t handle, Path path) TSDX_EXCLUDES(mutex_);
+  /// Router: the replica the ticket is (currently) dispatched to.
+  void set_replica(std::uint64_t handle, std::int32_t replica)
+      TSDX_EXCLUDES(mutex_);
+  /// Router: a retry is being scheduled after `backoff_ns` of sleep;
+  /// `failover` when it will run on a different replica than the failure.
+  void on_retry(std::uint64_t handle, std::int64_t backoff_ns, bool failover)
+      TSDX_EXCLUDES(mutex_);
+
+  /// Close the record. For kServer records with outcome
+  /// completed/degraded/failed and a non-null registry, derives the segment
+  /// timeline into obs.segment_ms.{admission,queue,batch_wait,execute} and
+  /// obs.e2e_ms (trace ID attached as the bucket exemplar); kRouter records
+  /// contribute obs.segment_ms.retry_backoff when any backoff accumulated.
+  void finish(std::uint64_t handle, Outcome outcome,
+              Registry* registry = nullptr) TSDX_EXCLUDES(mutex_);
+
+  /// Process-unique batch id (dense, starts at 1) for on_execute.
+  std::uint64_t mint_batch_id() {
+    return next_batch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Copy of every live record, oldest first.
+  std::vector<Record> snapshot() const TSDX_EXCLUDES(mutex_);
+  /// {"records": [...]} — the schema tools/trace_check.py --recorder/--dump
+  /// validates.
+  std::string to_json() const TSDX_EXCLUDES(mutex_);
+  /// Drop all records (tests; the ring otherwise never resets).
+  void clear() TSDX_EXCLUDES(mutex_);
+
+  /// Nanoseconds since the recorder's epoch, the record timeline's unit.
+  std::int64_t now_ns() const;
+
+ private:
+  /// The slot for `handle`, or nullptr when the ring has lapped it.
+  Record* slot_for(std::uint64_t handle) TSDX_REQUIRES(mutex_);
+
+  mutable Mutex mutex_{"obs.recorder", lockorder::Rank::kRecorder};
+  std::vector<Record> records_ TSDX_GUARDED_BY(mutex_);
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> next_batch_id_{0};
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+const char* to_string(Recorder::Kind kind);
+const char* to_string(Recorder::Outcome outcome);
+const char* to_string(Recorder::Path path);
+
+/// Serialize a record list as a JSON array (no wrapper object); shared by
+/// Recorder::to_json and the SLO engine's anomaly dumps so
+/// tools/trace_check.py validates one record shape.
+std::string records_json_array(const std::vector<Recorder::Record>& records);
+
+}  // namespace tsdx::obs

@@ -1,0 +1,239 @@
+#include "obs/slo.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "core/check.hpp"
+#include "obs/log.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace tsdx::obs {
+
+namespace {
+
+/// The error budget can never be zero even for a target of 1.0 — burn rate
+/// would be undefined; a vanishing budget just makes every bad event scream.
+double error_budget(double target) {
+  return std::max(1.0 - target, 1e-9);
+}
+
+std::int64_t to_milli(double v) {
+  return static_cast<std::int64_t>(std::llround(v * 1000.0));
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+/// Records worth embedding in a dump when the trace doesn't select them.
+constexpr std::size_t kDumpRecentRecords = 256;
+/// Span cap per dump: enough for a full request story, bounded on a busy
+/// ring.
+constexpr std::size_t kDumpMaxSpans = 1024;
+
+}  // namespace
+
+const char* to_string(Anomaly anomaly) {
+  switch (anomaly) {
+    case Anomaly::kDeadlineMiss: return "deadline_miss";
+    case Anomaly::kCircuitTrip: return "circuit_trip";
+    case Anomaly::kRetryStorm: return "retry_storm";
+    case Anomaly::kArenaGrowth: return "arena_growth";
+  }
+  return "?";
+}
+
+SloEngine::SloEngine(SloConfig config, Registry* registry)
+    : config_(config),
+      registry_(registry != nullptr ? registry : &Registry::global()),
+      burn_fast_gauge_(registry_->gauge("slo.burn_rate_fast")),
+      burn_slow_gauge_(registry_->gauge("slo.burn_rate_slow")),
+      budget_gauge_(registry_->gauge("slo.budget_remaining")),
+      epoch_(Clock::now()) {
+  TSDX_CHECK(config_.fast_window.count() > 0 &&
+                 config_.slow_window.count() >= config_.fast_window.count(),
+             "SloEngine: windows must satisfy 0 < fast <= slow, got fast=",
+             config_.fast_window.count(), "s slow=",
+             config_.slow_window.count(), "s");
+  buckets_.resize(static_cast<std::size_t>(config_.slow_window.count()));
+  budget_gauge_.set(to_milli(1.0));
+}
+
+SloEngine& SloEngine::global() {
+  static SloEngine* engine = [] {
+    SloConfig config;
+    config.latency_objective_ms =
+        env_double("TSDX_SLO_OBJECTIVE_MS", config.latency_objective_ms);
+    config.target = env_double("TSDX_SLO_TARGET", config.target);
+    return new SloEngine(config);  // leaked: process-lifetime singleton
+  }();
+  return *engine;
+}
+
+std::int64_t SloEngine::seconds_since_epoch(Clock::time_point now) const {
+  const auto delta = now - epoch_;
+  if (delta.count() < 0) return 0;
+  return std::chrono::duration_cast<std::chrono::seconds>(delta).count();
+}
+
+void SloEngine::on_event(bool ok, double latency_ms, Clock::time_point now) {
+  const bool good = ok && latency_ms <= config_.latency_objective_ms;
+  const std::int64_t sec = seconds_since_epoch(now);
+  SloSnapshot snap;
+  {
+    LockGuard lock(mutex_);
+    Bucket& bucket = buckets_[static_cast<std::size_t>(sec) %
+                              buckets_.size()];
+    if (bucket.second != sec) bucket = Bucket{sec, 0, 0};
+    if (good) {
+      ++bucket.good;
+    } else {
+      ++bucket.bad;
+    }
+    snap = snapshot_locked(sec);
+  }
+  burn_fast_gauge_.set(to_milli(snap.burn_rate_fast));
+  burn_slow_gauge_.set(to_milli(snap.burn_rate_slow));
+  budget_gauge_.set(to_milli(snap.budget_remaining));
+}
+
+SloSnapshot SloEngine::snapshot_locked(std::int64_t now_sec) const {
+  SloSnapshot snap;
+  const std::int64_t fast_from = now_sec - config_.fast_window.count();
+  const std::int64_t slow_from = now_sec - config_.slow_window.count();
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.second < 0 || bucket.second <= slow_from ||
+        bucket.second > now_sec) {
+      continue;
+    }
+    snap.good_slow += bucket.good;
+    snap.bad_slow += bucket.bad;
+    if (bucket.second > fast_from) {
+      snap.good_fast += bucket.good;
+      snap.bad_fast += bucket.bad;
+    }
+  }
+  const double budget = error_budget(config_.target);
+  const std::uint64_t total_fast = snap.good_fast + snap.bad_fast;
+  const std::uint64_t total_slow = snap.good_slow + snap.bad_slow;
+  if (total_fast > 0) {
+    snap.burn_rate_fast = static_cast<double>(snap.bad_fast) /
+                          static_cast<double>(total_fast) / budget;
+  }
+  if (total_slow > 0) {
+    snap.burn_rate_slow = static_cast<double>(snap.bad_slow) /
+                          static_cast<double>(total_slow) / budget;
+  }
+  snap.budget_remaining = 1.0 - snap.burn_rate_slow;
+  return snap;
+}
+
+SloSnapshot SloEngine::snapshot(Clock::time_point now) const {
+  LockGuard lock(mutex_);
+  return snapshot_locked(seconds_since_epoch(now));
+}
+
+void SloEngine::note_anomaly(Anomaly kind, std::uint64_t trace_id) {
+  registry_->counter(std::string("slo.anomalies.") + to_string(kind)).inc();
+  // Re-read the environment every call: tests arm/disarm the dump dir
+  // around individual scenarios.
+  const char* dir = std::getenv("TSDX_OBS_DUMP_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  LockGuard lock(mutex_);
+  const auto idx = static_cast<std::size_t>(kind);
+  if (dumps_written_[idx] >= config_.max_dumps_per_kind) return;
+  ++dumps_written_[idx];
+  write_dump_locked(kind, trace_id, dir, ++dump_seq_);
+}
+
+void SloEngine::write_dump_locked(Anomaly kind, std::uint64_t trace_id,
+                                  const char* dir, std::uint64_t seq) {
+  // Select records: everything on the offending trace, plus the most recent
+  // ring tail for surrounding context.
+  const std::vector<Recorder::Record> all = Recorder::global().snapshot();
+  std::vector<Recorder::Record> picked;
+  picked.reserve(std::min(all.size(), kDumpRecentRecords) + 8);
+  const std::size_t recent_from =
+      all.size() > kDumpRecentRecords ? all.size() - kDumpRecentRecords : 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i >= recent_from || (trace_id != 0 && all[i].trace_id == trace_id)) {
+      picked.push_back(all[i]);
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"anomaly\": \"" << to_string(kind) << "\",\n  \"trace_id\": "
+     << trace_id << ",\n  \"slo\": {";
+  const SloSnapshot snap = snapshot_locked(seconds_since_epoch(Clock::now()));
+  os << "\"good_fast\": " << snap.good_fast << ", \"bad_fast\": "
+     << snap.bad_fast << ", \"good_slow\": " << snap.good_slow
+     << ", \"bad_slow\": " << snap.bad_slow << ", \"burn_rate_fast\": "
+     << snap.burn_rate_fast << ", \"burn_rate_slow\": " << snap.burn_rate_slow
+     << ", \"budget_remaining\": " << snap.budget_remaining
+     << ", \"latency_objective_ms\": " << config_.latency_objective_ms
+     << ", \"target\": " << config_.target << "},\n  \"records\": "
+     << records_json_array(picked) << ",\n  \"spans\": [";
+  // Spans on the offending trace (all of them, capped), else the freshest
+  // tail of the ring when the trace is unknown or tracing was off.
+  const std::vector<trace::SpanEvent> spans = trace::snapshot();
+  const std::size_t span_tail_from =
+      spans.size() > kDumpMaxSpans ? spans.size() - kDumpMaxSpans : 0;
+  std::vector<trace::SpanEvent> span_picked;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const bool on_trace = trace_id != 0 && spans[i].trace_id == trace_id;
+    const bool recent_tail = trace_id == 0 && i >= span_tail_from;
+    if ((on_trace || recent_tail) && span_picked.size() < kDumpMaxSpans) {
+      span_picked.push_back(spans[i]);
+    }
+  }
+  for (std::size_t i = 0; i < span_picked.size(); ++i) {
+    const trace::SpanEvent& span = span_picked[i];
+    os << (i == 0 ? "\n    " : ",\n    ") << "{\"name\": \"" << span.name
+       << "\", \"trace_id\": " << span.trace_id << ", \"tid\": " << span.tid
+       << ", \"start_ns\": " << span.start_ns << ", \"duration_ns\": "
+       << span.duration_ns << "}";
+  }
+  os << "\n  ]\n}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open reports
+  std::ostringstream name;
+  name << "tsdx_obs_dump_" << ::getpid() << "_" << seq << "_"
+       << to_string(kind) << ".json";
+  const std::string path =
+      (std::filesystem::path(dir) / name.str()).string();
+  const std::string body = os.str();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    TSDX_LOG_WARN("obs", "slo: cannot open anomaly dump ", path);
+    return;
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  if (written != body.size()) {
+    TSDX_LOG_WARN("obs", "slo: short write on anomaly dump ", path);
+    return;
+  }
+  TSDX_LOG_INFO("obs", "slo: wrote ", to_string(kind), " anomaly dump ",
+                path);
+}
+
+void SloEngine::reset() {
+  LockGuard lock(mutex_);
+  for (Bucket& bucket : buckets_) bucket = Bucket{};
+  dumps_written_.fill(0);
+  dump_seq_ = 0;
+}
+
+}  // namespace tsdx::obs

@@ -1,0 +1,141 @@
+// slo.hpp — tsdx::obs::SloEngine: rolling-window SLO accounting, multi-window
+// burn-rate gauges, and anomaly-triggered flight-recorder dumps.
+//
+// Model (DESIGN.md §17): the serving layers report every terminal request as
+// an *event* — good when it completed within the latency objective, bad when
+// it failed, expired, or overran the objective. Events land in per-second
+// buckets of a fixed ring sized to the slow window, so the engine answers
+// "what fraction of the last 60 s / 600 s was bad" in O(window) with zero
+// allocation on the hot path.
+//
+// Burn rate is the standard SRE definition: the observed bad fraction
+// divided by the error budget (1 - target). burn_rate == 1 means the budget
+// is being spent exactly at the sustainable rate; 14.4 on the fast window is
+// the classic page-now threshold for a 99.9% monthly objective. Two windows
+// (fast ~1 min, slow ~10 min) separate "spiking right now" from "quietly
+// bleeding". The gauges are exported in milli-units (value × 1000, gauges
+// are integers): slo.burn_rate_fast, slo.burn_rate_slow, and
+// slo.budget_remaining (fraction of the slow window's error budget unspent).
+//
+// Anomalies: note_anomaly(kind, trace_id) counts slo.anomalies.<kind> and —
+// when TSDX_OBS_DUMP_DIR is set — writes a post-mortem JSON dump pairing the
+// SLO state with the flight-recorder ring and the span buffer, so the
+// offending trace can be read end to end after the fact. Dumps are capped
+// per kind (the first few captures carry all the signal; a retry storm must
+// not turn into a disk-fill storm).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "obs/metrics.hpp"
+
+namespace tsdx::obs {
+
+/// Why a dump was triggered. Kinds map 1:1 to the serving layer's distress
+/// signals: a request missed its deadline, the circuit breaker tripped, a
+/// ticket exhausted its retries/budget, or a plan arena grew at steady state
+/// (the compiled hot path started allocating again).
+enum class Anomaly : std::uint8_t {
+  kDeadlineMiss,
+  kCircuitTrip,
+  kRetryStorm,
+  kArenaGrowth,
+};
+
+inline constexpr std::size_t kAnomalyKinds = 4;
+
+const char* to_string(Anomaly anomaly);
+
+struct SloConfig {
+  /// A completed request slower than this is a bad event.
+  double latency_objective_ms = 250.0;
+  /// Availability target the error budget derives from (0.999 -> 0.1%).
+  double target = 0.999;
+  std::chrono::seconds fast_window{60};
+  std::chrono::seconds slow_window{600};
+  /// Anomaly dumps written per kind before suppression (reset() re-arms).
+  std::size_t max_dumps_per_kind = 8;
+};
+
+/// Point-in-time window readings, as snapshot() returns and the dumps embed.
+struct SloSnapshot {
+  std::uint64_t good_fast = 0;
+  std::uint64_t bad_fast = 0;
+  std::uint64_t good_slow = 0;
+  std::uint64_t bad_slow = 0;
+  double burn_rate_fast = 0.0;
+  double burn_rate_slow = 0.0;
+  double budget_remaining = 1.0;  ///< 1 = untouched, <= 0 = exhausted
+};
+
+class SloEngine {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `registry` receives the slo.* gauges and counters; defaults to the
+  /// process-wide registry.
+  explicit SloEngine(SloConfig config = {}, Registry* registry = nullptr);
+
+  /// The process-wide engine the serving layers report into. Its objective
+  /// and target come from TSDX_SLO_OBJECTIVE_MS / TSDX_SLO_TARGET when set.
+  static SloEngine& global();
+
+  /// One terminal request: `ok` = it resolved successfully (failures and
+  /// deadline expiries pass false), `latency_ms` its end-to-end latency.
+  /// Good = ok && within the objective. Refreshes the burn-rate gauges.
+  void on_event(bool ok, double latency_ms,
+                Clock::time_point now = Clock::now()) TSDX_EXCLUDES(mutex_);
+
+  SloSnapshot snapshot(Clock::time_point now = Clock::now()) const
+      TSDX_EXCLUDES(mutex_);
+
+  /// Count an anomaly and, when TSDX_OBS_DUMP_DIR is set (re-read on every
+  /// call) and the per-kind cap is not exhausted, dump the SLO state, the
+  /// flight-recorder ring, and the span buffer to
+  /// <dir>/tsdx_obs_dump_<pid>_<seq>_<kind>.json. `trace_id` (0 = unknown)
+  /// names the offending request in the dump.
+  void note_anomaly(Anomaly kind, std::uint64_t trace_id)
+      TSDX_EXCLUDES(mutex_);
+
+  /// Drop all window state and re-arm the dump caps (tests).
+  void reset() TSDX_EXCLUDES(mutex_);
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  /// One second's worth of events. `second` is seconds since epoch_; -1
+  /// marks a slot that has never been written.
+  struct Bucket {
+    std::int64_t second = -1;
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+  std::int64_t seconds_since_epoch(Clock::time_point now) const;
+  SloSnapshot snapshot_locked(std::int64_t now_sec) const
+      TSDX_REQUIRES(mutex_);
+  void write_dump_locked(Anomaly kind, std::uint64_t trace_id,
+                         const char* dir, std::uint64_t seq)
+      TSDX_REQUIRES(mutex_);
+
+  const SloConfig config_;
+  Registry* const registry_;
+  Gauge& burn_fast_gauge_;
+  Gauge& burn_slow_gauge_;
+  Gauge& budget_gauge_;
+  const Clock::time_point epoch_;
+
+  mutable Mutex mutex_{"obs.slo", lockorder::Rank::kSlo};
+  std::vector<Bucket> buckets_ TSDX_GUARDED_BY(mutex_);
+  std::array<std::size_t, kAnomalyKinds> dumps_written_ TSDX_GUARDED_BY(
+      mutex_){};
+  std::uint64_t dump_seq_ TSDX_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace tsdx::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "plan/trace.hpp"
 #include "sdl/description.hpp"
@@ -80,11 +81,23 @@ std::vector<core::ExtractionResult> PlanExecutor::extract_batch(
   }
   if (!plan) {
     reg.counter("plan.fallbacks").inc();
+    last_used_plan_ = false;
     return extractor_->extract_batch(batch);
   }
 
   TSDX_TRACE_SPAN("plan.execute");
+  last_used_plan_ = true;
+  // Steady-state arena growth is an anomaly: after the first compiled run
+  // per executor the hot path must not allocate (the plan_test contract) —
+  // a growth here means a new high-water geometry slipped into a warmed
+  // worker, worth a post-mortem dump.
+  const std::uint64_t growths_before = arena_.growths();
   float* arena = arena_.ensure(plan->arena_bytes());
+  if (plan_executions_ > 0 && arena_.growths() != growths_before) {
+    obs::SloEngine::global().note_anomaly(obs::Anomaly::kArenaGrowth,
+                                          obs::trace::current().trace_id);
+  }
+  ++plan_executions_;
   plan->run(batch.video.data().data(), arena);
   reg.counter("plan.executions").inc();
 

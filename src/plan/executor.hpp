@@ -96,12 +96,18 @@ class PlanExecutor {
       const data::Batch& batch);
 
   const Arena& arena() const { return arena_; }
+  /// Did the most recent extract_batch() run a compiled plan (vs the
+  /// dynamic fallback)? The server stamps this into the flight recorder as
+  /// the request's execution path.
+  bool last_used_plan() const { return last_used_plan_; }
 
  private:
   std::shared_ptr<const core::ScenarioExtractor> extractor_;
   std::shared_ptr<PlanCache> cache_;
   Arena arena_;
   std::vector<float> probs_;  // per-slot softmax scratch, reused
+  bool last_used_plan_ = false;
+  std::uint64_t plan_executions_ = 0;  // compiled runs by *this* executor
 };
 
 }  // namespace tsdx::plan

@@ -1,6 +1,8 @@
 #include "serve/circuit.hpp"
 
 #include "core/check.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 
 namespace tsdx::serve {
 
@@ -105,6 +107,11 @@ void CircuitBreaker::trip_locked(Clock::time_point now) {
   saturated_ = false;
   ++trips_;
   if (trips_counter_ != nullptr) trips_counter_->inc();
+  // A trip is fleet-level distress: snapshot the flight-recorder state. The
+  // tripping thread usually runs under the faulting batch's trace (rank
+  // kCircuit < kSlo, so calling out while holding mutex_ is in order).
+  obs::SloEngine::global().note_anomaly(obs::Anomaly::kCircuitTrip,
+                                        obs::trace::current().trace_id);
 }
 
 void CircuitBreaker::set_state_locked(CircuitState state) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/check.hpp"
+#include "obs/slo.hpp"
 #include "serve/error.hpp"
 #include "serve/fault/inject.hpp"
 
@@ -63,8 +64,16 @@ std::future<core::ExtractionResult> Router::submit(
     throw ServerStoppedError("router is not accepting requests");
   }
   const auto now = Clock::now();
+  // Mint the trace before admission so even a shed request leaves a
+  // flight-recorder record carrying the verdict.
+  const obs::trace::Context trace = obs::trace::mint();
+  auto& recorder = obs::Recorder::global();
+  const std::uint64_t rec =
+      recorder.begin(obs::Recorder::Kind::kRouter, trace.trace_id);
   const AdmitVerdict verdict = admission_->admit(tenant, now);
+  recorder.on_admission(rec, to_string(verdict));
   if (verdict != AdmitVerdict::kAdmitted) {
+    recorder.finish(rec, obs::Recorder::Outcome::kRejected, registry_.get());
     throw AdmissionRejectedError("admission rejected tenant '" + tenant +
                                  "': " + to_string(verdict));
   }
@@ -75,7 +84,8 @@ std::future<core::ExtractionResult> Router::submit(
   ticket.deadline = deadline;
   ticket.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   ticket.submit_time = now;
-  ticket.trace = obs::trace::mint();
+  ticket.trace = trace;
+  ticket.rec = rec;
   auto future = ticket.promise.get_future();
   pending_inc();
 
@@ -155,10 +165,16 @@ Router::DispatchOutcome Router::dispatch(Ticket& ticket,
     const auto server = replica.server();
     if (!server) continue;
     try {
+      // Adopt the ticket's trace for the inner submit: the replica server
+      // reuses an ambient context instead of minting, so the replica-side
+      // record, spans, and exemplars all share the router's trace ID.
+      obs::trace::ContextGuard trace_guard(ticket.trace);
       auto inner = server->submit(sim::VideoClip(ticket.clip), ticket.deadline);
       replica.on_dispatch();
       ticket.inner = std::move(inner);
       ticket.replica = index;
+      obs::Recorder::global().set_replica(ticket.rec,
+                                          static_cast<std::int32_t>(index));
       return DispatchOutcome::kDispatched;
     } catch (const QueueFullError&) {
       if (last_error) *last_error = std::current_exception();
@@ -189,10 +205,15 @@ void Router::service(Ticket& ticket) {
         // inner future — deadlines are never extended — and charge the
         // stall to the replica's failure streak.
         replicas_[ticket.replica]->on_outcome(false);
+        // The inner server never saw this expiry (it's wedged inside the
+        // batch), so the router is the one that flags the miss.
+        obs::SloEngine::global().note_anomaly(obs::Anomaly::kDeadlineMiss,
+                                              ticket.trace.trace_id);
         fail_ticket(ticket,
                     std::make_exception_ptr(DeadlineExceededError(
                         "deadline passed while replica" +
-                        std::to_string(ticket.replica) + " stalled")));
+                        std::to_string(ticket.replica) + " stalled")),
+                    obs::Recorder::Outcome::kDeadlineExpired);
         return;
       }
     } else {
@@ -209,7 +230,8 @@ void Router::service(Ticket& ticket) {
       // Scrubbed pre-dispatch by the replica: overload, not a shard fault —
       // and the deadline cannot be extended, so there is nothing to retry.
       replicas_[ticket.replica]->on_expired();
-      fail_ticket(ticket, std::current_exception());
+      fail_ticket(ticket, std::current_exception(),
+                  obs::Recorder::Outcome::kDeadlineExpired);
       return;
     } catch (...) {
       error = std::current_exception();
@@ -218,6 +240,13 @@ void Router::service(Ticket& ticket) {
 
     if (shutting_down_.load(std::memory_order_acquire) ||
         ticket.attempt >= config_.max_attempts) {
+      if (!shutting_down_.load(std::memory_order_acquire)) {
+        // The request burned every attempt it was allowed — retry storm
+        // territory; dump the recorder so the sequence of shards and
+        // backoffs is reconstructible.
+        obs::SloEngine::global().note_anomaly(obs::Anomaly::kRetryStorm,
+                                              ticket.trace.trace_id);
+      }
       fail_ticket(ticket, error);
       return;
     }
@@ -231,7 +260,8 @@ void Router::service(Ticket& ticket) {
                   std::make_exception_ptr(DeadlineExceededError(
                       "remaining deadline budget cannot cover a retry after "
                       "attempt " +
-                      std::to_string(ticket.attempt) + " failed")));
+                      std::to_string(ticket.attempt) + " failed")),
+                  obs::Recorder::Outcome::kDeadlineExpired);
       return;
     }
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
@@ -242,13 +272,22 @@ void Router::service(Ticket& ticket) {
       case DispatchOutcome::kDispatched:
         retries_counter_.inc();
         if (ticket.replica != failed_replica) failovers_counter_.inc();
+        obs::Recorder::global().on_retry(
+            ticket.rec,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(backoff)
+                    .count()),
+            /*failover=*/ticket.replica != failed_replica);
         break;  // await the new inner future
       case DispatchOutcome::kNoCandidate:
         resolve_fleet_dark(ticket, error);
         return;
       case DispatchOutcome::kNoBudget:
         // The budget is the storm brake: surface the original failure
-        // instead of hammering replicas that stopped earning tokens.
+        // instead of hammering replicas that stopped earning tokens. That
+        // brake engaging IS the retry-storm signal.
+        obs::SloEngine::global().note_anomaly(obs::Anomaly::kRetryStorm,
+                                              ticket.trace.trace_id);
         fail_ticket(ticket, error);
         return;
     }
@@ -297,14 +336,21 @@ void Router::complete_ticket(Ticket& ticket, core::ExtractionResult result) {
   if (degraded) degraded_counter_.inc();
   obs::trace::record_span("route.request", ticket.trace, ticket.submit_time,
                           Clock::now());
+  obs::Recorder::global().finish(ticket.rec,
+                                 degraded
+                                     ? obs::Recorder::Outcome::kDegraded
+                                     : obs::Recorder::Outcome::kCompleted,
+                                 registry_.get());
   ticket.promise.set_value(std::move(result));
   finish_ticket(ticket);
 }
 
-void Router::fail_ticket(Ticket& ticket, std::exception_ptr error) {
+void Router::fail_ticket(Ticket& ticket, std::exception_ptr error,
+                         obs::Recorder::Outcome outcome) {
   failed_counter_.inc();
   obs::trace::record_span("route.request", ticket.trace, ticket.submit_time,
                           Clock::now());
+  obs::Recorder::global().finish(ticket.rec, outcome, registry_.get());
   ticket.promise.set_exception(std::move(error));
   finish_ticket(ticket);
 }

@@ -47,6 +47,7 @@
 #include "core/annotations.hpp"
 #include "core/extractor.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/queue.hpp"
@@ -203,6 +204,7 @@ class Router {
     std::size_t attempt = 1;  ///< dispatch attempts made
     Clock::time_point submit_time;
     obs::trace::Context trace;
+    std::uint64_t rec = 0;  ///< router-hop flight-recorder handle
   };
 
   enum class DispatchOutcome {
@@ -243,7 +245,9 @@ class Router {
   /// NoReplicaAvailableError. Resolves the ticket either way.
   void resolve_fleet_dark(Ticket& ticket, std::exception_ptr cause = nullptr);
   void complete_ticket(Ticket& ticket, core::ExtractionResult result);
-  void fail_ticket(Ticket& ticket, std::exception_ptr error);
+  void fail_ticket(
+      Ticket& ticket, std::exception_ptr error,
+      obs::Recorder::Outcome outcome = obs::Recorder::Outcome::kFailed);
   /// Admission release + pending decrement, after the promise is resolved.
   void finish_ticket(Ticket& ticket) TSDX_EXCLUDES(router_mutex_);
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/check.hpp"
+#include "obs/slo.hpp"
 #include "serve/fault/inject.hpp"
 #include "tensor/kernels/parallel_for.hpp"
 
@@ -105,11 +106,17 @@ std::future<core::ExtractionResult> InferenceServer::submit(
   Request request;
   request.clip = std::move(clip);
   request.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
-  // One trace ID per request, minted at the boundary. The context rides in
-  // the Request so the worker that dispatches it can adopt it; the guard
-  // scopes it to this call so the client thread's serve.submit span (and any
-  // inline processing under drain()) records under it too.
-  request.trace = obs::trace::mint();
+  // One trace ID per request. Minted at the boundary — unless the submitting
+  // thread already carries a context (the Router's dispatch runs under the
+  // ticket's trace): adopting it stitches the router hop and this server hop
+  // into one trace. The context rides in the Request so the worker that
+  // dispatches it can adopt it; the guard scopes it to this call so the
+  // client thread's serve.submit span (and any inline processing under
+  // drain()) records under it too.
+  const obs::trace::Context ambient = obs::trace::current();
+  request.trace = ambient.trace_id != 0 ? ambient : obs::trace::mint();
+  request.rec = obs::Recorder::global().begin(obs::Recorder::Kind::kServer,
+                                              request.trace.trace_id);
   obs::trace::ContextGuard trace_guard(request.trace);
   TSDX_TRACE_SPAN("serve.submit");
   request.submit_time = Clock::now();
@@ -122,6 +129,11 @@ std::future<core::ExtractionResult> InferenceServer::submit(
   if (deadline && *deadline <= request.submit_time) {
     stats_.on_submit(queue_.size());
     stats_.on_deadline_expired();
+    obs::Recorder::global().finish(request.rec,
+                                   obs::Recorder::Outcome::kDeadlineExpired,
+                                   registry_.get());
+    obs::SloEngine::global().note_anomaly(obs::Anomaly::kDeadlineMiss,
+                                          request.trace.trace_id);
     request.promise.set_exception(std::make_exception_ptr(
         DeadlineExceededError("deadline already expired at submit()")));
     return future;
@@ -131,11 +143,14 @@ std::future<core::ExtractionResult> InferenceServer::submit(
     LockGuard lock(pending_mutex_);
     ++pending_;
   }
+  const std::uint64_t rec = request.rec;  // survives the move into the queue
   std::optional<Request> shed;
   try {
     shed = queue_.push(std::move(request));
   } catch (const QueueFullError&) {
     stats_.on_reject();
+    obs::Recorder::global().finish(rec, obs::Recorder::Outcome::kRejected,
+                                   registry_.get());
     {
       LockGuard lock(pending_mutex_);
       --pending_;
@@ -144,6 +159,8 @@ std::future<core::ExtractionResult> InferenceServer::submit(
     throw;
   } catch (const ServerStoppedError&) {
     // A kBlock push parked on a full queue can be woken by shutdown().
+    obs::Recorder::global().finish(rec, obs::Recorder::Outcome::kCancelled,
+                                   registry_.get());
     {
       LockGuard lock(pending_mutex_);
       --pending_;
@@ -151,15 +168,18 @@ std::future<core::ExtractionResult> InferenceServer::submit(
     pending_cv_.notify_all();
     throw;
   }
+  obs::Recorder::global().on_enqueued(rec);
   const std::size_t depth = queue_.size();
   stats_.on_submit(depth);
   circuit_.on_queue_depth(depth, config_.queue_capacity, Clock::now());
 
   if (shed) {
     stats_.on_shed();
-    fail_request(*shed, std::make_exception_ptr(QueueFullError(
-                            "request shed by a newer submission "
-                            "(OverflowPolicy::kShedOldest)")));
+    fail_request(*shed,
+                 std::make_exception_ptr(QueueFullError(
+                     "request shed by a newer submission "
+                     "(OverflowPolicy::kShedOldest)")),
+                 obs::Recorder::Outcome::kShed);
   }
   return future;
 }
@@ -228,6 +248,7 @@ std::vector<InferenceServer::Request> InferenceServer::fill_batch(
   batch.reserve(config_.max_batch);
   const auto window_deadline = Clock::now() + config_.batch_window;
   if (!expire_if_due(first, Clock::now())) {
+    obs::Recorder::global().on_dispatch(first.rec);
     batch.push_back(std::move(first));
   }
   while (batch.size() < config_.max_batch) {
@@ -240,6 +261,7 @@ std::vector<InferenceServer::Request> InferenceServer::fill_batch(
     // deadline has passed is failed immediately and never takes a slot a
     // live request could use.
     if (expire_if_due(*more, Clock::now())) continue;
+    obs::Recorder::global().on_dispatch(more->rec);
     batch.push_back(std::move(*more));
   }
   return batch;
@@ -263,7 +285,7 @@ void InferenceServer::process_batch(const Replica& replica,
   obs::trace::ContextGuard trace_guard(live.front().trace);
   TSDX_TRACE_SPAN("serve.batch");
   for (Request& request : live) {
-    stats_.on_dispatch(now - request.submit_time);
+    stats_.on_dispatch(now - request.submit_time, request.trace.trace_id);
     obs::trace::record_span("serve.queue_wait", request.trace,
                             request.submit_time, now);
   }
@@ -291,6 +313,15 @@ void InferenceServer::process_batch(const Replica& replica,
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const auto& group = groups[g];
     stats_.on_batch(group.size());
+    // Flight-record the execution start: one batch id per model dispatch
+    // (each geometry group is its own dispatch).
+    obs::Recorder& recorder = obs::Recorder::global();
+    const std::uint64_t batch_id = recorder.mint_batch_id();
+    for (const std::size_t i : group) {
+      recorder.on_execute(live[i].rec, batch_id,
+                          static_cast<std::uint32_t>(group.size()),
+                          static_cast<std::int32_t>(replica.worker_index));
+    }
     std::size_t resolved = 0;
     try {
       std::vector<const sim::VideoClip*> clips;
@@ -305,6 +336,12 @@ void InferenceServer::process_batch(const Replica& replica,
           replica.plan_executor != nullptr
               ? replica.plan_executor->extract_batch(batch)
               : replica.extractor->extract_batch(batch);
+      const obs::Recorder::Path path =
+          replica.plan_executor != nullptr &&
+                  replica.plan_executor->last_used_plan()
+              ? obs::Recorder::Path::kPlan
+              : obs::Recorder::Path::kDynamic;
+      for (const std::size_t i : group) recorder.set_path(live[i].rec, path);
       TSDX_CHECK(results.size() == group.size(),
                  "InferenceServer: extract_batch returned ", results.size(),
                  " results for a batch of ", group.size());
@@ -348,6 +385,8 @@ void InferenceServer::process_batch(const Replica& replica,
 void InferenceServer::process_degraded(std::vector<Request>& requests) {
   // The circuit only routes here when a fallback is configured.
   for (Request& request : requests) {
+    obs::Recorder::global().set_path(request.rec,
+                                     obs::Recorder::Path::kFallback);
     try {
       core::ExtractionResult result = config_.fallback->extract(request.clip);
       // Accounting before resolution (same visibility contract as
@@ -370,7 +409,12 @@ bool InferenceServer::expire_if_due(Request& request, Clock::time_point now) {
   stats_.on_deadline_expired();
   fail_request(request,
                std::make_exception_ptr(DeadlineExceededError(
-                   "request deadline expired before dispatch")));
+                   "request deadline expired before dispatch")),
+               obs::Recorder::Outcome::kDeadlineExpired);
+  // A missed deadline is the SLO engine's flagship anomaly: snapshot the
+  // recorder + span state while the evidence is still in the rings.
+  obs::SloEngine::global().note_anomaly(obs::Anomaly::kDeadlineMiss,
+                                        request.trace.trace_id);
   return true;
 }
 
@@ -389,9 +433,18 @@ void InferenceServer::notify_result(const Request& request,
 
 void InferenceServer::finish_request(Request& request, DoneKind kind) {
   const auto now = Clock::now();
-  stats_.on_done(now - request.submit_time, kind);
+  stats_.on_done(now - request.submit_time, kind, request.trace.trace_id);
   obs::trace::record_span("serve.request", request.trace, request.submit_time,
                           now);
+  obs::Recorder::Outcome outcome = obs::Recorder::Outcome::kCompleted;
+  switch (kind) {
+    case DoneKind::kCompleted: outcome = obs::Recorder::Outcome::kCompleted;
+      break;
+    case DoneKind::kDegraded: outcome = obs::Recorder::Outcome::kDegraded;
+      break;
+    case DoneKind::kFailed: outcome = obs::Recorder::Outcome::kFailed; break;
+  }
+  obs::Recorder::global().finish(request.rec, outcome, registry_.get());
   {
     LockGuard lock(pending_mutex_);
     --pending_;
@@ -399,9 +452,11 @@ void InferenceServer::finish_request(Request& request, DoneKind kind) {
   pending_cv_.notify_all();
 }
 
-void InferenceServer::fail_request(Request& request, std::exception_ptr error) {
+void InferenceServer::fail_request(Request& request, std::exception_ptr error,
+                                   obs::Recorder::Outcome outcome) {
   obs::trace::record_span("serve.request", request.trace, request.submit_time,
                           Clock::now());
+  obs::Recorder::global().finish(request.rec, outcome, registry_.get());
   request.promise.set_exception(std::move(error));
   {
     LockGuard lock(pending_mutex_);
@@ -463,7 +518,7 @@ void InferenceServer::shutdown() {
   const std::exception_ptr stopped = std::make_exception_ptr(
       ServerStoppedError("server shut down before the request was dispatched"));
   for (Request& request : leftover) {
-    fail_request(request, stopped);
+    fail_request(request, stopped, obs::Recorder::Outcome::kCancelled);
   }
   // Workers finish their in-flight batch, see the closed-and-empty queue,
   // and exit; join() then waits for exactly that.

@@ -53,6 +53,7 @@
 #include "core/annotations.hpp"
 #include "core/extractor.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "plan/executor.hpp"
 #include "obs/trace.hpp"
 #include "serve/circuit.hpp"
@@ -209,10 +210,14 @@ class InferenceServer {
     std::promise<core::ExtractionResult> promise;
     std::chrono::steady_clock::time_point submit_time;
     std::optional<Clock::time_point> deadline;
-    /// Trace context minted at submit() and carried to the worker, so the
-    /// batch's spans (serve.batch -> extract.batch -> model.*) join the
-    /// submitting request's trace.
+    /// Trace context carried to the worker so the batch's spans
+    /// (serve.batch -> extract.batch -> model.*) join the submitting
+    /// request's trace. Minted at submit() — unless the submitting thread
+    /// already runs under a trace (the Router's dispatch), which the server
+    /// adopts so the routed hop and the replica hop share one trace ID.
     obs::trace::Context trace;
+    /// Flight-recorder handle (obs::Recorder), opened at submit().
+    std::uint64_t rec = 0;
   };
 
   /// Internal signal: a batch threw out of extract_batch. The worker's loop
@@ -262,7 +267,10 @@ class InferenceServer {
                      const core::ExtractionResult& result, bool degraded);
   void finish_request(Request& request, DoneKind kind)
       TSDX_EXCLUDES(pending_mutex_);
-  void fail_request(Request& request, std::exception_ptr error)
+  /// `outcome` closes the request's flight record (why the future failed:
+  /// shed, cancelled, deadline-expired, ...).
+  void fail_request(Request& request, std::exception_ptr error,
+                    obs::Recorder::Outcome outcome)
       TSDX_EXCLUDES(pending_mutex_);
   void process_inline();  // workers == 0 path, used by drain()
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.hpp"
+#include "obs/slo.hpp"
 #include "serve/queue.hpp"
 
 namespace tsdx::serve {
@@ -132,9 +133,9 @@ void StatsCollector::on_shed() { shed_.inc(); }
 
 void StatsCollector::on_cancel(std::size_t count) { cancelled_.inc(count); }
 
-void StatsCollector::on_dispatch(
-    std::chrono::steady_clock::duration queue_wait) {
-  queue_wait_hist_.observe(to_ms(queue_wait));
+void StatsCollector::on_dispatch(std::chrono::steady_clock::duration queue_wait,
+                                 std::uint64_t trace_id) {
+  queue_wait_hist_.observe(to_ms(queue_wait), trace_id);
 }
 
 void StatsCollector::on_batch(std::size_t batch_size) {
@@ -147,7 +148,7 @@ void StatsCollector::on_batch(std::size_t batch_size) {
 }
 
 void StatsCollector::on_done(std::chrono::steady_clock::duration latency,
-                             DoneKind kind) {
+                             DoneKind kind, std::uint64_t trace_id) {
   // Relaxed counter bumps are still visible to a client that observed its
   // future's outcome: they are sequenced before the promise resolution in
   // server.cpp, and future.get() synchronizes with set_value/set_exception.
@@ -164,14 +165,25 @@ void StatsCollector::on_done(std::chrono::steady_clock::duration latency,
       break;
   }
   const double ms = to_ms(latency);
-  latency_hist_.observe(ms);
-  LockGuard lock(mutex_);
-  latency_samples_.record(ms);
+  latency_hist_.observe(ms, trace_id);
+  {
+    LockGuard lock(mutex_);
+    latency_samples_.record(ms);
+  }
+  // SLO accounting is process-wide by design: the burn gauges answer "is
+  // this deployment eating its error budget", across however many servers
+  // share the process. kFailed burns budget; so does a completion slower
+  // than the objective (the engine applies the threshold).
+  obs::SloEngine::global().on_event(kind != DoneKind::kFailed, ms);
 }
 
 void StatsCollector::on_worker_fault() { worker_faults_.inc(); }
 
-void StatsCollector::on_deadline_expired() { deadline_expired_.inc(); }
+void StatsCollector::on_deadline_expired() {
+  deadline_expired_.inc();
+  // An expired request is a bad event no matter how fast it would have been.
+  obs::SloEngine::global().on_event(/*ok=*/false, /*latency_ms=*/0.0);
+}
 
 ServerStats StatsCollector::snapshot(std::size_t queue_depth_now,
                                      CircuitState circuit_state,

@@ -110,12 +110,20 @@ class StatsCollector {
   void on_shed();
   void on_cancel(std::size_t count);
   /// A request left the queue for a batch slot; `queue_wait` is
-  /// submit-to-dispatch.
-  void on_dispatch(std::chrono::steady_clock::duration queue_wait);
+  /// submit-to-dispatch. A nonzero `trace_id` becomes the histogram bucket's
+  /// exemplar (obs::Histogram::observe).
+  void on_dispatch(std::chrono::steady_clock::duration queue_wait,
+                   std::uint64_t trace_id = 0);
   void on_batch(std::size_t batch_size) TSDX_EXCLUDES(mutex_);
-  void on_done(std::chrono::steady_clock::duration latency, DoneKind kind)
-      TSDX_EXCLUDES(mutex_);
+  /// Terminal request accounting. Besides the serve.* counters and latency
+  /// histograms (exemplared with `trace_id` when nonzero), feeds the
+  /// process-wide obs::SloEngine one good/bad event — kFailed and
+  /// objective-overrunning latencies burn error budget.
+  void on_done(std::chrono::steady_clock::duration latency, DoneKind kind,
+               std::uint64_t trace_id = 0) TSDX_EXCLUDES(mutex_);
   void on_worker_fault();
+  /// Counts the expiry and feeds the SLO engine a bad event (an expired
+  /// request never got an answer, whatever its latency would have been).
   void on_deadline_expired();
 
   ServerStats snapshot(std::size_t queue_depth_now,

@@ -8,15 +8,22 @@
 
 #include <array>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/extractor.hpp"
 #include "nn/layers.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "nn/serialize.hpp"
 #include "sdl/description.hpp"
 #include "serve/fallback.hpp"
@@ -330,6 +337,94 @@ TEST(ChaosTest, ExpiredDeadlinesAreScrubbedBeforeDispatch) {
   EXPECT_EQ(stats.batches(), 1u);
   EXPECT_EQ(stats.batch_size_counts[2], 1u);
   EXPECT_EQ(stats.latency.count(), 2u);
+}
+
+// A seeded stall holds the single worker while a queued request's deadline
+// runs out; the scrub must trigger exactly one deadline-miss anomaly dump in
+// TSDX_OBS_DUMP_DIR, naming the offending trace and carrying its flight
+// record. CI points TSDX_OBS_DUMP_DIR at a fresh directory, runs this test,
+// and validates the dump with tools/trace_check.py --dump; without a preset
+// directory the test arms its own.
+TEST(ChaosTest, DeadlineMissWritesExactlyOneAnomalyDump) {
+  namespace trace = tsdx::obs::trace;
+  // Full tracing so the offending request has a nonzero trace ID to dump.
+  trace::set_mode(trace::Mode::kFull);
+  trace::clear();
+  // Re-arm the global engine's per-kind dump cap no matter what ran before
+  // this test in a whole-binary (tsan) run.
+  obs::SloEngine::global().reset();
+
+  const char* preset = std::getenv("TSDX_OBS_DUMP_DIR");
+  std::filesystem::path dir;
+  if (preset != nullptr && preset[0] != '\0') {
+    dir = preset;
+    std::filesystem::create_directories(dir);
+  } else {
+    dir = std::filesystem::temp_directory_path() / "chaos_test_dumps";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    ::setenv("TSDX_OBS_DUMP_DIR", dir.string().c_str(), 1);
+  }
+  const auto miss_dumps = [&dir] {
+    std::set<std::string> names;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.find("deadline_miss") != std::string::npos) names.insert(name);
+    }
+    return names;
+  };
+  const std::set<std::string> before = miss_dumps();
+
+  {
+    auto server = serve::InferenceServer(make_frozen_extractor(),
+                                         sequential_config());
+    const auto clips = make_clips(2);
+    fault::FaultPlan plan;
+    plan.delay_on_extract_calls = {1};  // stall the first dispatch 20 ms
+    plan.extract_delay = std::chrono::milliseconds(20);
+    fault::ScopedFaultPlan armed(plan);
+    auto stalled = server.submit(clips[0]);  // no deadline: occupies the worker
+    auto expired =
+        server.submit_within(clips[1], std::chrono::milliseconds(2));
+    EXPECT_NO_THROW(stalled.get());
+    EXPECT_THROW(expired.get(), serve::DeadlineExceededError);
+    server.drain();
+    EXPECT_EQ(server.stats().deadline_expired, 1u);
+  }
+  if (preset == nullptr || preset[0] == '\0') {
+    ::unsetenv("TSDX_OBS_DUMP_DIR");
+  }
+  trace::set_mode(trace::Mode::kOff);
+  trace::clear();
+
+  // Exactly one new deadline-miss dump, and it tells the whole story: the
+  // anomaly kind, a real trace ID, and that trace's deadline-expired record.
+  const std::set<std::string> after = miss_dumps();
+  std::vector<std::string> fresh;
+  for (const std::string& name : after) {
+    if (before.find(name) == before.end()) fresh.push_back(name);
+  }
+  ASSERT_EQ(fresh.size(), 1u);
+  std::ifstream in(dir / fresh.front());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string body = buffer.str();
+  EXPECT_NE(body.find("\"anomaly\": \"deadline_miss\""), std::string::npos)
+      << body;
+  const std::string key = "\"trace_id\": ";
+  const std::size_t pos = body.find(key);
+  ASSERT_NE(pos, std::string::npos) << body;
+  const std::uint64_t offender = std::strtoull(
+      body.c_str() + pos + key.size(), nullptr, 10);
+  EXPECT_NE(offender, 0u) << body;
+  // The offender's flight record is embedded, terminally deadline_expired.
+  std::ostringstream record_key;
+  record_key << "\"trace_id\": " << offender
+             << ", \"kind\": \"server\", \"outcome\": \"deadline_expired\"";
+  EXPECT_NE(body.find(record_key.str()), std::string::npos) << body;
+  if (preset == nullptr || preset[0] == '\0') {
+    std::filesystem::remove_all(dir);
+  }
 }
 
 // A generous deadline is inert: the request completes normally.

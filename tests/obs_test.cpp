@@ -11,10 +11,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,8 @@
 #include "core/extractor.hpp"
 #include "core/lockorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "serve/thread_pool.hpp"
@@ -155,6 +160,52 @@ TEST(ObsLatencyHistogramTest, RecordsAndSummarizes) {
   EXPECT_EQ(hist.percentile(50.0), 2.0);
 }
 
+// The reservoir fix: storage stays bounded past kReservoirCapacity while
+// count/mean/min/max remain exact running aggregates and p0/p100 are pinned
+// to the true extremes. The replacement draw is a hash of the running count,
+// so two histograms fed the same sequence agree on every percentile.
+TEST(ObsLatencyHistogramTest, ReservoirBoundsStorageAndKeepsExactAggregates) {
+  obs::LatencyHistogram hist;
+  obs::LatencyHistogram twin;
+  const std::size_t n = 3 * obs::LatencyHistogram::kReservoirCapacity;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // A deterministic shuffle-ish sequence covering [0, n).
+    const double v = static_cast<double>((i * 7919) % n);
+    hist.record(v);
+    twin.record(v);
+    sum += v;
+  }
+  EXPECT_EQ(hist.count(), n);
+  EXPECT_EQ(hist.samples().size(), obs::LatencyHistogram::kReservoirCapacity);
+  EXPECT_DOUBLE_EQ(hist.mean(), sum / static_cast<double>(n));
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), static_cast<double>(n - 1));
+  // p0/p100 answer from the running extremes, not the reservoir.
+  EXPECT_EQ(hist.percentile(0.0), 0.0);
+  EXPECT_EQ(hist.percentile(100.0), static_cast<double>(n - 1));
+  // The reservoir estimate is a uniform sample of a uniform distribution:
+  // the median lands near n/2 (loose bound; determinism is what's pinned).
+  const double p50 = hist.percentile(50.0);
+  EXPECT_GT(p50, 0.35 * static_cast<double>(n));
+  EXPECT_LT(p50, 0.65 * static_cast<double>(n));
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0}) {
+    EXPECT_EQ(hist.percentile(p), twin.percentile(p))
+        << "reservoir not deterministic at p=" << p;
+  }
+}
+
+// Below the capacity nothing changed: every sample is retained verbatim and
+// percentiles are exact (the original contract, now with a bounded tail).
+TEST(ObsLatencyHistogramTest, BelowCapacityPercentilesStayExact) {
+  obs::LatencyHistogram hist;
+  for (int i = 100; i >= 1; --i) hist.record(static_cast<double>(i));
+  EXPECT_EQ(hist.samples().size(), 100u);
+  EXPECT_EQ(hist.percentile(50.0), 50.0);
+  EXPECT_EQ(hist.percentile(99.0), 99.0);
+  EXPECT_EQ(hist.percentile(100.0), 100.0);
+}
+
 // ---- metrics registry ------------------------------------------------------------
 
 TEST(ObsMetricsTest, CounterAccumulates) {
@@ -265,6 +316,263 @@ TEST(ObsMetricsTest, JsonAndPrometheusExposition) {
   EXPECT_NE(prom.find("lat_ms_bucket{le=\"+Inf\"} 1"), std::string::npos)
       << prom;
   EXPECT_NE(prom.find("lat_ms_count 1"), std::string::npos) << prom;
+}
+
+// Trace-ID exemplars: an observation that carries a trace ID is remembered
+// on its bucket and rendered as an OpenMetrics exemplar, linking the
+// histogram's slow tail to a concrete flight-recorder trace.
+TEST(ObsMetricsTest, HistogramExemplarsLinkBucketsToTraces) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("seg.ms", {1.0, 10.0});
+  hist.observe(0.5);        // untraced: no exemplar on bucket 0
+  hist.observe(5.0, 77);    // traced: exemplar on the (1, 10] bucket
+  hist.observe(100.0, 78);  // traced: exemplar on the +Inf bucket
+  EXPECT_EQ(hist.exemplar(0).trace_id, 0u);
+  EXPECT_EQ(hist.exemplar(1).trace_id, 77u);
+  EXPECT_DOUBLE_EQ(hist.exemplar(1).value, 5.0);
+  EXPECT_EQ(hist.exemplar(2).trace_id, 78u);
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("seg_ms_bucket{le=\"10\"} 2 # {trace_id=\"77\"} 5"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("seg_ms_bucket{le=\"+Inf\"} 3 # {trace_id=\"78\"} 100"),
+            std::string::npos)
+      << prom;
+  // The untraced bucket renders without a suffix.
+  EXPECT_NE(prom.find("seg_ms_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << prom;
+  // A later traced observation in the same bucket wins (latest exemplar).
+  hist.observe(6.0, 79);
+  EXPECT_EQ(hist.exemplar(1).trace_id, 79u);
+}
+
+// ---- flight recorder -------------------------------------------------------------
+
+TEST(ObsRecorderTest, LifecycleDerivesSegmentsThatSumToEndToEnd) {
+  obs::Recorder recorder;
+  obs::Registry registry;
+  const std::uint64_t h =
+      recorder.begin(obs::Recorder::Kind::kServer, /*trace_id=*/77);
+  ASSERT_NE(h, 0u);
+  recorder.on_enqueued(h);
+  recorder.on_dispatch(h);
+  recorder.on_execute(h, recorder.mint_batch_id(), /*batch_size=*/4,
+                      /*worker=*/1);
+  recorder.set_path(h, obs::Recorder::Path::kPlan);
+  recorder.finish(h, obs::Recorder::Outcome::kCompleted, &registry);
+
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  const obs::Recorder::Record& r = records[0];
+  EXPECT_EQ(r.trace_id, 77u);
+  EXPECT_EQ(r.outcome, obs::Recorder::Outcome::kCompleted);
+  EXPECT_EQ(r.path, obs::Recorder::Path::kPlan);
+  EXPECT_EQ(r.batch_size, 4u);
+  EXPECT_EQ(r.worker, 1);
+  EXPECT_GE(r.batch_id, 1u);
+  // Timeline is monotone through the milestones.
+  EXPECT_LE(r.submit_ns, r.enqueue_ns);
+  EXPECT_LE(r.enqueue_ns, r.dispatch_ns);
+  EXPECT_LE(r.dispatch_ns, r.execute_ns);
+  EXPECT_LE(r.execute_ns, r.done_ns);
+
+  // The derived segments partition e2e exactly — the obs_report.py
+  // attribution gate depends on this invariant, pinned here at the source.
+  const char* segments[] = {"obs.segment_ms.admission", "obs.segment_ms.queue",
+                            "obs.segment_ms.batch_wait",
+                            "obs.segment_ms.execute"};
+  double attributed = 0.0;
+  for (const char* name : segments) {
+    obs::Histogram& hist = registry.histogram(name);
+    EXPECT_EQ(hist.count(), 1u) << name;
+    attributed += hist.sum();
+  }
+  obs::Histogram& e2e = registry.histogram("obs.e2e_ms");
+  EXPECT_EQ(e2e.count(), 1u);
+  EXPECT_NEAR(e2e.sum(), attributed, 1e-9);
+
+  // And the JSON export carries the full schema trace_check.py validates.
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("\"trace_id\": 77"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"outcome\": \"completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"server\""), std::string::npos);
+}
+
+// Requests that never reach later milestones clamp the missing segments to
+// zero length, so the partition invariant holds even for an expired request
+// that was never dispatched — and expired/shed records stay out of the
+// histograms entirely.
+TEST(ObsRecorderTest, MissingMilestonesClampAndNonServedStayUnobserved) {
+  obs::Recorder recorder;
+  obs::Registry registry;
+  // Failed after enqueue, never dispatched: queue/batch_wait/execute clamp.
+  const std::uint64_t failed =
+      recorder.begin(obs::Recorder::Kind::kServer, 1);
+  recorder.on_enqueued(failed);
+  recorder.finish(failed, obs::Recorder::Outcome::kFailed, &registry);
+  EXPECT_EQ(registry.histogram("obs.e2e_ms").count(), 1u);
+  EXPECT_EQ(registry.histogram("obs.segment_ms.execute").count(), 1u);
+  // Deadline-expired: timeline kept in the ring, histograms untouched.
+  const std::uint64_t expired =
+      recorder.begin(obs::Recorder::Kind::kServer, 2);
+  recorder.finish(expired, obs::Recorder::Outcome::kDeadlineExpired,
+                  &registry);
+  EXPECT_EQ(registry.histogram("obs.e2e_ms").count(), 1u);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].outcome, obs::Recorder::Outcome::kDeadlineExpired);
+}
+
+TEST(ObsRecorderTest, RouterRecordAccumulatesRetriesIntoBackoffHistogram) {
+  obs::Recorder recorder;
+  obs::Registry registry;
+  const std::uint64_t h = recorder.begin(obs::Recorder::Kind::kRouter, 9);
+  recorder.on_admission(h, "admitted");
+  recorder.set_replica(h, 2);
+  recorder.on_retry(h, /*backoff_ns=*/1'000'000, /*failover=*/true);
+  recorder.on_retry(h, /*backoff_ns=*/2'000'000, /*failover=*/false);
+  recorder.finish(h, obs::Recorder::Outcome::kFailed, &registry);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].attempts, 2u);
+  EXPECT_EQ(records[0].failovers, 1u);
+  EXPECT_EQ(records[0].backoff_ns, 3'000'000);
+  EXPECT_EQ(records[0].replica, 2);
+  obs::Histogram& backoff =
+      registry.histogram("obs.segment_ms.retry_backoff");
+  EXPECT_EQ(backoff.count(), 1u);
+  EXPECT_DOUBLE_EQ(backoff.sum(), 3.0);
+  // Router records never feed the server-side e2e partition.
+  EXPECT_EQ(registry.histogram("obs.e2e_ms").count(), 0u);
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("\"admission\": \"admitted\""), std::string::npos);
+}
+
+// The ring is a diagnostic buffer, not a ledger: hooks against a handle the
+// ring has lapped are silently dropped instead of corrupting the younger
+// record that now owns the slot.
+TEST(ObsRecorderTest, LappedHandlesAreDroppedSilently) {
+  obs::Recorder recorder;
+  obs::Registry registry;
+  const std::uint64_t old_handle =
+      recorder.begin(obs::Recorder::Kind::kServer, 5);
+  for (std::size_t i = 0; i < obs::Recorder::kRingCapacity; ++i) {
+    recorder.begin(obs::Recorder::Kind::kServer, 0);
+  }
+  recorder.on_dispatch(old_handle);
+  recorder.finish(old_handle, obs::Recorder::Outcome::kCompleted, &registry);
+  // The lapped finish neither observed histograms nor resurfaced the record.
+  EXPECT_EQ(registry.histogram("obs.e2e_ms").count(), 0u);
+  for (const obs::Recorder::Record& r : recorder.snapshot()) {
+    EXPECT_NE(r.id, old_handle);
+  }
+  // Handle 0 is the inert no-record handle: every hook is a no-op.
+  recorder.on_enqueued(0);
+  recorder.finish(0, obs::Recorder::Outcome::kFailed, &registry);
+  EXPECT_EQ(registry.histogram("obs.e2e_ms").count(), 0u);
+}
+
+// ---- SLO engine ------------------------------------------------------------------
+
+TEST(ObsSloTest, BurnRatesTrackBothWindowsAndTheBudget) {
+  obs::Registry registry;
+  obs::SloConfig cfg;
+  cfg.latency_objective_ms = 100.0;
+  cfg.target = 0.9;  // error budget = 10%
+  obs::SloEngine engine(cfg, &registry);
+  const auto t0 = obs::SloEngine::Clock::now();
+  for (int i = 0; i < 9; ++i) engine.on_event(true, 10.0, t0);
+  engine.on_event(true, 500.0, t0);  // over the objective: a bad event
+  const obs::SloSnapshot at_t0 = engine.snapshot(t0);
+  EXPECT_EQ(at_t0.good_fast, 9u);
+  EXPECT_EQ(at_t0.bad_fast, 1u);
+  // 10% bad over a 10% budget: burning at exactly the sustainable rate.
+  EXPECT_DOUBLE_EQ(at_t0.burn_rate_fast, 1.0);
+  EXPECT_DOUBLE_EQ(at_t0.burn_rate_slow, 1.0);
+  EXPECT_NEAR(at_t0.budget_remaining, 0.0, 1e-12);
+  // Gauges export in milli-units.
+  EXPECT_EQ(registry.gauge("slo.burn_rate_fast").value(), 1000);
+  EXPECT_EQ(registry.gauge("slo.budget_remaining").value(), 0);
+
+  // Two minutes later the fast window has forgotten the burst; the slow
+  // window is still bleeding — the separation that tells "spiking now"
+  // from "quietly burning".
+  const auto later = t0 + std::chrono::seconds(120);
+  const obs::SloSnapshot at_later = engine.snapshot(later);
+  EXPECT_EQ(at_later.good_fast + at_later.bad_fast, 0u);
+  EXPECT_EQ(at_later.bad_slow, 1u);
+  EXPECT_DOUBLE_EQ(at_later.burn_rate_fast, 0.0);
+  EXPECT_DOUBLE_EQ(at_later.burn_rate_slow, 1.0);
+
+  engine.reset();
+  const obs::SloSnapshot after_reset = engine.snapshot(later);
+  EXPECT_EQ(after_reset.good_slow + after_reset.bad_slow, 0u);
+  EXPECT_DOUBLE_EQ(after_reset.budget_remaining, 1.0);
+}
+
+TEST(ObsSloTest, FailuresAreBadRegardlessOfLatency) {
+  obs::Registry registry;
+  obs::SloEngine engine(obs::SloConfig{}, &registry);
+  const auto t0 = obs::SloEngine::Clock::now();
+  engine.on_event(/*ok=*/false, /*latency_ms=*/0.0, t0);
+  const obs::SloSnapshot snap = engine.snapshot(t0);
+  EXPECT_EQ(snap.bad_fast, 1u);
+  EXPECT_EQ(snap.good_fast, 0u);
+}
+
+TEST(ObsSloTest, AnomalyDumpsAreWrittenCappedAndCounted) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "obs_test_slo_dumps";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ::setenv("TSDX_OBS_DUMP_DIR", dir.string().c_str(), 1);
+  obs::Registry registry;
+  obs::SloConfig cfg;
+  cfg.max_dumps_per_kind = 2;
+  obs::SloEngine engine(cfg, &registry);
+  for (int i = 0; i < 5; ++i) {
+    engine.note_anomaly(obs::Anomaly::kRetryStorm, /*trace_id=*/0);
+  }
+  engine.note_anomaly(obs::Anomaly::kCircuitTrip, /*trace_id=*/0);
+  ::unsetenv("TSDX_OBS_DUMP_DIR");
+
+  // Every anomaly is counted; only the first max_dumps_per_kind hit disk.
+  EXPECT_EQ(registry.counter("slo.anomalies.retry_storm").value(), 5u);
+  EXPECT_EQ(registry.counter("slo.anomalies.circuit_trip").value(), 1u);
+  std::size_t storm_dumps = 0;
+  std::size_t trip_dumps = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find("retry_storm") != std::string::npos) ++storm_dumps;
+    if (name.find("circuit_trip") != std::string::npos) ++trip_dumps;
+    std::ifstream in(entry.path());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"anomaly\""), std::string::npos);
+    EXPECT_NE(body.str().find("\"records\""), std::string::npos);
+    EXPECT_NE(body.str().find("\"spans\""), std::string::npos);
+  }
+  EXPECT_EQ(storm_dumps, 2u);
+  EXPECT_EQ(trip_dumps, 1u);
+
+  // reset() re-arms the cap (and restarts the dump sequence, so use a
+  // fresh directory to count).
+  engine.reset();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ::setenv("TSDX_OBS_DUMP_DIR", dir.string().c_str(), 1);
+  engine.note_anomaly(obs::Anomaly::kRetryStorm, 0);
+  ::unsetenv("TSDX_OBS_DUMP_DIR");
+  storm_dumps = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find("retry_storm") !=
+        std::string::npos) {
+      ++storm_dumps;
+    }
+  }
+  EXPECT_EQ(storm_dumps, 1u);
+  std::filesystem::remove_all(dir);
 }
 
 // ---- span tracing ----------------------------------------------------------------

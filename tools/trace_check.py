@@ -44,11 +44,31 @@ the plan-level span structure instead:
   plan metrics      counters plan.compiled and plan.executions are positive
                     — plans were built and actually used, not silently
                     fallen back from (the serve.* checks still apply).
+
+Optional artifact checks (combinable with or without the positionals; at
+least one check must be requested):
+
+  --prom FILE       Prometheus exposition with OpenMetrics exemplars: every
+                    `# {...}` suffix parses as ` # {trace_id="N"} value`, and
+                    at least one histogram bucket carries one — the slowest
+                    requests are linkable to a concrete flight-recorder
+                    trace.
+  --recorder FILE   Flight-recorder ring dump (serve_demo --metrics-dump
+                    writes tsdx_recorder.json): {"records": [...]}, each
+                    record carrying the full schema (id / trace_id / kind /
+                    outcome / path / batching / timeline fields), with at
+                    least one terminal served record.
+  --dump FILE       Anomaly dump written by the SLO engine to
+                    TSDX_OBS_DUMP_DIR: anomaly kind, offending trace_id, slo
+                    window snapshot, recorder records, span tail. When
+                    trace_id is nonzero, a record with that trace must be in
+                    the dump.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import sys
 
 REQUIRED_SPANS = {
@@ -195,15 +215,183 @@ def check_metrics(metrics, plan_mode: bool) -> None:
     )
 
 
+# One flight-recorder record, as append_record_json (src/obs/recorder.cpp)
+# emits it. `admission` is optional (only router-hop records that reached the
+# admission gate carry it); everything else is always present.
+RECORD_REQUIRED = {
+    "id": int,
+    "trace_id": int,
+    "kind": str,
+    "outcome": str,
+    "path": str,
+    "batch_id": int,
+    "batch_size": int,
+    "worker": int,
+    "replica": int,
+    "attempts": int,
+    "failovers": int,
+    "submit_ns": int,
+    "enqueue_ns": int,
+    "dispatch_ns": int,
+    "execute_ns": int,
+    "done_ns": int,
+    "backoff_ns": int,
+}
+
+RECORD_KINDS = {"server", "router"}
+RECORD_OUTCOMES = {
+    "in_flight", "completed", "degraded", "failed", "deadline_expired",
+    "shed", "rejected", "cancelled",
+}
+RECORD_PATHS = {"unknown", "dynamic", "plan", "fallback"}
+ANOMALY_KINDS = {"deadline_miss", "circuit_trip", "retry_storm",
+                 "arena_growth"}
+
+# OpenMetrics exemplar suffix as Histogram::to_prometheus writes it:
+#   serve_latency_ms_bucket{le="0.5"} 12 # {trace_id="7"} 0.35
+EXEMPLAR = re.compile(r' # \{trace_id="\d+"\} -?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$')
+
+
+def check_record(record, where: str) -> None:
+    if not isinstance(record, dict):
+        fail(f"{where} is not an object")
+    for key, typ in RECORD_REQUIRED.items():
+        if not isinstance(record.get(key), typ) or isinstance(
+            record.get(key), bool
+        ):
+            fail(f"{where} is missing integer/string field `{key}`")
+    if record["kind"] not in RECORD_KINDS:
+        fail(f"{where} has unknown kind {record['kind']!r}")
+    if record["outcome"] not in RECORD_OUTCOMES:
+        fail(f"{where} has unknown outcome {record['outcome']!r}")
+    if record["path"] not in RECORD_PATHS:
+        fail(f"{where} has unknown path {record['path']!r}")
+    if "admission" in record and not isinstance(record["admission"], str):
+        fail(f"{where} has a non-string `admission`")
+
+
+def check_prom(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as err:
+        print(f"trace_check: cannot read {path}: {err}")
+        sys.exit(2)
+    exemplars = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if " # {" not in line:
+            continue
+        if not EXEMPLAR.search(line):
+            fail(
+                f"{path}:{lineno}: malformed exemplar suffix "
+                f"(want ` # {{trace_id=\"N\"}} value`): {line!r}"
+            )
+        if "_bucket{" not in line:
+            fail(f"{path}:{lineno}: exemplar on a non-bucket line: {line!r}")
+        exemplars += 1
+    if exemplars == 0:
+        fail(f"{path}: no histogram bucket carries a trace-ID exemplar")
+    print(f"trace_check: prom OK — {exemplars} bucket exemplar(s)")
+
+
+def check_recorder(dump) -> None:
+    records = dump.get("records") if isinstance(dump, dict) else None
+    if not isinstance(records, list) or not records:
+        fail("recorder dump has no non-empty `records` list")
+    for i, record in enumerate(records):
+        check_record(record, f"records[{i}]")
+    served = [
+        r
+        for r in records
+        if r["outcome"] in ("completed", "degraded", "failed")
+    ]
+    if not served:
+        fail("recorder dump holds no terminally served record")
+    print(
+        f"trace_check: recorder OK — {len(records)} record(s), "
+        f"{len(served)} served"
+    )
+
+
+def check_dump(dump) -> None:
+    if not isinstance(dump, dict):
+        fail("anomaly dump is not a JSON object")
+    anomaly = dump.get("anomaly")
+    if anomaly not in ANOMALY_KINDS:
+        fail(f"anomaly dump has unknown kind {anomaly!r}")
+    trace_id = dump.get("trace_id")
+    if not isinstance(trace_id, int):
+        fail("anomaly dump has no integer `trace_id`")
+    slo = dump.get("slo")
+    if not isinstance(slo, dict):
+        fail("anomaly dump has no `slo` snapshot")
+    for key in (
+        "good_fast", "bad_fast", "good_slow", "bad_slow", "burn_rate_fast",
+        "burn_rate_slow", "budget_remaining", "latency_objective_ms",
+        "target",
+    ):
+        if not isinstance(slo.get(key), (int, float)):
+            fail(f"anomaly dump slo snapshot is missing numeric `{key}`")
+    records = dump.get("records")
+    if not isinstance(records, list):
+        fail("anomaly dump has no `records` list")
+    for i, record in enumerate(records):
+        check_record(record, f"records[{i}]")
+    spans = dump.get("spans")
+    if not isinstance(spans, list):
+        fail("anomaly dump has no `spans` list")
+    for i, span in enumerate(spans):
+        if not isinstance(span, dict):
+            fail(f"spans[{i}] is not an object")
+        if not isinstance(span.get("name"), str):
+            fail(f"spans[{i}] has no string `name`")
+        for key in ("trace_id", "tid", "start_ns", "duration_ns"):
+            if not isinstance(span.get(key), int):
+                fail(f"spans[{i}] has no integer `{key}`")
+    if trace_id != 0 and not any(r["trace_id"] == trace_id for r in records):
+        fail(
+            f"anomaly dump names trace {trace_id} but no record in the dump "
+            "carries it"
+        )
+    print(
+        f"trace_check: dump OK — anomaly {anomaly!r}, trace {trace_id}, "
+        f"{len(records)} record(s), {len(spans)} span(s)"
+    )
+
+
+def take_flag(argv: list[str], flag: str) -> str | None:
+    if flag not in argv:
+        return None
+    i = argv.index(flag)
+    if i + 1 >= len(argv):
+        print(f"trace_check: {flag} needs a file argument")
+        sys.exit(2)
+    value = argv[i + 1]
+    del argv[i : i + 2]
+    return value
+
+
 def main() -> int:
     argv = sys.argv[1:]
     plan_mode = "--plan" in argv
     argv = [a for a in argv if a != "--plan"]
-    if len(argv) != 2:
+    prom = take_flag(argv, "--prom")
+    recorder = take_flag(argv, "--recorder")
+    dump = take_flag(argv, "--dump")
+    if len(argv) not in (0, 2) or (
+        not argv and prom is None and recorder is None and dump is None
+    ):
         print(__doc__)
         return 2
-    check_trace(load_json(argv[0]), plan_mode)
-    check_metrics(load_json(argv[1]), plan_mode)
+    if argv:
+        check_trace(load_json(argv[0]), plan_mode)
+        check_metrics(load_json(argv[1]), plan_mode)
+    if prom is not None:
+        check_prom(prom)
+    if recorder is not None:
+        check_recorder(load_json(recorder))
+    if dump is not None:
+        check_dump(load_json(dump))
     print("trace_check: PASS" + (" (plan mode)" if plan_mode else ""))
     return 0
 

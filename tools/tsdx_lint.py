@@ -41,9 +41,12 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     operational diagnostics in
                     those layers go through TSDX_LOG_INFO / TSDX_LOG_WARN
                     (src/obs/log.hpp, the single allowlisted raw-stderr
-                    site). A server's stdout belongs to its operator.
-                    snprintf-into-a-returned-string (stats table printers)
-                    is not logging and stays legal.
+                    site). A server's stdout belongs to its operator. This
+                    covers the flight recorder (src/obs/recorder.cpp) and
+                    SLO engine (src/obs/slo.cpp) too: an anomaly dump is
+                    written with fopen/fwrite to TSDX_OBS_DUMP_DIR, never
+                    narrated to the console. snprintf-into-a-returned-string
+                    (stats table printers) is not logging and stays legal.
   op-shape-check    Every public op declared in src/tensor/ops.hpp and
                     src/tensor/nn_ops.hpp validates its input shapes: its
                     definition must use TSDX_CHECK / TSDX_SHAPE_ASSERT, go
@@ -58,9 +61,12 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     thread-safety annotations and a lockorder::Rank (the
                     router stack — src/serve/router.cpp, admission.cpp,
                     replica.cpp — sits at the bottom ranks kRouter <
-                    kAdmission < kReplica of that hierarchy). The
-                    wrappers themselves (src/core/) are the one place the raw
-                    primitives live.
+                    kAdmission < kReplica of that hierarchy, while the
+                    obs v2 surfaces sit near the top: kSlo < kRecorder <
+                    kRegistry < kTraceRing, so the SLO engine may snapshot
+                    the recorder ring and span buffer while holding its
+                    lock). The wrappers themselves (src/core/) are the one
+                    place the raw primitives live.
   unannotated-shared  A mutable data member declared after a tsdx::Mutex
                     member in the same class must carry TSDX_GUARDED_BY (or
                     be a const / static / atomic / another sync primitive).
@@ -68,7 +74,10 @@ Enforced invariants (each maps to a rule id shown in diagnostics):
                     so an unannotated member next to a Mutex is either a
                     missing annotation or state whose locking story is
                     undocumented. Checked in src/serve/, src/obs/,
-                    src/index/, src/plan/ and src/tensor/kernels/.
+                    src/index/, src/plan/ and src/tensor/kernels/ — which
+                    sweeps the new obs v2 state too: the Recorder's ring and
+                    the SloEngine's rolling buckets / dump budget are all
+                    TSDX_GUARDED_BY their rank-checked mutexes.
 
 Usage: tsdx_lint.py [repo_root]      (exit 0 = clean, 1 = violations)
 If repo_root is omitted it is derived from this script's location, so the
